@@ -1,0 +1,116 @@
+// Command mbpasm assembles and inspects mini-ISA programs: it can dump
+// a disassembly, execute a program, and print dynamic control-flow
+// statistics — useful when writing new workloads.
+//
+// Usage:
+//
+//	mbpasm [-dump] [-run n] [-stats] file.s
+//	mbpasm [-dump] [-run n] [-stats] -workload name
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mbbp/internal/asm"
+	"mbbp/internal/cpu"
+	"mbbp/internal/isa"
+	"mbbp/internal/trace"
+	"mbbp/internal/workload"
+)
+
+func main() {
+	dump := flag.Bool("dump", false, "print the disassembly")
+	runN := flag.Uint64("run", 0, "execute n dynamic instructions")
+	stats := flag.Bool("stats", false, "print dynamic control-flow statistics (implies -run)")
+	workloadName := flag.String("workload", "", "inspect a built-in workload instead of a file")
+	saveTrace := flag.String("savetrace", "", "write the captured trace to this file (implies -run)")
+	list := flag.Bool("list", false, "list the built-in workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, b := range workload.All() {
+			fmt.Printf("%-9s %-6s %s\n", b.Name, b.Suite, b.Description)
+		}
+		return
+	}
+
+	var prog *isa.Program
+	var err error
+	switch {
+	case *workloadName != "":
+		var b *workload.Benchmark
+		if b, err = workload.Get(*workloadName); err == nil {
+			prog, err = b.Program()
+		}
+	case flag.NArg() == 1:
+		var src []byte
+		if src, err = os.ReadFile(flag.Arg(0)); err == nil {
+			prog, err = asm.Assemble(flag.Arg(0), string(src))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: mbpasm [flags] file.s | mbpasm [flags] -workload name")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbpasm:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s: %d instructions, %d data words, %d fp words, entry %d\n",
+		prog.Name, len(prog.Code), len(prog.IntData), len(prog.FPData), prog.Entry)
+
+	if *dump {
+		// Invert the symbol table for labeled disassembly.
+		labels := map[uint32][]string{}
+		for name, addr := range prog.Symbols {
+			labels[addr] = append(labels[addr], name)
+		}
+		for pc, in := range prog.Code {
+			for _, l := range labels[uint32(pc)] {
+				fmt.Printf("%s:\n", l)
+			}
+			fmt.Printf("%6d  %s\n", pc, in)
+		}
+	}
+
+	if (*stats || *saveTrace != "") && *runN == 0 {
+		*runN = 1_000_000
+	}
+	if *runN > 0 {
+		buf, err := trace.Capture(prog, cpu.DefaultConfig(), *runN)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbpasm:", err)
+			os.Exit(1)
+		}
+		if *saveTrace != "" {
+			f, err := os.Create(*saveTrace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mbpasm:", err)
+				os.Exit(1)
+			}
+			if err := buf.Save(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mbpasm:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mbpasm:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d records to %s\n", buf.Len(), *saveTrace)
+		}
+		s := trace.Collect(buf)
+		fmt.Printf("ran %d instructions: %s\n", buf.Len(), s)
+		if *stats {
+			fmt.Printf("  mean basic block: %.2f instructions\n", s.MeanBasicBlock())
+			fmt.Printf("  conditional taken rate: %.1f%%\n", 100*s.CondTakenRate())
+			for c := isa.Class(0); c < isa.NumClasses; c++ {
+				if s.ByClass[c] > 0 {
+					fmt.Printf("  %-14s %10d (%5.2f%%)\n", c, s.ByClass[c],
+						100*float64(s.ByClass[c])/float64(s.Instructions))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Command mbpexp regenerates the tables and figures of the paper's
+// evaluation section (Wallace & Bagherzadeh, HPCA 1997), plus the
+// headline-claims comparison, the Yeh-BAC baseline, the documented
+// extensions and ablations, and a self-contained markdown report.
+//
+// Usage:
+//
+//	mbpexp [-n instructions] [-programs a,b,c] [-csv|-chart] [-warmup] <experiment>|all
+//
+// Experiments: fig6 fig7 fig8 fig9 table5 table6 cost compare baseline
+// extblocks ablation widths seeds icache report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mbbp/internal/harness"
+)
+
+func main() {
+	n := flag.Uint64("n", 1_000_000, "dynamic instructions per program")
+	programs := flag.String("programs", "", "comma-separated workload subset (default: full suite)")
+	warmup := flag.Bool("warmup", false, "run an untimed training pass before measuring")
+	chart := flag.Bool("chart", false, "draw terminal charts alongside the tables")
+	asCSV := flag.Bool("csv", false, "emit CSV instead of tables (fig6-9, table5-6)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mbpexp [flags] fig6|fig7|fig8|fig9|table5|table6|cost|compare|baseline|extblocks|ablation|widths|seeds|icache|report|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	what := flag.Arg(0)
+
+	opts := harness.Options{Instructions: *n, Warmup: *warmup}
+	if *programs != "" {
+		opts.Programs = strings.Split(*programs, ",")
+	}
+
+	if what == "cost" {
+		harness.RenderCost(os.Stdout)
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "mbpexp: tracing %d instructions per program...\n", *n)
+	ts, err := harness.LoadTraces(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbpexp:", err)
+		os.Exit(1)
+	}
+
+	run := func(name string) {
+		var err error
+		switch name {
+		case "fig6":
+			var rows []harness.Fig6Row
+			if rows, err = harness.Fig6(ts); err == nil {
+				if *asCSV {
+					err = harness.CSVFig6(os.Stdout, rows)
+					break
+				}
+				harness.RenderFig6(os.Stdout, rows)
+				if *chart {
+					fmt.Println()
+					harness.ChartFig6(os.Stdout, rows)
+				}
+			}
+		case "fig7":
+			var rows []harness.Fig7Row
+			if rows, err = harness.Fig7(ts); err == nil {
+				if *asCSV {
+					err = harness.CSVFig7(os.Stdout, rows)
+					break
+				}
+				harness.RenderFig7(os.Stdout, rows)
+				if *chart {
+					fmt.Println()
+					harness.ChartFig7(os.Stdout, rows)
+				}
+			}
+		case "fig8":
+			var rows []harness.Fig8Row
+			if rows, err = harness.Fig8(ts); err == nil {
+				if *asCSV {
+					err = harness.CSVFig8(os.Stdout, rows)
+					break
+				}
+				harness.RenderFig8(os.Stdout, rows)
+				if *chart {
+					fmt.Println()
+					harness.ChartFig8(os.Stdout, rows)
+				}
+			}
+		case "fig9":
+			var rows []harness.Fig9Row
+			if rows, err = harness.Fig9(ts); err == nil {
+				if *asCSV {
+					err = harness.CSVFig9(os.Stdout, rows)
+					break
+				}
+				harness.RenderFig9(os.Stdout, rows)
+				if *chart {
+					fmt.Println()
+					harness.ChartFig9(os.Stdout, rows)
+				}
+			}
+		case "table5":
+			var rows []harness.Table5Row
+			if rows, err = harness.Table5(ts); err == nil {
+				if *asCSV {
+					err = harness.CSVTable5(os.Stdout, rows)
+					break
+				}
+				harness.RenderTable5(os.Stdout, rows)
+			}
+		case "table6":
+			var rows []harness.Table6Row
+			if rows, err = harness.Table6(ts); err == nil {
+				if *asCSV {
+					err = harness.CSVTable6(os.Stdout, rows)
+					break
+				}
+				harness.RenderTable6(os.Stdout, rows)
+			}
+		case "cost":
+			harness.RenderCost(os.Stdout)
+		case "extblocks":
+			var rows []harness.ExtBlocksRow
+			if rows, err = harness.ExtBlocks(ts); err == nil {
+				harness.RenderExtBlocks(os.Stdout, rows)
+			}
+		case "ablation":
+			var rows []harness.AblationRow
+			if rows, err = harness.AblationPHT(ts); err == nil {
+				harness.RenderAblationPHT(os.Stdout, rows)
+			}
+		case "compare":
+			var c *harness.Comparison
+			if c, err = harness.Compare(ts); err == nil {
+				harness.RenderComparison(os.Stdout, c)
+			}
+		case "baseline":
+			var rows []harness.BaselineRow
+			if rows, err = harness.Baseline(ts); err == nil {
+				harness.RenderBaseline(os.Stdout, rows)
+			}
+		case "report":
+			err = harness.WriteReport(os.Stdout, ts, *n)
+		case "widths":
+			var rows []harness.WidthsRow
+			if rows, err = harness.Widths(ts); err == nil {
+				harness.RenderWidths(os.Stdout, rows)
+			}
+		case "seeds":
+			var rows []harness.SeedsRow
+			if rows, err = harness.Seeds(opts, nil); err == nil {
+				harness.RenderSeeds(os.Stdout, rows)
+			}
+		case "icache":
+			var rows []harness.ICacheRow
+			if rows, err = harness.ICache(ts); err == nil {
+				harness.RenderICache(os.Stdout, rows)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "mbpexp: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbpexp:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if what == "all" {
+		for _, name := range []string{"fig6", "fig7", "fig8", "table5", "table6", "fig9", "cost", "extblocks", "ablation", "baseline"} {
+			run(name)
+		}
+		return
+	}
+	run(what)
+}

@@ -1,0 +1,231 @@
+// Command mbpsim runs one fetch-architecture configuration over the
+// workload suite and prints per-program and aggregate metrics.
+//
+// Usage:
+//
+//	mbpsim [-n instructions] [-mode single|dual] [-selection single|double]
+//	       [-cache normal|extend|align] [-width W] [-hist bits] [-sts n]
+//	       [-target nls|btb] [-entries n] [-assoc n] [-near] [-bit entries]
+//	       [-breakdown] [workload ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"mbbp/internal/core"
+	"mbbp/internal/harness"
+	"mbbp/internal/icache"
+	"mbbp/internal/metrics"
+	"mbbp/internal/pht"
+	"mbbp/internal/trace"
+	"mbbp/internal/workload"
+)
+
+func main() {
+	n := flag.Uint64("n", 1_000_000, "dynamic instructions per program")
+	mode := flag.String("mode", "dual", "fetch mode: single or dual block")
+	selection := flag.String("selection", "single", "dual-block selection: single or double")
+	cache := flag.String("cache", "normal", "cache type: normal, extend, or align")
+	width := flag.Int("width", 8, "block width (instructions)")
+	hist := flag.Int("hist", 10, "branch history length (bits)")
+	sts := flag.Int("sts", 1, "number of select tables")
+	targetKind := flag.String("target", "nls", "target array: nls or btb")
+	entries := flag.Int("entries", 256, "target array block entries")
+	assoc := flag.Int("assoc", 4, "BTB associativity")
+	near := flag.Bool("near", false, "enable near-block target encoding")
+	bit := flag.Int("bit", 0, "BIT table entries (0 = stored in I-cache)")
+	blocks := flag.Int("blocks", 0, "blocks per cycle (0 = per mode; 3-4 = §5 extension)")
+	phts := flag.Int("phts", 1, "number of blocked PHTs (per-block variation)")
+	indexMode := flag.String("index", "gshare", "PHT/ST index function: gshare or global")
+	icacheLines := flag.Int("icache", 0, "finite I-cache line frames (0 = perfect, the paper's assumption)")
+	icacheAssoc := flag.Int("icache-assoc", 2, "finite I-cache associativity")
+	missPenalty := flag.Int("miss-penalty", 10, "finite I-cache miss penalty (cycles)")
+	traceFile := flag.String("tracefile", "", "simulate a saved trace file instead of workloads")
+	breakdown := flag.Bool("breakdown", false, "print the per-kind BEP breakdown")
+	logBlocks := flag.Uint64("log", 0, "log the first n fetch blocks (single workload or -tracefile)")
+	configFile := flag.String("config", "", "load the configuration from a JSON file (other config flags ignored)")
+	dumpConfig := flag.Bool("dump-config", false, "print the effective configuration as JSON and exit")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	kind, err := icache.ParseKind(*cache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbpsim:", err)
+		os.Exit(2)
+	}
+	cfg.Geometry = icache.ForKind(kind, *width)
+	cfg.HistoryBits = *hist
+	cfg.NumSTs = *sts
+	cfg.NearBlock = *near
+	cfg.BITEntries = *bit
+	cfg.NumBlocks = *blocks
+	cfg.NumPHTs = *phts
+	cfg.TargetEntries = *entries
+	cfg.BTBAssoc = *assoc
+	if *icacheLines > 0 {
+		cfg.ICacheLines = *icacheLines
+		cfg.ICacheAssoc = *icacheAssoc
+		cfg.ICacheMissPenalty = *missPenalty
+	}
+	switch *indexMode {
+	case "gshare":
+		cfg.IndexMode = pht.IndexGShare
+	case "global":
+		cfg.IndexMode = pht.IndexGlobal
+	default:
+		fmt.Fprintf(os.Stderr, "mbpsim: unknown index mode %q\n", *indexMode)
+		os.Exit(2)
+	}
+	if *blocks > 1 && *mode == "single" {
+		fmt.Fprintln(os.Stderr, "mbpsim: -blocks > 1 requires -mode dual")
+		os.Exit(2)
+	}
+	switch *mode {
+	case "single":
+		cfg.Mode = core.SingleBlock
+	case "dual":
+		cfg.Mode = core.DualBlock
+	default:
+		fmt.Fprintf(os.Stderr, "mbpsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	switch *selection {
+	case "single":
+		cfg.Selection = metrics.SingleSelection
+	case "double":
+		cfg.Selection = metrics.DoubleSelection
+	default:
+		fmt.Fprintf(os.Stderr, "mbpsim: unknown selection %q\n", *selection)
+		os.Exit(2)
+	}
+	switch *targetKind {
+	case "nls":
+		cfg.TargetArray = core.NLS
+	case "btb":
+		cfg.TargetArray = core.BTB
+	default:
+		fmt.Fprintf(os.Stderr, "mbpsim: unknown target array %q\n", *targetKind)
+		os.Exit(2)
+	}
+	if *configFile != "" {
+		f, err := os.Open(*configFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbpsim:", err)
+			os.Exit(2)
+		}
+		cfg, err = core.LoadConfigJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbpsim:", err)
+			os.Exit(2)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "mbpsim:", err)
+		os.Exit(2)
+	}
+	if *dumpConfig {
+		if err := cfg.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mbpsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbpsim:", err)
+			os.Exit(1)
+		}
+		buf, err := trace.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbpsim:", err)
+			os.Exit(1)
+		}
+		eng, err := core.New(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbpsim:", err)
+			os.Exit(1)
+		}
+		if *logBlocks > 0 {
+			eng.SetObserver(&core.LogObserver{W: os.Stdout, Limit: *logBlocks})
+		}
+		r := eng.Run(buf)
+		fmt.Printf("config: %s\n", cfg)
+		fmt.Println(r.String())
+		if *breakdown {
+			fmt.Println(r.BreakdownString())
+		}
+		return
+	}
+
+	if *logBlocks > 0 && flag.NArg() == 1 {
+		// Single-workload logging path: drive one engine directly so
+		// the observer can attach.
+		b, err := workload.Get(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbpsim:", err)
+			os.Exit(1)
+		}
+		tr, err := b.Trace(*n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbpsim:", err)
+			os.Exit(1)
+		}
+		eng, err := core.New(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbpsim:", err)
+			os.Exit(1)
+		}
+		eng.SetObserver(&core.LogObserver{W: os.Stdout, Limit: *logBlocks})
+		r := eng.Run(tr)
+		fmt.Printf("config: %s\n", cfg)
+		fmt.Println(r.String())
+		if *breakdown {
+			fmt.Println(r.BreakdownString())
+		}
+		return
+	}
+
+	opts := harness.Options{Instructions: *n, Programs: flag.Args()}
+	ts, err := harness.LoadTraces(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbpsim:", err)
+		os.Exit(1)
+	}
+	res, err := harness.RunConfig(ts, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbpsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("config: %s\n", cfg)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "program\tIPC_f\tIPB\tBEP\tcond acc%\tfetch cycles\tpenalty cycles")
+	print := func(r metrics.Result) {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.3f\t%.2f\t%d\t%d\n",
+			r.Program, r.IPCf(), r.IPB(), r.BEP(), 100*r.CondAccuracy(),
+			r.FetchCycles, r.TotalPenaltyCycles())
+	}
+	for _, name := range ts.Programs() {
+		print(res.Per[name])
+	}
+	if len(ts.Programs()) > 1 {
+		print(res.Int)
+		print(res.FP)
+	}
+	tw.Flush()
+
+	if *breakdown {
+		fmt.Println()
+		for _, name := range ts.Programs() {
+			r := res.Per[name]
+			fmt.Println(r.BreakdownString())
+		}
+	}
+}

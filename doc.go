@@ -1,0 +1,35 @@
+// Package mbbp is a reproduction of "Multiple Branch and Block
+// Prediction" (Steven Wallace and Nader Bagherzadeh, HPCA-3, 1997): a
+// trace-driven simulator for wide-issue instruction fetch prediction.
+//
+// The paper's mechanisms are all here:
+//
+//   - a blocked pattern history table that predicts every conditional
+//     branch position of a fetch block in one lookup (§2),
+//   - block instruction type (BIT) tables, NLS/BTB target arrays with
+//     optional near-block target encoding, and a return address stack
+//     with dual-block bypassing,
+//   - select tables that memoize multiplexer selections so two blocks
+//     are predicted per cycle without serialization (§3), in single-
+//     and double-selection variants,
+//   - the Table 3 misprediction penalty model, bad-branch-recovery
+//     bookkeeping (Table 4), three instruction cache organizations
+//     (normal, extended, self-aligned; §4.5), and the §5 hardware cost
+//     model.
+//
+// Because the predictors observe only dynamic control flow, the paper's
+// SPEC95/SPARC/Shade substrate is replaced by a small RISC ISA, an
+// assembler, a functional CPU simulator, and an 18-program workload
+// suite named after SPEC95 (see DESIGN.md for the substitution
+// argument).
+//
+// Quick start:
+//
+//	tr, _ := mbbp.WorkloadTrace("compress", 1_000_000)
+//	eng, _ := mbbp.NewEngine(mbbp.DefaultConfig())
+//	res := eng.Run(tr)
+//	fmt.Printf("IPC_f = %.2f, BEP = %.3f\n", res.IPCf(), res.BEP())
+//
+// The cmd/mbpexp tool regenerates every table and figure of the paper's
+// evaluation; see EXPERIMENTS.md for measured-vs-paper results.
+package mbbp

@@ -1,0 +1,135 @@
+package mbbp
+
+// End-to-end tests of the command-line tools: build the real binaries
+// and drive them the way a user would. Skipped under -short.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+func buildTools(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("short mode: skipping CLI end-to-end tests")
+	}
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "mbbp-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binDir = dir
+		for _, tool := range []string{"mbpsim", "mbpexp", "mbpasm"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = err
+				t.Logf("build %s: %s", tool, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return binDir
+}
+
+func runTool(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	dir := buildTools(t)
+	cmd := exec.Command(filepath.Join(dir, name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestE2ESim(t *testing.T) {
+	out := runTool(t, "mbpsim", "-n", "60000", "compress", "swim")
+	for _, want := range []string{"config:", "compress", "swim", "CINT95", "CFP95", "IPC_f"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mbpsim output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE2ESimLog(t *testing.T) {
+	out := runTool(t, "mbpsim", "-n", "30000", "-log", "5", "li")
+	if strings.Count(out, "cyc ") != 5 {
+		t.Errorf("expected 5 log lines:\n%s", out)
+	}
+}
+
+func TestE2EExpCost(t *testing.T) {
+	out := runTool(t, "mbpexp", "cost")
+	for _, want := range []string{"52.3", "80.3", "72.3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mbpexp cost missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE2EExpFig6Subset(t *testing.T) {
+	out := runTool(t, "mbpexp", "-n", "50000", "-programs", "li,swim", "fig6")
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "hist") {
+		t.Errorf("mbpexp fig6 malformed:\n%s", out)
+	}
+}
+
+func TestE2EAsmTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "li.trace")
+	out := runTool(t, "mbpasm", "-workload", "li", "-run", "40000", "-savetrace", tracePath)
+	if !strings.Contains(out, "wrote 40000 records") {
+		t.Fatalf("savetrace failed:\n%s", out)
+	}
+	out = runTool(t, "mbpsim", "-tracefile", tracePath)
+	if !strings.Contains(out, "li:") || !strings.Contains(out, "IPC_f") {
+		t.Errorf("tracefile run malformed:\n%s", out)
+	}
+}
+
+func TestE2EAsmFile(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.s")
+	if err := os.WriteFile(src, []byte(`
+main:
+    li r1, 50
+loop:
+    subi r1, r1, 1
+    bnez r1, loop
+    halt
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runTool(t, "mbpasm", "-dump", src)
+	for _, want := range []string{"4 instructions", "main:", "bne r1, r0, 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mbpasm dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE2EToolErrors(t *testing.T) {
+	dir := buildTools(t)
+	cmd := exec.Command(filepath.Join(dir, "mbpsim"), "-n", "1000", "nonesuch")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("unknown workload should fail:\n%s", out)
+	}
+	cmd = exec.Command(filepath.Join(dir, "mbpexp"), "wibble")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("unknown experiment should fail:\n%s", out)
+	}
+}

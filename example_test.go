@@ -1,0 +1,80 @@
+package mbbp_test
+
+import (
+	"fmt"
+	"log"
+
+	"mbbp"
+)
+
+// The quick-start flow: trace a workload, run the paper's default
+// dual-block engine, read the metrics.
+func Example() {
+	tr, err := mbbp.WorkloadTrace("mgrid", 200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := mbbp.NewEngine(mbbp.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := eng.Run(tr)
+	fmt.Printf("instructions: %d\n", res.Instructions)
+	fmt.Printf("IPC_f above 9: %v\n", res.IPCf() > 9)
+	// Output:
+	// instructions: 200000
+	// IPC_f above 9: true
+}
+
+// Assembling a custom program and predicting its control flow.
+func ExampleAssemble() {
+	prog, err := mbbp.Assemble("count", `
+main:
+    li r1, 1000
+loop:
+    subi r1, r1, 1
+    bnez r1, loop
+    halt
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := mbbp.CaptureTrace(prog, 30_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := mbbp.DefaultConfig()
+	cfg.Mode = mbbp.SingleBlock
+	eng, err := mbbp.NewEngine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := eng.Run(tr)
+	fmt.Printf("counted loop predicts above 99%%: %v\n", res.CondAccuracy() > 0.99)
+	// Output:
+	// counted loop predicts above 99%: true
+}
+
+// The §5 cost walkthrough.
+func ExampleEstimateCost() {
+	est := mbbp.EstimateCost(mbbp.PaperCostParams())
+	fmt.Printf("single block: %d Kbit\n", est.SingleBlockTotal()/1024)
+	fmt.Printf("dual single:  %d Kbit\n", est.DualSingleTotal()/1024)
+	fmt.Printf("dual double:  %d Kbit\n", est.DualDoubleTotal()/1024)
+	// Output:
+	// single block: 52 Kbit
+	// dual single:  80 Kbit
+	// dual double:  72 Kbit
+}
+
+// Comparing against the scalar two-level baseline of Figure 6.
+func ExampleScalarMispredictRate() {
+	tr, err := mbbp.WorkloadTrace("swim", 200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rate := mbbp.ScalarMispredictRate(tr, 10, 8)
+	fmt.Printf("FP code mispredicts under 5%%: %v\n", rate < 0.05)
+	// Output:
+	// FP code mispredicts under 5%: true
+}

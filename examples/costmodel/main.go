@@ -1,0 +1,39 @@
+// Costmodel: reproduce the paper's §5 hardware cost walkthrough and
+// explore how the budget scales with block width and history length.
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"mbbp"
+)
+
+func main() {
+	p := mbbp.PaperCostParams()
+	e := mbbp.EstimateCost(p)
+	kb := func(bits int) float64 { return float64(bits) / 1024 }
+
+	fmt.Println("paper §5 walkthrough (W=8, h=10, 256-entry NLS, 1024-entry BIT):")
+	fmt.Printf("  PHT %.0f Kbit, ST %.0f Kbit, NLS %.0f Kbit, BIT %.0f Kbit, BBR %.1f Kbit\n",
+		kb(e.PHT), kb(e.ST), kb(e.NLS), kb(e.BIT), kb(e.BBR))
+	fmt.Printf("  single block:              %.1f Kbit\n", kb(e.SingleBlockTotal()))
+	fmt.Printf("  dual block, single select: %.1f Kbit\n", kb(e.DualSingleTotal()))
+	fmt.Printf("  dual block, double select: %.1f Kbit\n", kb(e.DualDoubleTotal()))
+
+	fmt.Println("\nscaling with block width and history length (dual, single select):")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "W\thist\ttotal Kbit")
+	for _, w := range []int{4, 8, 16} {
+		for _, h := range []int{10, 12} {
+			q := p
+			q.BlockWidth = w
+			q.HistoryBits = h
+			q.LineSize = w
+			est := mbbp.EstimateCost(q)
+			fmt.Fprintf(tw, "%d\t%d\t%.1f\n", w, h, kb(est.DualSingleTotal()))
+		}
+	}
+	tw.Flush()
+}

@@ -1,0 +1,53 @@
+// Multiblock: explore the paper's §5 extension — predicting more than
+// two blocks per cycle. Every extra block adds a select table and a
+// target array (cost grows linearly) while the achievable fetch rate
+// depends on how predictable the workload's control flow is: the
+// floating-point suite keeps scaling, the integer suite saturates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"mbbp"
+)
+
+func main() {
+	workloads := []string{"go", "swim"} // a hard and an easy workload
+	traces := map[string]*mbbp.TraceBuffer{}
+	for _, w := range workloads {
+		tr, err := mbbp.WorkloadTrace(w, 400_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traces[w] = tr
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "blocks/cycle\tgo IPC_f\tgo BEP\tswim IPC_f\tswim BEP")
+	for blocks := 1; blocks <= 4; blocks++ {
+		cfg := mbbp.DefaultConfig()
+		if blocks == 1 {
+			cfg.Mode = mbbp.SingleBlock
+		}
+		cfg.NumBlocks = blocks
+		cfg.NumSTs = 8 // give the selectors their best shot
+		row := fmt.Sprintf("%d", blocks)
+		for _, w := range workloads {
+			eng, err := mbbp.NewEngine(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := eng.Run(traces[w])
+			row += fmt.Sprintf("\t%.2f\t%.3f", res.IPCf(), res.BEP())
+		}
+		fmt.Fprintln(tw, row)
+	}
+	tw.Flush()
+
+	fmt.Println("\nNote the shape: predictable loop code (swim) keeps gaining with")
+	fmt.Println("every block, while branchy code (go) pays growing later-block")
+	fmt.Println("penalties — the diminishing returns §5 of the paper implies.")
+}

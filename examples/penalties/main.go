@@ -1,0 +1,64 @@
+// Penalties: dissect where fetch cycles go. Runs the hardest integer
+// workload under four architectures and prints each one's BEP
+// decomposition (the per-program view behind the paper's Figure 9),
+// showing how the Table 3 penalty taxonomy shifts as the fetch
+// mechanism gets more aggressive.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mbbp"
+)
+
+func main() {
+	tr, err := mbbp.WorkloadTrace("gcc", 500_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	configs := []struct {
+		label string
+		cfg   mbbp.Config
+	}{
+		{"single block", func() mbbp.Config {
+			c := mbbp.DefaultConfig()
+			c.Mode = mbbp.SingleBlock
+			return c
+		}()},
+		{"dual block, single selection", mbbp.DefaultConfig()},
+		{"dual block, double selection", func() mbbp.Config {
+			c := mbbp.DefaultConfig()
+			c.Selection = mbbp.DoubleSelection
+			c.NumSTs = 8
+			return c
+		}()},
+		{"dual block, self-aligned cache", func() mbbp.Config {
+			c := mbbp.DefaultConfig()
+			c.Geometry = mbbp.CacheGeometry(mbbp.CacheSelfAligned, 8)
+			c.NumSTs = 8
+			return c
+		}()},
+	}
+
+	for _, c := range configs {
+		eng, err := mbbp.NewEngine(c.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := eng.Run(tr)
+		fmt.Printf("%-32s IPC_f %5.2f, BEP %.3f\n", c.label, res.IPCf(), res.BEP())
+		for k := mbbp.PenaltyKind(0); int(k) < len(res.PenaltyCycles); k++ {
+			if res.PenaltyCycles[k] == 0 {
+				continue
+			}
+			fmt.Printf("    %-20s %7d cycles over %6d events (BEP %.3f)\n",
+				k, res.PenaltyCycles[k], res.PenaltyEvents[k], res.BEPOf(k))
+		}
+		fmt.Println()
+	}
+	fmt.Println("Conditional mispredictions dominate everywhere; the dual-block")
+	fmt.Println("variants add misselect/GHR charges but more than pay for them in")
+	fmt.Println("fetch bandwidth — the trade the paper's Figure 9 illustrates.")
+}

@@ -1,0 +1,54 @@
+// Sweep: use the public API to explore a design space — how the
+// effective fetch rate responds to history length and select-table
+// count on an integer and a floating-point workload. This is the kind
+// of custom experiment the harness does not provide canned.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"mbbp"
+)
+
+func main() {
+	workloads := []string{"gcc", "swim"}
+	traces := map[string]*mbbp.TraceBuffer{}
+	for _, w := range workloads {
+		tr, err := mbbp.WorkloadTrace(w, 500_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traces[w] = tr
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "hist\tSTs\tgcc IPC_f\tswim IPC_f")
+	for _, hist := range []int{8, 10, 12} {
+		for _, sts := range []int{1, 8} {
+			row := fmt.Sprintf("%d\t%d", hist, sts)
+			for _, w := range workloads {
+				cfg := mbbp.DefaultConfig()
+				cfg.HistoryBits = hist
+				cfg.NumSTs = sts
+				eng, err := mbbp.NewEngine(cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				res := eng.Run(traces[w])
+				row += fmt.Sprintf("\t%.2f", res.IPCf())
+			}
+			fmt.Fprintln(tw, row)
+		}
+	}
+	tw.Flush()
+
+	// The scalar baseline of Figure 6, for reference.
+	fmt.Printf("\nscalar two-level baseline (h=10, 8 tables):\n")
+	for _, w := range workloads {
+		rate := mbbp.ScalarMispredictRate(traces[w], 10, 8)
+		fmt.Printf("  %-6s misprediction rate: %.2f%%\n", w, 100*rate)
+	}
+}

@@ -1,0 +1,3 @@
+module mbbp
+
+go 1.22

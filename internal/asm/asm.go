@@ -1,0 +1,685 @@
+// Package asm implements a two-pass text assembler for the mini RISC ISA
+// in internal/isa.
+//
+// Source syntax (one statement per line):
+//
+//	; comment            # comment
+//	label:               code or data label, may share a line with a statement
+//	.text                switch to the code section (default)
+//	.data                switch to the integer data section
+//	.fdata               switch to the floating-point data section
+//	.word  v, v, ...     append int64 values (integer data section)
+//	.space n             append n zero words (integer data section)
+//	.fword v, v, ...     append float64 values (FP data section)
+//	.fspace n            append n zero words (FP data section)
+//	.align n             pad the code section with nops to a multiple of n
+//	.entry label         set the program entry point (default: address 0)
+//	.equ name, value     define a numeric constant usable as an immediate
+//
+// Operands: registers r0..r31 / f0..f15 with aliases zero (r0), ra (r31)
+// and sp (r30); immediates in decimal, hex (0x...), or character ('a')
+// form; label references with optional +/- offset (label+4).
+//
+// Pseudo-instructions expand to single real instructions: li, mv, b,
+// call, inc, dec, subi, beqz, bnez, bgt, ble, not, neg.
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"mbbp/internal/isa"
+)
+
+// Error is an assembly error annotated with the source position.
+type Error struct {
+	Name string // program name
+	Line int    // 1-based source line
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("asm: %s:%d: %s", e.Name, e.Line, e.Msg)
+}
+
+type section int
+
+const (
+	secText section = iota
+	secData
+	secFData
+	secEqu // .equ constants
+)
+
+type symbol struct {
+	sec   section
+	value uint32
+}
+
+// operand kinds after parsing.
+type operand struct {
+	kind    opKind
+	reg     uint8  // for int/fp registers
+	imm     int64  // for immediates (resolved in pass 2)
+	sym     string // symbol name for symbolic immediates
+	symOff  int64  // offset added to the symbol
+	memReg  uint8  // base register for mem operands
+	memImm  int64
+	memSym  string
+	memOff  int64
+	hasSym  bool
+	isNeg   bool
+	rawText string
+}
+
+type opKind int
+
+const (
+	opIntReg opKind = iota
+	opFPReg
+	opImm
+	opMem // imm(reg)
+)
+
+type stmt struct {
+	line     int
+	mnemonic string
+	operands []operand
+}
+
+// dataItem is one integer data word, possibly a symbol reference (e.g. a
+// jump-table slot holding a code label) resolved in pass 2.
+type dataItem struct {
+	line int
+	val  int64
+	sym  string // empty for literals
+}
+
+type assembler struct {
+	name    string
+	syms    map[string]symbol
+	stmts   []stmt     // code statements in order
+	addrs   []uint32   // address of each code statement
+	data    []dataItem // integer data image (symbols resolved in pass 2)
+	fdata   []float64  // FP data image
+	entry   string     // entry label ("" = address 0)
+	entryLn int        // line of .entry for errors
+	sec     section
+	errs    []error
+}
+
+// Assemble assembles source into a validated program. name is used in
+// error messages and becomes the program's Name.
+func Assemble(name, source string) (*isa.Program, error) {
+	a := &assembler{
+		name: name,
+		syms: make(map[string]symbol),
+		sec:  secText,
+	}
+	a.pass1(source)
+	if len(a.errs) > 0 {
+		return nil, a.errs[0]
+	}
+	prog, err := a.pass2()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble that panics on error; intended for the
+// built-in workload programs, whose sources are compile-time constants.
+func MustAssemble(name, source string) *isa.Program {
+	p, err := Assemble(name, source)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (a *assembler) errorf(line int, format string, args ...any) {
+	a.errs = append(a.errs, &Error{Name: a.name, Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+// pass1 tokenizes, records symbols and section sizes, and queues code
+// statements for pass 2.
+func (a *assembler) pass1(source string) {
+	pc := uint32(0) // code address in instruction units
+	for lineNo, raw := range strings.Split(source, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		// Peel off any leading labels (possibly several on one line).
+		for {
+			idx := strings.Index(line, ":")
+			if idx < 0 {
+				break
+			}
+			head := strings.TrimSpace(line[:idx])
+			if !isIdent(head) {
+				break
+			}
+			a.defineLabel(lineNo+1, head, pc)
+			line = strings.TrimSpace(line[idx+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			pc = a.directive(lineNo+1, line, pc)
+			continue
+		}
+		if a.sec != secText {
+			a.errorf(lineNo+1, "instruction %q outside .text section", line)
+			continue
+		}
+		mn, ops, err := splitStatement(line)
+		if err != nil {
+			a.errorf(lineNo+1, "%v", err)
+			continue
+		}
+		a.stmts = append(a.stmts, stmt{line: lineNo + 1, mnemonic: mn, operands: ops})
+		a.addrs = append(a.addrs, pc)
+		pc++
+	}
+}
+
+func (a *assembler) defineLabel(line int, name string, pc uint32) {
+	if _, dup := a.syms[name]; dup {
+		a.errorf(line, "label %q redefined", name)
+		return
+	}
+	switch a.sec {
+	case secText:
+		a.syms[name] = symbol{secText, pc}
+	case secData:
+		a.syms[name] = symbol{secData, uint32(len(a.data))}
+	case secFData:
+		a.syms[name] = symbol{secFData, uint32(len(a.fdata))}
+	}
+}
+
+func (a *assembler) directive(line int, text string, pc uint32) uint32 {
+	fields := strings.SplitN(text, " ", 2)
+	dir := strings.TrimSpace(fields[0])
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	switch dir {
+	case ".text":
+		a.sec = secText
+	case ".data":
+		a.sec = secData
+	case ".fdata":
+		a.sec = secFData
+	case ".entry":
+		if !isIdent(rest) {
+			a.errorf(line, ".entry wants a label, got %q", rest)
+			return pc
+		}
+		a.entry, a.entryLn = rest, line
+	case ".equ":
+		parts := splitOperands(rest)
+		if len(parts) != 2 || !isIdent(parts[0]) {
+			a.errorf(line, ".equ wants 'name, value', got %q", rest)
+			return pc
+		}
+		v, err := parseInt(parts[1])
+		if err != nil {
+			a.errorf(line, ".equ %s: %v", parts[0], err)
+			return pc
+		}
+		if _, dup := a.syms[parts[0]]; dup {
+			a.errorf(line, "symbol %q redefined by .equ", parts[0])
+			return pc
+		}
+		a.syms[parts[0]] = symbol{secEqu, uint32(v)}
+	case ".word":
+		if a.sec != secData {
+			a.errorf(line, ".word outside .data section")
+			return pc
+		}
+		for _, f := range splitOperands(rest) {
+			if v, err := parseInt(f); err == nil {
+				a.data = append(a.data, dataItem{line: line, val: v})
+				continue
+			}
+			if name, off, ok := parseSymImm(f); ok {
+				a.data = append(a.data, dataItem{line: line, val: off, sym: name})
+				continue
+			}
+			a.errorf(line, ".word: malformed value %q", f)
+		}
+	case ".space":
+		if a.sec != secData {
+			a.errorf(line, ".space outside .data section")
+			return pc
+		}
+		n, err := parseInt(rest)
+		if err != nil || n < 0 {
+			a.errorf(line, ".space wants a non-negative count, got %q", rest)
+			return pc
+		}
+		a.data = append(a.data, make([]dataItem, n)...)
+	case ".fword":
+		if a.sec != secFData {
+			a.errorf(line, ".fword outside .fdata section")
+			return pc
+		}
+		for _, f := range splitOperands(rest) {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				a.errorf(line, ".fword: %v", err)
+				continue
+			}
+			a.fdata = append(a.fdata, v)
+		}
+	case ".fspace":
+		if a.sec != secFData {
+			a.errorf(line, ".fspace outside .fdata section")
+			return pc
+		}
+		n, err := parseInt(rest)
+		if err != nil || n < 0 {
+			a.errorf(line, ".fspace wants a non-negative count, got %q", rest)
+			return pc
+		}
+		a.fdata = append(a.fdata, make([]float64, n)...)
+	case ".align":
+		if a.sec != secText {
+			a.errorf(line, ".align outside .text section")
+			return pc
+		}
+		n, err := parseInt(rest)
+		if err != nil || n <= 0 {
+			a.errorf(line, ".align wants a positive count, got %q", rest)
+			return pc
+		}
+		for pc%uint32(n) != 0 {
+			a.stmts = append(a.stmts, stmt{line: line, mnemonic: "nop"})
+			a.addrs = append(a.addrs, pc)
+			pc++
+		}
+	default:
+		a.errorf(line, "unknown directive %q", dir)
+	}
+	return pc
+}
+
+// pass2 resolves symbols and encodes instructions.
+func (a *assembler) pass2() (*isa.Program, error) {
+	code := make([]isa.Inst, 0, len(a.stmts))
+	for i, s := range a.stmts {
+		in, err := a.encode(s, a.addrs[i])
+		if err != nil {
+			return nil, err
+		}
+		code = append(code, in)
+	}
+	entry := uint32(0)
+	if a.entry != "" {
+		sym, ok := a.syms[a.entry]
+		if !ok || sym.sec != secText {
+			return nil, &Error{a.name, a.entryLn, fmt.Sprintf(".entry label %q not defined in .text", a.entry)}
+		}
+		entry = sym.value
+	}
+	symbols := make(map[string]uint32, len(a.syms))
+	dataSyms := make(map[string]uint32)
+	for n, s := range a.syms {
+		switch s.sec {
+		case secText:
+			symbols[n] = s.value
+		case secData:
+			dataSyms[n] = s.value
+		}
+	}
+	data := make([]int64, len(a.data))
+	for i, it := range a.data {
+		if it.sym == "" {
+			data[i] = it.val
+			continue
+		}
+		sym, ok := a.syms[it.sym]
+		if !ok {
+			return nil, &Error{a.name, it.line, fmt.Sprintf("undefined symbol %q in .word", it.sym)}
+		}
+		data[i] = int64(sym.value) + it.val
+	}
+	return &isa.Program{
+		Name:        a.name,
+		Code:        code,
+		Entry:       entry,
+		IntData:     data,
+		FPData:      a.fdata,
+		Symbols:     symbols,
+		DataSymbols: dataSyms,
+	}, nil
+}
+
+// resolve computes the value of an immediate operand, which may be a
+// literal or a symbol (code address or data offset) plus offset.
+func (a *assembler) resolve(line int, o operand) (int64, error) {
+	if !o.hasSym {
+		return o.imm, nil
+	}
+	sym, ok := a.syms[o.sym]
+	if !ok {
+		return 0, &Error{a.name, line, fmt.Sprintf("undefined symbol %q", o.sym)}
+	}
+	return int64(sym.value) + o.symOff, nil
+}
+
+func (a *assembler) encode(s stmt, pc uint32) (isa.Inst, error) {
+	fail := func(format string, args ...any) (isa.Inst, error) {
+		return isa.Inst{}, &Error{a.name, s.line, fmt.Sprintf(format, args...)}
+	}
+	need := func(kinds ...opKind) error {
+		if len(s.operands) != len(kinds) {
+			return fmt.Errorf("%s wants %d operands, got %d", s.mnemonic, len(kinds), len(s.operands))
+		}
+		for i, k := range kinds {
+			got := s.operands[i].kind
+			// An immediate is acceptable where a mem operand is
+			// expected only via explicit mem syntax; be strict.
+			if got != k {
+				return fmt.Errorf("%s operand %d: want %s, got %s (%q)",
+					s.mnemonic, i+1, kindName(k), kindName(got), s.operands[i].rawText)
+			}
+		}
+		return nil
+	}
+	imm := func(i int) (int64, error) {
+		v, err := a.resolve(s.line, s.operands[i])
+		if err != nil {
+			return 0, err
+		}
+		if v < math.MinInt32 || v > math.MaxInt32 {
+			return 0, &Error{a.name, s.line, fmt.Sprintf("immediate %d outside the 32-bit encodable range", v)}
+		}
+		return v, nil
+	}
+
+	op3 := func(op isa.Opcode) (isa.Inst, error) {
+		if err := need(opIntReg, opIntReg, opIntReg); err != nil {
+			return fail("%v", err)
+		}
+		return isa.Inst{Op: op, Rd: s.operands[0].reg, Rs1: s.operands[1].reg, Rs2: s.operands[2].reg}, nil
+	}
+	opImm3 := func(op isa.Opcode) (isa.Inst, error) {
+		if err := need(opIntReg, opIntReg, opImm); err != nil {
+			return fail("%v", err)
+		}
+		v, err := imm(2)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: op, Rd: s.operands[0].reg, Rs1: s.operands[1].reg, Imm: int32(v)}, nil
+	}
+	fp3 := func(op isa.Opcode) (isa.Inst, error) {
+		if err := need(opFPReg, opFPReg, opFPReg); err != nil {
+			return fail("%v", err)
+		}
+		return isa.Inst{Op: op, Rd: s.operands[0].reg, Rs1: s.operands[1].reg, Rs2: s.operands[2].reg}, nil
+	}
+	fp2 := func(op isa.Opcode) (isa.Inst, error) {
+		if err := need(opFPReg, opFPReg); err != nil {
+			return fail("%v", err)
+		}
+		return isa.Inst{Op: op, Rd: s.operands[0].reg, Rs1: s.operands[1].reg}, nil
+	}
+	branch := func(op isa.Opcode, swap bool) (isa.Inst, error) {
+		if err := need(opIntReg, opIntReg, opImm); err != nil {
+			return fail("%v", err)
+		}
+		v, err := imm(2)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		r1, r2 := s.operands[0].reg, s.operands[1].reg
+		if swap {
+			r1, r2 = r2, r1
+		}
+		return isa.Inst{Op: op, Rs1: r1, Rs2: r2, Imm: int32(v)}, nil
+	}
+	branchZ := func(op isa.Opcode) (isa.Inst, error) {
+		if err := need(opIntReg, opImm); err != nil {
+			return fail("%v", err)
+		}
+		v, err := imm(1)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: op, Rs1: s.operands[0].reg, Imm: int32(v)}, nil
+	}
+	memOp := func(op isa.Opcode, fp bool) (isa.Inst, error) {
+		wantReg := opIntReg
+		if fp {
+			wantReg = opFPReg
+		}
+		if err := need(wantReg, opMem); err != nil {
+			return fail("%v", err)
+		}
+		m := s.operands[1]
+		off := m.memImm
+		if m.memSym != "" {
+			sym, ok := a.syms[m.memSym]
+			if !ok {
+				return fail("undefined symbol %q", m.memSym)
+			}
+			off = int64(sym.value) + m.memOff
+		}
+		if off < math.MinInt32 || off > math.MaxInt32 {
+			return fail("memory offset %d outside the 32-bit encodable range", off)
+		}
+		r := s.operands[0].reg
+		if op == isa.SW || op == isa.FSW {
+			return isa.Inst{Op: op, Rs1: m.memReg, Rs2: r, Imm: int32(off)}, nil
+		}
+		return isa.Inst{Op: op, Rd: r, Rs1: m.memReg, Imm: int32(off)}, nil
+	}
+
+	switch s.mnemonic {
+	case "nop":
+		return isa.Inst{Op: isa.NOP}, nil
+	case "halt":
+		return isa.Inst{Op: isa.HALT}, nil
+	case "add":
+		return op3(isa.ADD)
+	case "sub":
+		return op3(isa.SUB)
+	case "and":
+		return op3(isa.AND)
+	case "or":
+		return op3(isa.OR)
+	case "xor":
+		return op3(isa.XOR)
+	case "sll":
+		return op3(isa.SLL)
+	case "srl":
+		return op3(isa.SRL)
+	case "sra":
+		return op3(isa.SRA)
+	case "slt":
+		return op3(isa.SLT)
+	case "sltu":
+		return op3(isa.SLTU)
+	case "mul":
+		return op3(isa.MUL)
+	case "div":
+		return op3(isa.DIV)
+	case "rem":
+		return op3(isa.REM)
+	case "addi":
+		return opImm3(isa.ADDI)
+	case "andi":
+		return opImm3(isa.ANDI)
+	case "ori":
+		return opImm3(isa.ORI)
+	case "xori":
+		return opImm3(isa.XORI)
+	case "slli":
+		return opImm3(isa.SLLI)
+	case "srli":
+		return opImm3(isa.SRLI)
+	case "srai":
+		return opImm3(isa.SRAI)
+	case "slti":
+		return opImm3(isa.SLTI)
+	case "subi": // pseudo: addi rd, rs, -imm
+		in, err := opImm3(isa.ADDI)
+		if err == nil {
+			in.Imm = -in.Imm
+		}
+		return in, err
+	case "lui":
+		if err := need(opIntReg, opImm); err != nil {
+			return fail("%v", err)
+		}
+		v, err := imm(1)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.LUI, Rd: s.operands[0].reg, Imm: int32(v)}, nil
+	case "li": // pseudo: addi rd, r0, imm
+		if err := need(opIntReg, opImm); err != nil {
+			return fail("%v", err)
+		}
+		v, err := imm(1)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.ADDI, Rd: s.operands[0].reg, Rs1: 0, Imm: int32(v)}, nil
+	case "mv": // pseudo: add rd, rs, r0
+		if err := need(opIntReg, opIntReg); err != nil {
+			return fail("%v", err)
+		}
+		return isa.Inst{Op: isa.ADD, Rd: s.operands[0].reg, Rs1: s.operands[1].reg, Rs2: 0}, nil
+	case "not": // pseudo: xori rd, rs, -1
+		if err := need(opIntReg, opIntReg); err != nil {
+			return fail("%v", err)
+		}
+		return isa.Inst{Op: isa.XORI, Rd: s.operands[0].reg, Rs1: s.operands[1].reg, Imm: -1}, nil
+	case "neg": // pseudo: sub rd, r0, rs
+		if err := need(opIntReg, opIntReg); err != nil {
+			return fail("%v", err)
+		}
+		return isa.Inst{Op: isa.SUB, Rd: s.operands[0].reg, Rs1: 0, Rs2: s.operands[1].reg}, nil
+	case "inc": // pseudo: addi rd, rd, 1
+		if err := need(opIntReg); err != nil {
+			return fail("%v", err)
+		}
+		return isa.Inst{Op: isa.ADDI, Rd: s.operands[0].reg, Rs1: s.operands[0].reg, Imm: 1}, nil
+	case "dec": // pseudo: addi rd, rd, -1
+		if err := need(opIntReg); err != nil {
+			return fail("%v", err)
+		}
+		return isa.Inst{Op: isa.ADDI, Rd: s.operands[0].reg, Rs1: s.operands[0].reg, Imm: -1}, nil
+	case "lw":
+		return memOp(isa.LW, false)
+	case "sw":
+		return memOp(isa.SW, false)
+	case "flw":
+		return memOp(isa.FLW, true)
+	case "fsw":
+		return memOp(isa.FSW, true)
+	case "fadd":
+		return fp3(isa.FADD)
+	case "fsub":
+		return fp3(isa.FSUB)
+	case "fmul":
+		return fp3(isa.FMUL)
+	case "fdiv":
+		return fp3(isa.FDIV)
+	case "fabs":
+		return fp2(isa.FABS)
+	case "fneg":
+		return fp2(isa.FNEG)
+	case "fmov":
+		return fp2(isa.FMOV)
+	case "fcvt":
+		if err := need(opFPReg, opIntReg); err != nil {
+			return fail("%v", err)
+		}
+		return isa.Inst{Op: isa.FCVT, Rd: s.operands[0].reg, Rs1: s.operands[1].reg}, nil
+	case "fcmp":
+		if err := need(opIntReg, opFPReg, opFPReg); err != nil {
+			return fail("%v", err)
+		}
+		return isa.Inst{Op: isa.FCMP, Rd: s.operands[0].reg, Rs1: s.operands[1].reg, Rs2: s.operands[2].reg}, nil
+	case "beq":
+		return branch(isa.BEQ, false)
+	case "bne":
+		return branch(isa.BNE, false)
+	case "blt":
+		return branch(isa.BLT, false)
+	case "bge":
+		return branch(isa.BGE, false)
+	case "bgt": // pseudo: blt with swapped sources
+		return branch(isa.BLT, true)
+	case "ble": // pseudo: bge with swapped sources
+		return branch(isa.BGE, true)
+	case "bltz":
+		return branchZ(isa.BLTZ)
+	case "bgez":
+		return branchZ(isa.BGEZ)
+	case "beqz": // pseudo: beq rs, r0, target
+		if err := need(opIntReg, opImm); err != nil {
+			return fail("%v", err)
+		}
+		v, err := imm(1)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.BEQ, Rs1: s.operands[0].reg, Rs2: 0, Imm: int32(v)}, nil
+	case "bnez": // pseudo: bne rs, r0, target
+		if err := need(opIntReg, opImm); err != nil {
+			return fail("%v", err)
+		}
+		v, err := imm(1)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.BNE, Rs1: s.operands[0].reg, Rs2: 0, Imm: int32(v)}, nil
+	case "jmp", "b":
+		if err := need(opImm); err != nil {
+			return fail("%v", err)
+		}
+		v, err := imm(0)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.JMP, Imm: int32(v)}, nil
+	case "jal", "call":
+		if err := need(opImm); err != nil {
+			return fail("%v", err)
+		}
+		v, err := imm(0)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.JAL, Rd: isa.LinkReg, Imm: int32(v)}, nil
+	case "jr":
+		if err := need(opIntReg); err != nil {
+			return fail("%v", err)
+		}
+		return isa.Inst{Op: isa.JR, Rs1: s.operands[0].reg}, nil
+	case "jalr":
+		if err := need(opIntReg); err != nil {
+			return fail("%v", err)
+		}
+		return isa.Inst{Op: isa.JALR, Rd: isa.LinkReg, Rs1: s.operands[0].reg}, nil
+	case "ret":
+		if len(s.operands) != 0 {
+			return fail("ret takes no operands")
+		}
+		return isa.Inst{Op: isa.RET, Rs1: isa.LinkReg}, nil
+	default:
+		return fail("unknown mnemonic %q", s.mnemonic)
+	}
+}

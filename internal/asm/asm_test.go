@@ -1,0 +1,331 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"mbbp/internal/isa"
+)
+
+func mustAsm(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := Assemble("test", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := mustAsm(t, `
+; a tiny loop
+main:
+    li r1, 3
+loop:
+    subi r1, r1, 1
+    bnez r1, loop
+    halt
+`)
+	if len(p.Code) != 4 {
+		t.Fatalf("code length = %d, want 4", len(p.Code))
+	}
+	if p.Code[0].Op != isa.ADDI || p.Code[0].Imm != 3 {
+		t.Errorf("li expanded to %v", p.Code[0])
+	}
+	if p.Code[1].Op != isa.ADDI || p.Code[1].Imm != -1 {
+		t.Errorf("subi expanded to %v", p.Code[1])
+	}
+	if p.Code[2].Op != isa.BNE || p.Code[2].Imm != 1 {
+		t.Errorf("bnez = %v, want bne to 1", p.Code[2])
+	}
+	if p.Symbols["loop"] != 1 {
+		t.Errorf("loop symbol = %d, want 1", p.Symbols["loop"])
+	}
+}
+
+func TestDataSectionsAndSymbols(t *testing.T) {
+	p := mustAsm(t, `
+.data
+vals: .word 1, 2, 3
+buf:  .space 4
+tbl:  .word handler, handler+1
+.fdata
+fs: .fword 1.5, -2.25
+.text
+main:
+    lw r1, vals+2(r0)
+    sw r1, buf(r2)
+    flw f1, fs(r0)
+    halt
+handler:
+    ret
+`)
+	if len(p.IntData) != 9 {
+		t.Fatalf("int data = %d words, want 9", len(p.IntData))
+	}
+	if p.IntData[0] != 1 || p.IntData[2] != 3 {
+		t.Errorf(".word values wrong: %v", p.IntData[:3])
+	}
+	// tbl holds the code address of handler (4) and handler+1.
+	if p.IntData[7] != 4 || p.IntData[8] != 5 {
+		t.Errorf("jump table = %v, want [4 5]", p.IntData[7:9])
+	}
+	if len(p.FPData) != 2 || p.FPData[1] != -2.25 {
+		t.Errorf("fp data = %v", p.FPData)
+	}
+	// lw r1, vals+2(r0): offset = 0 + 2 = 2.
+	if p.Code[0].Imm != 2 {
+		t.Errorf("lw offset = %d, want 2", p.Code[0].Imm)
+	}
+	// sw r1, buf(r2): offset = 3 (after vals).
+	if p.Code[1].Imm != 3 || p.Code[1].Rs2 != 1 || p.Code[1].Rs1 != 2 {
+		t.Errorf("sw = %+v", p.Code[1])
+	}
+}
+
+func TestEntryDirective(t *testing.T) {
+	p := mustAsm(t, `
+.entry start
+pad:
+    nop
+start:
+    halt
+`)
+	if p.Entry != 1 {
+		t.Errorf("entry = %d, want 1", p.Entry)
+	}
+}
+
+func TestAlignDirective(t *testing.T) {
+	p := mustAsm(t, `
+    nop
+.align 8
+target:
+    halt
+`)
+	if p.Symbols["target"] != 8 {
+		t.Errorf("aligned label at %d, want 8", p.Symbols["target"])
+	}
+	for i := 1; i < 8; i++ {
+		if p.Code[i].Op != isa.NOP {
+			t.Errorf("padding at %d is %v", i, p.Code[i])
+		}
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p := mustAsm(t, `
+    mv r1, r2
+    not r3, r4
+    neg r5, r6
+    inc r7
+    dec r8
+    bgt r1, r2, 0
+    ble r1, r2, 0
+    beqz r1, 0
+    call 0
+    b 0
+    jalr r9
+    halt
+`)
+	checks := []struct {
+		i    int
+		op   isa.Opcode
+		desc string
+	}{
+		{0, isa.ADD, "mv"},
+		{1, isa.XORI, "not"},
+		{2, isa.SUB, "neg"},
+		{3, isa.ADDI, "inc"},
+		{4, isa.ADDI, "dec"},
+		{5, isa.BLT, "bgt"},
+		{6, isa.BGE, "ble"},
+		{7, isa.BEQ, "beqz"},
+		{8, isa.JAL, "call"},
+		{9, isa.JMP, "b"},
+		{10, isa.JALR, "jalr"},
+	}
+	for _, c := range checks {
+		if p.Code[c.i].Op != c.op {
+			t.Errorf("%s expanded to %v, want %v", c.desc, p.Code[c.i].Op, c.op)
+		}
+	}
+	// bgt swaps sources: bgt r1, r2 == blt r2, r1.
+	if p.Code[5].Rs1 != 2 || p.Code[5].Rs2 != 1 {
+		t.Errorf("bgt operands = r%d, r%d; want swapped", p.Code[5].Rs1, p.Code[5].Rs2)
+	}
+	if p.Code[8].Rd != isa.LinkReg {
+		t.Error("call must link through ra")
+	}
+}
+
+func TestRegisterAliases(t *testing.T) {
+	p := mustAsm(t, `
+    mv sp, zero
+    jr ra
+    halt
+`)
+	if p.Code[0].Rd != 30 || p.Code[0].Rs1 != 0 {
+		t.Errorf("aliases: %+v", p.Code[0])
+	}
+	if p.Code[1].Rs1 != isa.LinkReg {
+		t.Errorf("ra alias = r%d", p.Code[1].Rs1)
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	p := mustAsm(t, `
+    li r1, 'a'
+    li r2, '\n'
+    halt
+`)
+	if p.Code[0].Imm != 'a' || p.Code[1].Imm != '\n' {
+		t.Errorf("char literals = %d, %d", p.Code[0].Imm, p.Code[1].Imm)
+	}
+}
+
+func TestHexAndComments(t *testing.T) {
+	p := mustAsm(t, `
+    li r1, 0x7fffffff   ; trailing comment
+    # whole-line comment
+    andi r2, r1, 0xff
+    halt
+`)
+	if p.Code[0].Imm != 0x7fffffff || p.Code[1].Imm != 0xff {
+		t.Errorf("hex = %x, %x", p.Code[0].Imm, p.Code[1].Imm)
+	}
+}
+
+func TestEquConstants(t *testing.T) {
+	p := mustAsm(t, `
+.equ SIZE, 64
+.equ MASK, 0x3f
+.data
+buf: .space 64
+.text
+    li r1, SIZE
+    andi r2, r1, MASK
+    li r3, SIZE+1
+    halt
+`)
+	if p.Code[0].Imm != 64 || p.Code[1].Imm != 0x3f || p.Code[2].Imm != 65 {
+		t.Errorf("equ values = %d, %d, %d", p.Code[0].Imm, p.Code[1].Imm, p.Code[2].Imm)
+	}
+	if _, err := Assemble("dup", ".equ A, 1\n.equ A, 2\nnop"); err == nil {
+		t.Error("duplicate .equ should fail")
+	}
+	if _, err := Assemble("bad", ".equ X\nnop"); err == nil {
+		t.Error("malformed .equ should fail")
+	}
+}
+
+func TestDataSymbolsExported(t *testing.T) {
+	p := mustAsm(t, `
+.data
+seed: .word 42
+tab:  .space 3
+.text
+    lw r1, seed(r0)
+    halt
+`)
+	if p.DataSymbols["seed"] != 0 || p.DataSymbols["tab"] != 1 {
+		t.Errorf("data symbols = %v", p.DataSymbols)
+	}
+	if _, ok := p.Symbols["seed"]; ok {
+		t.Error("data labels must not leak into code symbols")
+	}
+}
+
+func TestErrorReporting(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"bogus r1, r2", "unknown mnemonic"},
+		{"add r1, r2", "wants 3 operands"},
+		{"add r1, r2, f3", "want integer register"},
+		{"jmp nowhere\nhalt", "undefined symbol"},
+		{"x: nop\nx: nop\nhalt", "redefined"},
+		{".word 1", "outside .data"},
+		{".data\nv: .word zzz-", "malformed"},
+		{"lw r1, 4(f2)\nhalt", "base must be an integer register"},
+		{".entry missing\nnop", "not defined"},
+		{"li r1, 99999999999999999999", "malformed"},
+		{"li r1, 5000000000\nhalt", "outside the 32-bit"},
+		{"addi r1, r1, -5000000000\nhalt", "outside the 32-bit"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("bad", c.src)
+		if err == nil {
+			t.Errorf("source %q assembled but should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("error %q does not mention %q", err.Error(), c.frag)
+		}
+	}
+}
+
+func TestErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("lineno", "nop\nnop\nbogus\nhalt")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	ae, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if ae.Line != 3 {
+		t.Errorf("error line = %d, want 3", ae.Line)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble should panic on bad source")
+		}
+	}()
+	MustAssemble("bad", "bogus")
+}
+
+// TestRoundTripDisassembly assembles a program, disassembles each
+// instruction, and reassembles the disassembly: the programs must match
+// instruction for instruction.
+func TestRoundTripDisassembly(t *testing.T) {
+	src := `
+main:
+    li r1, 10
+    addi r2, r1, -3
+    mul r3, r1, r2
+    lw r4, 5(r1)
+    sw r4, 6(r2)
+    fadd f1, f2, f3
+    fcvt f4, r3
+    beq r1, r2, 0
+    bltz r3, 2
+    jmp 3
+    jal 4
+    jr r5
+    ret
+    halt
+`
+	p := mustAsm(t, src)
+	var out strings.Builder
+	for _, in := range p.Code {
+		out.WriteString(in.String())
+		out.WriteString("\n")
+	}
+	p2, err := Assemble("roundtrip", out.String())
+	if err != nil {
+		t.Fatalf("reassembling disassembly: %v\n%s", err, out.String())
+	}
+	if len(p2.Code) != len(p.Code) {
+		t.Fatalf("length %d vs %d", len(p2.Code), len(p.Code))
+	}
+	for i := range p.Code {
+		if p.Code[i] != p2.Code[i] {
+			t.Errorf("instruction %d: %v vs %v", i, p.Code[i], p2.Code[i])
+		}
+	}
+}

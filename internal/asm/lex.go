@@ -1,0 +1,256 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mbbp/internal/isa"
+)
+
+func stripComment(line string) string {
+	inChar := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\'':
+			inChar = !inChar
+		case ';', '#':
+			if !inChar {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_', r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitStatement splits "mnemonic op1, op2, ..." into the mnemonic and
+// parsed operands.
+func splitStatement(line string) (string, []operand, error) {
+	mn := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mn, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	mn = strings.ToLower(mn)
+	if !isIdent(mn) {
+		return "", nil, fmt.Errorf("malformed mnemonic %q", mn)
+	}
+	var ops []operand
+	for _, f := range splitOperands(rest) {
+		o, err := parseOperand(f)
+		if err != nil {
+			return "", nil, err
+		}
+		ops = append(ops, o)
+	}
+	return mn, ops, nil
+}
+
+// splitOperands splits a comma-separated operand list, respecting
+// parentheses (memory operands contain no commas but be safe) and
+// character literals.
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	inChar := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			inChar = !inChar
+		case '(':
+			if !inChar {
+				depth++
+			}
+		case ')':
+			if !inChar {
+				depth--
+			}
+		case ',':
+			if depth == 0 && !inChar {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func kindName(k opKind) string {
+	switch k {
+	case opIntReg:
+		return "integer register"
+	case opFPReg:
+		return "fp register"
+	case opImm:
+		return "immediate"
+	case opMem:
+		return "memory operand"
+	}
+	return "operand"
+}
+
+// parseReg recognizes r0..r31, f0..f15 and the aliases zero, ra, sp.
+func parseReg(s string) (reg uint8, fp, ok bool) {
+	switch strings.ToLower(s) {
+	case "zero":
+		return 0, false, true
+	case "ra":
+		return isa.LinkReg, false, true
+	case "sp":
+		return 30, false, true
+	}
+	if len(s) < 2 {
+		return 0, false, false
+	}
+	var isFP bool
+	switch s[0] {
+	case 'r', 'R':
+	case 'f', 'F':
+		isFP = true
+	default:
+		return 0, false, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return 0, false, false
+	}
+	if isFP && n >= isa.NumFPRegs {
+		return 0, false, false
+	}
+	if !isFP && n >= isa.NumIntRegs {
+		return 0, false, false
+	}
+	return uint8(n), isFP, true
+}
+
+// parseInt parses decimal, hex (0x), and character ('a') literals.
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body := s[1 : len(s)-1]
+		switch body {
+		case "\\n":
+			return '\n', nil
+		case "\\t":
+			return '\t', nil
+		case "\\0":
+			return 0, nil
+		case "\\\\":
+			return '\\', nil
+		}
+		if len(body) == 1 {
+			return int64(body[0]), nil
+		}
+		return 0, fmt.Errorf("malformed character literal %q", s)
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("malformed integer %q", s)
+	}
+	return v, nil
+}
+
+// parseSymImm parses "symbol", "symbol+n", "symbol-n" into (name, offset).
+func parseSymImm(s string) (name string, off int64, ok bool) {
+	cut := -1
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			cut = i
+			break
+		}
+	}
+	if cut < 0 {
+		if isIdent(s) {
+			return s, 0, true
+		}
+		return "", 0, false
+	}
+	head := s[:cut]
+	if !isIdent(head) {
+		return "", 0, false
+	}
+	v, err := parseInt(s[cut:])
+	if err != nil {
+		return "", 0, false
+	}
+	return head, v, true
+}
+
+func parseOperand(s string) (operand, error) {
+	o := operand{rawText: s}
+	// Memory operand: imm(reg) or symbol+off(reg).
+	if strings.HasSuffix(s, ")") {
+		open := strings.Index(s, "(")
+		if open < 0 {
+			return o, fmt.Errorf("malformed memory operand %q", s)
+		}
+		base := strings.TrimSpace(s[open+1 : len(s)-1])
+		reg, fp, ok := parseReg(base)
+		if !ok || fp {
+			return o, fmt.Errorf("memory operand %q: base must be an integer register", s)
+		}
+		o.kind = opMem
+		o.memReg = reg
+		head := strings.TrimSpace(s[:open])
+		if head == "" {
+			return o, nil
+		}
+		if v, err := parseInt(head); err == nil {
+			o.memImm = v
+			return o, nil
+		}
+		if name, off, ok := parseSymImm(head); ok {
+			o.memSym, o.memOff = name, off
+			return o, nil
+		}
+		return o, fmt.Errorf("malformed memory offset %q", head)
+	}
+	// Register.
+	if reg, fp, ok := parseReg(s); ok {
+		o.reg = reg
+		if fp {
+			o.kind = opFPReg
+		} else {
+			o.kind = opIntReg
+		}
+		return o, nil
+	}
+	// Literal immediate.
+	if v, err := parseInt(s); err == nil {
+		o.kind = opImm
+		o.imm = v
+		return o, nil
+	}
+	// Symbolic immediate.
+	if name, off, ok := parseSymImm(s); ok {
+		o.kind = opImm
+		o.hasSym = true
+		o.sym, o.symOff = name, off
+		return o, nil
+	}
+	return o, fmt.Errorf("malformed operand %q", s)
+}

@@ -1,0 +1,217 @@
+// Package bitable implements the Block Instruction Type (BIT) table:
+// per-line, per-position instruction type codes that tell the fetch
+// control logic where a block's exit might be and which next-fetch
+// source each position would select (paper Table 1).
+//
+// The 2-bit encoding distinguishes non-branch / return / other branch /
+// conditional branch. The 3-bit encoding additionally classifies
+// conditional branches with near-block targets (previous line, same
+// line, next line, next line + 1), whose targets are computed with a
+// small adder instead of being stored in the target array.
+package bitable
+
+import (
+	"fmt"
+
+	"mbbp/internal/isa"
+)
+
+// Code is a BIT type code. The values are the paper's Table 1 rows.
+type Code uint8
+
+const (
+	// CodePlain marks a non-branch; prediction source: fall-through PC.
+	CodePlain Code = 0 // 000
+	// CodeReturn marks a return; prediction source: return stack.
+	CodeReturn Code = 1 // 001
+	// CodeOther marks unconditional jumps, calls, and indirect
+	// transfers; prediction source: always the target array.
+	CodeOther Code = 2 // 010
+	// CodeCondLong marks a conditional branch with a long (non-near)
+	// target; source: target array or fall-through, depending on PHT.
+	CodeCondLong Code = 3 // 011
+	// CodeCondPrev..CodeCondNext2 mark conditional branches whose
+	// target lies in the previous line, the same line, the next line,
+	// or the line after next; source: current line ± k * line size.
+	CodeCondPrev  Code = 4 // 100
+	CodeCondSame  Code = 5 // 101
+	CodeCondNext  Code = 6 // 110
+	CodeCondNext2 Code = 7 // 111
+)
+
+var codeNames = [8]string{
+	"plain", "return", "other", "cond-long",
+	"cond-prev", "cond-same", "cond-next", "cond-next2",
+}
+
+// String returns a short name for the code.
+func (c Code) String() string {
+	if int(c) < len(codeNames) {
+		return codeNames[c]
+	}
+	return fmt.Sprintf("code(%d)", uint8(c))
+}
+
+// IsCond reports whether the code is any conditional-branch variant.
+func (c Code) IsCond() bool { return c >= CodeCondLong }
+
+// IsNear reports whether the code is a near-block conditional branch.
+func (c Code) IsNear() bool { return c >= CodeCondPrev }
+
+// IsControlTransfer reports whether the code can redirect the PC.
+func (c Code) IsControlTransfer() bool { return c != CodePlain }
+
+// NearDelta returns the line delta (-1, 0, +1, +2) encoded by a
+// near-block code. It panics for non-near codes.
+func (c Code) NearDelta() int32 {
+	switch c {
+	case CodeCondPrev:
+		return -1
+	case CodeCondSame:
+		return 0
+	case CodeCondNext:
+		return 1
+	case CodeCondNext2:
+		return 2
+	}
+	panic("bitable: NearDelta on non-near code " + c.String())
+}
+
+// Encode computes the BIT code for an instruction. When nearBlock is
+// false, all conditional branches encode as CodeCondLong (the 2-bit
+// table). When true, a conditional branch whose target line is within
+// {-1, 0, +1, +2} of its own line becomes the corresponding near code.
+func Encode(class isa.Class, pc, target uint32, lineSize int, nearBlock bool) Code {
+	switch class {
+	case isa.ClassPlain:
+		return CodePlain
+	case isa.ClassReturn:
+		return CodeReturn
+	case isa.ClassCond:
+		if nearBlock {
+			delta := int64(target)/int64(lineSize) - int64(pc)/int64(lineSize)
+			switch delta {
+			case -1:
+				return CodeCondPrev
+			case 0:
+				return CodeCondSame
+			case 1:
+				return CodeCondNext
+			case 2:
+				return CodeCondNext2
+			}
+		}
+		return CodeCondLong
+	default:
+		return CodeOther
+	}
+}
+
+// BitsPerInstruction returns the storage cost per instruction: 2 bits
+// without near-block encoding, 3 with.
+func BitsPerInstruction(nearBlock bool) int {
+	if nearBlock {
+		return 3
+	}
+	return 2
+}
+
+// invalidOwner marks an entry that has never been filled.
+const invalidOwner = ^uint32(0)
+
+// Table is a finite, direct-mapped, tagless BIT table: entry i holds the
+// codes of whichever line filled it last. When a lookup hits an entry
+// owned by a different line, the fetch logic predicts with the stale
+// codes and pays the paper's one-cycle BIT penalty if that changed the
+// prediction; the table itself just reports freshness.
+//
+// A Table with entries == 0 models BIT information stored in the
+// instruction cache itself (always fresh — the paper's configuration for
+// everything past Figure 7).
+type Table struct {
+	lineSize int
+	owners   []uint32
+	codes    []Code // entries * lineSize, flat
+}
+
+// New creates a table with the given number of line entries. entries may
+// be 0 for the perfect (in-cache) variant; otherwise it must be a power
+// of two.
+func New(entries, lineSize int) *Table {
+	if lineSize < 1 {
+		panic("bitable: line size must be positive")
+	}
+	if entries == 0 {
+		return &Table{lineSize: lineSize}
+	}
+	if entries < 0 || entries&(entries-1) != 0 {
+		panic("bitable: entries must be a power of two (or zero)")
+	}
+	t := &Table{
+		lineSize: lineSize,
+		owners:   make([]uint32, entries),
+		codes:    make([]Code, entries*lineSize),
+	}
+	for i := range t.owners {
+		t.owners[i] = invalidOwner
+	}
+	return t
+}
+
+// Perfect reports whether the table models in-cache BIT storage.
+func (t *Table) Perfect() bool { return t.owners == nil }
+
+// Entries returns the number of line entries (0 for perfect).
+func (t *Table) Entries() int { return len(t.owners) }
+
+// LineSize returns codes per entry.
+func (t *Table) LineSize() int { return t.lineSize }
+
+// Lookup returns the stored codes for the line and whether they belong
+// to it. Perfect tables return (nil, true): the caller uses the true
+// codes. A never-filled entry returns (nil, false).
+func (t *Table) Lookup(lineAddr uint32) (codes []Code, fresh bool) {
+	if t.Perfect() {
+		return nil, true
+	}
+	i := int(lineAddr) & (len(t.owners) - 1)
+	if t.owners[i] == invalidOwner {
+		return nil, false
+	}
+	off := i * t.lineSize
+	return t.codes[off : off+t.lineSize], t.owners[i] == lineAddr
+}
+
+// Fill installs the codes for a line (after the line has been fetched
+// and decoded). codes must have length LineSize; positions the caller
+// does not know keep their previous value when the owner is unchanged
+// and are zeroed otherwise, via the mask: only positions i with
+// known[i] set are written.
+func (t *Table) Fill(lineAddr uint32, codes []Code, known []bool) {
+	if t.Perfect() {
+		return
+	}
+	if len(codes) != t.lineSize || len(known) != t.lineSize {
+		panic("bitable: Fill length mismatch")
+	}
+	i := int(lineAddr) & (len(t.owners) - 1)
+	off := i * t.lineSize
+	if t.owners[i] != lineAddr {
+		// Evict: forget the old line entirely.
+		for j := 0; j < t.lineSize; j++ {
+			t.codes[off+j] = CodePlain
+		}
+		t.owners[i] = lineAddr
+	}
+	for j := 0; j < t.lineSize; j++ {
+		if known[j] {
+			t.codes[off+j] = codes[j]
+		}
+	}
+}
+
+// CostBits returns the storage cost in bits (Table 7: b * W(line) * bits
+// per instruction).
+func (t *Table) CostBits(nearBlock bool) int {
+	return len(t.owners) * t.lineSize * BitsPerInstruction(nearBlock)
+}

@@ -1,0 +1,56 @@
+package core
+
+import "mbbp/internal/seltab"
+
+// BBREntry is a bad branch recovery entry (Table 4): the bookkeeping the
+// processor carries with every in-flight conditional branch so a
+// misprediction can be repaired immediately. The simulator resolves
+// branches at block consumption (the paper likewise assumes enough BBR
+// entries are always available), so the struct exists for fidelity, the
+// cost model, and the replacement-selector write-back path.
+type BBREntry struct {
+	// BlockTwo is set when the branch was fetched in the second block
+	// of a dual fetch.
+	BlockTwo bool
+	// PredictedTaken is the direction that was predicted.
+	PredictedTaken bool
+	// SecondChance is set when the counter was in a strong state, so a
+	// single misprediction does not flip the stored prediction.
+	SecondChance bool
+	// PHTIndex is the entry the branch was predicted from.
+	PHTIndex uint32
+	// PHTBlock optionally snapshots the whole counter block so the PHT
+	// can be updated with one write after the block resolves.
+	PHTBlock []uint8
+	// CorrectedGHR is the history value to restore on misprediction.
+	CorrectedGHR uint32
+	// Replacement is the pre-computed selector reflecting the opposite
+	// outcome, written to the select table when the branch mispredicts
+	// without a second chance.
+	Replacement seltab.Selector
+	// AlternateTarget is the address to fetch on misprediction: the
+	// branch target if predicted not taken, otherwise the next control
+	// transfer or fall-through address in the block.
+	AlternateTarget uint32
+}
+
+// BBRBits returns the Table 4 entry size in bits for a configuration.
+// historyBits sizes the PHT index and corrected GHR; blockWidth sizes
+// the optional PHT block (2n bits) and the replacement selector;
+// fullAddr selects a full 30-bit corrected address over a 10-bit cache
+// index.
+func BBRBits(historyBits, blockWidth, lineSize int, nearBlock, phtBlock, fullAddr bool) int {
+	bits := 1 + 1 + 1 // block number, predicted direction, second chance
+	bits += historyBits
+	if phtBlock {
+		bits += 2 * blockWidth
+	}
+	bits += historyBits // corrected GHR
+	bits += seltab.SelectorBits(blockWidth, lineSize, nearBlock)
+	if fullAddr {
+		bits += 30
+	} else {
+		bits += 10
+	}
+	return bits
+}

@@ -1,0 +1,60 @@
+package core
+
+import "testing"
+
+// TestTable4BBRBits checks the bad-branch-recovery entry size against
+// the paper's Table 4 field widths: 1+1+1 flag bits, an 8-12 bit PHT
+// index, an optional 2W-bit PHT block, an 8-12 bit corrected GHR, an
+// 8-11 bit replacement selector, and a 10- or 30-bit corrected address.
+func TestTable4BBRBits(t *testing.T) {
+	// The paper's default configuration (h=10, W=8, 10-bit cache
+	// index, no PHT block) gives ~41 bits per entry; 8 entries land at
+	// the §5 figure of ~0.3 Kbit.
+	got := BBRBits(10, 8, 8, false, false, false)
+	if got < 38 || got > 44 {
+		t.Errorf("default BBR entry = %d bits, want ~41", got)
+	}
+	if total := 8 * got; total < 300 || total > 350 {
+		t.Errorf("8 BBR entries = %d bits, want ~320 (0.3 Kbit)", total)
+	}
+
+	// The optional PHT block adds exactly 2W bits.
+	withBlock := BBRBits(10, 8, 8, false, true, false)
+	if withBlock-got != 16 {
+		t.Errorf("PHT block adds %d bits, want 16", withBlock-got)
+	}
+
+	// The full-address variant adds 20 bits over the cache index.
+	full := BBRBits(10, 8, 8, false, false, true)
+	if full-got != 20 {
+		t.Errorf("full address adds %d bits, want 20", full-got)
+	}
+
+	// Near-block selectors widen the replacement selector.
+	near := BBRBits(10, 8, 8, true, false, false)
+	if near <= got {
+		t.Errorf("near-block BBR = %d, should exceed %d", near, got)
+	}
+}
+
+// TestBBREntryFields sanity-checks the struct carries every Table 4
+// field (compile-time shape check plus zero-value usability).
+func TestBBREntryFields(t *testing.T) {
+	e := BBREntry{
+		BlockTwo:        true,
+		PredictedTaken:  true,
+		SecondChance:    false,
+		PHTIndex:        0x3FF,
+		CorrectedGHR:    0x2AA,
+		AlternateTarget: 1234,
+	}
+	if !e.BlockTwo || !e.PredictedTaken || e.SecondChance {
+		t.Error("flag fields wrong")
+	}
+	if e.PHTIndex != 0x3FF || e.CorrectedGHR != 0x2AA || e.AlternateTarget != 1234 {
+		t.Error("index fields wrong")
+	}
+	if e.PHTBlock != nil {
+		t.Error("PHT block is optional and defaults to nil")
+	}
+}

@@ -1,0 +1,242 @@
+// Package core assembles the paper's fetch prediction mechanisms: the
+// single-block engine of §2 (multiple branch prediction with a blocked
+// PHT, BIT table, target array and return address stack, Figure 1) and
+// the dual-block engine of §3 (select-table based multiple block
+// prediction with single or double selection, Figures 2-5), together
+// with the Table 3 penalty accounting and Table 4 bad-branch-recovery
+// bookkeeping.
+package core
+
+import (
+	"fmt"
+
+	"mbbp/internal/icache"
+	"mbbp/internal/metrics"
+	"mbbp/internal/pht"
+)
+
+// FetchMode selects how many blocks are fetched per cycle.
+type FetchMode int
+
+const (
+	// SingleBlock fetches one block per cycle (§2).
+	SingleBlock FetchMode = iota
+	// DualBlock fetches two blocks per cycle (§3).
+	DualBlock
+)
+
+func (m FetchMode) String() string {
+	if m == DualBlock {
+		return "dual"
+	}
+	return "single"
+}
+
+// TargetArrayKind selects the target array implementation.
+type TargetArrayKind int
+
+const (
+	// NLS is the tagless direct-mapped array (§2; the paper's default,
+	// 256 block entries).
+	NLS TargetArrayKind = iota
+	// BTB is the tagged 4-way set-associative alternative (Table 5).
+	BTB
+)
+
+func (k TargetArrayKind) String() string {
+	if k == BTB {
+		return "BTB"
+	}
+	return "NLS"
+}
+
+// Config describes one fetch-architecture configuration. The zero value
+// is not valid; start from DefaultConfig.
+type Config struct {
+	// Geometry is the instruction cache organization (block width,
+	// line size, banks, §4.5 kind).
+	Geometry icache.Geometry
+
+	// HistoryBits is the GHR length (paper default 10); it also sizes
+	// the blocked PHT and each select table at 2^HistoryBits entries.
+	HistoryBits int
+
+	// NumPHTs is the number of blocked pattern history tables. 1 (the
+	// paper's "one global blocked PHT") uses pure gshare indexing;
+	// more tables are selected by the block address's low bits — the
+	// paper's per-block variation of Yeh's per-addr scheme.
+	NumPHTs int
+
+	// IndexMode selects the two-level index function: gshare (the
+	// paper's GHR XOR address, default) or history-only (GAg), kept as
+	// an ablation of the design choice.
+	IndexMode pht.IndexMode
+
+	// NumSTs is the number of select tables (1, 2, 4 or 8 in Figure 8).
+	NumSTs int
+
+	// NumBlocks optionally overrides Mode with the number of blocks
+	// fetched per cycle: 0 derives it from Mode (1 or 2); 3 or 4
+	// enable the §5 extension ("it is possible to predict more than
+	// two blocks per cycle"), which requires single selection and adds
+	// one select table and one target array per extra block.
+	NumBlocks int
+
+	// RASSize is the return address stack depth (paper: 32).
+	RASSize int
+
+	// NearBlock enables 3-bit BIT codes and computed near-block
+	// targets (§2, Table 5).
+	NearBlock bool
+
+	// BITEntries sizes the separate BIT table (Figure 7); 0 stores BIT
+	// information in the instruction cache (always fresh), the paper's
+	// configuration for every experiment after Figure 7.
+	BITEntries int
+
+	// TargetArray and TargetEntries choose the target array
+	// implementation and its number of block entries; BTBAssoc applies
+	// to the BTB (paper: 4-way, LRU).
+	TargetArray   TargetArrayKind
+	TargetEntries int
+	BTBAssoc      int
+
+	// Mode and Selection pick the fetch engine variant.
+	Mode      FetchMode
+	Selection metrics.SelectionMode
+
+	// ICacheLines, ICacheAssoc and ICacheMissPenalty enable the
+	// optional instruction-cache content model (an extension — the
+	// paper assumes a perfect instruction cache, which is
+	// ICacheLines = 0, the default). Misses stall fetch for the given
+	// penalty and are reported separately from Table 3 charges.
+	ICacheLines       int
+	ICacheAssoc       int
+	ICacheMissPenalty int
+}
+
+// DefaultConfig returns the paper's §4 defaults: block width 8, normal
+// cache with 8 banks, GHR length 10, one global blocked PHT, 1024-entry
+// select table, 32-entry RAS, 256-entry NLS, near-block off, BIT in the
+// instruction cache, dual-block fetching with single selection.
+func DefaultConfig() Config {
+	return Config{
+		Geometry:      icache.ForKind(icache.Normal, 8),
+		HistoryBits:   10,
+		NumPHTs:       1,
+		NumSTs:        1,
+		RASSize:       32,
+		NearBlock:     false,
+		BITEntries:    0,
+		TargetArray:   NLS,
+		TargetEntries: 256,
+		BTBAssoc:      4,
+		Mode:          DualBlock,
+		Selection:     metrics.SingleSelection,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if c.HistoryBits < 1 || c.HistoryBits > 26 {
+		return fmt.Errorf("core: history bits %d out of range [1,26]", c.HistoryBits)
+	}
+	if c.NumPHTs < 0 || (c.NumPHTs > 0 && c.NumPHTs&(c.NumPHTs-1) != 0) {
+		return fmt.Errorf("core: NumPHTs %d must be a power of two", c.NumPHTs)
+	}
+	if c.NumSTs < 1 || c.NumSTs&(c.NumSTs-1) != 0 {
+		return fmt.Errorf("core: NumSTs %d must be a power of two", c.NumSTs)
+	}
+	switch c.NumBlocks {
+	case 0:
+	case 1:
+		if c.Mode != SingleBlock {
+			return fmt.Errorf("core: NumBlocks 1 conflicts with dual-block mode")
+		}
+	case 2:
+		if c.Mode != DualBlock {
+			return fmt.Errorf("core: NumBlocks 2 requires dual-block mode")
+		}
+	case 3, 4:
+		if c.Mode != DualBlock {
+			return fmt.Errorf("core: NumBlocks %d requires dual-block mode", c.NumBlocks)
+		}
+		if c.Selection != metrics.SingleSelection {
+			return fmt.Errorf("core: more than two blocks requires single selection")
+		}
+	default:
+		return fmt.Errorf("core: NumBlocks %d out of range [0,4]", c.NumBlocks)
+	}
+	if c.RASSize < 1 {
+		return fmt.Errorf("core: RAS size %d must be positive", c.RASSize)
+	}
+	if c.BITEntries < 0 || (c.BITEntries > 0 && c.BITEntries&(c.BITEntries-1) != 0) {
+		return fmt.Errorf("core: BIT entries %d must be zero or a power of two", c.BITEntries)
+	}
+	if c.TargetEntries < 1 || c.TargetEntries&(c.TargetEntries-1) != 0 {
+		return fmt.Errorf("core: target entries %d must be a power of two", c.TargetEntries)
+	}
+	if c.TargetArray == BTB {
+		if c.BTBAssoc < 1 || c.TargetEntries%c.BTBAssoc != 0 {
+			return fmt.Errorf("core: BTB associativity %d must divide entries %d", c.BTBAssoc, c.TargetEntries)
+		}
+	}
+	if c.Mode == SingleBlock && c.Selection == metrics.DoubleSelection {
+		return fmt.Errorf("core: double selection requires dual-block mode")
+	}
+	if c.ICacheLines > 0 {
+		if c.ICacheLines&(c.ICacheLines-1) != 0 {
+			return fmt.Errorf("core: ICacheLines %d must be a power of two", c.ICacheLines)
+		}
+		assoc := c.ICacheAssoc
+		if assoc == 0 {
+			assoc = 1
+		}
+		if assoc < 1 || c.ICacheLines%assoc != 0 {
+			return fmt.Errorf("core: ICacheAssoc %d must divide ICacheLines %d", assoc, c.ICacheLines)
+		}
+		if c.ICacheMissPenalty < 1 {
+			return fmt.Errorf("core: ICacheMissPenalty must be positive with a finite cache")
+		}
+	}
+	if c.Selection == metrics.DoubleSelection && c.BITEntries != 0 {
+		return fmt.Errorf("core: double selection removes the BIT table; BITEntries must be 0")
+	}
+	return nil
+}
+
+// Blocks returns the number of blocks fetched per cycle.
+func (c Config) Blocks() int {
+	if c.NumBlocks > 0 {
+		return c.NumBlocks
+	}
+	if c.Mode == DualBlock {
+		return 2
+	}
+	return 1
+}
+
+func (c Config) numPHTs() int {
+	if c.NumPHTs == 0 {
+		return 1
+	}
+	return c.NumPHTs
+}
+
+// String renders a compact configuration summary.
+func (c Config) String() string {
+	sel := ""
+	if c.Blocks() > 1 {
+		sel = "/" + c.Selection.String()
+	}
+	near := ""
+	if c.NearBlock {
+		near = " near"
+	}
+	return fmt.Sprintf("%dblk%s %s W=%d h=%d ST=%d %s=%d%s",
+		c.Blocks(), sel, c.Geometry.Kind, c.Geometry.BlockWidth, c.HistoryBits,
+		c.NumSTs, c.TargetArray, c.TargetEntries, near)
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ConfigJSON round-trips configurations through JSON so experiment
+// setups can be kept in files (mbpsim -config). All fields marshal by
+// name; enums marshal as their integer values, with the string forms in
+// the doc comments of this package.
+
+// WriteJSON writes the configuration as indented JSON.
+func (c Config) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// LoadConfigJSON reads a configuration written by WriteJSON (or by
+// hand), applies defaults for omitted fields, and validates it.
+// Unknown fields are rejected, catching typos in hand-written files.
+func LoadConfigJSON(r io.Reader) (Config, error) {
+	cfg := DefaultConfig()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("core: parsing config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mbbp/internal/icache"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Geometry = icache.ForKind(icache.SelfAligned, 8)
+	cfg.NumSTs = 8
+	cfg.NearBlock = true
+	cfg.ICacheLines = 256
+	cfg.ICacheAssoc = 2
+	cfg.ICacheMissPenalty = 10
+
+	var buf bytes.Buffer
+	if err := cfg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfigJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cfg {
+		t.Errorf("round trip changed the config:\n%+v\n%+v", cfg, got)
+	}
+}
+
+func TestLoadConfigJSONDefaults(t *testing.T) {
+	// A sparse file inherits the paper's defaults for omitted fields.
+	got, err := LoadConfigJSON(strings.NewReader(`{"HistoryBits": 12, "NumSTs": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HistoryBits != 12 || got.NumSTs != 4 {
+		t.Errorf("explicit fields lost: %+v", got)
+	}
+	def := DefaultConfig()
+	if got.TargetEntries != def.TargetEntries || got.RASSize != def.RASSize {
+		t.Errorf("defaults not applied: %+v", got)
+	}
+}
+
+func TestLoadConfigJSONRejections(t *testing.T) {
+	if _, err := LoadConfigJSON(strings.NewReader(`{"HistroyBits": 12}`)); err == nil {
+		t.Error("typo field accepted")
+	}
+	if _, err := LoadConfigJSON(strings.NewReader(`{"HistoryBits": 0}`)); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := LoadConfigJSON(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"testing"
+
+	"mbbp/internal/icache"
+	"mbbp/internal/isa"
+	"mbbp/internal/metrics"
+	"mbbp/internal/trace"
+)
+
+// loopTrace builds a steady two-block loop: block A at 0..7 ending in a
+// taken jump to 16, block B at 16..23 ending in a taken jump back to 0,
+// repeated n times. Under dual-block fetching this is one fetch request
+// per iteration once warm.
+func loopTrace(n int) *trace.Buffer {
+	var rs []rec
+	for i := 0; i < n; i++ {
+		for pc := uint32(0); pc < 7; pc++ {
+			rs = append(rs, rec{pc, isa.ClassPlain, false, 0})
+		}
+		rs = append(rs, rec{7, isa.ClassJump, true, 16})
+		for pc := uint32(16); pc < 23; pc++ {
+			rs = append(rs, rec{pc, isa.ClassPlain, false, 0})
+		}
+		rs = append(rs, rec{23, isa.ClassJump, true, 0})
+	}
+	return mkTrace(rs)
+}
+
+func TestDualBlockSteadyState(t *testing.T) {
+	cfg := DefaultConfig()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(loopTrace(500))
+	// 1000 blocks in 500 cycles once warm; allow a small cold-start
+	// margin.
+	if res.Blocks != 1000 {
+		t.Fatalf("blocks = %d", res.Blocks)
+	}
+	if res.FetchCycles > 510 {
+		t.Errorf("fetch cycles = %d, want ~500 (two blocks per request)", res.FetchCycles)
+	}
+	// Steady state: the only penalties are cold-start (bounded).
+	if p := res.TotalPenaltyCycles(); p > 40 {
+		t.Errorf("steady-state loop accumulated %d penalty cycles", p)
+	}
+	// Misselects happen only during warmup.
+	if res.PenaltyEvents[metrics.Misselect] > 4 {
+		t.Errorf("misselect events = %d, want cold-start only", res.PenaltyEvents[metrics.Misselect])
+	}
+	if got := res.IPCf(); got < 15 {
+		t.Errorf("IPC_f = %.2f, want near 16 (two 8-wide blocks per cycle)", got)
+	}
+}
+
+func TestSingleBlockSameLoop(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = SingleBlock
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(loopTrace(500))
+	if res.FetchCycles != 1000 {
+		t.Errorf("single-block fetch cycles = %d, want 1000", res.FetchCycles)
+	}
+	if got := res.IPCf(); got < 7.5 || got > 8 {
+		t.Errorf("single-block IPC_f = %.2f, want near 8", got)
+	}
+}
+
+// TestBankConflictCharged builds a dual fetch whose two blocks collide
+// in a bank: block A in line 0 and block B in line 8 (8 banks -> both
+// bank 0).
+func TestBankConflictCharged(t *testing.T) {
+	var rs []rec
+	for i := 0; i < 100; i++ {
+		for pc := uint32(0); pc < 7; pc++ {
+			rs = append(rs, rec{pc, isa.ClassPlain, false, 0})
+		}
+		rs = append(rs, rec{7, isa.ClassJump, true, 64}) // line 8, bank 0
+		for pc := uint32(64); pc < 71; pc++ {
+			rs = append(rs, rec{pc, isa.ClassPlain, false, 0})
+		}
+		rs = append(rs, rec{71, isa.ClassJump, true, 0})
+	}
+	e, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(mkTrace(rs))
+	if res.PenaltyEvents[metrics.BankConflict] < 90 {
+		t.Errorf("bank conflicts = %d, want ~100 (every pair collides)",
+			res.PenaltyEvents[metrics.BankConflict])
+	}
+
+	// The same loop with the blocks in conflict-free lines: line 0 and
+	// line 1.
+	var ok []rec
+	for i := 0; i < 100; i++ {
+		for pc := uint32(0); pc < 7; pc++ {
+			ok = append(ok, rec{pc, isa.ClassPlain, false, 0})
+		}
+		ok = append(ok, rec{7, isa.ClassJump, true, 8})
+		for pc := uint32(8); pc < 15; pc++ {
+			ok = append(ok, rec{pc, isa.ClassPlain, false, 0})
+		}
+		ok = append(ok, rec{15, isa.ClassJump, true, 0})
+	}
+	e2, _ := New(DefaultConfig())
+	res2 := e2.Run(mkTrace(ok))
+	if res2.PenaltyEvents[metrics.BankConflict] != 0 {
+		t.Errorf("conflict-free loop charged %d bank conflicts",
+			res2.PenaltyEvents[metrics.BankConflict])
+	}
+}
+
+// TestMisselectOnPatternChange alternates a branch's behavior between
+// long epochs: each flip makes the memoized second-block selector stale,
+// costing misselects until retrained.
+func TestMisselectOnPatternChange(t *testing.T) {
+	var rs []rec
+	addBlock := func(takenEpoch bool) {
+		// Block A: 0..7, exits via a conditional at 7 that either
+		// falls through to 8.. or jumps to 16...
+		for pc := uint32(0); pc < 7; pc++ {
+			rs = append(rs, rec{pc, isa.ClassPlain, false, 0})
+		}
+		if takenEpoch {
+			rs = append(rs, rec{7, isa.ClassCond, true, 16})
+			for pc := uint32(16); pc < 23; pc++ {
+				rs = append(rs, rec{pc, isa.ClassPlain, false, 0})
+			}
+			rs = append(rs, rec{23, isa.ClassJump, true, 0})
+		} else {
+			rs = append(rs, rec{7, isa.ClassCond, false, 16})
+			for pc := uint32(8); pc < 15; pc++ {
+				rs = append(rs, rec{pc, isa.ClassPlain, false, 0})
+			}
+			rs = append(rs, rec{15, isa.ClassJump, true, 0})
+		}
+	}
+	for epoch := 0; epoch < 10; epoch++ {
+		for i := 0; i < 50; i++ {
+			addBlock(epoch%2 == 0)
+		}
+	}
+	e, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(mkTrace(rs))
+	if res.PenaltyEvents[metrics.Misselect] == 0 {
+		t.Error("epoch flips should cause misselects")
+	}
+	if res.PenaltyEvents[metrics.CondMispredict] == 0 {
+		t.Error("epoch flips should cause conditional mispredictions")
+	}
+	// But misselects must be rare relative to blocks (only at epoch
+	// boundaries).
+	if res.PenaltyEvents[metrics.Misselect] > res.Blocks/10 {
+		t.Errorf("misselects = %d of %d blocks: too many",
+			res.PenaltyEvents[metrics.Misselect], res.Blocks)
+	}
+}
+
+func TestDoubleSelectionRunsAndCostsMore(t *testing.T) {
+	tr := loopTrace(300)
+
+	single, _ := New(DefaultConfig())
+	rs := single.Run(tr)
+
+	dcfg := DefaultConfig()
+	dcfg.Selection = metrics.DoubleSelection
+	double, err := New(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := double.Run(tr)
+
+	if rd.Instructions != rs.Instructions {
+		t.Fatalf("instruction counts differ: %d vs %d", rd.Instructions, rs.Instructions)
+	}
+	// Double selection pays more on this warmup-heavy loop (misselect
+	// penalties on both blocks) but must still reach a high rate.
+	if rd.IPCf() < 10 {
+		t.Errorf("double selection IPC_f = %.2f, implausibly low", rd.IPCf())
+	}
+	if rd.TotalPenaltyCycles() < rs.TotalPenaltyCycles() {
+		t.Errorf("double selection penalties (%d) below single (%d)",
+			rd.TotalPenaltyCycles(), rs.TotalPenaltyCycles())
+	}
+}
+
+// TestRASThroughEngine runs call/return pairs through the engine and
+// checks returns are predicted by the stack (no return mispredicts in
+// steady state).
+func TestRASThroughEngine(t *testing.T) {
+	var rs []rec
+	for i := 0; i < 200; i++ {
+		// main at 0: call fn at 32 from address 3; fn returns to 4;
+		// jump back to 0.
+		rs = append(rs,
+			rec{0, isa.ClassPlain, false, 0},
+			rec{1, isa.ClassPlain, false, 0},
+			rec{2, isa.ClassPlain, false, 0},
+			rec{3, isa.ClassCall, true, 32},
+			rec{32, isa.ClassPlain, false, 0},
+			rec{33, isa.ClassReturn, true, 4},
+			rec{4, isa.ClassPlain, false, 0},
+			rec{5, isa.ClassJump, true, 0},
+		)
+	}
+	e, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(mkTrace(rs))
+	if res.PenaltyEvents[metrics.ReturnMispredict] > 2 {
+		t.Errorf("return mispredicts = %d, want ~0 (RAS covers this)",
+			res.PenaltyEvents[metrics.ReturnMispredict])
+	}
+}
+
+// TestIndirectPolymorphismCostsMisfetches drives an indirect jump that
+// alternates between two targets: the target array can never hold both,
+// so roughly half the transits misfetch.
+func TestIndirectPolymorphismCostsMisfetches(t *testing.T) {
+	var rs []rec
+	for i := 0; i < 200; i++ {
+		tgt := uint32(32)
+		if i%2 == 1 {
+			tgt = 48
+		}
+		rs = append(rs,
+			rec{0, isa.ClassPlain, false, 0},
+			rec{1, isa.ClassIndirect, true, tgt},
+			rec{tgt, isa.ClassPlain, false, 0},
+			rec{tgt + 1, isa.ClassJump, true, 0},
+		)
+	}
+	cfg := DefaultConfig()
+	cfg.Mode = SingleBlock
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(mkTrace(rs))
+	if res.PenaltyEvents[metrics.MisfetchIndirect] < 150 {
+		t.Errorf("indirect misfetches = %d, want ~199 (alternating target)",
+			res.PenaltyEvents[metrics.MisfetchIndirect])
+	}
+}
+
+// TestNearBlockAvoidsTargetArray checks a short-range conditional
+// branch never misfetches with near-block encoding even under an
+// adversarial 1-entry target array, but can without it.
+func TestNearBlockAvoidsTargetArray(t *testing.T) {
+	mk := func() *trace.Buffer {
+		var rs []rec
+		for i := 0; i < 100; i++ {
+			// Three single-instruction blocks whose exits all sit at
+			// position 0, thrashing the single slot of a 1-entry NLS.
+			// With near-block encoding the conditional stays out of
+			// the array, so one misfetch per iteration disappears.
+			rs = append(rs,
+				rec{0, isa.ClassCond, true, 8},   // near: next line
+				rec{8, isa.ClassJump, true, 256}, // long
+				rec{256, isa.ClassJump, true, 0}, // long
+			)
+		}
+		return mkTrace(rs)
+	}
+	run := func(near bool) metrics.Result {
+		cfg := DefaultConfig()
+		cfg.Mode = SingleBlock
+		cfg.NearBlock = near
+		cfg.TargetEntries = 1
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Run(mk())
+	}
+	with := run(true)
+	without := run(false)
+	if with.PenaltyEvents[metrics.MisfetchImmediate] >= without.PenaltyEvents[metrics.MisfetchImmediate] {
+		t.Errorf("near-block misfetches (%d) should be below long-only (%d)",
+			with.PenaltyEvents[metrics.MisfetchImmediate],
+			without.PenaltyEvents[metrics.MisfetchImmediate])
+	}
+}
+
+// TestRefetchAdder checks the Table 3 footnote: a first-block
+// conditional mispredicted taken with remaining instructions costs 5
+// cycles, while mispredicted not-taken costs 4.
+func TestRefetchAdder(t *testing.T) {
+	// Train a branch taken, then present it not taken mid-block:
+	// mispredicted taken, remaining instructions must be re-fetched.
+	var rs []rec
+	for i := 0; i < 20; i++ {
+		rs = append(rs,
+			rec{0, isa.ClassPlain, false, 0},
+			rec{1, isa.ClassCond, true, 32},
+			rec{32, isa.ClassJump, true, 0},
+		)
+	}
+	// Now the branch falls through once, with instructions after it.
+	rs = append(rs,
+		rec{0, isa.ClassPlain, false, 0},
+		rec{1, isa.ClassCond, false, 32},
+		rec{2, isa.ClassPlain, false, 0},
+		rec{3, isa.ClassJump, true, 0},
+	)
+	cfg := DefaultConfig()
+	cfg.Mode = SingleBlock
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(mkTrace(rs))
+	// The final mispredict should include the +1 re-fetch adder: look
+	// for a 5-cycle conditional penalty among the charges.
+	cond := res.PenaltyCycles[metrics.CondMispredict]
+	events := res.PenaltyEvents[metrics.CondMispredict]
+	if events == 0 {
+		t.Fatal("expected at least one conditional mispredict")
+	}
+	if cond < events*4+1 {
+		t.Errorf("cond penalty cycles = %d over %d events: no re-fetch adder applied",
+			cond, events)
+	}
+}
+
+// TestSelfAlignedTwoLineBIT checks the engine handles blocks spanning
+// two lines with a finite BIT table (both lines consulted and filled).
+func TestSelfAlignedTwoLineBIT(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = SingleBlock
+	cfg.Geometry = icache.ForKind(icache.SelfAligned, 8)
+	cfg.BITEntries = 64
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rs []rec
+	for i := 0; i < 50; i++ {
+		// A block starting at 5 spans lines 0 and 1.
+		for pc := uint32(5); pc < 12; pc++ {
+			rs = append(rs, rec{pc, isa.ClassPlain, false, 0})
+		}
+		rs = append(rs, rec{12, isa.ClassJump, true, 5})
+	}
+	res := e.Run(mkTrace(rs))
+	if res.Blocks != 50 {
+		t.Fatalf("blocks = %d", res.Blocks)
+	}
+	// After the first fill the BIT should be warm: at most a couple of
+	// BIT penalties.
+	if res.PenaltyEvents[metrics.BITMispredict] > 2 {
+		t.Errorf("BIT penalties = %d with a warm two-line block",
+			res.PenaltyEvents[metrics.BITMispredict])
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"mbbp/internal/icache"
+	"mbbp/internal/metrics"
+	"mbbp/internal/trace"
+	"mbbp/internal/workload"
+)
+
+func benchTrace(t *testing.T, name string, n uint64) *trace.Buffer {
+	t.Helper()
+	b, err := workload.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := b.Trace(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func run(t *testing.T, cfg Config, tr *trace.Buffer) metrics.Result {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Run(tr)
+}
+
+// TestEngineSanity runs one integer and one FP workload through the
+// single- and dual-block engines and checks the structural invariants
+// the paper's results rest on.
+func TestEngineSanity(t *testing.T) {
+	const n = 300_000
+	for _, name := range []string{"compress", "swim"} {
+		tr := benchTrace(t, name, n)
+
+		single := DefaultConfig()
+		single.Mode = SingleBlock
+		rs := run(t, single, tr)
+
+		dual := DefaultConfig()
+		rd := run(t, dual, tr)
+
+		for _, r := range []struct {
+			label string
+			res   metrics.Result
+		}{{"single", rs}, {"dual", rd}} {
+			res := r.res
+			if res.Instructions != n {
+				t.Errorf("%s/%s: instructions = %d, want %d", name, r.label, res.Instructions, n)
+			}
+			if res.FetchCycles == 0 || res.Blocks == 0 {
+				t.Fatalf("%s/%s: empty result", name, r.label)
+			}
+			if got := res.IPCf(); got <= 0 || got > float64(2*dual.Geometry.BlockWidth) {
+				t.Errorf("%s/%s: IPC_f = %.2f out of range", name, r.label, got)
+			}
+			if res.IPB() > float64(dual.Geometry.BlockWidth) {
+				t.Errorf("%s/%s: IPB = %.2f exceeds block width", name, r.label, res.IPB())
+			}
+			if res.CondAccuracy() < 0.5 {
+				t.Errorf("%s/%s: accuracy %.2f implausibly low", name, r.label, res.CondAccuracy())
+			}
+			t.Logf("%s/%s: %s", name, r.label, res.String())
+		}
+
+		// Dual-block fetching must use fewer fetch requests and beat
+		// single-block on effective fetch rate for these workloads.
+		if rd.FetchCycles >= rs.FetchCycles {
+			t.Errorf("%s: dual fetch requests %d not below single %d", name, rd.FetchCycles, rs.FetchCycles)
+		}
+		if rd.IPCf() <= rs.IPCf() {
+			t.Errorf("%s: dual IPC_f %.2f not above single %.2f", name, rd.IPCf(), rs.IPCf())
+		}
+	}
+}
+
+// TestFPBeatsIntAccuracy checks the paper's Figure 6 shape: FP codes
+// predict far better than integer codes.
+func TestFPBeatsIntAccuracy(t *testing.T) {
+	const n = 200_000
+	cfg := DefaultConfig()
+	cfg.Mode = SingleBlock
+	intRes := run(t, cfg, benchTrace(t, "go", n))
+	fpRes := run(t, cfg, benchTrace(t, "swim", n))
+	if fpRes.CondAccuracy() <= intRes.CondAccuracy() {
+		t.Errorf("FP accuracy %.3f should exceed int accuracy %.3f",
+			fpRes.CondAccuracy(), intRes.CondAccuracy())
+	}
+	t.Logf("accuracy: go=%.3f swim=%.3f", intRes.CondAccuracy(), fpRes.CondAccuracy())
+}
+
+// TestSelfAlignedBeatsNormal checks the Table 6 shape: the self-aligned
+// cache fetches more instructions per block than the normal cache.
+func TestSelfAlignedBeatsNormal(t *testing.T) {
+	const n = 200_000
+	tr := benchTrace(t, "swim", n)
+
+	normal := DefaultConfig()
+	rn := run(t, normal, tr)
+
+	aligned := DefaultConfig()
+	aligned.Geometry = icache.ForKind(icache.SelfAligned, 8)
+	ra := run(t, aligned, tr)
+
+	if ra.IPB() <= rn.IPB() {
+		t.Errorf("self-aligned IPB %.2f not above normal %.2f", ra.IPB(), rn.IPB())
+	}
+	t.Logf("IPB: normal=%.2f aligned=%.2f; IPC_f: normal=%.2f aligned=%.2f",
+		rn.IPB(), ra.IPB(), rn.IPCf(), ra.IPCf())
+}
+
+// TestScalarBaseline checks the scalar predictor runs and produces a
+// plausible misprediction rate.
+func TestScalarBaseline(t *testing.T) {
+	tr := benchTrace(t, "gcc", 200_000)
+	res := RunScalar(tr, 10, 8)
+	if res.CondBranches == 0 {
+		t.Fatal("no branches observed")
+	}
+	if r := res.MispredictRate(); r <= 0 || r >= 0.5 {
+		t.Errorf("scalar mispredict rate %.3f implausible", r)
+	}
+	t.Logf("scalar gcc mispredict rate: %.3f", res.MispredictRate())
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"mbbp/internal/workload"
+)
+
+// TestFiniteICacheExtension exercises the optional instruction-cache
+// content model: a cache smaller than the working set stalls fetch, a
+// big one behaves perfectly, and Table 3 accounting is untouched either
+// way.
+func TestFiniteICacheExtension(t *testing.T) {
+	b, err := workload.Get("gcc") // largest text: a real working set
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := b.Trace(150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	perfect := DefaultConfig()
+	ep, err := New(perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := ep.Run(tr)
+	if rp.ICacheMisses != 0 || rp.ICacheMissCycles != 0 {
+		t.Fatal("perfect cache recorded misses")
+	}
+
+	tiny := DefaultConfig()
+	tiny.ICacheLines = 16 // 128 instructions: far below gcc's 1.6k text
+	tiny.ICacheAssoc = 2
+	tiny.ICacheMissPenalty = 10
+	et, err := New(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := et.Run(tr)
+	if rt.ICacheMisses == 0 {
+		t.Fatal("tiny cache never missed on gcc")
+	}
+	if rt.ICacheMissCycles != 10*rt.ICacheMisses {
+		t.Errorf("miss cycles %d != 10 * %d misses", rt.ICacheMissCycles, rt.ICacheMisses)
+	}
+	// The miss stalls must not leak into branch penalties: Table 3
+	// accounting is identical to the perfect-cache run.
+	if rt.TotalPenaltyCycles() != rp.TotalPenaltyCycles() {
+		t.Errorf("finite cache changed Table 3 penalties: %d vs %d",
+			rt.TotalPenaltyCycles(), rp.TotalPenaltyCycles())
+	}
+	if rt.IPCf() >= rp.IPCf() {
+		t.Errorf("misses should cost throughput: %.2f vs %.2f", rt.IPCf(), rp.IPCf())
+	}
+
+	big := DefaultConfig()
+	big.ICacheLines = 4096 // 32 KByte at 8 instructions/line: the paper's size
+	big.ICacheAssoc = 1
+	big.ICacheMissPenalty = 10
+	eb, err := New(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := eb.Run(tr)
+	// gcc's text fits: only compulsory misses.
+	if rb.ICacheMisses > 300 {
+		t.Errorf("32KB cache missed %d times on a resident working set", rb.ICacheMisses)
+	}
+}
+
+func TestFiniteICacheValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ICacheLines = 100
+	cfg.ICacheMissPenalty = 10
+	if err := cfg.Validate(); err == nil {
+		t.Error("non-power-of-two cache accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.ICacheLines = 64
+	if err := cfg.Validate(); err == nil {
+		t.Error("finite cache without a miss penalty accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"mbbp/internal/isa"
+	"mbbp/internal/metrics"
+	"mbbp/internal/seltab"
+)
+
+// Event describes the engine's handling of one fetch block, emitted to
+// an Observer as the simulation runs — the per-cycle visibility the
+// paper's pipeline diagrams (Figures 3 and 5) give on paper.
+type Event struct {
+	// Cycle and Block are the running fetch-request and block counts.
+	Cycle, Block uint64
+	// Role is the block's position in its fetch group (0 = first).
+	Role int
+	// Start and Len describe the fetched block; ExitClass is the class
+	// of its terminating transfer (ClassPlain for a fall-through).
+	Start     uint32
+	Len       int
+	ExitClass isa.Class
+	// Selector is the multiplexer selection the scan produced for the
+	// block's successor; PredictedNext is its evaluated address and
+	// ActualNext where execution really went.
+	Selector      seltab.Selector
+	PredictedNext uint32
+	ActualNext    uint32
+	// Penalty and Kind record the Table 3 charge for this block
+	// (Penalty == 0 means a clean prediction); Redirect is true when
+	// the pipeline restarted.
+	Penalty  int
+	Kind     metrics.Kind
+	Redirect bool
+}
+
+// Observer receives per-block events. Observers run synchronously on
+// the simulation path; keep them cheap.
+type Observer interface {
+	Observe(Event)
+}
+
+// SetObserver installs an observer (nil to remove).
+func (e *Engine) SetObserver(o Observer) { e.obs = o }
+
+// LogObserver is an Observer printing a compact line per block, up to
+// Limit blocks (0 = unlimited).
+type LogObserver struct {
+	W     io.Writer
+	Limit uint64
+	seen  uint64
+}
+
+// Observe implements Observer.
+func (l *LogObserver) Observe(ev Event) {
+	if l.Limit > 0 && l.seen >= l.Limit {
+		return
+	}
+	l.seen++
+	status := "ok"
+	if ev.Penalty > 0 {
+		status = fmt.Sprintf("%v +%d", ev.Kind, ev.Penalty)
+	}
+	fmt.Fprintf(l.W, "cyc %6d blk %6d role %d  [%6d..%6d] exit=%-13v sel=%-11v next %6d/%-6d  %s\n",
+		ev.Cycle, ev.Block, ev.Role,
+		ev.Start, ev.Start+uint32(ev.Len)-1, ev.ExitClass, ev.Selector.Source,
+		ev.PredictedNext, ev.ActualNext, status)
+}
+
+// FuncObserver adapts a function to the Observer interface.
+type FuncObserver func(Event)
+
+// Observe implements Observer.
+func (f FuncObserver) Observe(ev Event) { f(ev) }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mbbp/internal/metrics"
+)
+
+func TestObserverSeesEveryBlock(t *testing.T) {
+	e, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	e.SetObserver(FuncObserver(func(ev Event) { events = append(events, ev) }))
+	res := e.Run(loopTrace(20))
+	if uint64(len(events)) != res.Blocks {
+		t.Fatalf("observed %d events for %d blocks", len(events), res.Blocks)
+	}
+	// Event streams reconstruct the totals.
+	var penalty uint64
+	for _, ev := range events {
+		penalty += uint64(ev.Penalty)
+		if ev.Len < 1 || ev.Len > 8 {
+			t.Errorf("event block length %d", ev.Len)
+		}
+	}
+	// Observed penalties cover the dominant charge per block, so they
+	// are bounded by the result's total.
+	if penalty > res.TotalPenaltyCycles() {
+		t.Errorf("observed %d penalty cycles, result says %d", penalty, res.TotalPenaltyCycles())
+	}
+	// Roles must follow the dual-block pattern: never two consecutive
+	// role-1 blocks.
+	for i := 1; i < len(events); i++ {
+		if events[i].Role == 1 && events[i-1].Role == 1 {
+			t.Fatalf("events %d,%d both second-role", i-1, i)
+		}
+	}
+}
+
+func TestObserverRemovable(t *testing.T) {
+	e, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	e.SetObserver(FuncObserver(func(Event) { calls++ }))
+	e.Run(loopTrace(5))
+	seen := calls
+	e.SetObserver(nil)
+	e.Run(loopTrace(5))
+	if calls != seen {
+		t.Error("observer still firing after removal")
+	}
+}
+
+func TestLogObserver(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetObserver(&LogObserver{W: &buf, Limit: 5})
+	e.Run(loopTrace(50))
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("log lines = %d, want 5 (limit)", len(lines))
+	}
+	if !strings.Contains(lines[0], "cyc") || !strings.Contains(lines[0], "jump") {
+		t.Errorf("log line malformed: %q", lines[0])
+	}
+}
+
+func TestObserverReportsPenaltyKind(t *testing.T) {
+	// The indirect-polymorphism trace guarantees misfetch events.
+	var rs []rec
+	for i := 0; i < 50; i++ {
+		tgt := uint32(32)
+		if i%2 == 1 {
+			tgt = 48
+		}
+		rs = append(rs,
+			rec{0, 4 /* isa.ClassIndirect */, true, tgt},
+			rec{tgt, 2 /* isa.ClassJump */, true, 0},
+		)
+	}
+	cfg := DefaultConfig()
+	cfg.Mode = SingleBlock
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawIndirect := false
+	e.SetObserver(FuncObserver(func(ev Event) {
+		if ev.Penalty > 0 && ev.Kind == metrics.MisfetchIndirect {
+			sawIndirect = true
+		}
+	}))
+	e.Run(mkTrace(rs))
+	if !sawIndirect {
+		t.Error("no indirect-misfetch event observed")
+	}
+}

@@ -1,0 +1,382 @@
+package core
+
+// An independent naive specification of DUAL-block fetch prediction
+// with single selection — the paper's core mechanism — equivalence-
+// checked against the optimized engine. Like the single-block reference
+// it shares no engine code; it re-derives the behavior from DESIGN.md:
+// roles alternating through the pair, the select table memoizing the
+// second block's multiplexer selection, the dual target array indexed
+// by the group's predecessor, bank conflicts, and the Table 3 penalty
+// columns.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mbbp/internal/cpu"
+	"mbbp/internal/isa"
+	"mbbp/internal/metrics"
+)
+
+type refSelector struct {
+	src      string // "ft", "ras", "target"
+	pos      uint8
+	nt       uint8
+	takenBit bool
+}
+
+func (a refSelector) sameMux(b refSelector) bool {
+	return a.src == b.src && a.pos == b.pos
+}
+func (a refSelector) sameGHR(b refSelector) bool {
+	return a.nt == b.nt && a.takenBit == b.takenBit
+}
+
+type refSTEntry struct {
+	valid  bool
+	second refSelector
+}
+
+type refDual struct {
+	counters [1 << refHist][refW]uint8
+	ghr      uint32
+	nls1     [refEntries][refW]uint32
+	nls2     [refEntries][refW]uint32
+	st       [1 << refHist]refSTEntry
+	ras      [refRAS]uint32
+	rasTop   int
+
+	// carried state
+	prevAddr uint32
+	prevGHR  uint32
+	havePrev bool
+	cycGHR   uint32
+	cycAddr  uint32
+	cycValid bool
+	role     int
+	lineA    uint32
+
+	fetchCycles  uint64
+	blocks       uint64
+	instructions uint64
+	penalties    map[metrics.Kind]uint64
+	condBranches uint64
+	condMiss     uint64
+}
+
+func newRefDual() *refDual {
+	m := &refDual{penalties: map[metrics.Kind]uint64{}, rasTop: -1}
+	for i := range m.counters {
+		for j := range m.counters[i] {
+			m.counters[i][j] = 1
+		}
+	}
+	return m
+}
+
+func (m *refDual) run(recs []cpu.Retired) {
+	i := 0
+	for i < len(recs) {
+		start := recs[i].PC
+		limit := refLine - int(start)%refLine
+		if limit > refW {
+			limit = refW
+		}
+		var blk []cpu.Retired
+		for len(blk) < limit && i < len(recs) {
+			r := recs[i]
+			blk = append(blk, r)
+			i++
+			if r.Taken {
+				break
+			}
+			if i < len(recs) && recs[i].PC != r.PC+1 {
+				break
+			}
+		}
+		m.consume(start, blk)
+	}
+}
+
+// scanSel reproduces the BIT/PHT scan's selector.
+func (m *refDual) scanSel(start uint32, blk []cpu.Retired, idx uint32) (int, refSelector) {
+	var nt uint8
+	for j, r := range blk {
+		pos := uint8((start + uint32(j)) % refW)
+		switch r.Class {
+		case isa.ClassPlain:
+			continue
+		case isa.ClassCond:
+			if m.counters[idx][pos] >= 2 {
+				return j, refSelector{src: "target", pos: pos, nt: nt, takenBit: true}
+			}
+			nt++
+		case isa.ClassReturn:
+			return j, refSelector{src: "ras", pos: pos, nt: nt}
+		default:
+			return j, refSelector{src: "target", pos: pos, nt: nt}
+		}
+	}
+	return -1, refSelector{src: "ft", nt: nt}
+}
+
+// corrected reproduces the BBR replacement selector from actual
+// outcomes.
+func (m *refDual) corrected(start uint32, blk []cpu.Retired) refSelector {
+	var nt uint8
+	for j, r := range blk {
+		if r.Class == isa.ClassCond && !r.Taken {
+			nt++
+			continue
+		}
+		if !r.Taken {
+			continue
+		}
+		pos := uint8((start + uint32(j)) % refW)
+		switch r.Class {
+		case isa.ClassReturn:
+			return refSelector{src: "ras", pos: pos, nt: nt}
+		case isa.ClassCond:
+			return refSelector{src: "target", pos: pos, nt: nt, takenBit: true}
+		default:
+			return refSelector{src: "target", pos: pos, nt: nt}
+		}
+	}
+	return refSelector{src: "ft", nt: nt}
+}
+
+func (m *refDual) consume(start uint32, blk []cpu.Retired) {
+	role := m.role
+	m.blocks++
+	m.instructions += uint64(len(blk))
+	myLine := start / refLine
+	if role == 0 {
+		m.fetchCycles++
+		m.lineA = myLine
+		if m.havePrev {
+			m.cycGHR, m.cycAddr = m.prevGHR, m.prevAddr
+			m.cycValid = true
+		} else {
+			m.cycValid = false
+		}
+	} else {
+		// Bank conflict: same bank, different line (8 banks).
+		if myLine != m.lineA && myLine%8 == m.lineA%8 {
+			m.charge(metrics.BankConflict, 1)
+		}
+	}
+
+	ghrPre := m.ghr
+	idx := (ghrPre ^ start) & (1<<refHist - 1)
+	predExit, sel := m.scanSel(start, blk, idx)
+
+	succRole := 0
+	if role == 0 {
+		succRole = 1
+	}
+
+	// Evaluate the successor address.
+	var predNext uint32
+	predOK := true
+	switch sel.src {
+	case "ft":
+		predNext = start + uint32(len(blk))
+	case "ras":
+		if m.rasTop >= 0 {
+			predNext = m.ras[m.rasTop]
+		} else {
+			predNext = 0
+		}
+	default:
+		if succRole == 1 && m.havePrev {
+			predNext = m.nls2[m.prevAddr%refEntries][sel.pos%refW]
+		} else {
+			predNext = m.nls1[start%refEntries][sel.pos%refW]
+		}
+	}
+
+	// Actual exit and classification.
+	actualExit := -1
+	last := blk[len(blk)-1]
+	if last.Taken {
+		actualExit = len(blk) - 1
+	}
+	actualNext := last.Target
+	if actualExit < 0 {
+		actualNext = start + uint32(len(blk))
+	}
+
+	redirect := false
+	var kind metrics.Kind
+	switch {
+	case predExit < 0 && actualExit < 0:
+	case predExit < 0:
+		redirect, kind = true, metrics.CondMispredict
+		m.charge(metrics.CondMispredict, 4+role)
+	case actualExit < 0 || predExit < actualExit:
+		p := 4 + role
+		if role == 0 && predExit < len(blk)-1 {
+			p++
+		}
+		redirect, kind = true, metrics.CondMispredict
+		m.charge(metrics.CondMispredict, p)
+	default:
+		if !(predOK && predNext == actualNext) {
+			redirect = true
+			switch blk[predExit].Class {
+			case isa.ClassReturn:
+				kind = metrics.ReturnMispredict
+				m.charge(kind, 4+role)
+			case isa.ClassIndirect, isa.ClassIndirectCall:
+				kind = metrics.MisfetchIndirect
+				m.charge(kind, 4+role)
+			default:
+				kind = metrics.MisfetchImmediate
+				m.charge(kind, 1+role)
+			}
+		}
+	}
+
+	// Select-table verification for the successor (single selection:
+	// only second-role successors are memoized).
+	condFlip := false
+	if redirect && kind == metrics.CondMispredict {
+		x := predExit
+		if x < 0 {
+			x = actualExit
+		}
+		if x >= 0 && blk[x].Class == isa.ClassCond {
+			c := m.counters[idx][(start+uint32(x))%refW]
+			condFlip = c == 1 || c == 2 // weak: no second chance
+		}
+	}
+	if succRole == 1 && m.cycValid {
+		e := &m.st[(m.cycGHR^m.cycAddr)&(1<<refHist-1)]
+		mismatchMux := !e.valid || !e.second.sameMux(sel)
+		mismatchGHR := !e.valid || !e.second.sameGHR(sel)
+		if !redirect {
+			if mismatchMux {
+				m.charge(metrics.Misselect, 1)
+			} else if mismatchGHR {
+				m.charge(metrics.GHRMispredict, 1)
+			}
+		}
+		if mismatchMux || mismatchGHR {
+			e.second = sel
+			e.valid = true
+		}
+		if condFlip {
+			e.second = m.corrected(start, blk)
+			e.valid = true
+		}
+	}
+
+	// Training.
+	for j, r := range blk {
+		if r.Class != isa.ClassCond {
+			continue
+		}
+		m.condBranches++
+		pos := (start + uint32(j)) % refW
+		c := m.counters[idx][pos]
+		if (c >= 2) != r.Taken {
+			m.condMiss++
+		}
+		if r.Taken && c < 3 {
+			m.counters[idx][pos] = c + 1
+		}
+		if !r.Taken && c > 0 {
+			m.counters[idx][pos] = c - 1
+		}
+	}
+	if actualExit >= 0 {
+		rec := blk[actualExit]
+		addr := start + uint32(actualExit)
+		if rec.Class != isa.ClassReturn {
+			m.nls1[start%refEntries][int(addr)%refW] = actualNext
+			if m.havePrev {
+				m.nls2[m.prevAddr%refEntries][int(addr)%refW] = actualNext
+			}
+		}
+		switch {
+		case rec.Class == isa.ClassCall || rec.Class == isa.ClassIndirectCall:
+			m.rasTop = (m.rasTop + 1) % refRAS
+			m.ras[m.rasTop] = addr + 1
+		case rec.Class == isa.ClassReturn:
+			if m.rasTop >= 0 {
+				m.rasTop = (m.rasTop - 1 + refRAS) % refRAS
+			}
+		}
+	}
+	for _, r := range blk {
+		if r.Class == isa.ClassCond {
+			m.ghr = m.ghr << 1 & (1<<refHist - 1)
+			if r.Taken {
+				m.ghr |= 1
+			}
+		}
+	}
+
+	m.prevAddr = start
+	m.prevGHR = ghrPre
+	m.havePrev = true
+	if redirect {
+		m.role = 0
+	} else {
+		m.role = succRole
+	}
+}
+
+func (m *refDual) charge(k metrics.Kind, cycles int) {
+	m.penalties[k] += uint64(cycles)
+}
+
+// TestDualEngineMatchesReferenceModel equivalence-checks the dual-block
+// single-selection engine against the naive specification on random
+// traces — every counter, cycle and penalty bucket must agree.
+func TestDualEngineMatchesReferenceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := randomTrace(seed, 4000)
+
+		eng, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := eng.Run(tr)
+
+		ref := newRefDual()
+		var recs []cpu.Retired
+		tr.Reset()
+		for {
+			r, ok := tr.Next()
+			if !ok {
+				break
+			}
+			recs = append(recs, r)
+		}
+		ref.run(recs)
+
+		if got.FetchCycles != ref.fetchCycles || got.Blocks != ref.blocks ||
+			got.Instructions != ref.instructions {
+			t.Logf("seed %d: cycles %d/%d blocks %d/%d instr %d/%d",
+				seed, got.FetchCycles, ref.fetchCycles, got.Blocks, ref.blocks,
+				got.Instructions, ref.instructions)
+			return false
+		}
+		if got.CondBranches != ref.condBranches || got.CondMispredicts != ref.condMiss {
+			t.Logf("seed %d: cond %d/%d miss %d/%d",
+				seed, got.CondBranches, ref.condBranches, got.CondMispredicts, ref.condMiss)
+			return false
+		}
+		for k := metrics.Kind(0); k < metrics.NumKinds; k++ {
+			if got.PenaltyCycles[k] != ref.penalties[k] {
+				t.Logf("seed %d: %v cycles %d/%d", seed, k, got.PenaltyCycles[k], ref.penalties[k])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

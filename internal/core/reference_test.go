@@ -1,0 +1,260 @@
+package core
+
+// An independent, deliberately naive executable specification of
+// single-block fetch prediction, written directly from DESIGN.md's
+// modelling rules without sharing any engine code. The equivalence
+// property test at the bottom checks the optimized engine against it on
+// random traces — if the two ever disagree, one of them misreads the
+// paper.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mbbp/internal/cpu"
+	"mbbp/internal/isa"
+	"mbbp/internal/metrics"
+)
+
+const (
+	refW       = 8
+	refLine    = 8
+	refHist    = 10
+	refEntries = 256 // NLS block entries
+	refRAS     = 32
+)
+
+type refModel struct {
+	counters [1 << refHist][refW]uint8 // 2-bit counters, init 1
+	ghr      uint32
+	nls      [refEntries][refW]uint32
+	ras      [refRAS]uint32
+	rasTop   int
+
+	fetchCycles  uint64
+	blocks       uint64
+	instructions uint64
+	penalties    map[metrics.Kind]uint64
+	condBranches uint64
+	condMiss     uint64
+}
+
+func newRefModel() *refModel {
+	m := &refModel{penalties: map[metrics.Kind]uint64{}, rasTop: -1}
+	for i := range m.counters {
+		for j := range m.counters[i] {
+			m.counters[i][j] = 1
+		}
+	}
+	return m
+}
+
+func (m *refModel) run(recs []cpu.Retired) {
+	i := 0
+	for i < len(recs) {
+		// Segment the next fetch block: up to W instructions, not
+		// crossing a line boundary, ending at a taken transfer.
+		start := recs[i].PC
+		limit := refLine - int(start)%refLine
+		if limit > refW {
+			limit = refW
+		}
+		var blk []cpu.Retired
+		for len(blk) < limit && i < len(recs) {
+			r := recs[i]
+			blk = append(blk, r)
+			i++
+			if r.Taken {
+				break
+			}
+			if i < len(recs) && recs[i].PC != r.PC+1 {
+				break
+			}
+		}
+		m.consume(start, blk)
+	}
+}
+
+func (m *refModel) consume(start uint32, blk []cpu.Retired) {
+	m.fetchCycles++
+	m.blocks++
+	m.instructions += uint64(len(blk))
+
+	idx := (m.ghr ^ start) & (1<<refHist - 1)
+
+	// Scan for the predicted exit using true instruction types.
+	predExit := -1
+	var predSrc string
+	for j, r := range blk {
+		switch r.Class {
+		case isa.ClassPlain:
+			continue
+		case isa.ClassCond:
+			if m.counters[idx][(start+uint32(j))%refW] >= 2 {
+				predExit = j
+				predSrc = "target"
+			}
+		case isa.ClassReturn:
+			predExit = j
+			predSrc = "ras"
+		default:
+			predExit = j
+			predSrc = "target"
+		}
+		if predExit >= 0 {
+			break
+		}
+	}
+
+	// Evaluate the predicted successor address.
+	var predNext uint32
+	switch {
+	case predExit < 0:
+		predNext = start + uint32(len(blk))
+	case predSrc == "ras":
+		if m.rasTop >= 0 {
+			predNext = m.ras[m.rasTop]
+		}
+	default:
+		pos := int(start+uint32(predExit)) % refW
+		predNext = m.nls[start%refEntries][pos]
+	}
+
+	// Actual exit.
+	actualExit := -1
+	last := blk[len(blk)-1]
+	if last.Taken {
+		actualExit = len(blk) - 1
+	}
+	actualNext := last.Target
+	if actualExit < 0 {
+		actualNext = start + uint32(len(blk))
+	}
+
+	// Classify per Table 3.
+	switch {
+	case predExit < 0 && actualExit < 0:
+		// fall-through, correct
+	case predExit < 0:
+		m.charge(metrics.CondMispredict, 4)
+	case actualExit < 0 || predExit < actualExit:
+		p := 4
+		if predExit < len(blk)-1 {
+			p++ // re-fetch adder, first block
+		}
+		m.charge(metrics.CondMispredict, p)
+	default: // predExit == actualExit
+		rec := blk[predExit]
+		if predNext != actualNext {
+			switch rec.Class {
+			case isa.ClassReturn:
+				m.charge(metrics.ReturnMispredict, 4)
+			case isa.ClassIndirect, isa.ClassIndirectCall:
+				m.charge(metrics.MisfetchIndirect, 4)
+			default:
+				m.charge(metrics.MisfetchImmediate, 1)
+			}
+		}
+	}
+
+	// Train: counters and direction stats for every conditional.
+	for j, r := range blk {
+		if r.Class != isa.ClassCond {
+			continue
+		}
+		m.condBranches++
+		pos := (start + uint32(j)) % refW
+		c := m.counters[idx][pos]
+		if (c >= 2) != r.Taken {
+			m.condMiss++
+		}
+		if r.Taken && c < 3 {
+			m.counters[idx][pos] = c + 1
+		}
+		if !r.Taken && c > 0 {
+			m.counters[idx][pos] = c - 1
+		}
+	}
+	// Target array and RAS from the actual exit.
+	if actualExit >= 0 {
+		rec := blk[actualExit]
+		addr := start + uint32(actualExit)
+		if rec.Class != isa.ClassReturn {
+			m.nls[start%refEntries][int(addr)%refW] = actualNext
+		}
+		switch {
+		case rec.Class == isa.ClassCall || rec.Class == isa.ClassIndirectCall:
+			m.rasTop = (m.rasTop + 1) % refRAS
+			m.ras[m.rasTop] = addr + 1
+		case rec.Class == isa.ClassReturn:
+			if m.rasTop >= 0 {
+				m.rasTop = (m.rasTop - 1 + refRAS) % refRAS
+			}
+		}
+	}
+	// GHR: one shift per conditional, oldest first.
+	for _, r := range blk {
+		if r.Class == isa.ClassCond {
+			m.ghr = m.ghr << 1 & (1<<refHist - 1)
+			if r.Taken {
+				m.ghr |= 1
+			}
+		}
+	}
+}
+
+func (m *refModel) charge(k metrics.Kind, cycles int) {
+	m.penalties[k] += uint64(cycles)
+}
+
+// TestEngineMatchesReferenceModel checks the optimized engine and the
+// naive specification agree exactly — cycle counts, every penalty
+// bucket, direction statistics — over random traces.
+func TestEngineMatchesReferenceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := randomTrace(seed, 4000)
+
+		cfg := DefaultConfig()
+		cfg.Mode = SingleBlock
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := eng.Run(tr)
+
+		ref := newRefModel()
+		var recs []cpu.Retired
+		tr.Reset()
+		for {
+			r, ok := tr.Next()
+			if !ok {
+				break
+			}
+			recs = append(recs, r)
+		}
+		ref.run(recs)
+
+		if got.FetchCycles != ref.fetchCycles || got.Blocks != ref.blocks ||
+			got.Instructions != ref.instructions {
+			t.Logf("seed %d: cycles %d/%d blocks %d/%d instr %d/%d",
+				seed, got.FetchCycles, ref.fetchCycles, got.Blocks, ref.blocks,
+				got.Instructions, ref.instructions)
+			return false
+		}
+		if got.CondBranches != ref.condBranches || got.CondMispredicts != ref.condMiss {
+			t.Logf("seed %d: cond %d/%d miss %d/%d",
+				seed, got.CondBranches, ref.condBranches, got.CondMispredicts, ref.condMiss)
+			return false
+		}
+		for k := metrics.Kind(0); k < metrics.NumKinds; k++ {
+			if got.PenaltyCycles[k] != ref.penalties[k] {
+				t.Logf("seed %d: %v cycles %d/%d", seed, k, got.PenaltyCycles[k], ref.penalties[k])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"mbbp/internal/isa"
+	"mbbp/internal/pht"
+	"mbbp/internal/trace"
+)
+
+// ScalarResult reports the conditional-branch accuracy of the scalar
+// baseline predictor.
+type ScalarResult struct {
+	Program         string
+	CondBranches    uint64
+	CondMispredicts uint64
+}
+
+// MispredictRate returns the fraction of conditional branches
+// mispredicted.
+func (r ScalarResult) MispredictRate() float64 {
+	if r.CondBranches == 0 {
+		return 0
+	}
+	return float64(r.CondMispredicts) / float64(r.CondBranches)
+}
+
+// Add accumulates other into r.
+func (r *ScalarResult) Add(other ScalarResult) {
+	r.CondBranches += other.CondBranches
+	r.CondMispredicts += other.CondMispredicts
+}
+
+// RunScalar measures the Figure 6 baseline: a scalar two-level adaptive
+// predictor with numTables per-address pattern history tables (8 tables
+// makes it equal in size to a blocked PHT with W = 8), predicting one
+// conditional branch at a time with a per-branch-updated global history
+// register.
+func RunScalar(src trace.Source, historyBits, numTables int) ScalarResult {
+	src.Reset()
+	var res ScalarResult
+	if b, ok := src.(*trace.Buffer); ok {
+		res.Program = b.Name
+	}
+	p := pht.NewScalar(historyBits, numTables)
+	g := pht.NewGHR(historyBits)
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if r.Class != isa.ClassCond {
+			continue
+		}
+		res.CondBranches++
+		if p.Predict(g.Value(), r.PC) != r.Taken {
+			res.CondMispredicts++
+		}
+		p.Update(g.Value(), r.PC, r.Taken)
+		g.Shift(r.Taken)
+	}
+	return res
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"mbbp/internal/bitable"
+	"mbbp/internal/isa"
+	"mbbp/internal/pht"
+	"mbbp/internal/seltab"
+)
+
+// scanResult is the output of the fetch control logic's scan of a
+// block's BIT codes and PHT counters (§2): where the block is predicted
+// to exit and the multiplexer selector for its successor.
+type scanResult struct {
+	exit int // predicted exit index within the block, -1 = no redirect found
+	sel  seltab.Selector
+}
+
+// scan walks the block's positions using the type code provider and the
+// PHT entry, stopping at the first unconditional transfer or conditional
+// branch whose counter predicts taken. codeAt supplies the BIT code for
+// block-relative position j (true codes, or stale table contents for the
+// BIT-penalty check). entry is the blocked PHT entry for this block.
+func (e *Engine) scan(blk *block, codeAt func(int) bitable.Code, entry []pht.Counter) scanResult {
+	w := e.geom.BlockWidth
+	line := uint32(e.geom.LineSize)
+	var nt uint8
+	for j := 0; j < blk.n(); j++ {
+		code := codeAt(j)
+		addr := blk.start + uint32(j)
+		pos := uint8(addr % uint32(w))
+		switch {
+		case code == bitable.CodePlain:
+			continue
+		case code == bitable.CodeReturn:
+			return scanResult{exit: j, sel: seltab.Selector{
+				Source: seltab.SrcRAS, Pos: pos, NTCount: nt,
+			}}
+		case code == bitable.CodeOther:
+			return scanResult{exit: j, sel: seltab.Selector{
+				Source: seltab.SrcTarget, Pos: pos, NTCount: nt,
+			}}
+		default: // conditional branch variants
+			if !entry[int(addr)%w].Taken() {
+				nt++
+				continue
+			}
+			sel := seltab.Selector{Pos: pos, NTCount: nt, TakenBit: true}
+			if code.IsNear() {
+				switch code {
+				case bitable.CodeCondPrev:
+					sel.Source = seltab.SrcNearPrev
+				case bitable.CodeCondSame:
+					sel.Source = seltab.SrcNearSame
+				case bitable.CodeCondNext:
+					sel.Source = seltab.SrcNearNext
+				default:
+					sel.Source = seltab.SrcNearNext2
+				}
+				// The starting offset within the target line comes
+				// from the branch's encoded offset; the true-code scan
+				// knows it from the instruction itself.
+				sel.StartOff = uint8(blk.insts[j].Target % line)
+			} else {
+				sel.Source = seltab.SrcTarget
+			}
+			return scanResult{exit: j, sel: sel}
+		}
+	}
+	return scanResult{exit: -1, sel: seltab.Selector{Source: seltab.SrcFallThrough, NTCount: nt}}
+}
+
+// evaluate resolves a scan's selector to the concrete successor address,
+// using the role the successor will be fetched in (the dual target array
+// of §3.1 indexes the first target by the block's own address and the
+// second target by its predecessor's address). ok is false when a
+// tagged target array missed.
+func (e *Engine) evaluate(blk *block, sc scanResult, succRole int) (addr uint32, ok bool) {
+	switch sc.sel.Source {
+	case seltab.SrcFallThrough:
+		return blk.start + uint32(blk.n()), true
+	case seltab.SrcRAS:
+		return e.ras.Top(), true
+	case seltab.SrcTarget:
+		indexAddr, targetNum := blk.start, 0
+		if succRole >= 1 && succRole <= e.ringLen {
+			// Array number r is indexed by the block r-1 positions
+			// before this one — the group's indexing block (§3.1).
+			indexAddr, targetNum = e.addrRing[succRole-1], succRole
+		}
+		t, _, hit := e.tgt.Lookup(indexAddr, int(sc.sel.Pos), targetNum)
+		return t, hit
+	default: // near-block sources
+		exitAddr := blk.start + uint32(sc.exit)
+		lineStart := e.geom.LineStart(exitAddr)
+		delta := int32(0)
+		switch sc.sel.Source {
+		case seltab.SrcNearPrev:
+			delta = -1
+		case seltab.SrcNearSame:
+			delta = 0
+		case seltab.SrcNearNext:
+			delta = 1
+		case seltab.SrcNearNext2:
+			delta = 2
+		}
+		return uint32(int64(lineStart) + int64(delta)*int64(e.geom.LineSize) + int64(sc.sel.StartOff)), true
+	}
+}
+
+// correctedSelector builds the selector a scan would produce once the
+// predictor reflects the block's actual outcomes — the "replacement
+// selector" pre-computed into a bad branch recovery entry (Table 4) and
+// written into the select table after a misprediction without a second
+// chance.
+func (e *Engine) correctedSelector(blk *block) seltab.Selector {
+	w := uint32(e.geom.BlockWidth)
+	line := uint32(e.geom.LineSize)
+	var nt uint8
+	for j, rec := range blk.insts {
+		if rec.Class == isa.ClassCond && !rec.Taken {
+			nt++
+			continue
+		}
+		if !rec.Taken {
+			continue
+		}
+		addr := blk.start + uint32(j)
+		sel := seltab.Selector{Pos: uint8(addr % w), NTCount: nt}
+		switch rec.Class {
+		case isa.ClassReturn:
+			sel.Source = seltab.SrcRAS
+		case isa.ClassCond:
+			sel.TakenBit = true
+			code := bitable.Encode(rec.Class, addr, rec.Target, e.geom.LineSize, e.cfg.NearBlock)
+			if code.IsNear() {
+				switch code {
+				case bitable.CodeCondPrev:
+					sel.Source = seltab.SrcNearPrev
+				case bitable.CodeCondSame:
+					sel.Source = seltab.SrcNearSame
+				case bitable.CodeCondNext:
+					sel.Source = seltab.SrcNearNext
+				default:
+					sel.Source = seltab.SrcNearNext2
+				}
+				sel.StartOff = uint8(rec.Target % line)
+			} else {
+				sel.Source = seltab.SrcTarget
+			}
+		default:
+			sel.Source = seltab.SrcTarget
+		}
+		return sel
+	}
+	return seltab.Selector{Source: seltab.SrcFallThrough, NTCount: nt}
+}

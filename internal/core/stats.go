@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mbbp/internal/pht"
+)
+
+// StructStats is a point-in-time snapshot of the engine's predictor
+// structures, for analysis tools: how trained the PHT is, how much of
+// the select table is live, and how deep the return stack sits.
+type StructStats struct {
+	// PHTCounters is the distribution of 2-bit counter states
+	// (strongly-NT, weakly-NT, weakly-T, strongly-T).
+	PHTCounters [4]uint64
+	// STValid is the number of valid select-table entries and STTotal
+	// the capacity (0/0 in single-block mode).
+	STValid, STTotal uint64
+	// RASDepth is the current return stack depth.
+	RASDepth int
+	// GHR is the current global history value.
+	GHR uint32
+}
+
+// Stats snapshots the engine's structures.
+func (e *Engine) Stats() StructStats {
+	var s StructStats
+	for i := 0; i < e.tab.Entries(); i++ {
+		for _, c := range e.tab.Entry(uint32(i)) {
+			s.PHTCounters[c&3]++
+		}
+	}
+	if e.st != nil {
+		s.STTotal = uint64(e.st.Tables() * e.st.EntriesPerTable())
+		s.STValid = e.stValidCount()
+	}
+	s.RASDepth = e.ras.Depth()
+	s.GHR = e.ghr.Value()
+	return s
+}
+
+// stValidCount counts live select-table entries.
+func (e *Engine) stValidCount() uint64 {
+	var n uint64
+	per := e.st.EntriesPerTable()
+	for t := 0; t < e.st.Tables(); t++ {
+		for i := 0; i < per; i++ {
+			// Reconstruct a (history, address) pair that lands on
+			// (table t, index i): address low bits select the table,
+			// history supplies the index (address high bits zero).
+			addr := uint32(t)
+			hist := uint32(i)
+			if e.st.Lookup(hist, addr).Valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TrainedFraction returns the share of PHT counters that have left
+// their initial weakly-not-taken state.
+func (s StructStats) TrainedFraction() float64 {
+	var total uint64
+	for _, c := range s.PHTCounters {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(s.PHTCounters[pht.WeaklyNotTaken])/float64(total)
+}
+
+// STOccupancy returns the live fraction of the select table.
+func (s StructStats) STOccupancy() float64 {
+	if s.STTotal == 0 {
+		return 0
+	}
+	return float64(s.STValid) / float64(s.STTotal)
+}
+
+// String renders a short summary.
+func (s StructStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pht=[%d %d %d %d] trained=%.1f%%",
+		s.PHTCounters[0], s.PHTCounters[1], s.PHTCounters[2], s.PHTCounters[3],
+		100*s.TrainedFraction())
+	if s.STTotal > 0 {
+		fmt.Fprintf(&b, " st=%.1f%%", 100*s.STOccupancy())
+	}
+	fmt.Fprintf(&b, " ras=%d ghr=%#x", s.RASDepth, s.GHR)
+	return b.String()
+}

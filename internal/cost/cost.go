@@ -1,0 +1,115 @@
+// Package cost implements the paper's §5 simplified hardware cost
+// estimates (Table 7): storage bits for the pattern history tables,
+// select tables, NLS target arrays, BIT tables and bad-branch-recovery
+// entries, and the three configuration totals the paper works out
+// (52 Kbit single block, 80 Kbit dual/single-select, 72 Kbit
+// dual/double-select).
+package cost
+
+import "mbbp/internal/seltab"
+
+// Params are the symbols of Table 7.
+type Params struct {
+	BlockWidth  int // W: block width
+	HistoryBits int // k: history register length
+	NumPHTs     int // p
+	NumSTs      int // s
+	NLSEntries  int // e: NLS block entries (per target array)
+	LineIndex   int // n: size of a line index in bits
+	LineSize    int // instructions per cache line
+	NearBlock   bool
+	BBREntries  int // r
+	BITEntries  int // b: BIT line entries
+}
+
+// PaperParams returns the §5 walkthrough configuration: W=8, 32 KByte
+// direct-mapped I-cache (10-bit line index), 10-bit history, 1 PHT,
+// 1 ST, 256 NLS entries, 1024 BIT entries, 8 BBR entries.
+func PaperParams() Params {
+	return Params{
+		BlockWidth:  8,
+		HistoryBits: 10,
+		NumPHTs:     1,
+		NumSTs:      1,
+		NLSEntries:  256,
+		LineIndex:   10,
+		LineSize:    8,
+		NearBlock:   false,
+		BBREntries:  8,
+		BITEntries:  1024,
+	}
+}
+
+// PHTBits returns p * 2^k * 2W.
+func (p Params) PHTBits() int {
+	return p.NumPHTs * (1 << p.HistoryBits) * 2 * p.BlockWidth
+}
+
+// STBits returns s * 2^k * (selector + GHR-update bits) for one selector
+// per entry; double selection doubles the per-entry payload.
+func (p Params) STBits(double bool) int {
+	per := seltab.SelectorBits(p.BlockWidth, p.LineSize, p.NearBlock)
+	if double {
+		per *= 2
+	}
+	return p.NumSTs * (1 << p.HistoryBits) * per
+}
+
+// NLSBits returns e * W * n for one target array.
+func (p Params) NLSBits() int {
+	return p.NLSEntries * p.BlockWidth * p.LineIndex
+}
+
+// BITBits returns b * line * bits-per-instruction.
+func (p Params) BITBits() int {
+	per := 2
+	if p.NearBlock {
+		per = 3
+	}
+	return p.BITEntries * p.LineSize * per
+}
+
+// BBRBits returns r times the Table 4 entry size (without the optional
+// PHT block, with a 10-bit corrected cache index, matching the paper's
+// 0.3 Kbit figure).
+func (p Params) BBRBits() int {
+	per := 1 + 1 + 1 + p.HistoryBits + p.HistoryBits +
+		seltab.SelectorBits(p.BlockWidth, p.LineSize, p.NearBlock) + 10
+	return p.BBREntries * per
+}
+
+// Estimate is a full cost breakdown.
+type Estimate struct {
+	PHT, ST, NLS, BIT, BBR int
+	STDouble               int // dual select table payload
+}
+
+// Compute evaluates the Table 7 formulas.
+func Compute(p Params) Estimate {
+	return Estimate{
+		PHT:      p.PHTBits(),
+		ST:       p.STBits(false),
+		STDouble: p.STBits(true),
+		NLS:      p.NLSBits(),
+		BIT:      p.BITBits(),
+		BBR:      p.BBRBits(),
+	}
+}
+
+// PaperDefault computes the paper's walkthrough estimate.
+func PaperDefault() Estimate { return Compute(PaperParams()) }
+
+// SingleBlockTotal is PHT + NLS + BIT + BBR (§5: 52 Kbits).
+func (e Estimate) SingleBlockTotal() int { return e.PHT + e.NLS + e.BIT + e.BBR }
+
+// DualSingleTotal adds the select table and the second target array
+// (§5: 80 Kbits).
+func (e Estimate) DualSingleTotal() int {
+	return e.PHT + e.ST + 2*e.NLS + e.BIT + e.BBR
+}
+
+// DualDoubleTotal removes the BIT and doubles the select-table payload
+// (§5: 72 Kbits).
+func (e Estimate) DualDoubleTotal() int {
+	return e.PHT + e.STDouble + 2*e.NLS + e.BBR
+}

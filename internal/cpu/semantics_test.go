@@ -1,0 +1,222 @@
+package cpu
+
+import (
+	"testing"
+
+	"mbbp/internal/isa"
+)
+
+// execALU runs a single register-register or register-immediate
+// instruction with the given inputs and returns rd.
+func execALU(t *testing.T, op isa.Opcode, a, b int64, imm int32) int64 {
+	t.Helper()
+	prog := &isa.Program{
+		Name: "alu",
+		Code: []isa.Inst{
+			{Op: op, Rd: 3, Rs1: 1, Rs2: 2, Imm: imm},
+			{Op: isa.HALT},
+		},
+	}
+	c := New(prog, Config{HeapWords: 16})
+	c.regs[1], c.regs[2] = a, b
+	if _, err := c.Run(2, nil); err != nil {
+		t.Fatalf("%v: %v", op, err)
+	}
+	return c.regs[3]
+}
+
+// TestALUSemantics is the golden table for every integer operation.
+func TestALUSemantics(t *testing.T) {
+	cases := []struct {
+		op   isa.Opcode
+		a, b int64
+		imm  int32
+		want int64
+	}{
+		{isa.ADD, 5, 7, 0, 12},
+		{isa.SUB, 5, 7, 0, -2},
+		{isa.AND, 0b1100, 0b1010, 0, 0b1000},
+		{isa.OR, 0b1100, 0b1010, 0, 0b1110},
+		{isa.XOR, 0b1100, 0b1010, 0, 0b0110},
+		{isa.SLL, 3, 4, 0, 48},
+		{isa.SRL, -1, 60, 0, 15}, // logical shift of all-ones
+		{isa.SRA, -16, 2, 0, -4}, // arithmetic preserves sign
+		{isa.SLT, -1, 1, 0, 1},
+		{isa.SLT, 1, -1, 0, 0},
+		{isa.SLTU, -1, 1, 0, 0}, // unsigned: -1 is huge
+		{isa.SLTU, 1, -1, 0, 1},
+		{isa.MUL, -3, 7, 0, -21},
+		{isa.DIV, 22, 7, 0, 3},
+		{isa.DIV, -22, 7, 0, -3}, // Go truncation semantics
+		{isa.DIV, 22, 0, 0, -1},  // divide by zero: RISC-V style
+		{isa.REM, 22, 7, 0, 1},
+		{isa.REM, 22, 0, 0, 22},
+		{isa.ADDI, 5, 0, -3, 2},
+		{isa.ANDI, 0b1111, 0, 0b0101, 0b0101},
+		{isa.ORI, 0b1000, 0, 0b0011, 0b1011},
+		{isa.XORI, 0b1111, 0, -1, ^int64(0b1111)},
+		{isa.SLLI, 3, 0, 4, 48},
+		{isa.SRLI, 64, 0, 3, 8},
+		{isa.SRAI, -64, 0, 3, -8},
+		{isa.SLTI, 2, 0, 5, 1},
+		{isa.SLTI, 9, 0, 5, 0},
+		{isa.LUI, 0, 0, 3, 3 << 16},
+	}
+	for _, c := range cases {
+		if got := execALU(t, c.op, c.a, c.b, c.imm); got != c.want {
+			t.Errorf("%v(%d, %d, imm=%d) = %d, want %d", c.op, c.a, c.b, c.imm, got, c.want)
+		}
+	}
+}
+
+// TestShiftAmountMasking checks shifts use the low 6 bits of the
+// amount, like real 64-bit hardware.
+func TestShiftAmountMasking(t *testing.T) {
+	if got := execALU(t, isa.SLL, 1, 65, 0); got != 2 {
+		t.Errorf("SLL by 65 = %d, want 2 (amount mod 64)", got)
+	}
+}
+
+// execFP runs one FP instruction with f1, f2 preloaded and returns fd.
+func execFP(t *testing.T, op isa.Opcode, a, b float64) float64 {
+	t.Helper()
+	prog := &isa.Program{
+		Name: "fp",
+		Code: []isa.Inst{
+			{Op: op, Rd: 3, Rs1: 1, Rs2: 2},
+			{Op: isa.HALT},
+		},
+	}
+	c := New(prog, Config{HeapWords: 16, FPHeapWords: 16})
+	c.fpr[1], c.fpr[2] = a, b
+	if _, err := c.Run(2, nil); err != nil {
+		t.Fatalf("%v: %v", op, err)
+	}
+	return c.fpr[3]
+}
+
+func TestFPSemantics(t *testing.T) {
+	cases := []struct {
+		op   isa.Opcode
+		a, b float64
+		want float64
+	}{
+		{isa.FADD, 1.5, 2.25, 3.75},
+		{isa.FSUB, 1.5, 2.25, -0.75},
+		{isa.FMUL, 1.5, 4, 6},
+		{isa.FDIV, 7, 2, 3.5},
+		{isa.FABS, -2.5, 0, 2.5},
+		{isa.FNEG, 2.5, 0, -2.5},
+		{isa.FMOV, 2.5, 0, 2.5},
+	}
+	for _, c := range cases {
+		if got := execFP(t, c.op, c.a, c.b); got != c.want {
+			t.Errorf("%v(%v, %v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFCVTAndFCMP(t *testing.T) {
+	prog := &isa.Program{
+		Name: "fcvt",
+		Code: []isa.Inst{
+			{Op: isa.FCVT, Rd: 1, Rs1: 5},         // f1 = float(r5)
+			{Op: isa.FCMP, Rd: 6, Rs1: 1, Rs2: 2}, // r6 = cmp(f1, f2)
+			{Op: isa.FCMP, Rd: 7, Rs1: 2, Rs2: 1}, // r7 = cmp(f2, f1)
+			{Op: isa.FCMP, Rd: 8, Rs1: 1, Rs2: 1}, // r8 = 0
+			{Op: isa.HALT},
+		},
+	}
+	c := New(prog, Config{HeapWords: 16, FPHeapWords: 16})
+	c.regs[5] = 9
+	c.fpr[2] = 4.0
+	if _, err := c.Run(5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.fpr[1] != 9.0 {
+		t.Errorf("fcvt = %v, want 9", c.fpr[1])
+	}
+	if c.regs[6] != 1 || c.regs[7] != -1 || c.regs[8] != 0 {
+		t.Errorf("fcmp results = %d, %d, %d; want 1, -1, 0", c.regs[6], c.regs[7], c.regs[8])
+	}
+}
+
+func TestFPMemory(t *testing.T) {
+	prog := &isa.Program{
+		Name: "fmem",
+		Code: []isa.Inst{
+			{Op: isa.FLW, Rd: 1, Rs1: 0, Imm: 0},  // f1 = fmem[0]
+			{Op: isa.FADD, Rd: 2, Rs1: 1, Rs2: 1}, // f2 = 2*f1
+			{Op: isa.FSW, Rs2: 2, Rs1: 0, Imm: 1}, // fmem[1] = f2
+			{Op: isa.HALT},
+		},
+		FPData: []float64{1.25},
+	}
+	c := New(prog, Config{HeapWords: 16, FPHeapWords: 16})
+	if _, err := c.Run(4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.fmem[1] != 2.5 {
+		t.Errorf("fmem[1] = %v, want 2.5", c.fmem[1])
+	}
+}
+
+func TestFPMemoryFaults(t *testing.T) {
+	for _, in := range []isa.Inst{
+		{Op: isa.FLW, Rd: 1, Rs1: 1, Imm: 0},
+		{Op: isa.FSW, Rs2: 1, Rs1: 1, Imm: 0},
+	} {
+		prog := &isa.Program{Name: "fault", Code: []isa.Inst{in, {Op: isa.HALT}}}
+		c := New(prog, Config{HeapWords: 16, FPHeapWords: 16})
+		c.regs[1] = 1 << 40
+		if _, err := c.Run(2, nil); err == nil {
+			t.Errorf("%v with huge address should fault", in.Op)
+		}
+	}
+}
+
+func TestIndirectTargetFault(t *testing.T) {
+	prog := &isa.Program{
+		Name: "jrfault",
+		Code: []isa.Inst{{Op: isa.JR, Rs1: 1}, {Op: isa.HALT}},
+	}
+	c := New(prog, Config{HeapWords: 16})
+	c.regs[1] = 999
+	if _, err := c.Run(1, nil); err == nil {
+		t.Error("jr outside code should fault")
+	}
+}
+
+func TestJALRLinksAndJumps(t *testing.T) {
+	prog := &isa.Program{
+		Name: "jalr",
+		Code: []isa.Inst{
+			{Op: isa.JALR, Rd: isa.LinkReg, Rs1: 1}, // call through r1
+			{Op: isa.HALT},
+			{Op: isa.RET, Rs1: isa.LinkReg},
+		},
+	}
+	c := New(prog, Config{HeapWords: 16})
+	c.regs[1] = 2
+	var recs []Retired
+	if _, err := c.Run(3, func(r Retired) bool { recs = append(recs, r); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Class != isa.ClassIndirectCall || recs[0].Target != 2 {
+		t.Errorf("jalr record = %+v", recs[0])
+	}
+	if recs[1].Class != isa.ClassReturn || recs[1].Target != 1 {
+		t.Errorf("ret record = %+v", recs[1])
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	prog := &isa.Program{Name: "count", Code: []isa.Inst{{Op: isa.NOP}, {Op: isa.HALT}}}
+	c := New(prog, Config{HeapWords: 16, RestartOnHalt: true})
+	if _, err := c.Run(7, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Executed() != 7 {
+		t.Errorf("Executed = %d, want 7", c.Executed())
+	}
+}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"mbbp/internal/bac"
+	"mbbp/internal/core"
+	"mbbp/internal/metrics"
+	"mbbp/internal/workload"
+)
+
+// BaselineRow compares one fetch scheme at one storage budget.
+type BaselineRow struct {
+	Scheme          string
+	CostKbits       float64
+	IPCfInt, IPCfFP float64
+	IPBInt, IPBFP   float64
+}
+
+// Baseline runs the comparison the paper's introduction frames: its
+// block-based dual fetch with linear-cost select tables against Yeh's
+// basic-block-based dual fetch with an exponential-cost branch address
+// cache, across BAC sizes.
+func Baseline(ts *TraceSet) ([]BaselineRow, error) {
+	var rows []BaselineRow
+
+	runBAC := func(entries int) error {
+		cfg := bac.DefaultConfig()
+		cfg.Entries = entries
+		var intR, fpR metrics.Result
+		for _, name := range ts.Programs() {
+			e, err := bac.New(cfg)
+			if err != nil {
+				return err
+			}
+			r := e.Run(ts.Trace(name))
+			if ts.Suite(name) == workload.FP {
+				fpR.Add(r)
+			} else {
+				intR.Add(r)
+			}
+		}
+		rows = append(rows, BaselineRow{
+			Scheme:    fmt.Sprintf("Yeh BAC, %d entries", entries),
+			CostKbits: float64(bac.CostBits(entries, 30, 2))/1024 + 16, // + equal-size PHT
+			IPCfInt:   intR.IPCf(), IPCfFP: fpR.IPCf(),
+			IPBInt: intR.IPB(), IPBFP: fpR.IPB(),
+		})
+		return nil
+	}
+	for _, entries := range []int{32, 64, 128, 256} {
+		if err := runBAC(entries); err != nil {
+			return nil, err
+		}
+	}
+
+	// The paper's scheme at its default 80 Kbit configuration.
+	cfg := core.DefaultConfig()
+	res, err := RunConfig(ts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, BaselineRow{
+		Scheme:    "blocked PHT + select table (paper)",
+		CostKbits: 80.3,
+		IPCfInt:   res.Int.IPCf(), IPCfFP: res.FP.IPCf(),
+		IPBInt: res.Int.IPB(), IPBFP: res.FP.IPB(),
+	})
+	return rows, nil
+}
+
+// RenderBaseline writes the scheme comparison.
+func RenderBaseline(w io.Writer, rows []BaselineRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Baseline: Yeh/Marr/Patt branch address cache vs the paper's scheme (2 blocks/cycle)")
+	fmt.Fprintln(tw, "scheme\tcost Kbit\tInt IPC_f\tInt IPB\tFP IPC_f\tFP IPB")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			r.Scheme, r.CostKbits, r.IPCfInt, r.IPBInt, r.IPCfFP, r.IPBFP)
+	}
+	tw.Flush()
+}

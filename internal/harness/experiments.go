@@ -1,0 +1,352 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"mbbp/internal/core"
+	"mbbp/internal/cost"
+	"mbbp/internal/icache"
+	"mbbp/internal/metrics"
+)
+
+// Fig6Row is one history length of Figure 6: blocked-PHT vs equal-size
+// scalar conditional misprediction rates.
+type Fig6Row struct {
+	History               int
+	BlockedInt, BlockedFP float64 // misprediction rates
+	ScalarInt, ScalarFP   float64
+	ImproveInt, ImproveFP float64 // scalar - blocked, percentage points
+}
+
+// Fig6 sweeps the branch history length from 6 to 12 (paper Figure 6).
+func Fig6(ts *TraceSet) ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for h := 6; h <= 12; h++ {
+		cfg := core.DefaultConfig()
+		cfg.Mode = core.SingleBlock
+		cfg.HistoryBits = h
+		blocked, err := RunConfig(ts, cfg)
+		if err != nil {
+			return nil, err
+		}
+		scalar := RunScalar(ts, h, cfg.Geometry.BlockWidth)
+		row := Fig6Row{
+			History:    h,
+			BlockedInt: blocked.Int.CondMispredictRate(),
+			BlockedFP:  blocked.FP.CondMispredictRate(),
+			ScalarInt:  scalar.Int.CondMispredictRate(),
+			ScalarFP:   scalar.FP.CondMispredictRate(),
+		}
+		row.ImproveInt = 100 * (row.ScalarInt - row.BlockedInt)
+		row.ImproveFP = 100 * (row.ScalarFP - row.BlockedFP)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig6 writes the Figure 6 series as a table.
+func RenderFig6(w io.Writer, rows []Fig6Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Figure 6: conditional branch misprediction rate, blocked vs scalar PHT")
+	fmt.Fprintln(tw, "hist\tInt blocked%\tInt scalar%\tInt improve(pp)\tFP blocked%\tFP scalar%\tFP improve(pp)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.2f\t%.2f\t%+.3f\t%.2f\t%.2f\t%+.3f\n",
+			r.History, 100*r.BlockedInt, 100*r.ScalarInt, r.ImproveInt,
+			100*r.BlockedFP, 100*r.ScalarFP, r.ImproveFP)
+	}
+	tw.Flush()
+}
+
+// Fig7Row is one BIT size of Figure 7.
+type Fig7Row struct {
+	Entries             int
+	PctBEPInt, PctBEPFP float64 // BIT share of total BEP, percent
+	IPCfInt, IPCfFP     float64
+}
+
+// Fig7 sweeps the separate BIT table size with single-block fetching
+// (paper Figure 7).
+func Fig7(ts *TraceSet) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, entries := range []int{64, 128, 256, 512, 1024, 2048, 4096} {
+		cfg := core.DefaultConfig()
+		cfg.Mode = core.SingleBlock
+		cfg.BITEntries = entries
+		res, err := RunConfig(ts, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pct := func(r metrics.Result) float64 {
+			if r.BEP() == 0 {
+				return 0
+			}
+			return 100 * r.BEPOf(metrics.BITMispredict) / r.BEP()
+		}
+		rows = append(rows, Fig7Row{
+			Entries:   entries,
+			PctBEPInt: pct(res.Int), PctBEPFP: pct(res.FP),
+			IPCfInt: res.Int.IPCf(), IPCfFP: res.FP.IPCf(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig7 writes the Figure 7 series.
+func RenderFig7(w io.Writer, rows []Fig7Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Figure 7: BIT table size vs BEP contribution and fetch rate (single block)")
+	fmt.Fprintln(tw, "BIT entries\tInt %BEP(BIT)\tInt IPC_f\tFP %BEP(BIT)\tFP IPC_f")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.1f\t%.2f\t%.1f\t%.2f\n",
+			r.Entries, r.PctBEPInt, r.IPCfInt, r.PctBEPFP, r.IPCfFP)
+	}
+	tw.Flush()
+}
+
+// Fig8Row is one (history, #STs) point of Figure 8 for both selection
+// modes.
+type Fig8Row struct {
+	History, STs        int
+	SingleInt, SingleFP float64 // IPC_f
+	DoubleInt, DoubleFP float64
+}
+
+// Fig8 sweeps history length 9-12 and select-table count 1-8 for single
+// and double selection, dual-block fetching (paper Figure 8).
+func Fig8(ts *TraceSet) ([]Fig8Row, error) {
+	var rows []Fig8Row
+	for h := 9; h <= 12; h++ {
+		for _, sts := range []int{1, 2, 4, 8} {
+			row := Fig8Row{History: h, STs: sts}
+			for _, sel := range []metrics.SelectionMode{metrics.SingleSelection, metrics.DoubleSelection} {
+				cfg := core.DefaultConfig()
+				cfg.HistoryBits = h
+				cfg.NumSTs = sts
+				cfg.Selection = sel
+				res, err := RunConfig(ts, cfg)
+				if err != nil {
+					return nil, err
+				}
+				if sel == metrics.SingleSelection {
+					row.SingleInt, row.SingleFP = res.Int.IPCf(), res.FP.IPCf()
+				} else {
+					row.DoubleInt, row.DoubleFP = res.Int.IPCf(), res.FP.IPCf()
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig8 writes the Figure 8 series.
+func RenderFig8(w io.Writer, rows []Fig8Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Figure 8: IPC_f for single vs double selection (dual block)")
+	fmt.Fprintln(tw, "hist/STs\tInt single\tInt double\tFP single\tFP double")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d/%d\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			r.History, r.STs, r.SingleInt, r.DoubleInt, r.SingleFP, r.DoubleFP)
+	}
+	tw.Flush()
+}
+
+// Table5Row is one target-array configuration of Table 5 (SPECint95).
+type Table5Row struct {
+	Kind      core.TargetArrayKind
+	Entries   int
+	NearBlock bool
+	PctBEPImm float64
+	PctBEPInd float64
+	BEP       float64
+	IPCf      float64
+}
+
+// Table5 sweeps target array configurations over the integer suite
+// (paper Table 5): a 4-way BTB with 8-64 block entries and an NLS with
+// 64-512 block entries, each with and without near-block encoding.
+func Table5(ts *TraceSet) ([]Table5Row, error) {
+	type point struct {
+		kind    core.TargetArrayKind
+		entries int
+	}
+	var points []point
+	for _, e := range []int{8, 16, 32, 64} {
+		points = append(points, point{core.BTB, e})
+	}
+	for _, e := range []int{64, 128, 256, 512} {
+		points = append(points, point{core.NLS, e})
+	}
+	var rows []Table5Row
+	for _, p := range points {
+		for _, near := range []bool{false, true} {
+			cfg := core.DefaultConfig()
+			cfg.TargetArray = p.kind
+			cfg.TargetEntries = p.entries
+			cfg.NearBlock = near
+			res, err := RunConfig(ts, cfg)
+			if err != nil {
+				return nil, err
+			}
+			r := res.Int
+			bep := r.BEP()
+			pct := func(k metrics.Kind) float64 {
+				if bep == 0 {
+					return 0
+				}
+				return 100 * r.BEPOf(k) / bep
+			}
+			rows = append(rows, Table5Row{
+				Kind: p.kind, Entries: p.entries, NearBlock: near,
+				PctBEPImm: pct(metrics.MisfetchImmediate),
+				PctBEPInd: pct(metrics.MisfetchIndirect),
+				BEP:       bep,
+				IPCf:      r.IPCf(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable5 writes Table 5.
+func RenderTable5(w io.Writer, rows []Table5Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Table 5: indirect and immediate misfetch penalty, SPECint95 (dual block)")
+	fmt.Fprintln(tw, "type\t# blk entries\tnear-block\t%BEP imm\t%BEP ind\tBEP\tIPC_f")
+	for _, r := range rows {
+		near := "no"
+		if r.NearBlock {
+			near = "yes"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.1f\t%.1f\t%.3f\t%.2f\n",
+			r.Kind, r.Entries, near, r.PctBEPImm, r.PctBEPInd, r.BEP, r.IPCf)
+	}
+	tw.Flush()
+}
+
+// Table6Row is one cache organization of Table 6.
+type Table6Row struct {
+	Kind              icache.Kind
+	LineSize, Banks   int
+	IPBInt, IPBFP     float64
+	IPCf1Int, IPCf1FP float64 // single block
+	IPCf2Int, IPCf2FP float64 // dual block
+}
+
+// Table6 compares the normal, extended and self-aligned caches with one
+// and two block fetching (paper Table 6: 8 STs, history length 10).
+func Table6(ts *TraceSet) ([]Table6Row, error) {
+	var rows []Table6Row
+	for _, kind := range []icache.Kind{icache.Normal, icache.Extended, icache.SelfAligned} {
+		geom := icache.ForKind(kind, 8)
+		row := Table6Row{Kind: kind, LineSize: geom.LineSize, Banks: geom.Banks}
+		for _, mode := range []core.FetchMode{core.SingleBlock, core.DualBlock} {
+			cfg := core.DefaultConfig()
+			cfg.Geometry = geom
+			cfg.Mode = mode
+			cfg.NumSTs = 8
+			res, err := RunConfig(ts, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if mode == core.SingleBlock {
+				row.IPCf1Int, row.IPCf1FP = res.Int.IPCf(), res.FP.IPCf()
+				row.IPBInt, row.IPBFP = res.Int.IPB(), res.FP.IPB()
+			} else {
+				row.IPCf2Int, row.IPCf2FP = res.Int.IPCf(), res.FP.IPCf()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable6 writes Table 6.
+func RenderTable6(w io.Writer, rows []Table6Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Table 6: instructions per block and IPC_f by cache type (8 STs, h=10)")
+	fmt.Fprintln(tw, "cache\tline\tbanks\tInt IPB\tInt 1blk\tInt 2blk\tFP IPB\tFP 1blk\tFP 2blk")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			r.Kind, r.LineSize, r.Banks,
+			r.IPBInt, r.IPCf1Int, r.IPCf2Int,
+			r.IPBFP, r.IPCf1FP, r.IPCf2FP)
+	}
+	tw.Flush()
+}
+
+// Fig9Row is one program's BEP breakdown (paper Figure 9).
+type Fig9Row struct {
+	Program string
+	Suite   string
+	BEP     float64
+	ByKind  [metrics.NumKinds]float64
+}
+
+// Fig9 computes the per-program BEP breakdown for two-block single
+// selection with a self-aligned cache, 8 STs, history length 10.
+func Fig9(ts *TraceSet) ([]Fig9Row, error) {
+	cfg := core.DefaultConfig()
+	cfg.Geometry = icache.ForKind(icache.SelfAligned, 8)
+	cfg.NumSTs = 8
+	res, err := RunConfig(ts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig9Row
+	for _, name := range ts.Programs() {
+		r := res.Per[name]
+		row := Fig9Row{Program: name, Suite: ts.Suite(name).String(), BEP: r.BEP()}
+		for k := metrics.Kind(0); k < metrics.NumKinds; k++ {
+			row.ByKind[k] = r.BEPOf(k)
+		}
+		rows = append(rows, row)
+	}
+	// Suite aggregates, as the paper's CINT95/CFP95 bars.
+	for _, agg := range []metrics.Result{res.Int, res.FP} {
+		row := Fig9Row{Program: agg.Program, Suite: agg.Program, BEP: agg.BEP()}
+		for k := metrics.Kind(0); k < metrics.NumKinds; k++ {
+			row.ByKind[k] = agg.BEPOf(k)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig9 writes the Figure 9 stacked breakdown.
+func RenderFig9(w io.Writer, rows []Fig9Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Figure 9: BEP by misprediction type (two block, single selection, self-aligned)")
+	fmt.Fprint(tw, "program\tBEP")
+	for k := metrics.Kind(0); k < metrics.NumKinds; k++ {
+		fmt.Fprintf(tw, "\t%s", k)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f", r.Program, r.BEP)
+		for k := metrics.Kind(0); k < metrics.NumKinds; k++ {
+			fmt.Fprintf(tw, "\t%.3f", r.ByKind[k])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// RenderCost writes the §5 cost walkthrough for the paper's default
+// configuration.
+func RenderCost(w io.Writer) {
+	est := cost.PaperDefault()
+	fmt.Fprintln(w, "Section 5: simplified hardware cost estimates (paper defaults)")
+	fmt.Fprintf(w, "  PHT: %6.1f Kbits\n", kbits(est.PHT))
+	fmt.Fprintf(w, "  ST:  %6.1f Kbits\n", kbits(est.ST))
+	fmt.Fprintf(w, "  NLS: %6.1f Kbits\n", kbits(est.NLS))
+	fmt.Fprintf(w, "  BIT: %6.1f Kbits\n", kbits(est.BIT))
+	fmt.Fprintf(w, "  BBR: %6.1f Kbits\n", kbits(est.BBR))
+	fmt.Fprintf(w, "  single block total:             %6.1f Kbits\n", kbits(est.SingleBlockTotal()))
+	fmt.Fprintf(w, "  dual block, single select total: %5.1f Kbits\n", kbits(est.DualSingleTotal()))
+	fmt.Fprintf(w, "  dual block, double select total: %5.1f Kbits\n", kbits(est.DualDoubleTotal()))
+}
+
+func kbits(bits int) float64 { return float64(bits) / 1024 }

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"testing"
+
+	"mbbp/internal/core"
+)
+
+// TestGoldenRegression pins the exact default-configuration results for
+// every workload at the test trace size. The whole stack — workload
+// generation, CPU execution, block segmentation, every predictor, the
+// penalty model — is deterministic, so any drift here is a behavior
+// change. Update the table (cmd comment below) only when a change is
+// intentional and understood.
+//
+// Regenerate with:
+//
+//	ts, _ := harness.LoadTraces(harness.Options{Instructions: 120_000})
+//	res, _ := harness.RunConfig(ts, core.DefaultConfig())
+//	... print res.Per[name].FetchCycles, TotalPenaltyCycles(),
+//	    CondBranches, CondMispredicts per program.
+func TestGoldenRegression(t *testing.T) {
+	golden := []struct {
+		name                       string
+		fetchCycles, penaltyCycles uint64
+		condBranches, mispredicts  uint64
+	}{
+		{"compress", 11751, 4416, 38274, 750},
+		{"gcc", 21484, 43649, 12764, 3312},
+		{"go", 17469, 14991, 11191, 2175},
+		{"ijpeg", 15753, 12540, 13820, 1869},
+		{"li", 17739, 4022, 8932, 537},
+		{"m88ksim", 19162, 14714, 15623, 109},
+		{"perl", 15526, 11362, 25670, 1861},
+		{"vortex", 19000, 9836, 22250, 1697},
+		{"applu", 8955, 1539, 4857, 72},
+		{"apsi", 14311, 1009, 15957, 195},
+		{"fpppp", 7828, 251, 1446, 25},
+		{"hydro2d", 11771, 2034, 9319, 335},
+		{"mgrid", 12845, 289, 9254, 54},
+		{"su2cor", 10264, 1933, 8203, 382},
+		{"swim", 10648, 812, 7482, 151},
+		{"tomcatv", 8452, 1282, 4054, 133},
+		{"turb3d", 8725, 875, 7455, 167},
+		{"wave5", 11644, 835, 7251, 52},
+	}
+	res, err := RunConfig(testTraces, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range golden {
+		r, ok := res.Per[g.name]
+		if !ok {
+			t.Errorf("%s: missing result", g.name)
+			continue
+		}
+		if r.FetchCycles != g.fetchCycles {
+			t.Errorf("%s: fetch cycles %d, golden %d", g.name, r.FetchCycles, g.fetchCycles)
+		}
+		if got := r.TotalPenaltyCycles(); got != g.penaltyCycles {
+			t.Errorf("%s: penalty cycles %d, golden %d", g.name, got, g.penaltyCycles)
+		}
+		if r.CondBranches != g.condBranches {
+			t.Errorf("%s: cond branches %d, golden %d", g.name, r.CondBranches, g.condBranches)
+		}
+		if r.CondMispredicts != g.mispredicts {
+			t.Errorf("%s: mispredicts %d, golden %d", g.name, r.CondMispredicts, g.mispredicts)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package icache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestForKindTable6Geometry(t *testing.T) {
+	// The paper's Table 6 rows: normal 8/8, extend 16/8, align 8/16.
+	cases := []struct {
+		kind  Kind
+		line  int
+		banks int
+	}{
+		{Normal, 8, 8},
+		{Extended, 16, 8},
+		{SelfAligned, 8, 16},
+	}
+	for _, c := range cases {
+		g := ForKind(c.kind, 8)
+		if g.LineSize != c.line || g.Banks != c.banks {
+			t.Errorf("%v: line=%d banks=%d, want %d/%d", c.kind, g.LineSize, g.Banks, c.line, c.banks)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%v: %v", c.kind, err)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, name := range []string{"normal", "extend", "align"} {
+		k, err := ParseKind(name)
+		if err != nil || k.String() != name {
+			t.Errorf("ParseKind(%q) = %v, %v", name, k, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind should reject unknown names")
+	}
+}
+
+func TestBlockLimit(t *testing.T) {
+	normal := ForKind(Normal, 8)
+	extended := ForKind(Extended, 8)
+	aligned := ForKind(SelfAligned, 8)
+	cases := []struct {
+		g     Geometry
+		start uint32
+		want  int
+	}{
+		// Normal: the block ends at the 8-instruction line boundary.
+		{normal, 0, 8},
+		{normal, 5, 3},
+		{normal, 7, 1},
+		{normal, 8, 8},
+		// Extended: a 16-instruction line truncates less often but
+		// never yields more than W.
+		{extended, 0, 8},
+		{extended, 5, 8},
+		{extended, 13, 3},
+		{extended, 15, 1},
+		// Self-aligned: never truncated by alignment.
+		{aligned, 0, 8},
+		{aligned, 5, 8},
+		{aligned, 7, 8},
+	}
+	for _, c := range cases {
+		if got := c.g.BlockLimit(c.start); got != c.want {
+			t.Errorf("%v.BlockLimit(%d) = %d, want %d", c.g.Kind, c.start, got, c.want)
+		}
+	}
+}
+
+func TestLinesTouched(t *testing.T) {
+	aligned := ForKind(SelfAligned, 8)
+	lines := aligned.LinesTouched(nil, 5, 8) // instructions 5..12 span lines 0 and 1
+	if len(lines) != 2 || lines[0] != 0 || lines[1] != 1 {
+		t.Errorf("LinesTouched(5,8) = %v, want [0 1]", lines)
+	}
+	normal := ForKind(Normal, 8)
+	lines = normal.LinesTouched(nil, 8, 8)
+	if len(lines) != 1 || lines[0] != 1 {
+		t.Errorf("LinesTouched(8,8) = %v, want [1]", lines)
+	}
+}
+
+func TestConflict(t *testing.T) {
+	g := ForKind(Normal, 8) // 8 banks
+	if !g.Conflict([]uint32{0}, []uint32{8}) {
+		t.Error("lines 0 and 8 share bank 0: conflict expected")
+	}
+	if g.Conflict([]uint32{0}, []uint32{1}) {
+		t.Error("lines 0 and 1 are in different banks")
+	}
+	// The same line read by both blocks is one access, not a conflict.
+	if g.Conflict([]uint32{3}, []uint32{3}) {
+		t.Error("identical lines do not conflict")
+	}
+}
+
+// Property: a block never exceeds the block width, never crosses a line
+// boundary under the normal and extended geometries, and is always at
+// least 1 instruction.
+func TestBlockLimitProperties(t *testing.T) {
+	f := func(kindRaw uint8, start uint32) bool {
+		kind := Kind(kindRaw % 3)
+		g := ForKind(kind, 8)
+		start %= 1 << 20
+		lim := g.BlockLimit(start)
+		if lim < 1 || lim > g.BlockWidth {
+			return false
+		}
+		if kind != SelfAligned {
+			// No line crossing.
+			if g.LineOf(start) != g.LineOf(start+uint32(lim)-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: consecutive lines never conflict (they map to adjacent
+// banks), which is why a self-aligned block's own two lines are safe.
+func TestConsecutiveLinesNeverConflict(t *testing.T) {
+	f := func(line uint32) bool {
+		g := ForKind(SelfAligned, 8)
+		return !g.Conflict([]uint32{line}, []uint32{line + 1})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	bad := []Geometry{
+		{Kind: Normal, BlockWidth: 0, LineSize: 8, Banks: 8},
+		{Kind: Normal, BlockWidth: 8, LineSize: 4, Banks: 8},  // line < W
+		{Kind: Normal, BlockWidth: 8, LineSize: 8, Banks: 3},  // banks not pow2
+		{Kind: Normal, BlockWidth: 8, LineSize: 12, Banks: 8}, // line not pow2
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, g)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package icache
+
+import "fmt"
+
+// Model is an optional instruction-cache *content* model. The paper
+// assumes a perfect instruction cache ("instruction cache misses were
+// not simulated"), and the fetch engine defaults to the same; this
+// set-associative tag array with LRU replacement is provided as an
+// extension so the fetch mechanisms can be studied with a finite cache.
+// Only hits and misses are modeled — data comes from the trace either
+// way.
+type Model struct {
+	sets  int
+	assoc int
+	tags  []uint32 // sets*assoc; tagInvalid = empty
+	used  []uint64
+	clock uint64
+
+	accesses uint64
+	misses   uint64
+}
+
+const tagInvalid = ^uint32(0)
+
+// NewModel builds a cache of totalLines line frames with the given
+// associativity. totalLines must be a positive multiple of assoc and a
+// power of two.
+func NewModel(totalLines, assoc int) (*Model, error) {
+	if totalLines < 1 || totalLines&(totalLines-1) != 0 {
+		return nil, fmt.Errorf("icache: lines %d must be a power of two", totalLines)
+	}
+	if assoc < 1 || totalLines%assoc != 0 {
+		return nil, fmt.Errorf("icache: associativity %d must divide lines %d", assoc, totalLines)
+	}
+	m := &Model{sets: totalLines / assoc, assoc: assoc}
+	m.tags = make([]uint32, totalLines)
+	m.used = make([]uint64, totalLines)
+	for i := range m.tags {
+		m.tags[i] = tagInvalid
+	}
+	return m, nil
+}
+
+// Lines returns the capacity in line frames.
+func (m *Model) Lines() int { return len(m.tags) }
+
+// Access probes the cache for a line index, filling on miss (LRU
+// victim), and reports whether it hit.
+func (m *Model) Access(line uint32) bool {
+	set := int(line) % m.sets
+	base := set * m.assoc
+	m.accesses++
+	m.clock++
+	for i := 0; i < m.assoc; i++ {
+		if m.tags[base+i] == line {
+			m.used[base+i] = m.clock
+			return true
+		}
+	}
+	m.misses++
+	victim := base
+	for i := 1; i < m.assoc; i++ {
+		if m.tags[base+i] == tagInvalid {
+			victim = base + i
+			break
+		}
+		if m.tags[victim] != tagInvalid && m.used[base+i] < m.used[victim] {
+			victim = base + i
+		}
+	}
+	m.tags[victim] = line
+	m.used[victim] = m.clock
+	return false
+}
+
+// Stats returns the access and miss counts.
+func (m *Model) Stats() (accesses, misses uint64) { return m.accesses, m.misses }
+
+// MissRate returns misses/accesses.
+func (m *Model) MissRate() float64 {
+	if m.accesses == 0 {
+		return 0
+	}
+	return float64(m.misses) / float64(m.accesses)
+}

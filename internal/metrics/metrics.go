@@ -1,0 +1,123 @@
+// Package metrics defines the paper's misprediction taxonomy (Table 3),
+// its penalty schedule, and the two evaluation metrics of §4: the
+// branch execution penalty (BEP — penalty cycles per executed branch)
+// and the effective instruction fetch rate (IPC_f — instructions per
+// fetch cycle, where fetch cycles = fetch requests + penalty cycles).
+package metrics
+
+import "fmt"
+
+// Kind is one row of the paper's Table 3.
+type Kind int
+
+const (
+	// CondMispredict: a conditional branch direction was wrong.
+	CondMispredict Kind = iota
+	// ReturnMispredict: the return address stack supplied the wrong
+	// target for a return.
+	ReturnMispredict
+	// MisfetchIndirect: the target array was wrong for an indirect
+	// transfer (resolved only at execute, like a branch).
+	MisfetchIndirect
+	// MisfetchImmediate: the target array was wrong for a direct
+	// transfer (detected as soon as the instruction is decoded).
+	MisfetchImmediate
+	// Misselect: the select table's memoized multiplexer choice
+	// disagreed with the freshly computed BIT/PHT prediction.
+	Misselect
+	// GHRMispredict: the select table's GHR-update bits disagreed.
+	GHRMispredict
+	// BITMispredict: stale or missing block-instruction-type
+	// information changed the prediction.
+	BITMispredict
+	// BankConflict: the two blocks of a dual fetch collided in an
+	// instruction cache bank.
+	BankConflict
+
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	"mispredict",
+	"return",
+	"misfetch indirect",
+	"misfetch immediate",
+	"misselect",
+	"ghr",
+	"bit",
+	"bank conflict",
+}
+
+// String returns the Figure 9 legend name for the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// SelectionMode distinguishes the two dual-block variants of §3.
+type SelectionMode int
+
+const (
+	// SingleSelection computes the first block from BIT+PHT and only
+	// the second from the select table (§3.1).
+	SingleSelection SelectionMode = iota
+	// DoubleSelection predicts both blocks from a dual select table
+	// and removes the BIT (§3.2).
+	DoubleSelection
+)
+
+func (m SelectionMode) String() string {
+	if m == DoubleSelection {
+		return "double"
+	}
+	return "single"
+}
+
+// ResolveLatency is the paper's assumption: four cycles to resolve a
+// branch after it has been fetched.
+const ResolveLatency = 4
+
+// Penalty returns the Table 3 penalty in cycles for a misprediction of
+// kind k occurring in block number blk (0 = first, 1 = second of a dual
+// fetch; single-block fetching always uses 0) under the given selection
+// mode. The conditional-branch "+1 if instructions remain and need to
+// be re-fetched" adder is applied by the caller via RefetchAdder, since
+// it depends on the block's contents. Kinds that cannot occur in a
+// configuration (e.g. Misselect on block 1 with single selection)
+// return 0.
+//
+// Block numbers beyond 1 follow the same progression the paper's
+// pipeline diagrams imply (each later block of a fetch group verifies
+// and resolves one stage later), supporting the §5 more-than-two-blocks
+// extension: every extra block position adds one cycle.
+func Penalty(k Kind, blk int, mode SelectionMode) int {
+	if blk < 0 {
+		blk = 0
+	}
+	switch k {
+	case CondMispredict, ReturnMispredict, MisfetchIndirect:
+		return ResolveLatency + blk
+	case MisfetchImmediate:
+		return 1 + blk
+	case Misselect, GHRMispredict:
+		if mode == SingleSelection {
+			return blk // N/A (0) for block 1, 1 for block 2, ...
+		}
+		return 1 + blk
+	case BITMispredict:
+		if mode == DoubleSelection {
+			return 0 // N/A: double selection has no BIT
+		}
+		return 1
+	case BankConflict:
+		return blk // 0 for block 1, 1 for block 2, ...
+	}
+	return 0
+}
+
+// RefetchAdder is the extra cycle charged when a conditional branch in
+// the first block was mispredicted taken and the remaining instructions
+// of the block must be re-fetched (Table 3 footnote).
+const RefetchAdder = 1

@@ -1,0 +1,136 @@
+package metrics
+
+import "testing"
+
+// TestTable3Penalties is the golden test for the paper's Table 3: every
+// (kind, block, selection mode) penalty.
+func TestTable3Penalties(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		blk  int
+		mode SelectionMode
+		want int
+	}{
+		{CondMispredict, 0, SingleSelection, 4},
+		{CondMispredict, 1, SingleSelection, 5},
+		{CondMispredict, 0, DoubleSelection, 4},
+		{CondMispredict, 1, DoubleSelection, 5},
+		{ReturnMispredict, 0, SingleSelection, 4},
+		{ReturnMispredict, 1, SingleSelection, 5},
+		{MisfetchIndirect, 0, SingleSelection, 4},
+		{MisfetchIndirect, 1, SingleSelection, 5},
+		{MisfetchImmediate, 0, SingleSelection, 1},
+		{MisfetchImmediate, 1, SingleSelection, 2},
+		{MisfetchImmediate, 0, DoubleSelection, 1},
+		{MisfetchImmediate, 1, DoubleSelection, 2},
+		{Misselect, 0, SingleSelection, 0}, // N/A
+		{Misselect, 1, SingleSelection, 1},
+		{Misselect, 0, DoubleSelection, 1},
+		{Misselect, 1, DoubleSelection, 2},
+		{GHRMispredict, 0, SingleSelection, 0}, // N/A
+		{GHRMispredict, 1, SingleSelection, 1},
+		{GHRMispredict, 0, DoubleSelection, 1},
+		{GHRMispredict, 1, DoubleSelection, 2},
+		{BITMispredict, 0, SingleSelection, 1},
+		{BITMispredict, 1, SingleSelection, 1},
+		{BITMispredict, 0, DoubleSelection, 0}, // N/A
+		{BITMispredict, 1, DoubleSelection, 0}, // N/A
+		{BankConflict, 0, SingleSelection, 0},
+		{BankConflict, 1, SingleSelection, 1},
+		{BankConflict, 0, DoubleSelection, 0},
+		{BankConflict, 1, DoubleSelection, 1},
+	}
+	for _, c := range cases {
+		if got := Penalty(c.kind, c.blk, c.mode); got != c.want {
+			t.Errorf("Penalty(%v, blk%d, %v) = %d, want %d", c.kind, c.blk+1, c.mode, got, c.want)
+		}
+	}
+	if ResolveLatency != 4 {
+		t.Errorf("ResolveLatency = %d, want 4 (paper assumption)", ResolveLatency)
+	}
+	if RefetchAdder != 1 {
+		t.Errorf("RefetchAdder = %d, want 1", RefetchAdder)
+	}
+}
+
+func TestResultArithmetic(t *testing.T) {
+	var r Result
+	r.Program = "x"
+	r.Instructions = 1000
+	r.FetchCycles = 100
+	r.Blocks = 200
+	r.Branches = 50
+	r.CondBranches = 40
+	r.CondMispredicts = 4
+	r.AddPenalty(CondMispredict, 20)
+	r.AddPenalty(Misselect, 5)
+
+	if got := r.TotalPenaltyCycles(); got != 25 {
+		t.Errorf("TotalPenaltyCycles = %d, want 25", got)
+	}
+	if got := r.TotalCycles(); got != 125 {
+		t.Errorf("TotalCycles = %d, want 125", got)
+	}
+	if got := r.BEP(); got != 0.5 {
+		t.Errorf("BEP = %v, want 0.5", got)
+	}
+	if got := r.BEPOf(CondMispredict); got != 0.4 {
+		t.Errorf("BEPOf(cond) = %v, want 0.4", got)
+	}
+	if got := r.IPCf(); got != 8 {
+		t.Errorf("IPCf = %v, want 8", got)
+	}
+	if got := r.IPB(); got != 5 {
+		t.Errorf("IPB = %v, want 5", got)
+	}
+	if got := r.CondAccuracy(); got != 0.9 {
+		t.Errorf("CondAccuracy = %v, want 0.9", got)
+	}
+}
+
+func TestResultAdd(t *testing.T) {
+	var a, b Result
+	a.Instructions, b.Instructions = 10, 20
+	a.Branches, b.Branches = 2, 3
+	a.AddPenalty(BankConflict, 1)
+	b.AddPenalty(BankConflict, 2)
+	a.Add(b)
+	if a.Instructions != 30 || a.Branches != 5 {
+		t.Errorf("Add: instructions=%d branches=%d", a.Instructions, a.Branches)
+	}
+	if a.PenaltyCycles[BankConflict] != 3 || a.PenaltyEvents[BankConflict] != 2 {
+		t.Errorf("Add: penalty cycles=%d events=%d",
+			a.PenaltyCycles[BankConflict], a.PenaltyEvents[BankConflict])
+	}
+}
+
+func TestZeroResultSafety(t *testing.T) {
+	var r Result
+	if r.BEP() != 0 || r.IPCf() != 0 || r.IPB() != 0 {
+		t.Error("zero result must not divide by zero")
+	}
+	if r.CondAccuracy() != 1 {
+		t.Error("no branches means perfect accuracy by convention")
+	}
+}
+
+func TestAddPenaltyIgnoresNonPositive(t *testing.T) {
+	var r Result
+	r.AddPenalty(Misselect, 0)
+	r.AddPenalty(Misselect, -3)
+	if r.PenaltyEvents[Misselect] != 0 {
+		t.Error("zero/negative penalties must not count as events")
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	want := []string{
+		"mispredict", "return", "misfetch indirect", "misfetch immediate",
+		"misselect", "ghr", "bit", "bank conflict",
+	}
+	for k := Kind(0); k < NumKinds; k++ {
+		if k.String() != want[k] {
+			t.Errorf("Kind(%d) = %q, want %q", k, k.String(), want[k])
+		}
+	}
+}

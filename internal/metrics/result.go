@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result accumulates the outcome of one fetch simulation.
+type Result struct {
+	Program string
+
+	Instructions uint64 // instructions fetched (== executed)
+	FetchCycles  uint64 // fetch requests issued
+	Blocks       uint64 // blocks consumed
+
+	// Branch accounting.
+	Branches        uint64 // control-transfer instructions executed
+	CondBranches    uint64 // conditional branches executed
+	CondMispredicts uint64 // conditional branches whose direction was wrong
+
+	// PenaltyCycles and PenaltyEvents record Table 3 charges by kind.
+	PenaltyCycles [NumKinds]uint64
+	PenaltyEvents [NumKinds]uint64
+
+	// ICacheMisses and ICacheMissCycles record finite-instruction-cache
+	// stalls when the optional content model is enabled (an extension;
+	// the paper assumes a perfect instruction cache, and these stay
+	// zero by default). They count toward TotalCycles but not BEP,
+	// which is defined over branch-caused penalties.
+	ICacheMisses     uint64
+	ICacheMissCycles uint64
+}
+
+// AddPenalty records cycles of penalty of the given kind.
+func (r *Result) AddPenalty(k Kind, cycles int) {
+	if cycles <= 0 {
+		return
+	}
+	r.PenaltyCycles[k] += uint64(cycles)
+	r.PenaltyEvents[k]++
+}
+
+// TotalPenaltyCycles sums all penalty cycles.
+func (r *Result) TotalPenaltyCycles() uint64 {
+	var t uint64
+	for _, c := range r.PenaltyCycles {
+		t += c
+	}
+	return t
+}
+
+// TotalCycles returns fetch requests plus penalty cycles — the paper's
+// "number of fetch cycles" — plus any instruction-cache stall cycles
+// from the optional content model.
+func (r *Result) TotalCycles() uint64 {
+	return r.FetchCycles + r.TotalPenaltyCycles() + r.ICacheMissCycles
+}
+
+// BEP returns the branch execution penalty: penalty cycles per executed
+// branch (§4).
+func (r *Result) BEP() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return float64(r.TotalPenaltyCycles()) / float64(r.Branches)
+}
+
+// BEPOf returns the BEP contribution of one misprediction kind.
+func (r *Result) BEPOf(k Kind) float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return float64(r.PenaltyCycles[k]) / float64(r.Branches)
+}
+
+// IPCf returns the effective instruction fetch rate.
+func (r *Result) IPCf() float64 {
+	c := r.TotalCycles()
+	if c == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(c)
+}
+
+// IPB returns the mean instructions per consumed block.
+func (r *Result) IPB() float64 {
+	if r.Blocks == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Blocks)
+}
+
+// CondAccuracy returns the conditional branch prediction accuracy.
+func (r *Result) CondAccuracy() float64 {
+	if r.CondBranches == 0 {
+		return 1
+	}
+	return 1 - float64(r.CondMispredicts)/float64(r.CondBranches)
+}
+
+// CondMispredictRate returns 1 - CondAccuracy.
+func (r *Result) CondMispredictRate() float64 { return 1 - r.CondAccuracy() }
+
+// Add accumulates other into r (program field is kept). Used for suite
+// aggregation: the paper averages by summing raw event counts over the
+// benchmark set.
+func (r *Result) Add(other Result) {
+	r.Instructions += other.Instructions
+	r.FetchCycles += other.FetchCycles
+	r.Blocks += other.Blocks
+	r.Branches += other.Branches
+	r.CondBranches += other.CondBranches
+	r.CondMispredicts += other.CondMispredicts
+	for k := range r.PenaltyCycles {
+		r.PenaltyCycles[k] += other.PenaltyCycles[k]
+		r.PenaltyEvents[k] += other.PenaltyEvents[k]
+	}
+	r.ICacheMisses += other.ICacheMisses
+	r.ICacheMissCycles += other.ICacheMissCycles
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: IPC_f=%.2f IPB=%.2f BEP=%.3f acc=%.2f%%",
+		r.Program, r.IPCf(), r.IPB(), r.BEP(), 100*r.CondAccuracy())
+	return b.String()
+}
+
+// BreakdownString renders the per-kind BEP contributions (Figure 9
+// stacking order).
+func (r *Result) BreakdownString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s BEP=%.3f:", r.Program, r.BEP())
+	for k := Kind(0); k < NumKinds; k++ {
+		if r.PenaltyCycles[k] > 0 {
+			fmt.Fprintf(&b, " %s=%.3f", k, r.BEPOf(k))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResultStrings(t *testing.T) {
+	var r Result
+	r.Program = "demo"
+	r.Instructions = 800
+	r.FetchCycles = 100
+	r.Blocks = 160
+	r.Branches = 40
+	r.CondBranches = 30
+	r.CondMispredicts = 3
+	r.AddPenalty(CondMispredict, 12)
+	r.AddPenalty(Misselect, 2)
+
+	s := r.String()
+	for _, want := range []string{"demo", "IPC_f", "BEP", "acc"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+	b := r.BreakdownString()
+	for _, want := range []string{"demo", "mispredict", "misselect"} {
+		if !strings.Contains(b, want) {
+			t.Errorf("BreakdownString() missing %q: %s", want, b)
+		}
+	}
+	if strings.Contains(b, "bank conflict") {
+		t.Error("zero-cycle kinds must not clutter the breakdown")
+	}
+}
+
+func TestSelectionModeStrings(t *testing.T) {
+	if SingleSelection.String() != "single" || DoubleSelection.String() != "double" {
+		t.Error("selection mode names wrong")
+	}
+}
+
+func TestICacheCyclesInTotals(t *testing.T) {
+	var r Result
+	r.FetchCycles = 100
+	r.AddPenalty(CondMispredict, 8)
+	r.ICacheMissCycles = 50
+	r.ICacheMisses = 5
+	if r.TotalCycles() != 158 {
+		t.Errorf("TotalCycles = %d, want 158", r.TotalCycles())
+	}
+	// BEP is defined over branch penalties only.
+	r.Branches = 8
+	if r.BEP() != 1 {
+		t.Errorf("BEP = %v, want 1 (I-cache stalls excluded)", r.BEP())
+	}
+	var o Result
+	o.ICacheMisses, o.ICacheMissCycles = 2, 20
+	r.Add(o)
+	if r.ICacheMisses != 7 || r.ICacheMissCycles != 70 {
+		t.Errorf("Add lost I-cache fields: %d/%d", r.ICacheMisses, r.ICacheMissCycles)
+	}
+}
+
+func TestBEPOfUnknownKindSafe(t *testing.T) {
+	var r Result
+	r.Branches = 10
+	if r.BEPOf(BankConflict) != 0 {
+		t.Error("zero-penalty kind should contribute 0")
+	}
+}

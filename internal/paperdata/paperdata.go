@@ -1,0 +1,104 @@
+// Package paperdata records the numbers printed in Wallace &
+// Bagherzadeh (HPCA 1997) so experiments can be compared against the
+// paper side by side. Absolute values are not expected to match — the
+// paper ran SPEC95 on SPARC for 10^9 instructions per program, this
+// repository runs a synthetic suite (see DESIGN.md) — but the shapes
+// (who wins, by what factor, where the knees fall) should.
+package paperdata
+
+// Fig6 headline accuracies at a GHR length of 10 (§4.1).
+const (
+	Fig6IntAccuracy = 0.915 // "SPECint95 averaged 91.5%"
+	Fig6FPAccuracy  = 0.973 // "SPECfp95 averaged 97.3%"
+)
+
+// Table5Row is one row of the paper's Table 5 (SPECint95, dual block,
+// single selection).
+type Table5Row struct {
+	Kind      string // "BTB" or "NLS"
+	Entries   int
+	NearBlock bool
+	PctBEPImm float64
+	PctBEPInd float64
+	BEP       float64
+	IPCf      float64
+}
+
+// Table5 is the paper's Table 5, verbatim.
+var Table5 = []Table5Row{
+	{"BTB", 8, false, 19.2, 18.7, 0.603, 5.02},
+	{"BTB", 8, true, 10.6, 16.3, 0.520, 5.40},
+	{"BTB", 16, false, 12.6, 15.1, 0.523, 5.32},
+	{"BTB", 16, true, 6.5, 12.6, 0.476, 5.57},
+	{"BTB", 32, false, 7.4, 11.6, 0.473, 5.58},
+	{"BTB", 32, true, 3.6, 9.6, 0.446, 5.73},
+	{"BTB", 64, false, 4.0, 9.6, 0.447, 5.72},
+	{"BTB", 64, true, 1.9, 7.9, 0.431, 5.80},
+	{"NLS", 64, false, 12.0, 14.7, 0.516, 5.41},
+	{"NLS", 64, true, 6.7, 13.1, 0.480, 5.54},
+	{"NLS", 128, false, 8.3, 12.3, 0.481, 5.53},
+	{"NLS", 128, true, 4.2, 10.8, 0.454, 5.67},
+	{"NLS", 256, false, 5.5, 10.1, 0.457, 5.66},
+	{"NLS", 256, true, 2.7, 8.7, 0.438, 5.77},
+	{"NLS", 512, false, 3.8, 9.2, 0.444, 5.74},
+	{"NLS", 512, true, 1.6, 7.9, 0.429, 5.81},
+}
+
+// Table6Row is one row of the paper's Table 6 (8 STs, history 10).
+type Table6Row struct {
+	Kind     string // "normal", "extend", "align"
+	LineSize int
+	Banks    int
+	IPBInt   float64
+	IPCf1Int float64
+	IPCf2Int float64
+	IPBFP    float64
+	IPCf1FP  float64
+	IPCf2FP  float64
+}
+
+// Table6 is the paper's Table 6, verbatim.
+var Table6 = []Table6Row{
+	{"normal", 8, 8, 5.01, 3.96, 5.66, 5.81, 5.48, 9.43},
+	{"extend", 16, 8, 5.30, 4.12, 5.87, 6.03, 5.65, 9.80},
+	{"align", 8, 16, 5.99, 4.53, 6.42, 6.76, 6.33, 10.88},
+}
+
+// Cost totals of §5, in Kbits.
+const (
+	CostPHTKbits        = 16
+	CostSTKbits         = 8
+	CostNLSKbits        = 20
+	CostBITKbits        = 16
+	CostBBRKbits        = 0.3
+	CostSingleKbits     = 52
+	CostDualSingleKbits = 80
+	CostDualDoubleKbits = 72
+)
+
+// Headline claims of the abstract and §4.5, as dimensionless shapes.
+const (
+	// DualOverSingleInt: "dual block prediction results in an
+	// effective fetching rate approximately 40% higher for integer
+	// programs".
+	DualOverSingleInt = 1.40
+	// DualOverSingleFP: "... and 70% higher for floating point
+	// programs".
+	DualOverSingleFP = 1.70
+	// SelfAlignedFPIPCf: "the self-aligned cache achieves 10.9 IPC_f
+	// for the floating point benchmarks".
+	SelfAlignedFPIPCf = 10.88
+	// SuiteIPCf: "an effective fetching rate of 8 instructions per
+	// cycle on the SPEC95 benchmark suite" (two blocks, W = 8).
+	SuiteIPCf = 8.0
+	// DoubleSelectionLoss: "the extra penalties from using double
+	// selection significantly reduced performance, roughly 10% for
+	// most cases".
+	DoubleSelectionLoss = 0.10
+	// NearBlockShare: "about 70% of the conditional branches are
+	// near-block targets".
+	NearBlockShare = 0.70
+	// NearBlockHalving: "the number of BTB or NLS entries can be
+	// reduced in half for about the same performance".
+	NearBlockHalving = 2.0
+)

@@ -1,0 +1,27 @@
+package pht
+
+import "testing"
+
+func BenchmarkBlockedPredictUpdate(b *testing.B) {
+	t := NewBlocked(10, 8)
+	g := NewGHR(10)
+	for i := 0; i < b.N; i++ {
+		addr := uint32(i * 7)
+		taken := i&3 != 0
+		t.Update(g.Value(), addr, addr+5, taken)
+		_ = t.Predict(g.Value(), addr, addr+5)
+		g.Shift(taken)
+	}
+}
+
+func BenchmarkScalarPredictUpdate(b *testing.B) {
+	s := NewScalar(10, 8)
+	g := NewGHR(10)
+	for i := 0; i < b.N; i++ {
+		addr := uint32(i * 13)
+		taken := i&1 == 0
+		_ = s.Predict(g.Value(), addr)
+		s.Update(g.Value(), addr, taken)
+		g.Shift(taken)
+	}
+}

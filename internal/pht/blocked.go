@@ -1,0 +1,136 @@
+package pht
+
+// IndexMode selects how a two-level table combines history and address.
+type IndexMode int
+
+const (
+	// IndexGShare XORs the global history with the block address
+	// (McFarling [7], the paper's scheme for both the PHT and the
+	// select table).
+	IndexGShare IndexMode = iota
+	// IndexGlobal uses the history alone (Yeh & Patt's GAg), provided
+	// as an ablation.
+	IndexGlobal
+)
+
+func (m IndexMode) String() string {
+	if m == IndexGlobal {
+		return "global"
+	}
+	return "gshare"
+}
+
+// Blocked is the paper's blocked pattern history table: each entry holds
+// one 2-bit counter per instruction position of a fetch block, so a
+// single lookup predicts every conditional branch in the block. Lookups
+// are gshare-indexed by default (GHR XOR block starting address, the
+// index the paper also reuses for the select table), and a branch at
+// instruction address a uses counter position a mod W, which makes the
+// counters wrap around the PHT block for the extended and self-aligned
+// caches exactly as §4.5 requires.
+//
+// With numTables > 1 the structure becomes the paper's per-block
+// variation of Yeh's per-addr scheme: the block address's low bits pick
+// a table and the remaining bits participate in the index.
+type Blocked struct {
+	width    int
+	tables   int
+	tblMask  uint32
+	tblShift uint
+	hBits    int
+	idxMask  uint32
+	mode     IndexMode
+	counters []Counter // tables * entries * width, flat
+}
+
+// NewBlocked creates a single gshare-indexed blocked PHT with
+// 2^historyBits entries of blockWidth counters each, all initialized
+// weakly not-taken — the paper's default ("one global blocked pattern
+// history table").
+func NewBlocked(historyBits, blockWidth int) *Blocked {
+	return NewBlockedMulti(historyBits, blockWidth, 1, IndexGShare)
+}
+
+// NewBlockedMulti creates numTables blocked PHTs (a power of two) with
+// the given index mode.
+func NewBlockedMulti(historyBits, blockWidth, numTables int, mode IndexMode) *Blocked {
+	if historyBits < 1 || historyBits > 26 {
+		panic("pht: history bits out of range")
+	}
+	if blockWidth < 1 || blockWidth > 64 {
+		panic("pht: block width out of range")
+	}
+	if numTables < 1 || numTables&(numTables-1) != 0 {
+		panic("pht: numTables must be a power of two")
+	}
+	shift := uint(0)
+	for 1<<shift < numTables {
+		shift++
+	}
+	n := 1 << historyBits
+	b := &Blocked{
+		width:    blockWidth,
+		tables:   numTables,
+		tblMask:  uint32(numTables - 1),
+		tblShift: shift,
+		hBits:    historyBits,
+		idxMask:  uint32(n - 1),
+		mode:     mode,
+		counters: make([]Counter, numTables*n*blockWidth),
+	}
+	for i := range b.counters {
+		b.counters[i] = WeaklyNotTaken
+	}
+	return b
+}
+
+// Width returns the number of counters per entry.
+func (b *Blocked) Width() int { return b.width }
+
+// Tables returns the number of PHTs.
+func (b *Blocked) Tables() int { return b.tables }
+
+// Entries returns the number of PHT entries across all tables.
+func (b *Blocked) Entries() int { return len(b.counters) / b.width }
+
+// Index computes the entry index for a history value and block starting
+// address.
+func (b *Blocked) Index(history, blockAddr uint32) uint32 {
+	table := blockAddr & b.tblMask
+	var idx uint32
+	switch b.mode {
+	case IndexGlobal:
+		idx = history & b.idxMask
+	default:
+		idx = (history ^ blockAddr>>b.tblShift) & b.idxMask
+	}
+	return table<<b.hBits | idx
+}
+
+// Entry returns the live counter slice for an entry index; mutations
+// write through to the table.
+func (b *Blocked) Entry(index uint32) []Counter {
+	off := int(index) * b.width
+	return b.counters[off : off+b.width]
+}
+
+// CounterPos maps an instruction address to its counter position within
+// an entry.
+func (b *Blocked) CounterPos(instAddr uint32) int { return int(instAddr) % b.width }
+
+// Predict returns the predicted direction for the branch at instAddr
+// under the given history/block index.
+func (b *Blocked) Predict(history, blockAddr, instAddr uint32) bool {
+	return b.Entry(b.Index(history, blockAddr))[b.CounterPos(instAddr)].Taken()
+}
+
+// Update trains the counter for the branch at instAddr.
+func (b *Blocked) Update(history, blockAddr, instAddr uint32, taken bool) {
+	e := b.Entry(b.Index(history, blockAddr))
+	p := b.CounterPos(instAddr)
+	e[p] = e[p].Update(taken)
+}
+
+// CostBits returns the storage cost in bits (Table 7: p * 2^k * 2W for
+// one table; multiply externally for multiple PHTs).
+func (b *Blocked) CostBits() int { return len(b.counters) * 2 }

@@ -1,0 +1,89 @@
+// Package pht implements the two-level adaptive pattern history tables
+// at the heart of the paper: the 2-bit saturating counter, the global
+// history register, the blocked PHT that predicts every conditional
+// branch position in a fetch block with one lookup (the paper's primary
+// multiple-branch-prediction contribution), and the scalar per-address
+// PHT used as the equal-cost baseline in Figure 6.
+package pht
+
+// Counter is a 2-bit up/down saturating counter (Smith counter):
+// 0 strongly not-taken, 1 weakly not-taken, 2 weakly taken,
+// 3 strongly taken.
+type Counter uint8
+
+// WeaklyNotTaken is the conventional initial state.
+const WeaklyNotTaken Counter = 1
+
+// Taken returns the predicted direction.
+func (c Counter) Taken() bool { return c >= 2 }
+
+// SecondChance reports whether the counter is in a strong state, i.e.
+// one misprediction will not flip the predicted direction. This is the
+// "second chance" bit recorded in a bad branch recovery entry (paper
+// Table 2 discussion).
+func (c Counter) SecondChance() bool { return c == 0 || c == 3 }
+
+// Update moves the counter toward the observed outcome, saturating.
+func (c Counter) Update(taken bool) Counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return 3
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+// GHR is a global (branch) history register of fixed length. Outcomes
+// are shifted in least-significant-bit first, oldest outcome in the
+// highest bit, exactly as the paper describes: after predicting
+// not-taken, not-taken, taken in one block, the register is shifted
+// left three and "001" inserted.
+type GHR struct {
+	bits int
+	mask uint32
+	val  uint32
+}
+
+// NewGHR returns a history register of the given length (1..30 bits).
+func NewGHR(bits int) *GHR {
+	if bits < 1 || bits > 30 {
+		panic("pht: GHR length out of range")
+	}
+	return &GHR{bits: bits, mask: 1<<bits - 1}
+}
+
+// Bits returns the register length.
+func (g *GHR) Bits() int { return g.bits }
+
+// Value returns the current history pattern.
+func (g *GHR) Value() uint32 { return g.val }
+
+// Set overwrites the history pattern (used for recovery).
+func (g *GHR) Set(v uint32) { g.val = v & g.mask }
+
+// Shift records one conditional-branch outcome.
+func (g *GHR) Shift(taken bool) {
+	g.val = g.val << 1 & g.mask
+	if taken {
+		g.val |= 1
+	}
+}
+
+// ShiftBlock records all conditional-branch outcomes of one block,
+// oldest first.
+func (g *GHR) ShiftBlock(outcomes []bool) {
+	for _, t := range outcomes {
+		g.Shift(t)
+	}
+}
+
+// ShiftPacked records n outcomes packed into bits (bit n-1 = oldest).
+func (g *GHR) ShiftPacked(n int, bits uint32) {
+	for i := n - 1; i >= 0; i-- {
+		g.Shift(bits>>uint(i)&1 == 1)
+	}
+}

@@ -1,0 +1,114 @@
+package ras
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPop(t *testing.T) {
+	s := New(4)
+	s.Push(10)
+	s.Push(20)
+	if got := s.Top(); got != 20 {
+		t.Errorf("Top = %d, want 20", got)
+	}
+	if got := s.Second(); got != 10 {
+		t.Errorf("Second = %d, want 10", got)
+	}
+	if got := s.Pop(); got != 20 {
+		t.Errorf("Pop = %d, want 20", got)
+	}
+	if got := s.Pop(); got != 10 {
+		t.Errorf("Pop = %d, want 10", got)
+	}
+	if s.Depth() != 0 {
+		t.Errorf("Depth = %d, want 0", s.Depth())
+	}
+}
+
+func TestOverflowWrapsOldest(t *testing.T) {
+	s := New(3)
+	for _, v := range []uint32{1, 2, 3, 4} { // 1 is overwritten
+		s.Push(v)
+	}
+	if s.Depth() != 3 {
+		t.Errorf("Depth = %d, want 3 (saturated)", s.Depth())
+	}
+	for _, want := range []uint32{4, 3, 2} {
+		if got := s.Pop(); got != want {
+			t.Errorf("Pop = %d, want %d", got, want)
+		}
+	}
+	// The stack is now "empty" but hardware returns stale data, not an
+	// error; popping must not panic.
+	_ = s.Pop()
+}
+
+func TestUnderflowIsSilent(t *testing.T) {
+	s := New(2)
+	_ = s.Pop() // empty pop returns zero value, no panic
+	s.Push(7)
+	if got := s.Pop(); got != 7 {
+		t.Errorf("Pop after underflow = %d, want 7", got)
+	}
+}
+
+// Property: within capacity, the stack is LIFO — pushing k addresses and
+// popping k returns them reversed.
+func TestLIFOWithinCapacity(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) > 32 {
+			vals = vals[:32]
+		}
+		s := New(32)
+		for _, v := range vals {
+			s.Push(v)
+		}
+		for i := len(vals) - 1; i >= 0; i-- {
+			if s.Pop() != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: deep call chains beyond capacity lose exactly the oldest
+// frames — the newest size frames return correctly.
+func TestDeepRecursionKeepsNewest(t *testing.T) {
+	f := func(depth uint8) bool {
+		d := int(depth%100) + 40 // deeper than capacity
+		s := New(32)
+		for i := 0; i < d; i++ {
+			s.Push(uint32(i))
+		}
+		for i := d - 1; i >= d-32; i-- {
+			if s.Pop() != uint32(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSecondEntryBypass models §3.1: after a call in the first block,
+// the second block's RAS view (the new top) is the call's return
+// address; after a return, it is the next entry down.
+func TestSecondEntryBypass(t *testing.T) {
+	s := New(8)
+	s.Push(100) // outer frame
+	s.Push(200) // block 1 performs a call -> push
+	if got := s.Top(); got != 200 {
+		t.Errorf("after call, block 2 sees %d, want 200", got)
+	}
+	s.Pop() // block 1 performs a return instead
+	if got := s.Top(); got != 100 {
+		t.Errorf("after return, block 2 sees %d, want 100", got)
+	}
+}

@@ -1,0 +1,193 @@
+// Package seltab implements the select table of §3, the paper's
+// mechanism for predicting a second (and, with double selection, first)
+// fetch block in parallel: instead of waiting for the first block's
+// BIT and PHT information, the multiplexer-select outcome of a previous
+// prediction is memoized and replayed. An entry also carries the
+// GHR-update information (number of not-taken conditional branches plus
+// a taken/fall-through bit) and, when near-block targets are in use, the
+// predicted starting offset within the target line.
+package seltab
+
+import "fmt"
+
+// Source enumerates the next-fetch multiplexer inputs (paper Table 1
+// plus the RAS-bypass inputs of §3.1 resolved by the engine).
+type Source uint8
+
+const (
+	// SrcFallThrough selects the sequential address after the block.
+	SrcFallThrough Source = iota
+	// SrcRAS selects the return address stack (with §3.1 bypassing for
+	// the second block).
+	SrcRAS
+	// SrcTarget selects the target array entry for exit position Pos.
+	SrcTarget
+	// SrcNearPrev..SrcNearNext2 select a near-block computed target:
+	// current line -1, +0, +1, +2 lines, at offset StartOff.
+	SrcNearPrev
+	SrcNearSame
+	SrcNearNext
+	SrcNearNext2
+
+	numSources
+)
+
+var sourceNames = [numSources]string{
+	"fallthrough", "ras", "target",
+	"near-prev", "near-same", "near-next", "near-next2",
+}
+
+// String returns a short name for the source.
+func (s Source) String() string {
+	if int(s) < len(sourceNames) {
+		return sourceNames[s]
+	}
+	return fmt.Sprintf("source(%d)", uint8(s))
+}
+
+// Selector is one memoized multiplexer selection: everything stage 0
+// needs to launch the fetch of a block whose BIT/PHT information is not
+// yet available.
+type Selector struct {
+	Source Source
+	// Pos is the exit position (instruction address mod W) of the
+	// block whose successor this selector predicts; it picks the
+	// target-array slot and the near-block adder input.
+	Pos uint8
+	// NTCount and TakenBit are the GHR-update prediction: the number
+	// of not-taken conditional branches in the predicted block,
+	// followed by one taken bit (or fall-through).
+	NTCount  uint8
+	TakenBit bool
+	// StartOff is the predicted starting offset within the target line
+	// (only meaningful for near-block sources; §3.1 notes up to
+	// log2(line) extra bits are needed for this).
+	StartOff uint8
+}
+
+// Equal reports whether two selectors would drive the multiplexer (and
+// GHR update) identically. A mismatch is a misselect (or GHR
+// misprediction, which the engine distinguishes).
+func (s Selector) Equal(o Selector) bool { return s == o }
+
+// SameMux reports whether two selectors pick the same multiplexer input
+// (ignoring the GHR-update fields). The engine uses this to separate
+// misselect penalties from GHR penalties.
+func (s Selector) SameMux(o Selector) bool {
+	return s.Source == o.Source && s.Pos == o.Pos && s.StartOff == o.StartOff
+}
+
+// SameGHR reports whether two selectors predict the same GHR update.
+func (s Selector) SameGHR(o Selector) bool {
+	return s.NTCount == o.NTCount && s.TakenBit == o.TakenBit
+}
+
+// MaxBlocks is the largest number of blocks per cycle an entry can
+// serve. The paper evaluates two; §5 notes the mechanism extends to
+// more ("another block prediction basically requires another select
+// table and target array"), which this implementation supports as an
+// extension.
+const MaxBlocks = 4
+
+// Entry is one select-table entry. Single selection uses only Second;
+// double selection uses First too (a "dual select table"); the N-block
+// extension uses Third and Fourth for the third and fourth blocks of a
+// fetch group.
+type Entry struct {
+	Valid  bool
+	First  Selector
+	Second Selector
+	Third  Selector
+	Fourth Selector
+}
+
+// Slot returns the selector predicting the block fetched in role
+// (1 = second block of the group, 2 = third, 3 = fourth); role 0 with
+// double selection uses First directly.
+func (e *Entry) Slot(role int) *Selector {
+	switch role {
+	case 0:
+		return &e.First
+	case 1:
+		return &e.Second
+	case 2:
+		return &e.Third
+	default:
+		return &e.Fourth
+	}
+}
+
+// Table is a set of select tables. Each table has 2^historyBits
+// entries, indexed by GHR XOR block address (the PHT index); with
+// multiple tables, the low bits of the block's starting address choose
+// the table, helping distinguish entering positions (§4.3).
+type Table struct {
+	tables  int
+	hBits   int
+	idxMask uint32
+	tblMask uint32
+	entries []Entry
+}
+
+// New creates numTables select tables of 2^historyBits entries each.
+// numTables must be a power of two (the paper sweeps 1, 2, 4, 8).
+func New(historyBits, numTables int) *Table {
+	if historyBits < 1 || historyBits > 26 {
+		panic("seltab: history bits out of range")
+	}
+	if numTables < 1 || numTables&(numTables-1) != 0 {
+		panic("seltab: numTables must be a power of two")
+	}
+	n := 1 << historyBits
+	return &Table{
+		tables:  numTables,
+		hBits:   historyBits,
+		idxMask: uint32(n - 1),
+		tblMask: uint32(numTables - 1),
+		entries: make([]Entry, numTables*n),
+	}
+}
+
+// Tables returns the number of select tables.
+func (t *Table) Tables() int { return t.tables }
+
+// EntriesPerTable returns 2^historyBits.
+func (t *Table) EntriesPerTable() int { return 1 << t.hBits }
+
+// Lookup returns the live entry for (history, block address); mutations
+// write through.
+func (t *Table) Lookup(history, blockAddr uint32) *Entry {
+	table := blockAddr & t.tblMask
+	idx := (history ^ blockAddr) & t.idxMask
+	return &t.entries[int(table)<<t.hBits|int(idx)]
+}
+
+// SelectorBits returns the paper's per-selector encoding size: a
+// combined source/position field (3 bits for W = 4, 4 bits for W = 8),
+// log2(W) not-taken-count bits and one taken bit, plus log2(line)
+// starting-offset bits when near-block prediction is enabled.
+func SelectorBits(blockWidth, lineSize int, nearBlock bool) int {
+	bits := log2(2*blockWidth) + log2(blockWidth) + 1
+	if nearBlock {
+		bits += log2(lineSize)
+	}
+	return bits
+}
+
+// CostBits returns the total storage cost in bits. Double selection
+// stores two selectors per entry.
+func (t *Table) CostBits(blockWidth, lineSize int, nearBlock, double bool) int {
+	per := SelectorBits(blockWidth, lineSize, nearBlock)
+	if double {
+		per *= 2
+	}
+	return len(t.entries) * per
+}
+
+func log2(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}

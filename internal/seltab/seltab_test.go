@@ -1,0 +1,112 @@
+package seltab
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectorComparisons(t *testing.T) {
+	a := Selector{Source: SrcTarget, Pos: 5, NTCount: 2, TakenBit: true}
+	b := a
+	if !a.Equal(b) || !a.SameMux(b) || !a.SameGHR(b) {
+		t.Error("identical selectors should compare equal on all axes")
+	}
+	b.NTCount = 3
+	if a.SameGHR(b) {
+		t.Error("different NTCount should differ on GHR")
+	}
+	if !a.SameMux(b) {
+		t.Error("GHR fields must not affect mux comparison")
+	}
+	c := a
+	c.Pos = 6
+	if a.SameMux(c) {
+		t.Error("different position should differ on mux")
+	}
+	if !a.SameGHR(c) {
+		t.Error("mux fields must not affect GHR comparison")
+	}
+	d := a
+	d.StartOff = 3
+	if a.SameMux(d) {
+		t.Error("different start offset should differ on mux")
+	}
+}
+
+func TestTableIndexing(t *testing.T) {
+	tb := New(10, 1)
+	e1 := tb.Lookup(0x3FF, 0x3FF) // XOR = 0
+	e2 := tb.Lookup(0, 0)
+	if e1 != e2 {
+		t.Error("gshare-equal indexes should share an entry")
+	}
+	e3 := tb.Lookup(0, 1)
+	if e1 == e3 {
+		t.Error("different indexes should not share an entry")
+	}
+}
+
+func TestMultipleTablesSplitByOffset(t *testing.T) {
+	tb := New(10, 8)
+	if tb.Tables() != 8 || tb.EntriesPerTable() != 1024 {
+		t.Fatalf("geometry: %d tables x %d", tb.Tables(), tb.EntriesPerTable())
+	}
+	// Two block addresses that XOR-alias in one table but differ in
+	// their low bits land in different tables (§4.3's point: the
+	// entering position disambiguates).
+	a := tb.Lookup(0x10, 0x20)
+	b := tb.Lookup(0x11, 0x21) // same XOR, different low bits
+	if a == b {
+		t.Error("different starting offsets should use different tables")
+	}
+}
+
+func TestEntryWriteThrough(t *testing.T) {
+	tb := New(8, 1)
+	e := tb.Lookup(5, 9)
+	e.Valid = true
+	e.Second = Selector{Source: SrcRAS, Pos: 7}
+	again := tb.Lookup(5, 9)
+	if !again.Valid || again.Second.Source != SrcRAS || again.Second.Pos != 7 {
+		t.Error("entry mutations must persist")
+	}
+}
+
+func TestSelectorBits(t *testing.T) {
+	// §3.1: 3-bit selector for W=4, 4 for W=8; plus log2(W)+1 GHR bits;
+	// the paper's 1024-entry, 8-bit-entry ST is 8 Kbit.
+	if got := SelectorBits(4, 4, false); got != 3+2+1 {
+		t.Errorf("W=4 selector bits = %d, want 6", got)
+	}
+	if got := SelectorBits(8, 8, false); got != 4+3+1 {
+		t.Errorf("W=8 selector bits = %d, want 8", got)
+	}
+	tb := New(10, 1)
+	if got := tb.CostBits(8, 8, false, false); got != 8*1024 {
+		t.Errorf("ST cost = %d bits, want 8192 (Table 7)", got)
+	}
+	if got := tb.CostBits(8, 8, false, true); got != 16*1024 {
+		t.Errorf("dual ST cost = %d bits, want 16384", got)
+	}
+}
+
+// Property: Lookup is deterministic and total — same key, same entry;
+// and entries from different (history, addr) pairs with different
+// indexes never alias.
+func TestLookupDeterminism(t *testing.T) {
+	f := func(h, a uint32) bool {
+		tb := New(8, 4)
+		return tb.Lookup(h, a) == tb.Lookup(h, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSourceNames(t *testing.T) {
+	for s := Source(0); s < numSources; s++ {
+		if s.String() == "" {
+			t.Errorf("source %d has no name", s)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package textchart renders small terminal charts for the experiment
+// figures: horizontal bar charts for breakdowns (Figure 9) and
+// multi-series column plots for sweeps (Figures 6-8). Pure text, no
+// dependencies — enough to eyeball a shape without leaving the shell.
+package textchart
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar is one labeled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Bars renders a horizontal bar chart scaled to the widest value.
+// width is the maximum bar length in runes.
+func Bars(w io.Writer, title string, bars []Bar, width int, format string) {
+	if width < 1 {
+		width = 40
+	}
+	if format == "" {
+		format = "%.3f"
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, b := range bars {
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+		if len(b.Label) > maxLabel {
+			maxLabel = len(b.Label)
+		}
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	for _, b := range bars {
+		n := 0
+		if maxVal > 0 {
+			n = int(math.Round(b.Value / maxVal * float64(width)))
+		}
+		if b.Value > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(w, "  %-*s %s %s\n", maxLabel, b.Label,
+			strings.Repeat("#", n)+strings.Repeat(" ", width-n),
+			fmt.Sprintf(format, b.Value))
+	}
+}
+
+// Series is one named sequence of y-values sharing the x-axis.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Columns renders several series against shared x labels as aligned
+// numeric columns with a spark-style bar per cell, scaled over the
+// whole plot.
+func Columns(w io.Writer, title string, xLabels []string, series []Series, format string) {
+	if format == "" {
+		format = "%.2f"
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	maxVal := 0.0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	const cell = 8
+	// Header.
+	fmt.Fprintf(w, "  %-8s", "")
+	for _, s := range series {
+		fmt.Fprintf(w, " %*s", cell+7, s.Name)
+	}
+	fmt.Fprintln(w)
+	for i, x := range xLabels {
+		fmt.Fprintf(w, "  %-8s", x)
+		for _, s := range series {
+			v := 0.0
+			if i < len(s.Values) {
+				v = s.Values[i]
+			}
+			n := 0
+			if maxVal > 0 {
+				n = int(math.Round(v / maxVal * cell))
+			}
+			if v > 0 && n == 0 {
+				n = 1
+			}
+			fmt.Fprintf(w, " %s%s %6s",
+				strings.Repeat("#", n), strings.Repeat(".", cell-n),
+				fmt.Sprintf(format, v))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Sparkline returns a one-line sketch of the values using eighth-block
+// steps, handy for quick trend checks in logs.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+		}
+		b.WriteRune(ramp[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package textchart
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBars(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "title", []Bar{
+		{"alpha", 4},
+		{"beta", 2},
+		{"gamma", 0},
+	}, 8, "%.1f")
+	out := buf.String()
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// alpha gets the full width, beta half, gamma none.
+	if !strings.Contains(lines[1], strings.Repeat("#", 8)) {
+		t.Errorf("alpha bar wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "####") || strings.Contains(lines[2], "#####") {
+		t.Errorf("beta bar wrong: %q", lines[2])
+	}
+	if strings.Contains(lines[3], "#") {
+		t.Errorf("gamma should have no bar: %q", lines[3])
+	}
+	if !strings.Contains(lines[1], "4.0") {
+		t.Errorf("value missing: %q", lines[1])
+	}
+}
+
+func TestBarsTinyValueStillVisible(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "", []Bar{{"big", 1000}, {"tiny", 0.1}}, 10, "")
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if !strings.Contains(lines[1], "#") {
+		t.Error("nonzero value should render at least one mark")
+	}
+}
+
+func TestColumns(t *testing.T) {
+	var buf bytes.Buffer
+	Columns(&buf, "sweep", []string{"a", "b"}, []Series{
+		{Name: "s1", Values: []float64{1, 2}},
+		{Name: "s2", Values: []float64{2, 4}},
+	}, "")
+	out := buf.String()
+	for _, want := range []string{"sweep", "s1", "s2", "a", "b", "4.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Short series pad with zeros rather than panic.
+	buf.Reset()
+	Columns(&buf, "", []string{"x", "y"}, []Series{{Name: "s", Values: []float64{1}}}, "")
+	if !strings.Contains(buf.String(), "0.00") {
+		t.Error("missing padding value")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if s := Sparkline(nil); s != "" {
+		t.Errorf("empty input = %q", s)
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if []rune(s)[0] == []rune(s)[3] {
+		t.Errorf("sparkline flat over rising data: %q", s)
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if len([]rune(flat)) != 3 {
+		t.Errorf("flat sparkline length = %d", len([]rune(flat)))
+	}
+}

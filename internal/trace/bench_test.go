@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"testing"
+
+	"mbbp/internal/cpu"
+	"mbbp/internal/isa"
+)
+
+func BenchmarkPackUnpack(b *testing.B) {
+	r := cpu.Retired{PC: 12345, Target: 678, Class: isa.ClassCond, Taken: true}
+	for i := 0; i < b.N; i++ {
+		r = Unpack(Pack(r))
+	}
+	if r.PC != 12345 {
+		b.Fatal("corrupted")
+	}
+}
+
+func BenchmarkBufferIteration(b *testing.B) {
+	buf := NewBuffer("bench", 4096)
+	for i := 0; i < 4096; i++ {
+		buf.Append(cpu.Retired{PC: uint32(i), Class: isa.ClassPlain})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		for {
+			if _, ok := buf.Next(); !ok {
+				break
+			}
+		}
+	}
+	b.SetBytes(4096 * 8)
+}

@@ -1,0 +1,90 @@
+package workload
+
+func init() {
+	register("applu", FP,
+		"3D SOR relaxation on a 12x12x12 grid: triple loop nest with "+
+			"six-point neighbor averaging — long, highly predictable "+
+			"inner blocks, like SPEC's applu.",
+		srcApplu)
+}
+
+const srcApplu = `
+; applu: 3D relaxation. r20/r21/r22 = i/j/k loop indices.
+.fdata
+u3:  .fspace 1728
+rhs: .fspace 1728
+.data
+it: .word 0
+
+.text
+main:
+    li r1, 1
+    fcvt f2, r1                 ; 1.0
+    li r15, 0
+init:
+    fcvt f3, r15
+    li r1, 1728
+    fcvt f4, r1
+    fdiv f3, f3, f4
+    fsw f3, u3(r15)
+    fadd f5, f3, f2
+    fsw f5, rhs(r15)
+    addi r15, r15, 1
+    slti r2, r15, 1728
+    bnez r2, init
+sweep:
+    li r20, 1
+iloop:
+    li r21, 1
+jloop:
+    li r22, 1
+kloop:
+    li r4, 12
+    mul r3, r20, r4
+    add r3, r3, r21
+    mul r3, r3, r4
+    add r3, r3, r22
+    addi r5, r3, 1
+    flw f3, u3(r5)
+    subi r5, r3, 1
+    flw f4, u3(r5)
+    addi r5, r3, 12
+    flw f5, u3(r5)
+    subi r5, r3, 12
+    flw f6, u3(r5)
+    addi r5, r3, 144
+    flw f7, u3(r5)
+    subi r5, r3, 144
+    flw f8, u3(r5)
+    fadd f3, f3, f4
+    fadd f5, f5, f6
+    fadd f7, f7, f8
+    fadd f3, f3, f5
+    fadd f3, f3, f7
+    li r6, 6
+    fcvt f9, r6
+    fdiv f3, f3, f9
+    flw f10, rhs(r3)
+    fsub f3, f3, f10
+    flw f11, u3(r3)
+    fadd f3, f3, f11
+    li r6, 2
+    fcvt f9, r6
+    fdiv f3, f3, f9
+    fsw f3, u3(r3)
+    addi r22, r22, 1
+    slti r7, r22, 11
+    bnez r7, kloop
+    addi r21, r21, 1
+    slti r7, r21, 11
+    bnez r7, jloop
+    addi r20, r20, 1
+    slti r7, r20, 11
+    bnez r7, iloop
+    lw r8, it(r0)
+    addi r8, r8, 1
+    sw r8, it(r0)
+    li r9, 300
+    blt r8, r9, sweep
+    halt
+`

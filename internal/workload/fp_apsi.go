@@ -1,0 +1,92 @@
+package workload
+
+func init() {
+	register("apsi", FP,
+		"2D advection on a 32x32 grid with periodic boundaries: the "+
+			"wraparound checks add rarely taken branches inside otherwise "+
+			"predictable loops, like SPEC's apsi.",
+		srcApsi)
+}
+
+const srcApsi = `
+; apsi: periodic 2D advection. r20 = i, r21 = j.
+.fdata
+t2:   .fspace 1024
+tnew: .fspace 1024
+wind: .fspace 32
+.data
+it: .word 0
+
+.text
+main:
+    li r15, 0
+    li r1, 1024
+    fcvt f1, r1
+initt:
+    fcvt f2, r15
+    fdiv f2, f2, f1
+    fsw f2, t2(r15)
+    addi r15, r15, 1
+    slti r2, r15, 1024
+    bnez r2, initt
+    li r15, 0
+    li r1, 32
+    fcvt f1, r1
+initw:
+    fcvt f2, r15
+    fdiv f2, f2, f1
+    fsw f2, wind(r15)
+    addi r15, r15, 1
+    slti r2, r15, 32
+    bnez r2, initw
+step:
+    li r20, 0
+iloop:
+    li r21, 0
+jloop:
+    slli r3, r20, 5
+    add r3, r3, r21
+    addi r4, r21, 1             ; east neighbor with periodic wrap
+    slti r5, r4, 32
+    bnez r5, ewrapok
+    li r4, 0
+ewrapok:
+    slli r6, r20, 5
+    add r6, r6, r4
+    subi r4, r21, 1             ; west neighbor with periodic wrap
+    bgez r4, wwrapok
+    li r4, 31
+wwrapok:
+    slli r7, r20, 5
+    add r7, r7, r4
+    flw f2, t2(r3)
+    flw f3, t2(r6)
+    flw f4, t2(r7)
+    flw f5, wind(r21)
+    fsub f6, f3, f4
+    fmul f6, f6, f5
+    li r8, 16
+    fcvt f7, r8
+    fdiv f6, f6, f7
+    fsub f2, f2, f6
+    fsw f2, tnew(r3)
+    addi r21, r21, 1
+    slti r9, r21, 32
+    bnez r9, jloop
+    addi r20, r20, 1
+    slti r9, r20, 32
+    bnez r9, iloop
+    li r15, 0                   ; commit the new field
+copy:
+    flw f2, tnew(r15)
+    fsw f2, t2(r15)
+    addi r15, r15, 1
+    slti r9, r15, 1024
+    bnez r9, copy
+    lw r11, it(r0)
+    addi r11, r11, 1
+    sw r11, it(r0)
+    li r12, 400
+    blt r11, r12, step
+    halt
+`

@@ -1,0 +1,10 @@
+package workload
+
+func init() {
+	register("fpppp", FP,
+		"Two-electron-integral-style computation: twelve generated "+
+			"straight-line chunks of ~70 register-resident floating-point "+
+			"operations chained per iteration — enormous basic blocks and "+
+			"a large static footprint, SPEC fpppp's famous shape.",
+		genFpppp(12, 56, 20_000))
+}

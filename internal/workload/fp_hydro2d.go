@@ -1,0 +1,103 @@
+package workload
+
+func init() {
+	register("hydro2d", FP,
+		"2D hydrodynamics: separate x-flux and y-flux sweeps over a "+
+			"32x32 grid followed by a cell update pass — three clean loop "+
+			"nests per timestep, like SPEC's hydro2d.",
+		srcHydro2d)
+}
+
+const srcHydro2d = `
+; hydro2d: flux sweeps. r20 = i, r21 = j.
+.fdata
+rho:   .fspace 1024
+fluxx: .fspace 1024
+fluxy: .fspace 1024
+.data
+it: .word 0
+
+.text
+main:
+    li r15, 0
+    li r1, 512
+    fcvt f1, r1
+init:
+    fcvt f2, r15
+    fdiv f2, f2, f1
+    fsw f2, rho(r15)
+    addi r15, r15, 1
+    slti r2, r15, 1024
+    bnez r2, init
+step:
+    li r20, 0                   ; x-flux sweep: flux[i][j] = rho[i][j+1]-rho[i][j]
+xloop:
+    li r21, 0
+xjloop:
+    slli r3, r20, 5
+    add r3, r3, r21
+    addi r4, r3, 1
+    flw f2, rho(r4)
+    flw f3, rho(r3)
+    fsub f4, f2, f3
+    li r5, 2
+    fcvt f5, r5
+    fdiv f4, f4, f5
+    fsw f4, fluxx(r3)
+    addi r21, r21, 1
+    slti r6, r21, 31
+    bnez r6, xjloop
+    addi r20, r20, 1
+    slti r6, r20, 32
+    bnez r6, xloop
+    li r20, 0                   ; y-flux sweep: flux[i][j] = rho[i+1][j]-rho[i][j]
+yloop:
+    li r21, 0
+yjloop:
+    slli r3, r20, 5
+    add r3, r3, r21
+    addi r4, r3, 32
+    flw f2, rho(r4)
+    flw f3, rho(r3)
+    fsub f4, f2, f3
+    li r5, 2
+    fcvt f5, r5
+    fdiv f4, f4, f5
+    fsw f4, fluxy(r3)
+    addi r21, r21, 1
+    slti r6, r21, 32
+    bnez r6, yjloop
+    addi r20, r20, 1
+    slti r6, r20, 31
+    bnez r6, yloop
+    li r20, 1                   ; update pass
+uloop:
+    li r21, 1
+ujloop:
+    slli r3, r20, 5
+    add r3, r3, r21
+    subi r4, r3, 1
+    flw f2, fluxx(r3)
+    flw f3, fluxx(r4)
+    fsub f2, f2, f3
+    subi r4, r3, 32
+    flw f4, fluxy(r3)
+    flw f5, fluxy(r4)
+    fsub f4, f4, f5
+    fadd f2, f2, f4
+    flw f6, rho(r3)
+    fsub f6, f6, f2
+    fsw f6, rho(r3)
+    addi r21, r21, 1
+    slti r6, r21, 31
+    bnez r6, ujloop
+    addi r20, r20, 1
+    slti r6, r20, 31
+    bnez r6, uloop
+    lw r7, it(r0)
+    addi r7, r7, 1
+    sw r7, it(r0)
+    li r8, 400
+    blt r7, r8, step
+    halt
+`

@@ -1,0 +1,80 @@
+package workload
+
+func init() {
+	register("mgrid", FP,
+		"Multigrid V-cycle flavor: relaxation passes at power-of-two "+
+			"strides over a 1D field, so inner trip counts halve level by "+
+			"level — varied but regular loop behavior, like SPEC's mgrid.",
+		srcMgrid)
+}
+
+const srcMgrid = `
+; mgrid: strided relaxation. r20 = stride, r21 = i.
+.fdata
+v1: .fspace 2080
+.data
+it: .word 0
+
+.text
+main:
+    li r15, 0
+    li r1, 1024
+    fcvt f1, r1
+init:
+    fcvt f2, r15
+    fdiv f2, f2, f1
+    fsw f2, v1(r15)
+    addi r15, r15, 1
+    slti r2, r15, 2080
+    bnez r2, init
+cycle:
+    li r20, 1                   ; downward half: strides 1,2,4,8,16
+down:
+    mv r21, r20
+relax1:
+    sub r3, r21, r20
+    flw f2, v1(r3)
+    add r3, r21, r20
+    flw f3, v1(r3)
+    flw f4, v1(r21)
+    fadd f2, f2, f3
+    fadd f2, f2, f4
+    fadd f2, f2, f4
+    li r4, 4
+    fcvt f5, r4
+    fdiv f2, f2, f5
+    fsw f2, v1(r21)
+    add r21, r21, r20
+    li r5, 2048
+    blt r21, r5, relax1
+    slli r20, r20, 1
+    li r6, 32
+    blt r20, r6, down
+    srli r20, r20, 1            ; upward half: strides 16,8,4,2,1
+up:
+    mv r21, r20
+relax2:
+    sub r3, r21, r20
+    flw f2, v1(r3)
+    add r3, r21, r20
+    flw f3, v1(r3)
+    flw f4, v1(r21)
+    fadd f2, f2, f3
+    fadd f2, f2, f4
+    fadd f2, f2, f4
+    li r4, 4
+    fcvt f5, r4
+    fdiv f2, f2, f5
+    fsw f2, v1(r21)
+    add r21, r21, r20
+    li r5, 2048
+    blt r21, r5, relax2
+    srli r20, r20, 1
+    bnez r20, up
+    lw r7, it(r0)
+    addi r7, r7, 1
+    sw r7, it(r0)
+    li r8, 120
+    blt r7, r8, cycle
+    halt
+`

@@ -1,0 +1,82 @@
+package workload
+
+func init() {
+	register("su2cor", FP,
+		"Lattice-gauge flavor: 4x4 complex matrix-vector products per "+
+			"site, so the innermost loop has a trip count of 4 that the "+
+			"history register captures perfectly, like SPEC's su2cor.",
+		srcSu2cor)
+}
+
+const srcSu2cor = `
+; su2cor: per-site small matrix-vector products.
+; r20 = site, r21 = row, r22 = col.
+.fdata
+mre: .fword 0.8, 0.1, -0.2, 0.05, 0.12, 0.9, 0.08, -0.1, -0.15, 0.07, 0.85, 0.1, 0.02, -0.08, 0.11, 0.95
+mim: .fword 0.1, -0.05, 0.2, 0.04, -0.12, 0.1, 0.07, 0.02, 0.15, -0.07, 0.05, 0.12, 0.03, 0.08, -0.11, 0.06
+vre: .fspace 1024
+vim: .fspace 1024
+.data
+it: .word 0
+
+.text
+main:
+    li r15, 0
+    li r1, 700
+    fcvt f1, r1
+init:
+    fcvt f2, r15
+    fdiv f2, f2, f1
+    fsw f2, vre(r15)
+    li r2, 1
+    fcvt f3, r2
+    fsub f3, f3, f2
+    fsw f3, vim(r15)
+    addi r15, r15, 1
+    slti r2, r15, 1024
+    bnez r2, init
+pass:
+    li r20, 0
+site:
+    slli r14, r20, 2            ; site base = 4*site
+    li r21, 0
+row:
+    slli r13, r21, 2            ; matrix row base
+    li r1, 0
+    fcvt f4, r1                 ; acc_re = 0
+    fcvt f5, r1                 ; acc_im = 0
+    li r22, 0
+col:
+    add r3, r13, r22
+    flw f6, mre(r3)
+    flw f7, mim(r3)
+    add r4, r14, r22
+    flw f8, vre(r4)
+    flw f9, vim(r4)
+    fmul f10, f6, f8
+    fmul f11, f7, f9
+    fsub f10, f10, f11
+    fadd f4, f4, f10
+    fmul f12, f6, f9
+    fmul f13, f7, f8
+    fadd f12, f12, f13
+    fadd f5, f5, f12
+    addi r22, r22, 1
+    slti r5, r22, 4
+    bnez r5, col
+    add r6, r14, r21
+    fsw f4, vre(r6)
+    fsw f5, vim(r6)
+    addi r21, r21, 1
+    slti r5, r21, 4
+    bnez r5, row
+    addi r20, r20, 1
+    slti r5, r20, 255
+    bnez r5, site
+    lw r7, it(r0)
+    addi r7, r7, 1
+    sw r7, it(r0)
+    li r8, 150
+    blt r7, r8, pass
+    halt
+`

@@ -1,0 +1,89 @@
+package workload
+
+func init() {
+	register("swim", FP,
+		"Shallow-water equations: a five-point stencil over a 32x32 grid "+
+			"followed by a relaxation copy — the textbook predictable FP "+
+			"loop nest, like SPEC's swim.",
+		srcSwim)
+}
+
+const srcSwim = `
+; swim: shallow water stencil. r20 = i, r21 = j.
+.fdata
+u2:   .fspace 1024
+v2:   .fspace 1024
+p2:   .fspace 1024
+unew: .fspace 1024
+.data
+it: .word 0
+
+.text
+main:
+    li r15, 0
+    li r1, 100
+    fcvt f2, r1
+    li r1, 1
+    fcvt f1, r1
+init:
+    fcvt f3, r15
+    fdiv f3, f3, f2
+    fsw f3, u2(r15)
+    fsub f4, f1, f3
+    fsw f4, v2(r15)
+    fadd f5, f3, f4
+    fsw f5, p2(r15)
+    addi r15, r15, 1
+    slti r4, r15, 1024
+    bnez r4, init
+sweep:
+    li r20, 1
+iloop:
+    li r21, 1
+jloop:
+    slli r7, r20, 5
+    add r7, r7, r21
+    addi r8, r7, 1
+    flw f3, u2(r8)
+    subi r8, r7, 1
+    flw f4, u2(r8)
+    addi r8, r7, 32
+    flw f5, u2(r8)
+    subi r8, r7, 32
+    flw f6, u2(r8)
+    fadd f3, f3, f4
+    fadd f5, f5, f6
+    fadd f3, f3, f5
+    li r9, 4
+    fcvt f7, r9
+    fdiv f3, f3, f7
+    flw f8, p2(r7)
+    flw f9, v2(r7)
+    fsub f8, f8, f9
+    fadd f3, f3, f8
+    fsw f3, unew(r7)
+    addi r21, r21, 1
+    slti r11, r21, 31
+    bnez r11, jloop
+    addi r20, r20, 1
+    slti r11, r20, 31
+    bnez r11, iloop
+    li r5, 0
+copy:
+    flw f3, unew(r5)
+    flw f4, u2(r5)
+    fadd f4, f4, f3
+    li r9, 2
+    fcvt f7, r9
+    fdiv f4, f4, f7
+    fsw f4, u2(r5)
+    addi r5, r5, 1
+    slti r11, r5, 1024
+    bnez r11, copy
+    lw r12, it(r0)
+    addi r12, r12, 1
+    sw r12, it(r0)
+    li r13, 400
+    blt r12, r13, sweep
+    halt
+`

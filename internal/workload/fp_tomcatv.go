@@ -1,0 +1,100 @@
+package workload
+
+func init() {
+	register("tomcatv", FP,
+		"Mesh generation: Jacobi smoothing of x/y coordinate grids with "+
+			"a per-iteration residual test — predictable nests plus one "+
+			"convergence-style branch per sweep, like SPEC's tomcatv.",
+		srcTomcatv)
+}
+
+const srcTomcatv = `
+; tomcatv: coordinate smoothing with residual accumulation.
+.fdata
+gx:  .fspace 1024
+gy:  .fspace 1024
+res: .fword 0.0
+.data
+it:   .word 0
+slow: .word 0
+
+.text
+main:
+    li r15, 0
+    li r1, 33
+    fcvt f1, r1
+init:
+    srli r2, r15, 5
+    fcvt f2, r2
+    fdiv f2, f2, f1
+    fsw f2, gx(r15)
+    andi r2, r15, 31
+    fcvt f3, r2
+    fdiv f3, f3, f1
+    fsw f3, gy(r15)
+    addi r15, r15, 1
+    slti r4, r15, 1024
+    bnez r4, init
+sweep:
+    li r1, 0
+    fcvt f15, r1                ; residual accumulator
+    li r20, 1
+iloop:
+    li r21, 1
+jloop:
+    slli r7, r20, 5
+    add r7, r7, r21
+    addi r8, r7, 1
+    flw f3, gx(r8)
+    subi r8, r7, 1
+    flw f4, gx(r8)
+    addi r8, r7, 32
+    flw f5, gx(r8)
+    subi r8, r7, 32
+    flw f6, gx(r8)
+    fadd f3, f3, f4
+    fadd f5, f5, f6
+    fadd f3, f3, f5
+    li r9, 4
+    fcvt f7, r9
+    fdiv f3, f3, f7
+    flw f8, gx(r7)
+    fsub f9, f3, f8
+    fabs f9, f9
+    fadd f15, f15, f9
+    fsw f3, gx(r7)
+    addi r8, r7, 1
+    flw f3, gy(r8)
+    subi r8, r7, 1
+    flw f4, gy(r8)
+    addi r8, r7, 32
+    flw f5, gy(r8)
+    subi r8, r7, 32
+    flw f6, gy(r8)
+    fadd f3, f3, f4
+    fadd f5, f5, f6
+    fadd f3, f3, f5
+    fdiv f3, f3, f7
+    fsw f3, gy(r7)
+    addi r21, r21, 1
+    slti r11, r21, 31
+    bnez r11, jloop
+    addi r20, r20, 1
+    slti r11, r20, 31
+    bnez r11, iloop
+    fsw f15, res(r0)            ; convergence-style test on the residual
+    li r9, 5
+    fcvt f10, r9
+    fcmp r12, f15, f10
+    bltz r12, converging
+    lw r13, slow(r0)
+    addi r13, r13, 1
+    sw r13, slow(r0)
+converging:
+    lw r13, it(r0)
+    addi r13, r13, 1
+    sw r13, it(r0)
+    li r14, 400
+    blt r13, r14, sweep
+    halt
+`

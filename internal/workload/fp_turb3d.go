@@ -1,0 +1,76 @@
+package workload
+
+func init() {
+	register("turb3d", FP,
+		"Turbulence-FFT flavor: butterfly passes with doubling spans over "+
+			"a 512-element field — loop nests whose trip counts change "+
+			"every level, like SPEC's turb3d.",
+		srcTurb3d)
+}
+
+const srcTurb3d = `
+; turb3d: butterfly passes. r20 = span, r21 = group base, r22 = j.
+.fdata
+re: .fspace 512
+im: .fspace 512
+tw: .fword 0.995, 0.1, 0.98, 0.199, 0.955, 0.296, 0.921, 0.389
+.data
+it: .word 0
+
+.text
+main:
+    li r15, 0
+    li r1, 512
+    fcvt f1, r1
+init:
+    fcvt f2, r15
+    fdiv f2, f2, f1
+    fsw f2, re(r15)
+    li r2, 1
+    fcvt f3, r2
+    fsub f3, f3, f2
+    fsw f3, im(r15)
+    addi r15, r15, 1
+    slti r2, r15, 512
+    bnez r2, init
+fft:
+    li r20, 2                   ; span doubles each level
+level:
+    srli r14, r20, 1            ; half
+    li r21, 0
+group:
+    li r22, 0
+bfly:
+    add r3, r21, r22            ; top index
+    add r4, r3, r14             ; bottom index
+    andi r5, r22, 7
+    flw f4, tw(r5)
+    flw f5, re(r3)
+    flw f6, re(r4)
+    fmul f7, f6, f4
+    fadd f8, f5, f7
+    fsub f9, f5, f7
+    fsw f8, re(r3)
+    fsw f9, re(r4)
+    flw f5, im(r3)
+    flw f6, im(r4)
+    fmul f7, f6, f4
+    fadd f8, f5, f7
+    fsub f9, f5, f7
+    fsw f8, im(r3)
+    fsw f9, im(r4)
+    addi r22, r22, 1
+    blt r22, r14, bfly
+    add r21, r21, r20
+    li r6, 512
+    blt r21, r6, group
+    slli r20, r20, 1
+    li r6, 512
+    ble r20, r6, level
+    lw r7, it(r0)
+    addi r7, r7, 1
+    sw r7, it(r0)
+    li r8, 250
+    blt r7, r8, fft
+    halt
+`

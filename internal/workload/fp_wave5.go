@@ -1,0 +1,104 @@
+package workload
+
+func init() {
+	register("wave5", FP,
+		"Particle-in-cell flavor: a particle push loop that gathers "+
+			"field values through an index array and scatters particles "+
+			"to pseudo-random cells, plus a field smoothing pass — mixed "+
+			"gather/scatter and stencil behavior, like SPEC's wave5.",
+		srcWave5)
+}
+
+const srcWave5 = `
+; wave5: particle push + field smoothing. r20 = particle, r21 = cell.
+.data
+seed: .word 97531
+pidx: .space 512
+it:   .word 0
+.fdata
+field: .fspace 1026
+pvel:  .fspace 512
+
+.text
+main:
+    li r15, 0
+    li r1, 512
+    fcvt f1, r1
+finit:
+    fcvt f2, r15
+    fdiv f2, f2, f1
+    fsw f2, field(r15)
+    addi r15, r15, 1
+    slti r2, r15, 1026
+    bnez r2, finit
+    li r15, 0
+pinit:
+    jal rand                    ; rand clobbers r1/r2, so count in r15
+    andi r3, r10, 1023
+    sw r3, pidx(r15)
+    addi r15, r15, 1
+    slti r2, r15, 512
+    bnez r2, pinit
+step:
+    li r20, 0                   ; particle push
+push:
+    lw r3, pidx(r20)
+    flw f2, field(r3)           ; gather
+    flw f3, pvel(r20)
+    fadd f3, f3, f2
+    li r4, 16
+    fcvt f4, r4
+    fdiv f5, f3, f4
+    fsub f3, f3, f5
+    fsw f3, pvel(r20)
+    lw r5, seed(r0)             ; move the particle pseudo-randomly
+    li r6, 1103515245
+    mul r5, r5, r6
+    addi r5, r5, 12345
+    li r6, 0x7fffffff
+    and r5, r5, r6
+    sw r5, seed(r0)
+    srli r7, r5, 16
+    andi r7, r7, 7
+    add r3, r3, r7
+    addi r3, r3, 1
+    andi r3, r3, 1023
+    sw r3, pidx(r20)
+    addi r20, r20, 1
+    slti r8, r20, 512
+    bnez r8, push
+    li r21, 1                   ; field smoothing
+smooth:
+    subi r9, r21, 1
+    flw f2, field(r9)
+    addi r9, r21, 1
+    flw f3, field(r9)
+    flw f4, field(r21)
+    fadd f2, f2, f3
+    fadd f2, f2, f4
+    fadd f2, f2, f4
+    li r11, 4
+    fcvt f5, r11
+    fdiv f2, f2, f5
+    fsw f2, field(r21)
+    addi r21, r21, 1
+    slti r12, r21, 1025
+    bnez r12, smooth
+    lw r13, it(r0)
+    addi r13, r13, 1
+    sw r13, it(r0)
+    li r14, 250
+    blt r13, r14, step
+    halt
+
+rand:
+    lw r1, seed(r0)
+    li r2, 1103515245
+    mul r1, r1, r2
+    addi r1, r1, 12345
+    li r2, 0x7fffffff
+    and r1, r1, r2
+    sw r1, seed(r0)
+    srli r10, r1, 16
+    ret
+`

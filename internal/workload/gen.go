@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file generates the three big-text benchmarks. SPEC's gcc,
+// m88ksim and fpppp are distinguished by large instruction footprints
+// (hundreds of kilobytes of hot text), which is what pressures the BIT
+// table (Figure 7) and the target arrays (Table 5). Hand-writing
+// hundreds of handler variants would be noise, so the sources are
+// assembled programmatically — the generated text is ordinary assembly
+// the same assembler consumes.
+
+const randSub = `
+rand:
+    lw r1, seed(r0)
+    li r2, 1103515245
+    mul r1, r1, r2
+    addi r1, r1, 12345
+    li r2, 0x7fffffff
+    and r1, r1, r2
+    sw r1, seed(r0)
+    srli r10, r1, 16
+    ret
+`
+
+// genGCC builds a compiler-front-end-like program with numHandlers
+// token handlers reached through one big jump table, plus a set of
+// shared helper routines. Handler bodies rotate through six flavors so
+// the static code is large and varied, like a real compiler's switch
+// bodies.
+func genGCC(numHandlers, numHelpers, tokens int) string {
+	var b strings.Builder
+	b.WriteString("; gcc (generated): token dispatch across a large handler table.\n")
+	b.WriteString(".data\nseed: .word 987654321\n")
+	b.WriteString("jt: .word")
+	for k := 0; k < numHandlers; k++ {
+		if k > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, " h%d", k)
+	}
+	b.WriteString("\n")
+	b.WriteString("symtab: .space 256\ncnt: .space 32\nacc: .word 0\n")
+	b.WriteString(".text\nmain:\n    li r20, 0\nloop:\n")
+	b.WriteString("    jal rand\n")
+	fmt.Fprintf(&b, "    li r2, %d\n    rem r11, r10, r2\n", numHandlers*4/3)
+	fmt.Fprintf(&b, "    li r1, %d\n    blt r11, r1, dispatch\n", numHandlers)
+	// Fold the top quarter onto the first few handlers: hot tokens.
+	b.WriteString("    andi r11, r11, 7\ndispatch:\n    lw r2, jt(r11)\n    jr r2\n")
+
+	for k := 0; k < numHandlers; k++ {
+		fmt.Fprintf(&b, "h%d:\n", k)
+		switch k % 6 {
+		case 0: // counter arithmetic
+			fmt.Fprintf(&b, "    lw r3, cnt+%d(r0)\n", k%32)
+			fmt.Fprintf(&b, "    addi r3, r3, %d\n", k%7+1)
+			fmt.Fprintf(&b, "    slli r4, r3, 1\n    xor r3, r3, r4\n")
+			fmt.Fprintf(&b, "    sw r3, cnt+%d(r0)\n    jmp cont\n", k%32)
+		case 1: // symbol hash touch with a two-way branch
+			b.WriteString("    jal rand\n    andi r3, r10, 255\n    lw r4, symtab(r3)\n")
+			fmt.Fprintf(&b, "    bnez r4, h%dseen\n", k)
+			fmt.Fprintf(&b, "    li r4, %d\n    sw r4, symtab(r3)\n    jmp cont\nh%dseen:\n", k%13+1, k)
+			b.WriteString("    addi r4, r4, 1\n    sw r4, symtab(r3)\n    jmp cont\n")
+		case 2: // helper call
+			fmt.Fprintf(&b, "    li r12, %d\n    jal helper%d\n    jmp cont\n", k, k%max(1, numHelpers))
+		case 3: // compare cascade on the accumulator
+			b.WriteString("    lw r3, acc(r0)\n")
+			fmt.Fprintf(&b, "    slti r4, r3, %d\n", 64*(k%5+1))
+			fmt.Fprintf(&b, "    bnez r4, h%dlo\n", k)
+			fmt.Fprintf(&b, "    srai r3, r3, 1\n    sw r3, acc(r0)\n    jmp cont\nh%dlo:\n", k)
+			fmt.Fprintf(&b, "    addi r3, r3, %d\n    sw r3, acc(r0)\n    jmp cont\n", k%11+1)
+		case 4: // short fixed loop over a symtab slice
+			fmt.Fprintf(&b, "    li r5, %d\n    li r6, 0\n    li r8, 0\nh%dloop:\n", k%128, k)
+			b.WriteString("    lw r7, symtab(r5)\n    add r6, r6, r7\n    addi r5, r5, 1\n    andi r5, r5, 255\n")
+			fmt.Fprintf(&b, "    addi r8, r8, 1\n    slti r7, r8, %d\n    bnez r7, h%dloop\n", k%3+3, k)
+			fmt.Fprintf(&b, "    lw r7, cnt+%d(r0)\n    add r7, r7, r6\n    sw r7, cnt+%d(r0)\n    jmp cont\n", (k+5)%32, (k+5)%32)
+		default: // guarded state update
+			fmt.Fprintf(&b, "    lw r3, cnt+%d(r0)\n", (k+9)%32)
+			fmt.Fprintf(&b, "    beqz r3, h%dzero\n", k)
+			b.WriteString("    subi r3, r3, 1\n")
+			fmt.Fprintf(&b, "h%dzero:\n    addi r3, r3, 2\n", k)
+			fmt.Fprintf(&b, "    sw r3, cnt+%d(r0)\n    jmp cont\n", (k+9)%32)
+		}
+	}
+
+	fmt.Fprintf(&b, "cont:\n    addi r20, r20, 1\n    li r9, %d\n    blt r20, r9, loop\n    halt\n", tokens)
+
+	for j := 0; j < numHelpers; j++ {
+		fmt.Fprintf(&b, "helper%d:\n", j)
+		fmt.Fprintf(&b, "    andi r13, r12, %d\n    li r14, 0\nhl%d:\n", 192+j*8%63, j)
+		b.WriteString("    lw r15, symtab(r13)\n    bnez r15, hl")
+		fmt.Fprintf(&b, "%dhit\n", j)
+		b.WriteString("    addi r13, r13, 1\n    andi r13, r13, 255\n    addi r14, r14, 1\n")
+		fmt.Fprintf(&b, "    slti r15, r14, %d\n    bnez r15, hl%d\n    ret\n", j%4+2, j)
+		fmt.Fprintf(&b, "hl%dhit:\n    addi r15, r15, 1\n    sw r15, symtab(r13)\n    ret\n", j)
+	}
+	b.WriteString(randSub)
+	return b.String()
+}
+
+// genM88ksim builds an instruction-set simulator with a fast path for
+// the two most common simulated opcodes (real interpreters do exactly
+// this) and a wide indirect dispatch for the rest.
+func genM88ksim(numOps, steps int) string {
+	var b strings.Builder
+	b.WriteString("; m88ksim (generated): ISS loop with fast path and wide dispatch.\n")
+	b.WriteString(".data\nseed: .word 13579\nprog: .space 512\nregs: .space 16\ndmem: .space 256\npcv: .word 0\nicnt: .word 0\n")
+	b.WriteString("jt: .word")
+	for k := 0; k < numOps; k++ {
+		if k > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, " op%d", k)
+	}
+	b.WriteString("\n.text\nmain:\n    li r15, 0\ninit:\n    jal rand\n    sw r10, prog(r15)\n")
+	b.WriteString("    addi r15, r15, 1\n    slti r2, r15, 512\n    bnez r2, init\n")
+	b.WriteString("sim:\n    lw r20, pcv(r0)\n    lw r21, prog(r20)\n")
+	fmt.Fprintf(&b, "    li r2, %d\n    rem r22, r21, r2\n", numOps*2)
+	// Fold the top half onto opcodes 0 and 1: the fast-path share.
+	fmt.Fprintf(&b, "    li r1, %d\n    blt r22, r1, slow\n    andi r22, r22, 1\nslow:\n", numOps)
+	// Fast path: opcode 0 (add) and 1 (load) handled inline.
+	b.WriteString("    bnez r22, notadd\n")
+	b.WriteString("    srli r3, r21, 5\n    andi r3, r3, 15\n    srli r4, r21, 9\n    andi r4, r4, 15\n")
+	b.WriteString("    lw r5, regs(r3)\n    lw r6, regs(r4)\n    add r5, r5, r6\n    sw r5, regs(r3)\n    jmp simnext\n")
+	b.WriteString("notadd:\n    li r1, 1\n    bne r22, r1, dispatch\n")
+	b.WriteString("    srli r3, r21, 5\n    andi r3, r3, 15\n    srli r4, r21, 9\n    andi r4, r4, 255\n")
+	b.WriteString("    lw r5, dmem(r4)\n    sw r5, regs(r3)\n    jmp simnext\n")
+	b.WriteString("dispatch:\n    lw r2, jt(r22)\n    jr r2\n")
+
+	for k := 0; k < numOps; k++ {
+		fmt.Fprintf(&b, "op%d:\n", k)
+		b.WriteString("    srli r3, r21, 5\n    andi r3, r3, 15\n    srli r4, r21, 9\n    andi r4, r4, 15\n")
+		switch k % 8 {
+		case 0, 1: // alu flavors
+			b.WriteString("    lw r5, regs(r3)\n    lw r6, regs(r4)\n")
+			ops := []string{"add", "sub", "and", "or", "xor", "mul"}
+			fmt.Fprintf(&b, "    %s r5, r5, r6\n", ops[k%len(ops)])
+			fmt.Fprintf(&b, "    addi r5, r5, %d\n", k%9)
+			b.WriteString("    sw r5, regs(r3)\n    jmp simnext\n")
+		case 2: // shift-immediate flavor
+			b.WriteString("    lw r5, regs(r3)\n")
+			fmt.Fprintf(&b, "    slli r6, r5, %d\n    xor r5, r5, r6\n", k%3+1)
+			b.WriteString("    sw r5, regs(r3)\n    jmp simnext\n")
+		case 3: // load
+			b.WriteString("    srli r4, r21, 9\n    andi r4, r4, 255\n    lw r5, dmem(r4)\n")
+			fmt.Fprintf(&b, "    addi r5, r5, %d\n", k)
+			b.WriteString("    sw r5, regs(r3)\n    jmp simnext\n")
+		case 4: // store
+			b.WriteString("    srli r4, r21, 9\n    andi r4, r4, 255\n    lw r5, regs(r3)\n    sw r5, dmem(r4)\n    jmp simnext\n")
+		case 5: // compare-and-set
+			b.WriteString("    lw r5, regs(r3)\n    lw r6, regs(r4)\n    slt r5, r5, r6\n    sw r5, regs(r3)\n    jmp simnext\n")
+		case 6: // simulated conditional branch
+			fmt.Fprintf(&b, "    lw r5, regs(r3)\n    andi r5, r5, %d\n    beqz r5, simnext\n", k%3+1)
+			b.WriteString("    srli r6, r21, 9\n    andi r6, r6, 511\n    sw r6, pcv(r0)\n    jmp simcount\n")
+		default: // simulated call: branch through a link register slot
+			b.WriteString("    lw r5, pcv(r0)\n    addi r5, r5, 1\n    sw r5, regs(r3)\n")
+			b.WriteString("    srli r6, r21, 9\n    andi r6, r6, 511\n    sw r6, pcv(r0)\n    jmp simcount\n")
+		}
+	}
+
+	b.WriteString("simnext:\n    lw r5, pcv(r0)\n    addi r5, r5, 1\n    andi r5, r5, 511\n    sw r5, pcv(r0)\n")
+	fmt.Fprintf(&b, "simcount:\n    lw r6, icnt(r0)\n    addi r6, r6, 1\n    sw r6, icnt(r0)\n    li r7, %d\n    blt r6, r7, sim\n    halt\n", steps)
+	b.WriteString(randSub)
+	return b.String()
+}
+
+// genFpppp builds the huge-basic-block benchmark: numChunks long
+// straight-line floating-point sequences, each ending in a store burst,
+// chained in a loop. The static footprint is large and the dynamic
+// basic block size enormous, like the real fpppp.
+func genFpppp(numChunks, chunkOps, iters int) string {
+	var b strings.Builder
+	b.WriteString("; fpppp (generated): chained giant straight-line FP blocks.\n")
+	b.WriteString(".fdata\ncoef: .fword")
+	for i := 0; i < 16; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, " %0.4f", 0.8+0.025*float64(i))
+	}
+	b.WriteString("\nout: .fspace 64\n.data\nit: .word 0\n.text\nmain:\n")
+	// Load the coefficient block once.
+	b.WriteString("    li r15, 0\nload:\n    flw f0, coef(r15)\n    addi r15, r15, 1\n    slti r1, r15, 16\n    bnez r1, load\n")
+	b.WriteString("loop:\n")
+	for c := 0; c < numChunks; c++ {
+		// Reload a few inputs so values stay bounded.
+		for i := 0; i < 8; i++ {
+			fmt.Fprintf(&b, "    li r2, %d\n    flw f%d, coef(r2)\n", (c+i)%16, i)
+		}
+		for i := 0; i < chunkOps; i++ {
+			d := 8 + (c+i)%8
+			s1 := (i + c) % 8
+			s2 := (i*3 + c + 1) % 16
+			switch i % 4 {
+			case 0:
+				fmt.Fprintf(&b, "    fmul f%d, f%d, f%d\n", d, s1, s2)
+			case 1:
+				fmt.Fprintf(&b, "    fadd f%d, f%d, f%d\n", d, s1, s2)
+			case 2:
+				fmt.Fprintf(&b, "    fsub f%d, f%d, f%d\n", d, s2, s1)
+			default:
+				fmt.Fprintf(&b, "    fadd f%d, f%d, f%d\n", d, d, s1)
+			}
+		}
+		// Normalize to keep magnitudes bounded, then store.
+		fmt.Fprintf(&b, "    fabs f15, f15\n    li r3, 1\n    fcvt f7, r3\n    fadd f15, f15, f7\n")
+		for i := 0; i < 4; i++ {
+			fmt.Fprintf(&b, "    fdiv f%d, f%d, f15\n", 8+i, 8+i)
+			fmt.Fprintf(&b, "    li r4, %d\n    fsw f%d, out(r4)\n", (c*4+i)%64, 8+i)
+		}
+		// One biased data-dependent branch per chunk keeps the basic
+		// block size near the real fpppp's (~100), not unbounded.
+		fmt.Fprintf(&b, "    fcmp r7, f8, f9\n    bltz r7, c%dskip\n    fadd f8, f8, f9\nc%dskip:\n", c, c)
+	}
+	fmt.Fprintf(&b, "    lw r5, it(r0)\n    addi r5, r5, 1\n    sw r5, it(r0)\n    li r6, %d\n    blt r5, r6, loop\n    halt\n", iters)
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

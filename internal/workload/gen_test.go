@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"mbbp/internal/asm"
+)
+
+// TestGeneratorsAssemble checks the source generators over a range of
+// parameters, not just the registered defaults.
+func TestGeneratorsAssemble(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"gcc-small", genGCC(12, 2, 1000)},
+		{"gcc-large", genGCC(256, 8, 1000)},
+		{"m88k-small", genM88ksim(8, 1000)},
+		{"m88k-large", genM88ksim(64, 1000)},
+		{"fpppp-small", genFpppp(2, 16, 100)},
+		{"fpppp-large", genFpppp(16, 64, 100)},
+	}
+	for _, c := range cases {
+		p, err := asm.Assemble(c.name, c.src)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+// TestGeneratedFootprintScales checks the point of the generators: the
+// static code footprint grows with the handler/chunk counts (that is
+// what pressures the BIT table and target arrays).
+func TestGeneratedFootprintScales(t *testing.T) {
+	small, err := asm.Assemble("s", genGCC(12, 2, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := asm.Assemble("l", genGCC(192, 8, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(large.Code) < 4*len(small.Code) {
+		t.Errorf("footprint did not scale: %d vs %d instructions",
+			len(small.Code), len(large.Code))
+	}
+	if len(large.Code) < 1000 {
+		t.Errorf("registered gcc footprint = %d instructions, want 1000+", len(large.Code))
+	}
+}
+
+// TestGeneratedProgramsRun executes each generated variant briefly.
+func TestGeneratedProgramsRun(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		src  string
+	}{
+		{"gcc-var", genGCC(48, 4, 5000)},
+		{"m88k-var", genM88ksim(16, 5000)},
+		{"fpppp-var", genFpppp(4, 24, 50)},
+	} {
+		b := &Benchmark{Name: c.name, Source: c.src}
+		tr, err := b.Trace(50_000)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if tr.Len() != 50_000 {
+			t.Errorf("%s: short trace %d", c.name, tr.Len())
+		}
+	}
+}
+
+// TestGeneratedSourceIsCleanAssembly spot-checks the emitted text: no
+// stray Go formatting artifacts.
+func TestGeneratedSourceIsCleanAssembly(t *testing.T) {
+	src := genGCC(24, 3, 100)
+	for _, bad := range []string{"%!", "(MISSING)", "<nil>"} {
+		if strings.Contains(src, bad) {
+			t.Errorf("generated source contains %q", bad)
+		}
+	}
+}

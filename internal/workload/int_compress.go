@@ -1,0 +1,101 @@
+package workload
+
+func init() {
+	register("compress", Int,
+		"LZW-style dictionary compression of a skewed pseudo-random byte "+
+			"stream: hash-probe loops with data-dependent branches and "+
+			"periodic dictionary resets, like SPEC's compress.",
+		srcCompress)
+}
+
+const srcCompress = `
+; compress: dictionary compression kernel.
+; r20 iteration, r21 byte, r22 key, r23 probe slot,
+; r24 prefix code, r25 next free code.
+.data
+seed:    .word 12345
+htab:    .space 512
+codetab: .space 512
+outbits: .word 0
+csum:    .word 0
+
+.text
+main:
+    li r25, 256
+    li r24, -1
+    li r20, 0
+outer:
+    lw r1, seed(r0)             ; inlined LCG keeps the hot block long
+    li r2, 1103515245
+    mul r1, r1, r2
+    addi r1, r1, 12345
+    li r2, 0x7fffffff
+    and r1, r1, r2
+    sw r1, seed(r0)
+    srli r10, r1, 16
+    andi r21, r10, 255
+    slti r2, r21, 64
+    bnez r2, havebyte
+    srli r21, r21, 2            ; skew toward small bytes: repeats likelier
+havebyte:
+    slli r3, r21, 3             ; rolling checksum of the input stream
+    xor r3, r3, r21
+    lw r5, csum(r0)
+    add r5, r5, r3
+    srli r6, r5, 9
+    xor r5, r5, r6
+    sw r5, csum(r0)
+    bgez r24, hash
+    mv r24, r21
+    jmp next
+hash:
+    slli r22, r24, 8
+    or r22, r22, r21
+    ori r22, r22, 65536         ; keys are never zero (zero marks empty)
+    andi r23, r22, 511
+probe:                          ; probe chain, two slots per pass
+    lw r4, htab(r23)
+    beq r4, r22, found
+    beqz r4, insert
+    addi r23, r23, 1
+    andi r23, r23, 511
+    lw r4, htab(r23)
+    beq r4, r22, found
+    beqz r4, insert
+    addi r23, r23, 1
+    andi r23, r23, 511
+    jmp probe
+found:
+    lw r24, codetab(r23)
+    jmp next
+insert:
+    sw r22, htab(r23)
+    sw r25, codetab(r23)
+    addi r25, r25, 1
+    jal emit
+    mv r24, r21
+    li r6, 512
+    blt r25, r6, next
+    li r7, 0                    ; dictionary full: reset
+clear:
+    sw r0, htab(r7)
+    sw r0, codetab(r7)
+    addi r7, r7, 1
+    slti r8, r7, 512
+    bnez r8, clear
+    li r25, 256
+next:
+    addi r20, r20, 1
+    li r9, 120000
+    blt r20, r9, outer
+    halt
+
+; emit: account the output bits for one new dictionary code.
+emit:
+    lw r5, outbits(r0)
+    addi r5, r5, 12
+    slli r6, r25, 2
+    add r5, r5, r6
+    sw r5, outbits(r0)
+    ret
+`

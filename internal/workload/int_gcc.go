@@ -1,0 +1,11 @@
+package workload
+
+func init() {
+	register("gcc", Int,
+		"Compiler-front-end-like token dispatch with a large static "+
+			"footprint: 192 generated token handlers reached through one "+
+			"indirect jump table, symbol-table hashing, compare cascades "+
+			"and helper calls. The big text pressures the BIT table "+
+			"(Figure 7) and target arrays (Table 5) like SPEC's gcc.",
+		genGCC(192, 8, 150_000))
+}

@@ -1,0 +1,81 @@
+package workload
+
+func init() {
+	register("go", Int,
+		"Game-tree search: recursive negamax to depth 5 with random move "+
+			"pruning and noisy leaf evaluation — deep call/return chains "+
+			"and genuinely hard conditional branches, like SPEC's go.",
+		srcGo)
+}
+
+const srcGo = `
+; go: recursive negamax.
+; search: r12 = depth in, r13 = score out; saves ra, r21, r22.
+.data
+seed:  .word 5550123
+nodes: .word 0
+best:  .word 0
+
+.text
+main:
+    li r20, 0
+game:
+    li r12, 5
+    jal search
+    lw r1, best(r0)
+    add r1, r1, r13
+    sw r1, best(r0)
+    addi r20, r20, 1
+    li r9, 3000
+    blt r20, r9, game
+    halt
+
+search:
+    subi sp, sp, 3
+    sw ra, 0(sp)
+    sw r21, 1(sp)
+    sw r22, 2(sp)
+    lw r1, nodes(r0)
+    addi r1, r1, 1
+    sw r1, nodes(r0)
+    bnez r12, srec
+    jal rand                    ; leaf: random evaluation
+    andi r13, r10, 127
+    subi r13, r13, 64
+    jmp sdone
+srec:
+    li r22, -1000               ; best score so far
+    li r21, 0                   ; move index
+smove:
+    jal rand
+    andi r1, r10, 7
+    beqz r1, sskip              ; prune 1 in 8 moves
+    subi r12, r12, 1
+    jal search
+    addi r12, r12, 1
+    neg r13, r13
+    ble r13, r22, sskip
+    mv r22, r13
+sskip:
+    addi r21, r21, 1
+    slti r2, r21, 4
+    bnez r2, smove
+    mv r13, r22
+sdone:
+    lw ra, 0(sp)
+    lw r21, 1(sp)
+    lw r22, 2(sp)
+    addi sp, sp, 3
+    ret
+
+rand:
+    lw r1, seed(r0)
+    li r2, 1103515245
+    mul r1, r1, r2
+    addi r1, r1, 12345
+    li r2, 0x7fffffff
+    and r1, r1, r2
+    sw r1, seed(r0)
+    srli r10, r1, 16
+    ret
+`

@@ -1,0 +1,116 @@
+package workload
+
+func init() {
+	register("ijpeg", Int,
+		"Integer image kernel: 8x8 block transform (row and column "+
+			"butterflies), absolute-value and saturation clamps, and "+
+			"quantization division — loop-dominated with data-dependent "+
+			"clamp branches, like SPEC's ijpeg.",
+		srcIJPEG)
+}
+
+const srcIJPEG = `
+; ijpeg: 8x8 block transform and quantization.
+.data
+seed: .word 24680
+img:  .space 64
+tmp:  .space 64
+qt:   .word 16, 11, 10, 16, 24, 40, 51, 61
+sum:  .word 0
+
+.text
+main:
+    li r20, 0
+block:
+    li r15, 0                   ; fill the block with a noisy gradient
+fill:
+    jal rand                    ; rand clobbers r1/r2, so count in r15
+    andi r2, r10, 63
+    add r2, r2, r15
+    sw r2, img(r15)
+    addi r15, r15, 1
+    slti r3, r15, 64
+    bnez r3, fill
+
+    li r4, 0                    ; row butterflies
+rowloop:
+    li r5, 0
+colloop:
+    add r6, r4, r5
+    li r7, 7
+    sub r7, r7, r5
+    add r7, r4, r7
+    lw r8, img(r6)
+    lw r9, img(r7)
+    add r11, r8, r9
+    sub r12, r8, r9
+    sw r11, tmp(r6)
+    addi r13, r6, 4
+    sw r12, tmp(r13)
+    addi r5, r5, 1
+    slti r14, r5, 4
+    bnez r14, colloop
+    addi r4, r4, 8
+    slti r14, r4, 64
+    bnez r14, rowloop
+
+    li r4, 0                    ; column butterflies
+cloop2:
+    li r5, 0
+rloop2:
+    slli r6, r5, 3
+    add r6, r6, r4
+    li r7, 7
+    sub r7, r7, r5
+    slli r7, r7, 3
+    add r7, r7, r4
+    lw r8, tmp(r6)
+    lw r9, tmp(r7)
+    add r11, r8, r9
+    sub r12, r8, r9
+    sw r11, img(r6)
+    addi r13, r6, 32
+    sw r12, img(r13)
+    addi r5, r5, 1
+    slti r14, r5, 4
+    bnez r14, rloop2
+    addi r4, r4, 1
+    slti r14, r4, 8
+    bnez r14, cloop2
+
+    li r1, 0                    ; quantize with clamping
+quant:
+    lw r2, img(r1)
+    bgez r2, qpos
+    neg r2, r2
+qpos:
+    slti r3, r2, 256
+    bnez r3, qok
+    li r2, 255
+qok:
+    andi r4, r1, 7
+    lw r5, qt(r4)
+    div r6, r2, r5
+    lw r7, sum(r0)
+    add r7, r7, r6
+    sw r7, sum(r0)
+    addi r1, r1, 1
+    slti r3, r1, 64
+    bnez r3, quant
+
+    addi r20, r20, 1
+    li r9, 4000
+    blt r20, r9, block
+    halt
+
+rand:
+    lw r1, seed(r0)
+    li r2, 1103515245
+    mul r1, r1, r2
+    addi r1, r1, 12345
+    li r2, 0x7fffffff
+    and r1, r1, r2
+    sw r1, seed(r0)
+    srli r10, r1, 16
+    ret
+`

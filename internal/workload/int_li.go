@@ -1,0 +1,93 @@
+package workload
+
+func init() {
+	register("li", Int,
+		"Lisp-interpreter-style list processing: cons-cell allocation "+
+			"from a wrapping heap, recursive list summation (recursion "+
+			"depth up to 34, stressing the return address stack) and "+
+			"iterative in-place reversal — pointer-chasing branches.",
+		srcLi)
+}
+
+const srcLi = `
+; li: cons cells are [car, cdr] pairs at heap[2*idx]; nil is -1.
+.data
+seed:  .word 31415
+heap:  .space 4096
+freep: .word 0
+total: .word 0
+
+.text
+main:
+    li r20, 0
+outer:
+    jal rand
+    andi r21, r10, 31
+    addi r21, r21, 2            ; list length 2..33
+    li r22, -1                  ; list = nil
+build:
+    jal rand                    ; rand clobbers r1/r2: call before using them
+    andi r10, r10, 1023
+    lw r1, freep(r0)
+    slli r2, r1, 1
+    sw r10, heap(r2)            ; car = random value
+    sw r22, heap+1(r2)          ; cdr = old head
+    mv r22, r1
+    addi r1, r1, 1
+    andi r1, r1, 2047
+    sw r1, freep(r0)
+    subi r21, r21, 1
+    bnez r21, build
+
+    mv r12, r22                 ; sum the list recursively
+    jal sumlist
+    lw r3, total(r0)
+    add r3, r3, r13
+    sw r3, total(r0)
+
+    li r4, -1                   ; reverse the list iteratively
+    mv r5, r22
+rev:
+    bltz r5, revdone
+    slli r6, r5, 1
+    lw r7, heap+1(r6)
+    sw r4, heap+1(r6)
+    mv r4, r5
+    mv r5, r7
+    jmp rev
+revdone:
+    addi r20, r20, 1
+    li r9, 40000
+    blt r20, r9, outer
+    halt
+
+; sumlist: r12 = cell index or -1; returns r13 = sum of cars.
+sumlist:
+    bgez r12, slrec
+    li r13, 0
+    ret
+slrec:
+    subi sp, sp, 2
+    sw ra, 0(sp)
+    sw r21, 1(sp)
+    slli r1, r12, 1
+    lw r21, heap(r1)
+    lw r12, heap+1(r1)
+    jal sumlist
+    add r13, r13, r21
+    lw ra, 0(sp)
+    lw r21, 1(sp)
+    addi sp, sp, 2
+    ret
+
+rand:
+    lw r1, seed(r0)
+    li r2, 1103515245
+    mul r1, r1, r2
+    addi r1, r1, 12345
+    li r2, 0x7fffffff
+    and r1, r1, r2
+    sw r1, seed(r0)
+    srli r10, r1, 16
+    ret
+`

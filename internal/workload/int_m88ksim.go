@@ -1,0 +1,10 @@
+package workload
+
+func init() {
+	register("m88ksim", Int,
+		"Instruction-set-simulator loop with an interpreter fast path "+
+			"for the two hottest simulated opcodes and a generated 32-way "+
+			"indirect dispatch for the rest; simulated branches and calls "+
+			"redirect the simulated PC, like SPEC's m88ksim.",
+		genM88ksim(32, 120_000))
+}

@@ -1,0 +1,98 @@
+package workload
+
+func init() {
+	register("perl", Int,
+		"Text processing: tokenizes a random character stream into words, "+
+			"classifies vowels through a compare chain, and inserts word "+
+			"hashes into a linearly probed table with periodic flushes — "+
+			"compare-heavy string handling, like SPEC's perl.",
+		srcPerl)
+}
+
+const srcPerl = `
+; perl: tokenizer and word-hash insert.
+; r20 chars processed, r21 rolling word hash, r22 char class.
+.data
+seed:   .word 271828
+whash:  .space 512
+words:  .word 0
+vowels: .word 0
+
+.text
+main:
+    li r20, 0
+    li r21, 0
+scan:
+    lw r1, seed(r0)             ; inlined LCG keeps the hot block long
+    li r2, 1103515245
+    mul r1, r1, r2
+    addi r1, r1, 12345
+    li r2, 0x7fffffff
+    and r1, r1, r2
+    sw r1, seed(r0)
+    srli r10, r1, 16
+    andi r22, r10, 31
+    slti r1, r22, 6
+    bnez r1, isspace            ; ~1 in 5 chars is whitespace
+    li r2, 26
+    rem r3, r22, r2
+    addi r3, r3, 97             ; c = 'a' + class%26
+    li r4, 'a'
+    beq r3, r4, vowel
+    li r4, 'e'
+    beq r3, r4, vowel
+    li r4, 'i'
+    beq r3, r4, vowel
+    li r4, 'o'
+    beq r3, r4, vowel
+    li r4, 'u'
+    beq r3, r4, vowel
+    jmp consonant
+vowel:
+    lw r5, vowels(r0)
+    addi r5, r5, 1
+    sw r5, vowels(r0)
+consonant:
+    slli r6, r21, 5             ; hash = hash*31 + c
+    sub r6, r6, r21
+    add r21, r6, r3
+    li r7, 0xffff
+    and r21, r21, r7
+    jmp next
+isspace:
+    beqz r21, next              ; empty word
+    jal record
+    li r21, 0
+next:
+    addi r20, r20, 1
+    li r9, 200000
+    blt r20, r9, scan
+    halt
+
+; record: insert the finished word hash (r21) into the probe table.
+record:
+    andi r8, r21, 511
+probe:
+    lw r9, whash(r8)
+    beq r9, r21, phit
+    beqz r9, pnew
+    addi r8, r8, 1
+    andi r8, r8, 511
+    jmp probe
+pnew:
+    sw r21, whash(r8)
+    lw r11, words(r0)
+    addi r11, r11, 1
+    sw r11, words(r0)
+    li r12, 400
+    blt r11, r12, phit
+    li r13, 0                   ; table nearly full: flush it
+clear:
+    sw r0, whash(r13)
+    addi r13, r13, 1
+    slti r14, r13, 512
+    bnez r14, clear
+    sw r0, words(r0)
+phit:
+    ret
+`

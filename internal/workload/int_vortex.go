@@ -1,0 +1,97 @@
+package workload
+
+func init() {
+	register("vortex", Int,
+		"Database-index maintenance: binary-search lookups over a sorted "+
+			"array (hard branches), shifted insertions (predictable move "+
+			"loops), and periodic bulk truncation, like SPEC's vortex.",
+		srcVortex)
+}
+
+const srcVortex = `
+; vortex: sorted-array index.
+; r20 operations, r21 key, r22 lo, r23 hi.
+.data
+seed: .word 86420
+arr:  .space 512
+len:  .word 0
+hits: .word 0
+csum: .word 0
+
+.text
+main:
+    li r20, 0
+op:
+    lw r1, seed(r0)             ; inlined LCG keeps the hot block long
+    li r2, 1103515245
+    mul r1, r1, r2
+    addi r1, r1, 12345
+    li r2, 0x7fffffff
+    and r1, r1, r2
+    sw r1, seed(r0)
+    srli r10, r1, 16
+    andi r21, r10, 4095
+    andi r2, r10, 1
+    beqz r2, dosearch           ; half the operations are field updates
+    andi r3, r10, 511           ; record-update transaction: read, hash,
+    lw r4, arr(r3)              ; fold into the running checksum
+    slli r5, r4, 1
+    xor r4, r4, r5
+    addi r4, r4, 7
+    srai r6, r4, 3
+    add r4, r4, r6
+    lw r7, csum(r0)
+    add r7, r7, r4
+    sw r7, csum(r0)
+    jmp opnext
+dosearch:
+    li r22, 0
+    lw r23, len(r0)
+bs:
+    bge r22, r23, bsdone
+    add r1, r22, r23
+    srli r1, r1, 1
+    lw r2, arr(r1)
+    beq r2, r21, bshit
+    blt r2, r21, bsright
+    mv r23, r1
+    jmp bs
+bsright:
+    addi r22, r1, 1
+    jmp bs
+bshit:
+    lw r3, hits(r0)
+    addi r3, r3, 1
+    sw r3, hits(r0)
+    jmp opnext
+bsdone:
+    jal insert
+opnext:
+    addi r20, r20, 1
+    li r9, 30000
+    blt r20, r9, op
+    halt
+
+; insert: place key r21 at position r22, shifting the tail right.
+insert:
+    lw r4, len(r0)
+    li r5, 512
+    blt r4, r5, doins
+    srli r4, r4, 1              ; index full: keep the lower half
+    sw r4, len(r0)
+    ret
+doins:
+    mv r6, r4                   ; shift arr[lo..len) right by one
+shift:
+    ble r6, r22, place
+    subi r7, r6, 1
+    lw r8, arr(r7)
+    sw r8, arr(r6)
+    mv r6, r7
+    jmp shift
+place:
+    sw r21, arr(r22)
+    addi r4, r4, 1
+    sw r4, len(r0)
+    ret
+`

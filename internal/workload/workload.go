@@ -1,0 +1,156 @@
+// Package workload provides the benchmark suite driving every
+// experiment: 18 programs named after the SPEC95 suite the paper used
+// (8 integer, 10 floating point), each written in the mini RISC ISA and
+// built to exhibit the qualitative control-flow structure of its
+// namesake — control-heavy, data-dependent branching for the integer
+// codes; long, predictable loop nests for the floating-point codes.
+// The predictors only observe dynamic control flow, so this is the
+// substrate substitution documented in DESIGN.md.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mbbp/internal/asm"
+	"mbbp/internal/cpu"
+	"mbbp/internal/isa"
+	"mbbp/internal/trace"
+)
+
+// Suite identifies the benchmark's half of SPEC95.
+type Suite int
+
+const (
+	// Int is CINT95.
+	Int Suite = iota
+	// FP is CFP95.
+	FP
+)
+
+func (s Suite) String() string {
+	if s == FP {
+		return "CFP95"
+	}
+	return "CINT95"
+}
+
+// Benchmark is one registered program.
+type Benchmark struct {
+	Name        string
+	Suite       Suite
+	Description string
+	Source      string
+
+	once sync.Once
+	prog *isa.Program
+	err  error
+}
+
+// Program assembles (and caches) the benchmark.
+func (b *Benchmark) Program() (*isa.Program, error) {
+	b.once.Do(func() {
+		b.prog, b.err = asm.Assemble(b.Name, b.Source)
+	})
+	return b.prog, b.err
+}
+
+// Trace executes the benchmark for n dynamic instructions and returns
+// the buffered trace. The program restarts transparently if it halts
+// early, so any n is valid.
+func (b *Benchmark) Trace(n uint64) (*trace.Buffer, error) {
+	p, err := b.Program()
+	if err != nil {
+		return nil, err
+	}
+	return trace.Capture(p, cpu.DefaultConfig(), n)
+}
+
+// TraceSeeded is Trace with the program's pseudo-random seed replaced,
+// yielding a different (but statistically similar) dynamic instruction
+// stream — used to check that results are properties of the program
+// structure, not of one particular input. Programs without a "seed"
+// data word (the purely deterministic FP kernels) return their normal
+// trace.
+func (b *Benchmark) TraceSeeded(n uint64, seed int64) (*trace.Buffer, error) {
+	p, err := b.Program()
+	if err != nil {
+		return nil, err
+	}
+	off, ok := p.DataSymbols["seed"]
+	if !ok {
+		return trace.Capture(p, cpu.DefaultConfig(), n)
+	}
+	// Clone the program with a patched initial data image; everything
+	// else is shared (the CPU never mutates Code or the Program's
+	// images).
+	clone := *p
+	clone.IntData = append([]int64(nil), p.IntData...)
+	clone.IntData[off] = seed & 0x7fffffff
+	if clone.IntData[off] == 0 {
+		clone.IntData[off] = 1
+	}
+	return trace.Capture(&clone, cpu.DefaultConfig(), n)
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]*Benchmark{}
+)
+
+// register adds a benchmark at init time.
+func register(name string, suite Suite, desc, source string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("workload: duplicate benchmark " + name)
+	}
+	registry[name] = &Benchmark{Name: name, Suite: suite, Description: desc, Source: source}
+}
+
+// Get returns a benchmark by name.
+func Get(name string) (*Benchmark, error) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return b, nil
+}
+
+// Names returns all benchmark names, integer suite first, each suite
+// alphabetical (the paper's Figure 9 ordering).
+func Names() []string {
+	return append(IntNames(), FPNames()...)
+}
+
+// IntNames returns the CINT95 benchmark names, alphabetical.
+func IntNames() []string { return namesOf(Int) }
+
+// FPNames returns the CFP95 benchmark names, alphabetical.
+func FPNames() []string { return namesOf(FP) }
+
+func namesOf(s Suite) []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	var out []string
+	for n, b := range registry {
+		if b.Suite == s {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every benchmark, integer suite first.
+func All() []*Benchmark {
+	var out []*Benchmark
+	for _, n := range Names() {
+		b, _ := Get(n)
+		out = append(out, b)
+	}
+	return out
+}

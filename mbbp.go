@@ -1,0 +1,153 @@
+package mbbp
+
+import (
+	"io"
+
+	"mbbp/internal/asm"
+	"mbbp/internal/bac"
+	"mbbp/internal/core"
+	"mbbp/internal/cost"
+	"mbbp/internal/cpu"
+	"mbbp/internal/icache"
+	"mbbp/internal/isa"
+	"mbbp/internal/metrics"
+	"mbbp/internal/pht"
+	"mbbp/internal/trace"
+	"mbbp/internal/workload"
+)
+
+// Core configuration and engine types.
+type (
+	// Config selects one fetch-architecture configuration.
+	Config = core.Config
+	// Engine is a configured instance of the paper's fetch hardware.
+	Engine = core.Engine
+	// Result carries the metrics of one simulation (BEP, IPC_f, IPB,
+	// penalty breakdown).
+	Result = metrics.Result
+	// PenaltyKind is one row of the paper's Table 3.
+	PenaltyKind = metrics.Kind
+	// Geometry describes an instruction cache organization.
+	Geometry = icache.Geometry
+	// Program is an assembled mini-ISA program.
+	Program = isa.Program
+	// TraceSource yields retired instructions to an Engine.
+	TraceSource = trace.Source
+	// TraceBuffer is an in-memory trace.
+	TraceBuffer = trace.Buffer
+	// CostEstimate is a §5 hardware cost breakdown.
+	CostEstimate = cost.Estimate
+	// CostParams are the Table 7 symbols.
+	CostParams = cost.Params
+	// BaselineConfig sizes the Yeh/Marr/Patt branch-address-cache
+	// baseline the paper compares against.
+	BaselineConfig = bac.Config
+	// BaselineEngine is the BAC-based fetch engine.
+	BaselineEngine = bac.Engine
+	// FetchEvent describes one fetch block as the engine handled it;
+	// install an observer with Engine.SetObserver.
+	FetchEvent = core.Event
+	// FetchObserver receives per-block events.
+	FetchObserver = core.Observer
+	// EngineStats is a snapshot of predictor structure state
+	// (Engine.Stats).
+	EngineStats = core.StructStats
+)
+
+// LogObserver prints one line per fetch block, up to limit blocks.
+func LogObserver(w io.Writer, limit uint64) FetchObserver {
+	return &core.LogObserver{W: w, Limit: limit}
+}
+
+// Fetch modes, target array kinds, selection modes and cache kinds.
+const (
+	SingleBlock = core.SingleBlock
+	DualBlock   = core.DualBlock
+
+	NLS = core.NLS
+	BTB = core.BTB
+
+	SingleSelection = metrics.SingleSelection
+	DoubleSelection = metrics.DoubleSelection
+
+	// IndexGShare is the paper's GHR-XOR-address indexing; IndexGlobal
+	// (history only) is kept as an ablation.
+	IndexGShare = pht.IndexGShare
+	IndexGlobal = pht.IndexGlobal
+
+	CacheNormal      = icache.Normal
+	CacheExtended    = icache.Extended
+	CacheSelfAligned = icache.SelfAligned
+)
+
+// DefaultConfig returns the paper's §4 defaults (block width 8, normal
+// cache, 10-bit history, 256-entry NLS, dual-block single selection).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewEngine builds a fetch engine for the configuration.
+func NewEngine(cfg Config) (*Engine, error) { return core.New(cfg) }
+
+// CacheGeometry returns the paper's Table 6 geometry for a cache kind
+// and block width.
+func CacheGeometry(kind icache.Kind, blockWidth int) Geometry {
+	return icache.ForKind(kind, blockWidth)
+}
+
+// Workloads returns the names of the built-in benchmark suite (CINT95
+// names first, then CFP95).
+func Workloads() []string { return workload.Names() }
+
+// IntWorkloads returns the integer benchmark names.
+func IntWorkloads() []string { return workload.IntNames() }
+
+// FPWorkloads returns the floating-point benchmark names.
+func FPWorkloads() []string { return workload.FPNames() }
+
+// WorkloadTrace executes a built-in benchmark for n dynamic
+// instructions and returns its trace.
+func WorkloadTrace(name string, n uint64) (*TraceBuffer, error) {
+	b, err := workload.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return b.Trace(n)
+}
+
+// Assemble assembles mini-ISA source text into a program; see
+// internal/asm for the syntax.
+func Assemble(name, source string) (*Program, error) {
+	return asm.Assemble(name, source)
+}
+
+// CaptureTrace runs an assembled program for n instructions and returns
+// the trace it produces.
+func CaptureTrace(p *Program, n uint64) (*TraceBuffer, error) {
+	return trace.Capture(p, cpu.DefaultConfig(), n)
+}
+
+// ScalarMispredictRate runs the Figure 6 scalar two-level baseline over
+// a trace and returns its conditional misprediction rate.
+func ScalarMispredictRate(src TraceSource, historyBits, numTables int) float64 {
+	return core.RunScalar(src, historyBits, numTables).MispredictRate()
+}
+
+// EstimateCost evaluates the §5 cost model.
+func EstimateCost(p CostParams) CostEstimate { return cost.Compute(p) }
+
+// PaperCostParams returns the §5 walkthrough parameters (W=8, 10-bit
+// history, 256-entry NLS, 1024-entry BIT, 8 BBR entries).
+func PaperCostParams() CostParams { return cost.PaperParams() }
+
+// DefaultBaselineConfig returns a 256-entry 4-way BAC baseline matched
+// to the main engine's defaults.
+func DefaultBaselineConfig() BaselineConfig { return bac.DefaultConfig() }
+
+// NewBaselineEngine builds the Yeh-style branch-address-cache baseline
+// (reference [11] of the paper), whose per-entry cost grows
+// exponentially with the branches predicted per cycle.
+func NewBaselineEngine(cfg BaselineConfig) (*BaselineEngine, error) { return bac.New(cfg) }
+
+// BaselineCostBits estimates BAC storage (see bac.CostBits).
+func BaselineCostBits(entries, addrBits, branches int) int {
+	return bac.CostBits(entries, addrBits, branches)
+}

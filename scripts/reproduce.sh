@@ -1,0 +1,41 @@
+#!/bin/sh
+# Regenerate every result in EXPERIMENTS.md into ./out: the text tables,
+# machine-readable CSVs, and the self-contained markdown report.
+#
+# Usage: scripts/reproduce.sh [instructions-per-program]
+# Default 2000000 matches the numbers committed in EXPERIMENTS.md;
+# results are deterministic, so reruns are byte-identical.
+set -eu
+
+N="${1:-2000000}"
+OUT="out"
+mkdir -p "$OUT"
+
+echo "building..."
+go build -o "$OUT/mbpexp" ./cmd/mbpexp
+
+run() {
+    echo "  $1"
+    "$OUT/mbpexp" -n "$N" "$1" > "$OUT/$1.txt"
+}
+runcsv() {
+    echo "  $1.csv"
+    "$OUT/mbpexp" -n "$N" -csv "$1" > "$OUT/$1.csv"
+}
+
+echo "experiments ($N instructions/program)..."
+for exp in fig6 fig7 fig8 fig9 table5 table6 cost compare baseline extblocks ablation widths icache; do
+    run "$exp"
+done
+echo "seeds (this one re-traces per seed, be patient)..."
+run seeds
+
+echo "CSV series..."
+for exp in fig6 fig7 fig8 fig9 table5 table6; do
+    runcsv "$exp"
+done
+
+echo "markdown report..."
+"$OUT/mbpexp" -n "$N" report > "$OUT/report.md"
+
+echo "done: $(ls "$OUT" | wc -l) artifacts in $OUT/"
