@@ -1,0 +1,54 @@
+package mbbp
+
+// Smoke tests pinning the restored target-array paths through the real
+// binaries: each of the three CLIs is built and driven through one
+// small invocation that cannot work unless internal/target does — a
+// BTB run with near-block encoding, the Table 5 target-array sweep,
+// the §5 N-block extension, and the assembler's workload listing that
+// feeds them.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE2ESmokeSimBTBNear(t *testing.T) {
+	out := runTool(t, "mbpsim", "-n", "30000", "-target", "btb", "-entries", "32", "-near", "li")
+	for _, want := range []string{"BTB=32", "near", "IPC_f", "li"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mbpsim BTB+near output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE2ESmokeSimNBlock(t *testing.T) {
+	out := runTool(t, "mbpsim", "-n", "30000", "-blocks", "4", "li")
+	if !strings.Contains(out, "4blk") || !strings.Contains(out, "IPC_f") {
+		t.Errorf("mbpsim 4-block output malformed:\n%s", out)
+	}
+}
+
+func TestE2ESmokeExpTable5(t *testing.T) {
+	out := runTool(t, "mbpexp", "-n", "20000", "-programs", "li,go", "table5")
+	for _, want := range []string{"Table 5", "BTB", "NLS", "near"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mbpexp table5 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE2ESmokeExpExtBlocks(t *testing.T) {
+	out := runTool(t, "mbpexp", "-n", "20000", "-programs", "li,swim", "extblocks")
+	if !strings.Contains(out, "3") || !strings.Contains(out, "4") {
+		t.Errorf("mbpexp extblocks should cover 3 and 4 blocks/cycle:\n%s", out)
+	}
+}
+
+func TestE2ESmokeAsmList(t *testing.T) {
+	out := runTool(t, "mbpasm", "-list")
+	for _, want := range []string{"compress", "swim", "CINT95", "CFP95"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mbpasm -list missing %q:\n%s", want, out)
+		}
+	}
+}

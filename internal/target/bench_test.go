@@ -1,0 +1,23 @@
+package target
+
+import "testing"
+
+// Component micro-benchmarks for the fetch hot path: one Lookup and
+// one Update per predicted block, per target number.
+
+func benchArray(b *testing.B, a Array) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		addr := uint32(i) * 7
+		a.Update(addr, i%8, i&1, addr+13, i%16 == 0)
+		a.Lookup(addr, i%8, i&1)
+	}
+}
+
+func BenchmarkNLS(b *testing.B) {
+	benchArray(b, NewNLS(256, 8, 2))
+}
+
+func BenchmarkBTB(b *testing.B) {
+	benchArray(b, NewBTB(64, 8, 4))
+}

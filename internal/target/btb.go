@@ -1,0 +1,129 @@
+package target
+
+import "fmt"
+
+// btbEntry is one way of a BTB set: a block entry tagged by the full
+// indexing block address plus the target number, holding a target and
+// call bit per instruction position. Positions are filled lazily as
+// exits resolve; an unwritten position misses even under a tag match.
+type btbEntry struct {
+	valid     bool
+	tag       uint32 // indexing block address
+	targetNum int    // the §3.1 target-number tag
+	slots     []nlsSlot
+	written   []bool
+}
+
+// BTB is the tagged alternative of Table 5: an N-way set-associative
+// buffer with LRU replacement. The tag carries the block address and
+// the target number, so — unlike the NLS — one structure serves every
+// target number of a multi-block group without duplication, at the
+// price of tag storage and genuine misses. A miss (wrong tag, or a
+// position never written) makes the fetch logic fall back to
+// misfetch-and-recompute rather than predicting a stale address.
+type BTB struct {
+	sets  int
+	assoc int
+	width int
+	ways  [][]btbEntry // [set][way], most recently used first
+}
+
+// NewBTB builds an N-way tagged LRU target buffer with the given total
+// number of block entries split into entries/assoc sets of assoc ways,
+// each entry holding one slot per position of a blockWidth-wide block.
+// entries must be a positive multiple of assoc (the paper uses 4-way,
+// 8-64 entries).
+func NewBTB(entries, blockWidth, assoc int) *BTB {
+	if entries < 1 || blockWidth < 1 || assoc < 1 || entries%assoc != 0 {
+		panic(fmt.Sprintf("target: NewBTB(%d, %d, %d): entries must be a positive multiple of assoc",
+			entries, blockWidth, assoc))
+	}
+	b := &BTB{sets: entries / assoc, assoc: assoc, width: blockWidth}
+	b.ways = make([][]btbEntry, b.sets)
+	for s := range b.ways {
+		b.ways[s] = make([]btbEntry, assoc)
+	}
+	return b
+}
+
+// Entries returns the total number of block entries.
+func (b *BTB) Entries() int { return b.sets * b.assoc }
+
+// Sets returns the number of sets.
+func (b *BTB) Sets() int { return b.sets }
+
+// Assoc returns the number of ways per set.
+func (b *BTB) Assoc() int { return b.assoc }
+
+// Width returns the number of position slots per entry.
+func (b *BTB) Width() int { return b.width }
+
+func (b *BTB) set(addr uint32) []btbEntry {
+	return b.ways[int(addr%uint32(b.sets))]
+}
+
+// promote moves way w of set to the most-recently-used position.
+func promote(set []btbEntry, w int) {
+	e := set[w]
+	copy(set[1:w+1], set[:w])
+	set[0] = e
+}
+
+// Lookup searches the set indexed by the block address for an entry
+// tagged with that address and target number. A hit returns the
+// position's target and call bit and refreshes the entry's LRU
+// standing; a tag mismatch or an unwritten position is a miss.
+func (b *BTB) Lookup(indexAddr uint32, pos, targetNum int) (uint32, bool, bool) {
+	set := b.set(indexAddr)
+	pos %= b.width
+	for w := range set {
+		e := &set[w]
+		if !e.valid || e.tag != indexAddr || e.targetNum != targetNum {
+			continue
+		}
+		if !e.written[pos] {
+			return 0, false, false
+		}
+		s := e.slots[pos]
+		promote(set, w)
+		return s.target, s.call, true
+	}
+	return 0, false, false
+}
+
+// Update stores the resolved target and call bit under (blockAddr,
+// targetNum), allocating — and evicting the least recently used way —
+// on a tag miss. The touched entry becomes most recently used.
+func (b *BTB) Update(blockAddr uint32, pos, targetNum int, next uint32, isCall bool) {
+	set := b.set(blockAddr)
+	pos %= b.width
+	w := -1
+	for i := range set {
+		if set[i].valid && set[i].tag == blockAddr && set[i].targetNum == targetNum {
+			w = i
+			break
+		}
+	}
+	if w < 0 {
+		// Allocate in the least recently used way (an invalid way is by
+		// construction at or past every valid one, since allocation
+		// promotes).
+		w = len(set) - 1
+		e := &set[w]
+		e.valid = true
+		e.tag = blockAddr
+		e.targetNum = targetNum
+		if e.slots == nil {
+			e.slots = make([]nlsSlot, b.width)
+			e.written = make([]bool, b.width)
+		} else {
+			for i := range e.written {
+				e.written[i] = false
+			}
+		}
+	}
+	e := &set[w]
+	e.slots[pos] = nlsSlot{target: next, call: isCall}
+	e.written[pos] = true
+	promote(set, w)
+}

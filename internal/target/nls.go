@@ -1,0 +1,72 @@
+package target
+
+import "fmt"
+
+// nlsSlot is one stored target: the predicted next-fetch address and
+// the call bit that lets the successor's prediction bypass to the RAS.
+type nlsSlot struct {
+	target uint32
+	call   bool
+}
+
+// NLS is the paper's default target array (§2): tagless, direct-mapped
+// by block address, one slot per instruction position. For a group of
+// N blocks per cycle it holds N identical-geometry arrays, one per
+// target number; the duplication is inherent to §3.1's indexing (array
+// t must be readable with the address of the block t positions back,
+// in the same cycle as array 0).
+//
+// Being tagless, every lookup hits: a slot never written predicts
+// address 0 and a different block aliased onto the same entry predicts
+// that block's target. Both cases surface as ordinary misfetches when
+// the prediction is wrong, exactly as in the hardware.
+type NLS struct {
+	entries int
+	width   int
+	arrays  [][]nlsSlot // [targetNum][entry*width+pos]
+}
+
+// NewNLS builds a tagless direct-mapped target array with the given
+// number of block entries (a power of two in every paper
+// configuration, though any positive count works), one slot per
+// instruction position of a blockWidth-wide block, duplicated once per
+// target number for a group of blocks fetched per cycle.
+func NewNLS(entries, blockWidth, blocks int) *NLS {
+	if entries < 1 || blockWidth < 1 || blocks < 1 {
+		panic(fmt.Sprintf("target: NewNLS(%d, %d, %d): all arguments must be positive",
+			entries, blockWidth, blocks))
+	}
+	n := &NLS{entries: entries, width: blockWidth, arrays: make([][]nlsSlot, blocks)}
+	for t := range n.arrays {
+		n.arrays[t] = make([]nlsSlot, entries*blockWidth)
+	}
+	return n
+}
+
+// Entries returns the number of block entries per array.
+func (n *NLS) Entries() int { return n.entries }
+
+// Width returns the number of position slots per entry.
+func (n *NLS) Width() int { return n.width }
+
+// Arrays returns the number of per-target-number arrays.
+func (n *NLS) Arrays() int { return len(n.arrays) }
+
+func (n *NLS) slot(addr uint32, pos, targetNum int) *nlsSlot {
+	a := n.arrays[targetNum]
+	return &a[int(addr%uint32(n.entries))*n.width+pos%n.width]
+}
+
+// Lookup reads the slot for the indexing block address and exit
+// position from array targetNum. A tagless array always hits; a cold
+// slot returns target 0.
+func (n *NLS) Lookup(indexAddr uint32, pos, targetNum int) (uint32, bool, bool) {
+	s := n.slot(indexAddr, pos, targetNum)
+	return s.target, s.call, true
+}
+
+// Update stores the resolved target and call bit in array targetNum
+// under the indexing block address and exit position.
+func (n *NLS) Update(blockAddr uint32, pos, targetNum int, next uint32, isCall bool) {
+	*n.slot(blockAddr, pos, targetNum) = nlsSlot{target: next, call: isCall}
+}

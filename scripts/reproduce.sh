@@ -11,6 +11,13 @@ N="${1:-2000000}"
 OUT="out"
 mkdir -p "$OUT"
 
+# Tier-1 gate: refuse to regenerate artifacts from a tree that does
+# not build or whose tests fail (set -e aborts on the first failure).
+echo "tier-1 gate: go build && go vet && go test..."
+go build ./...
+go vet ./...
+go test ./... > /dev/null
+
 echo "building..."
 go build -o "$OUT/mbpexp" ./cmd/mbpexp
 
