@@ -8,7 +8,13 @@
 //	mbpexp [-n instructions] [-programs a,b,c] [-csv|-chart] [-warmup] <experiment>|all
 //
 // Experiments: fig6 fig7 fig8 fig9 table5 table6 cost compare baseline
-// extblocks ablation widths seeds icache report.
+// extblocks ablation widths seeds icache report bench benchcheck.
+//
+// Every experiment flattens its (configuration × program) grid onto
+// one work-stealing pool and folds results in declaration order, so
+// the output is byte-identical to a serial run; `all` shares the pool
+// across experiments. `bench` times the pinned sweep set serially and
+// in parallel and writes BENCH_sweep.json; `benchcheck` validates it.
 package main
 
 import (
@@ -26,8 +32,12 @@ func main() {
 	warmup := flag.Bool("warmup", false, "run an untimed training pass before measuring")
 	chart := flag.Bool("chart", false, "draw terminal charts alongside the tables")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of tables (fig6-9, table5-6)")
+	benchOut := flag.String("benchout", "BENCH_sweep.json", "bench/benchcheck: benchmark report file (- = stdout)")
+	workers := flag.Int("workers", 0, "bench: parallel pool size (0 = GOMAXPROCS)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mbpexp [flags] fig6|fig7|fig8|fig9|table5|table6|cost|compare|baseline|extblocks|ablation|widths|seeds|icache|report|all\n")
+		fmt.Fprintf(os.Stderr, "usage: mbpexp [flags] fig6|fig7|fig8|fig9|table5|table6|cost|compare|baseline|extblocks|ablation|widths|seeds|icache|report|bench|benchcheck|all\n")
+		fmt.Fprintf(os.Stderr, "  all runs every experiment above except report (it re-renders all of them),\n")
+		fmt.Fprintf(os.Stderr, "  bench (it re-times a pinned subset) and benchcheck, sharing one sweep pool.\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -42,146 +52,284 @@ func main() {
 		opts.Programs = strings.Split(*programs, ",")
 	}
 
-	if what == "cost" {
-		harness.RenderCost(os.Stdout)
-		return
-	}
-
-	fmt.Fprintf(os.Stderr, "mbpexp: tracing %d instructions per program...\n", *n)
-	ts, err := harness.LoadTraces(opts)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "mbpexp:", err)
 		os.Exit(1)
 	}
 
-	run := func(name string) {
+	// cost and benchcheck need no traces; everything else loads the
+	// workload set once and shares it.
+	var ts *harness.TraceSet
+	if what != "cost" && what != "benchcheck" {
+		fmt.Fprintf(os.Stderr, "mbpexp: tracing %d instructions per program...\n", *n)
 		var err error
+		ts, err = harness.LoadTraces(opts)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	sched := harness.DefaultScheduler()
+
+	// prepare submits an experiment's whole grid to the pool and
+	// returns the function that waits for it and renders. Preparing
+	// several experiments before finishing any (the `all` path) keeps
+	// the pool saturated across experiment boundaries.
+	prepare := func(name string) (func() error, bool) {
 		switch name {
 		case "fig6":
-			var rows []harness.Fig6Row
-			if rows, err = harness.Fig6(ts); err == nil {
+			wait := harness.Fig6Async(sched, ts)
+			return func() error {
+				rows, err := wait()
+				if err != nil {
+					return err
+				}
 				if *asCSV {
-					err = harness.CSVFig6(os.Stdout, rows)
-					break
+					return harness.CSVFig6(os.Stdout, rows)
 				}
 				harness.RenderFig6(os.Stdout, rows)
 				if *chart {
 					fmt.Println()
 					harness.ChartFig6(os.Stdout, rows)
 				}
-			}
+				return nil
+			}, true
 		case "fig7":
-			var rows []harness.Fig7Row
-			if rows, err = harness.Fig7(ts); err == nil {
+			wait := harness.Fig7Async(sched, ts)
+			return func() error {
+				rows, err := wait()
+				if err != nil {
+					return err
+				}
 				if *asCSV {
-					err = harness.CSVFig7(os.Stdout, rows)
-					break
+					return harness.CSVFig7(os.Stdout, rows)
 				}
 				harness.RenderFig7(os.Stdout, rows)
 				if *chart {
 					fmt.Println()
 					harness.ChartFig7(os.Stdout, rows)
 				}
-			}
+				return nil
+			}, true
 		case "fig8":
-			var rows []harness.Fig8Row
-			if rows, err = harness.Fig8(ts); err == nil {
+			wait := harness.Fig8Async(sched, ts)
+			return func() error {
+				rows, err := wait()
+				if err != nil {
+					return err
+				}
 				if *asCSV {
-					err = harness.CSVFig8(os.Stdout, rows)
-					break
+					return harness.CSVFig8(os.Stdout, rows)
 				}
 				harness.RenderFig8(os.Stdout, rows)
 				if *chart {
 					fmt.Println()
 					harness.ChartFig8(os.Stdout, rows)
 				}
-			}
+				return nil
+			}, true
 		case "fig9":
-			var rows []harness.Fig9Row
-			if rows, err = harness.Fig9(ts); err == nil {
+			wait := harness.Fig9Async(sched, ts)
+			return func() error {
+				rows, err := wait()
+				if err != nil {
+					return err
+				}
 				if *asCSV {
-					err = harness.CSVFig9(os.Stdout, rows)
-					break
+					return harness.CSVFig9(os.Stdout, rows)
 				}
 				harness.RenderFig9(os.Stdout, rows)
 				if *chart {
 					fmt.Println()
 					harness.ChartFig9(os.Stdout, rows)
 				}
-			}
+				return nil
+			}, true
 		case "table5":
-			var rows []harness.Table5Row
-			if rows, err = harness.Table5(ts); err == nil {
+			wait := harness.Table5Async(sched, ts)
+			return func() error {
+				rows, err := wait()
+				if err != nil {
+					return err
+				}
 				if *asCSV {
-					err = harness.CSVTable5(os.Stdout, rows)
-					break
+					return harness.CSVTable5(os.Stdout, rows)
 				}
 				harness.RenderTable5(os.Stdout, rows)
-			}
+				return nil
+			}, true
 		case "table6":
-			var rows []harness.Table6Row
-			if rows, err = harness.Table6(ts); err == nil {
+			wait := harness.Table6Async(sched, ts)
+			return func() error {
+				rows, err := wait()
+				if err != nil {
+					return err
+				}
 				if *asCSV {
-					err = harness.CSVTable6(os.Stdout, rows)
-					break
+					return harness.CSVTable6(os.Stdout, rows)
 				}
 				harness.RenderTable6(os.Stdout, rows)
-			}
+				return nil
+			}, true
 		case "cost":
-			harness.RenderCost(os.Stdout)
+			return func() error {
+				harness.RenderCost(os.Stdout)
+				return nil
+			}, true
 		case "extblocks":
-			var rows []harness.ExtBlocksRow
-			if rows, err = harness.ExtBlocks(ts); err == nil {
+			wait := harness.ExtBlocksAsync(sched, ts)
+			return func() error {
+				rows, err := wait()
+				if err != nil {
+					return err
+				}
 				harness.RenderExtBlocks(os.Stdout, rows)
-			}
+				return nil
+			}, true
 		case "ablation":
-			var rows []harness.AblationRow
-			if rows, err = harness.AblationPHT(ts); err == nil {
+			wait := harness.AblationPHTAsync(sched, ts)
+			return func() error {
+				rows, err := wait()
+				if err != nil {
+					return err
+				}
 				harness.RenderAblationPHT(os.Stdout, rows)
-			}
+				return nil
+			}, true
 		case "compare":
-			var c *harness.Comparison
-			if c, err = harness.Compare(ts); err == nil {
+			wait := harness.CompareAsync(sched, ts)
+			return func() error {
+				c, err := wait()
+				if err != nil {
+					return err
+				}
 				harness.RenderComparison(os.Stdout, c)
-			}
+				return nil
+			}, true
 		case "baseline":
-			var rows []harness.BaselineRow
-			if rows, err = harness.Baseline(ts); err == nil {
+			wait := harness.BaselineAsync(sched, ts)
+			return func() error {
+				rows, err := wait()
+				if err != nil {
+					return err
+				}
 				harness.RenderBaseline(os.Stdout, rows)
-			}
-		case "report":
-			err = harness.WriteReport(os.Stdout, ts, *n)
+				return nil
+			}, true
 		case "widths":
-			var rows []harness.WidthsRow
-			if rows, err = harness.Widths(ts); err == nil {
+			wait := harness.WidthsAsync(sched, ts)
+			return func() error {
+				rows, err := wait()
+				if err != nil {
+					return err
+				}
 				harness.RenderWidths(os.Stdout, rows)
-			}
+				return nil
+			}, true
 		case "seeds":
-			var rows []harness.SeedsRow
-			if rows, err = harness.Seeds(opts, nil); err == nil {
+			wait := harness.SeedsAsync(sched, opts, nil)
+			return func() error {
+				rows, err := wait()
+				if err != nil {
+					return err
+				}
 				harness.RenderSeeds(os.Stdout, rows)
-			}
+				return nil
+			}, true
 		case "icache":
-			var rows []harness.ICacheRow
-			if rows, err = harness.ICache(ts); err == nil {
+			wait := harness.ICacheAsync(sched, ts)
+			return func() error {
+				rows, err := wait()
+				if err != nil {
+					return err
+				}
 				harness.RenderICache(os.Stdout, rows)
-			}
-		default:
-			fmt.Fprintf(os.Stderr, "mbpexp: unknown experiment %q\n", name)
-			os.Exit(2)
+				return nil
+			}, true
+		case "report":
+			return func() error { return harness.WriteReport(os.Stdout, ts, *n) }, true
+		case "bench":
+			return func() error { return runBench(ts, *n, *workers, *benchOut) }, true
 		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mbpexp:", err)
-			os.Exit(1)
-		}
-		fmt.Println()
+		return nil, false
 	}
 
 	if what == "all" {
-		for _, name := range []string{"fig6", "fig7", "fig8", "table5", "table6", "fig9", "cost", "extblocks", "ablation", "baseline"} {
-			run(name)
+		names := []string{
+			"fig6", "fig7", "fig8", "table5", "table6", "fig9", "cost",
+			"extblocks", "ablation", "baseline", "compare", "widths",
+			"seeds", "icache",
+		}
+		finishers := make([]func() error, len(names))
+		for i, name := range names {
+			finishers[i], _ = prepare(name)
+		}
+		for _, finish := range finishers {
+			if err := finish(); err != nil {
+				fail(err)
+			}
+			fmt.Println()
 		}
 		return
 	}
-	run(what)
+
+	if what == "benchcheck" {
+		if err := checkBench(*benchOut); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	finish, ok := prepare(what)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mbpexp: unknown experiment %q\n", what)
+		os.Exit(2)
+	}
+	if err := finish(); err != nil {
+		fail(err)
+	}
+	fmt.Println()
+}
+
+// runBench executes the benchmark pipeline and writes the JSON report.
+func runBench(ts *harness.TraceSet, n uint64, workers int, out string) error {
+	rep, err := harness.RunBench(ts, n, workers)
+	if err != nil {
+		return err
+	}
+	if out == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	harness.RenderBench(os.Stdout, rep)
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// checkBench validates an existing benchmark report against the schema.
+func checkBench(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep, err := harness.ReadBenchReport(f)
+	if err != nil {
+		return err
+	}
+	if err := rep.Check(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: ok (%s, %d sweeps, speedup %.2fx)\n", path, rep.Schema, len(rep.Sweeps), rep.Speedup)
+	return nil
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"testing"
 
-	"mbbp/internal/bitable"
 	"mbbp/internal/cpu"
 	"mbbp/internal/icache"
 )
@@ -71,7 +70,6 @@ func BenchmarkScanOnly(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		blk := &blocks[i%len(blocks)]
-		codes := e.trueCodes(blk)
-		_ = e.scan(blk, func(j int) bitable.Code { return codes[j] }, entry)
+		_ = e.scan(blk, e.trueCodes(blk), entry)
 	}
 }

@@ -49,9 +49,12 @@ type Engine struct {
 	cycValid bool
 	role     int // role of the next block to consume: 0 = first of a group
 
+	// Per-engine scratch buffers, sized once in New and reused for
+	// every block so the consume hot path performs no heap allocation.
 	linesA      []uint32
 	linesB      []uint32
 	codeBuf     []bitable.Code
+	staleBuf    []bitable.Code
 	knownBuf    []bool
 	lineCodeBuf []bitable.Code
 
@@ -91,6 +94,7 @@ func New(cfg Config) (*Engine, error) {
 		e.icache = m
 	}
 	e.codeBuf = make([]bitable.Code, cfg.Geometry.BlockWidth)
+	e.staleBuf = make([]bitable.Code, cfg.Geometry.BlockWidth)
 	e.knownBuf = make([]bool, cfg.Geometry.LineSize)
 	return e, nil
 }
@@ -173,16 +177,15 @@ func (e *Engine) consume(blk *block) {
 	ghrPre := e.ghr.Value()
 	entry := e.tab.Entry(e.tab.Index(ghrPre, blk.start))
 	trueCodes := e.trueCodes(blk)
-	trueAt := func(j int) bitable.Code { return trueCodes[j] }
 
 	// Finite-BIT penalty: predict with the (possibly stale or missing)
 	// table contents; if that changes the prediction, the fetch logic
 	// discovers it one cycle later when the line is decoded (§4.2).
 	if e.bit != nil && !e.bit.Perfect() {
-		staleAt, anyStale := e.staleCodes(blk)
+		staleCodes, anyStale := e.staleCodes(blk)
 		if anyStale {
-			ssc := e.scan(blk, staleAt, entry)
-			tsc := e.scan(blk, trueAt, entry)
+			ssc := e.scan(blk, staleCodes, entry)
+			tsc := e.scan(blk, trueCodes, entry)
 			if ssc.exit != tsc.exit || ssc.sel.Source != tsc.sel.Source {
 				e.res.AddPenalty(metrics.BITMispredict,
 					metrics.Penalty(metrics.BITMispredict, role, e.cfg.Selection))
@@ -190,7 +193,7 @@ func (e *Engine) consume(blk *block) {
 		}
 	}
 
-	sc := e.scan(blk, trueAt, entry)
+	sc := e.scan(blk, trueCodes, entry)
 
 	// Tentative role of the successor block if this block's prediction
 	// holds: roles cycle through the group; any redirecting penalty
@@ -437,21 +440,22 @@ func (e *Engine) usesTargetArray(rec cpu.Retired, exitAddr uint32) bool {
 	}
 }
 
-// trueCodes computes the correct BIT codes for the block's instructions.
+// trueCodes computes the correct BIT codes for the block's instructions
+// into the engine's code scratch buffer (valid until the next call).
 func (e *Engine) trueCodes(blk *block) []bitable.Code {
-	codes := e.codeBuf[:0]
+	codes := e.codeBuf[:blk.n()]
 	for j, rec := range blk.insts {
-		codes = append(codes, bitable.Encode(rec.Class, blk.start+uint32(j), rec.Target,
-			e.geom.LineSize, e.cfg.NearBlock))
+		codes[j] = bitable.Encode(rec.Class, blk.start+uint32(j), rec.Target,
+			e.geom.LineSize, e.cfg.NearBlock)
 	}
-	e.codeBuf = codes[:cap(codes)]
 	return codes
 }
 
-// staleCodes returns a provider of the BIT table's current contents for
-// the block's positions and whether any covering entry is stale or
+// staleCodes materializes the BIT table's current contents for the
+// block's positions into the engine's stale scratch buffer (valid until
+// the next call) and reports whether any covering entry is stale or
 // missing.
-func (e *Engine) staleCodes(blk *block) (func(int) bitable.Code, bool) {
+func (e *Engine) staleCodes(blk *block) ([]bitable.Code, bool) {
 	anyStale := false
 	lineSize := uint32(e.geom.LineSize)
 	firstLine := e.geom.LineOf(blk.start)
@@ -468,17 +472,20 @@ func (e *Engine) staleCodes(blk *block) (func(int) bitable.Code, bool) {
 			codesB = codes
 		}
 	}
-	return func(j int) bitable.Code {
+	out := e.staleBuf[:blk.n()]
+	for j := range out {
 		addr := blk.start + uint32(j)
 		codes := codesA
 		if e.geom.LineOf(addr) != firstLine {
 			codes = codesB
 		}
 		if codes == nil {
-			return bitable.CodePlain
+			out[j] = bitable.CodePlain
+		} else {
+			out[j] = codes[addr%lineSize]
 		}
-		return codes[addr%lineSize]
-	}, anyStale
+	}
+	return out, anyStale
 }
 
 // fillBIT installs the block's decoded type codes into the BIT table.

@@ -15,17 +15,17 @@ type scanResult struct {
 	sel  seltab.Selector
 }
 
-// scan walks the block's positions using the type code provider and the
+// scan walks the block's positions using the type code slice and the
 // PHT entry, stopping at the first unconditional transfer or conditional
-// branch whose counter predicts taken. codeAt supplies the BIT code for
-// block-relative position j (true codes, or stale table contents for the
+// branch whose counter predicts taken. codes holds the BIT code for each
+// block-relative position (true codes, or stale table contents for the
 // BIT-penalty check). entry is the blocked PHT entry for this block.
-func (e *Engine) scan(blk *block, codeAt func(int) bitable.Code, entry []pht.Counter) scanResult {
+func (e *Engine) scan(blk *block, codes []bitable.Code, entry []pht.Counter) scanResult {
 	w := e.geom.BlockWidth
 	line := uint32(e.geom.LineSize)
 	var nt uint8
 	for j := 0; j < blk.n(); j++ {
-		code := codeAt(j)
+		code := codes[j]
 		addr := blk.start + uint32(j)
 		pos := uint8(addr % uint32(w))
 		switch {

@@ -22,35 +22,45 @@ type ExtBlocksRow struct {
 	CostKbits       float64 // select tables + target arrays scale per block
 }
 
-// ExtBlocks sweeps blocks-per-cycle from 1 to 4 (§5: "it is possible to
-// predict more than two blocks per cycle ... the cost grows
-// proportionally to the number of blocks predicted").
-func ExtBlocks(ts *TraceSet) ([]ExtBlocksRow, error) {
-	var rows []ExtBlocksRow
+// ExtBlocksAsync submits the §5 extension sweep: 1-4 blocks per cycle.
+func ExtBlocksAsync(s *Scheduler, ts *TraceSet) func() ([]ExtBlocksRow, error) {
+	var promises []*SuitePromise
 	for blocks := 1; blocks <= 4; blocks++ {
 		cfg := core.DefaultConfig()
 		if blocks == 1 {
 			cfg.Mode = core.SingleBlock
 		}
 		cfg.NumBlocks = blocks
-		res, err := RunConfig(ts, cfg)
-		if err != nil {
-			return nil, err
-		}
-		// Cost: PHT + BIT + BBR fixed; one ST and one NLS per block
-		// beyond the first, plus the first target array.
-		stBits := 8.0 * 1024 * float64(blocks-1)
-		nlsBits := 20.0 * 1024 * float64(blocks)
-		fixed := 16.0*1024 + 16.0*1024 + 328
-		rows = append(rows, ExtBlocksRow{
-			Blocks:  blocks,
-			IPCfInt: res.Int.IPCf(), IPCfFP: res.FP.IPCf(),
-			BEPInt: res.Int.BEP(), BEPFP: res.FP.BEP(),
-			CostKbits: (fixed + stBits + nlsBits) / 1024,
-		})
+		promises = append(promises, RunConfigAsync(s, ts, cfg))
 	}
-	return rows, nil
+	return func() ([]ExtBlocksRow, error) {
+		var rows []ExtBlocksRow
+		for i, p := range promises {
+			blocks := i + 1
+			res, err := p.Wait()
+			if err != nil {
+				return nil, err
+			}
+			// Cost: PHT + BIT + BBR fixed; one ST and one NLS per block
+			// beyond the first, plus the first target array.
+			stBits := 8.0 * 1024 * float64(blocks-1)
+			nlsBits := 20.0 * 1024 * float64(blocks)
+			fixed := 16.0*1024 + 16.0*1024 + 328
+			rows = append(rows, ExtBlocksRow{
+				Blocks:  blocks,
+				IPCfInt: res.Int.IPCf(), IPCfFP: res.FP.IPCf(),
+				BEPInt: res.Int.BEP(), BEPFP: res.FP.BEP(),
+				CostKbits: (fixed + stBits + nlsBits) / 1024,
+			})
+		}
+		return rows, nil
+	}
 }
+
+// ExtBlocks sweeps blocks-per-cycle from 1 to 4 (§5: "it is possible to
+// predict more than two blocks per cycle ... the cost grows
+// proportionally to the number of blocks predicted").
+func ExtBlocks(ts *TraceSet) ([]ExtBlocksRow, error) { return ExtBlocksAsync(DefaultScheduler(), ts)() }
 
 // RenderExtBlocks writes the extension sweep.
 func RenderExtBlocks(w io.Writer, rows []ExtBlocksRow) {
@@ -71,10 +81,8 @@ type AblationRow struct {
 	IPCfInt, IPCfFP       float64
 }
 
-// AblationPHT sweeps the number of blocked PHTs (the per-block
-// variation) and the index function (gshare vs history-only), holding
-// total predictor storage constant per row label.
-func AblationPHT(ts *TraceSet) ([]AblationRow, error) {
+// AblationPHTAsync submits the PHT-organization ablation grid.
+func AblationPHTAsync(s *Scheduler, ts *TraceSet) func() ([]AblationRow, error) {
 	type pnt struct {
 		label string
 		phts  int
@@ -86,25 +94,38 @@ func AblationPHT(ts *TraceSet) ([]AblationRow, error) {
 		{"4 PHTs, gshare", 4, pht.IndexGShare},
 		{"4 PHTs, history-only (per-block GAp)", 4, pht.IndexGlobal},
 	}
-	var rows []AblationRow
+	var promises []*SuitePromise
 	for _, p := range points {
 		cfg := core.DefaultConfig()
 		cfg.Mode = core.SingleBlock
 		cfg.NumPHTs = p.phts
 		cfg.IndexMode = p.mode
-		res, err := RunConfig(ts, cfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{
-			Label:      p.label,
-			MispIntPct: 100 * res.Int.CondMispredictRate(),
-			MispFPPct:  100 * res.FP.CondMispredictRate(),
-			IPCfInt:    res.Int.IPCf(),
-			IPCfFP:     res.FP.IPCf(),
-		})
+		promises = append(promises, RunConfigAsync(s, ts, cfg))
 	}
-	return rows, nil
+	return func() ([]AblationRow, error) {
+		var rows []AblationRow
+		for i, p := range promises {
+			res, err := p.Wait()
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{
+				Label:      points[i].label,
+				MispIntPct: 100 * res.Int.CondMispredictRate(),
+				MispFPPct:  100 * res.FP.CondMispredictRate(),
+				IPCfInt:    res.Int.IPCf(),
+				IPCfFP:     res.FP.IPCf(),
+			})
+		}
+		return rows, nil
+	}
+}
+
+// AblationPHT sweeps the number of blocked PHTs (the per-block
+// variation) and the index function (gshare vs history-only), holding
+// total predictor storage constant per row label.
+func AblationPHT(ts *TraceSet) ([]AblationRow, error) {
+	return AblationPHTAsync(DefaultScheduler(), ts)()
 }
 
 // RenderAblationPHT writes the PHT-organization ablation.

@@ -8,7 +8,6 @@ import (
 	"mbbp/internal/bac"
 	"mbbp/internal/core"
 	"mbbp/internal/metrics"
-	"mbbp/internal/workload"
 )
 
 // BaselineRow compares one fetch scheme at one storage budget.
@@ -19,57 +18,61 @@ type BaselineRow struct {
 	IPBInt, IPBFP   float64
 }
 
+// BaselineAsync submits the introduction's comparison grid: the Yeh
+// branch address cache at four sizes (one engine run per program each)
+// plus the paper's scheme at its default budget.
+func BaselineAsync(s *Scheduler, ts *TraceSet) func() ([]BaselineRow, error) {
+	bacEntries := []int{32, 64, 128, 256}
+	var bacPromises []*SuitePromise
+	for _, entries := range bacEntries {
+		cfg := bac.DefaultConfig()
+		cfg.Entries = entries
+		bacPromises = append(bacPromises, suitePromise(s, ts, func(name string) (metrics.Result, error) {
+			e, err := bac.New(cfg)
+			if err != nil {
+				return metrics.Result{}, err
+			}
+			return e.Run(ts.traces[name].Clone()), nil
+		}))
+	}
+	paperP := RunConfigAsync(s, ts, core.DefaultConfig())
+
+	return func() ([]BaselineRow, error) {
+		var rows []BaselineRow
+		for i, p := range bacPromises {
+			entries := bacEntries[i]
+			res, err := p.Wait()
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, BaselineRow{
+				Scheme:    fmt.Sprintf("Yeh BAC, %d entries", entries),
+				CostKbits: float64(bac.CostBits(entries, 30, 2))/1024 + 16, // + equal-size PHT
+				IPCfInt:   res.Int.IPCf(), IPCfFP: res.FP.IPCf(),
+				IPBInt: res.Int.IPB(), IPBFP: res.FP.IPB(),
+			})
+		}
+
+		// The paper's scheme at its default 80 Kbit configuration.
+		res, err := paperP.Wait()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BaselineRow{
+			Scheme:    "blocked PHT + select table (paper)",
+			CostKbits: 80.3,
+			IPCfInt:   res.Int.IPCf(), IPCfFP: res.FP.IPCf(),
+			IPBInt: res.Int.IPB(), IPBFP: res.FP.IPB(),
+		})
+		return rows, nil
+	}
+}
+
 // Baseline runs the comparison the paper's introduction frames: its
 // block-based dual fetch with linear-cost select tables against Yeh's
 // basic-block-based dual fetch with an exponential-cost branch address
 // cache, across BAC sizes.
-func Baseline(ts *TraceSet) ([]BaselineRow, error) {
-	var rows []BaselineRow
-
-	runBAC := func(entries int) error {
-		cfg := bac.DefaultConfig()
-		cfg.Entries = entries
-		var intR, fpR metrics.Result
-		for _, name := range ts.Programs() {
-			e, err := bac.New(cfg)
-			if err != nil {
-				return err
-			}
-			r := e.Run(ts.Trace(name))
-			if ts.Suite(name) == workload.FP {
-				fpR.Add(r)
-			} else {
-				intR.Add(r)
-			}
-		}
-		rows = append(rows, BaselineRow{
-			Scheme:    fmt.Sprintf("Yeh BAC, %d entries", entries),
-			CostKbits: float64(bac.CostBits(entries, 30, 2))/1024 + 16, // + equal-size PHT
-			IPCfInt:   intR.IPCf(), IPCfFP: fpR.IPCf(),
-			IPBInt: intR.IPB(), IPBFP: fpR.IPB(),
-		})
-		return nil
-	}
-	for _, entries := range []int{32, 64, 128, 256} {
-		if err := runBAC(entries); err != nil {
-			return nil, err
-		}
-	}
-
-	// The paper's scheme at its default 80 Kbit configuration.
-	cfg := core.DefaultConfig()
-	res, err := RunConfig(ts, cfg)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, BaselineRow{
-		Scheme:    "blocked PHT + select table (paper)",
-		CostKbits: 80.3,
-		IPCfInt:   res.Int.IPCf(), IPCfFP: res.FP.IPCf(),
-		IPBInt: res.Int.IPB(), IPBFP: res.FP.IPB(),
-	})
-	return rows, nil
-}
+func Baseline(ts *TraceSet) ([]BaselineRow, error) { return BaselineAsync(DefaultScheduler(), ts)() }
 
 // RenderBaseline writes the scheme comparison.
 func RenderBaseline(w io.Writer, rows []BaselineRow) {

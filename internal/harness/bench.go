@@ -1,0 +1,229 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+	"time"
+)
+
+// The reproducible benchmark pipeline behind `mbpexp bench` and
+// scripts/bench.sh: a fixed set of representative sweeps is run twice
+// over pinned-seed traces — once on the serial reference path, once on
+// a fresh parallel pool — and the wall-clock, per-instruction and
+// allocation numbers land in BENCH_sweep.json. The workloads are fully
+// deterministic, so the simulated numbers never vary between passes;
+// only the timings do.
+
+// BenchSchema identifies the BENCH_sweep.json layout.
+const BenchSchema = "mbbp/bench-sweep/v1"
+
+// BenchSweep is one benchmarked sweep's timing record.
+type BenchSweep struct {
+	// Name is the experiment the sweep runs (fig6, table6, fig9).
+	Name string `json:"name"`
+	// Configs and Jobs describe the flattened grid: Jobs = engine runs
+	// = Configs × programs.
+	Configs int `json:"configs"`
+	Jobs    int `json:"jobs"`
+	// Instructions is the nominal dynamic instruction count simulated
+	// (jobs × instructions per program).
+	Instructions uint64 `json:"instructions_simulated"`
+	// SerialNs and ParallelNs are the wall-clock times of the serial
+	// reference pass and the pooled pass.
+	SerialNs   int64 `json:"serial_ns"`
+	ParallelNs int64 `json:"parallel_ns"`
+	// Speedup is SerialNs / ParallelNs.
+	Speedup float64 `json:"speedup"`
+	// SerialNsPerInstruction and ParallelNsPerInstruction normalize the
+	// wall-clock by the simulated instruction count.
+	SerialNsPerInstruction   float64 `json:"serial_ns_per_instruction"`
+	ParallelNsPerInstruction float64 `json:"parallel_ns_per_instruction"`
+	// AllocsPerJob and BytesPerJob are heap allocation counts per
+	// engine run, measured on the serial pass (no concurrent noise).
+	AllocsPerJob uint64 `json:"allocs_per_job"`
+	BytesPerJob  uint64 `json:"bytes_per_job"`
+}
+
+// BenchReport is the BENCH_sweep.json document.
+type BenchReport struct {
+	Schema                 string       `json:"schema"`
+	GoVersion              string       `json:"go_version"`
+	GOOS                   string       `json:"goos"`
+	GOARCH                 string       `json:"goarch"`
+	GOMAXPROCS             int          `json:"gomaxprocs"`
+	Workers                int          `json:"workers"`
+	InstructionsPerProgram uint64       `json:"instructions_per_program"`
+	Programs               int          `json:"programs"`
+	Sweeps                 []BenchSweep `json:"sweeps"`
+	TotalSerialNs          int64        `json:"total_serial_ns"`
+	TotalParallelNs        int64        `json:"total_parallel_ns"`
+	Speedup                float64      `json:"speedup"`
+}
+
+// benchSweeps is the pinned sweep set: fig6 exercises the scheduler on
+// a sweep with two job kinds per point, table6 on a small grid of heavy
+// dual-block configurations, and fig9 on a single configuration whose
+// only parallelism is the per-program fan-out.
+var benchSweeps = []struct {
+	name    string
+	configs int // engine configurations per program
+	run     func(*Scheduler, *TraceSet) error
+}{
+	{"fig6", 14, func(s *Scheduler, ts *TraceSet) error { // 7 blocked + 7 scalar
+		_, err := Fig6Async(s, ts)()
+		return err
+	}},
+	{"table6", 6, func(s *Scheduler, ts *TraceSet) error {
+		_, err := Table6Async(s, ts)()
+		return err
+	}},
+	{"fig9", 1, func(s *Scheduler, ts *TraceSet) error {
+		_, err := Fig9Async(s, ts)()
+		return err
+	}},
+}
+
+// RunBench executes the pinned sweep set over ts serially and on a
+// fresh pool of the given size (0 = GOMAXPROCS), and returns the
+// timing report. Trace capture is excluded from the timings.
+func RunBench(ts *TraceSet, instructions uint64, workers int) (*BenchReport, error) {
+	pool := NewScheduler(workers)
+	defer pool.Close()
+
+	rep := &BenchReport{
+		Schema:                 BenchSchema,
+		GoVersion:              runtime.Version(),
+		GOOS:                   runtime.GOOS,
+		GOARCH:                 runtime.GOARCH,
+		GOMAXPROCS:             runtime.GOMAXPROCS(0),
+		Workers:                pool.Workers(),
+		InstructionsPerProgram: instructions,
+		Programs:               len(ts.Programs()),
+	}
+	for _, b := range benchSweeps {
+		jobs := b.configs * len(ts.Programs())
+		sweep := BenchSweep{
+			Name:         b.name,
+			Configs:      b.configs,
+			Jobs:         jobs,
+			Instructions: uint64(jobs) * instructions,
+		}
+
+		// Serial reference pass, with allocation accounting.
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := b.run(Serial(), ts); err != nil {
+			return nil, fmt.Errorf("bench %s (serial): %w", b.name, err)
+		}
+		sweep.SerialNs = time.Since(start).Nanoseconds()
+		runtime.ReadMemStats(&after)
+		if jobs > 0 {
+			sweep.AllocsPerJob = (after.Mallocs - before.Mallocs) / uint64(jobs)
+			sweep.BytesPerJob = (after.TotalAlloc - before.TotalAlloc) / uint64(jobs)
+		}
+
+		// Parallel pass on the pool.
+		start = time.Now()
+		if err := b.run(pool, ts); err != nil {
+			return nil, fmt.Errorf("bench %s (parallel): %w", b.name, err)
+		}
+		sweep.ParallelNs = time.Since(start).Nanoseconds()
+
+		if sweep.ParallelNs > 0 {
+			sweep.Speedup = float64(sweep.SerialNs) / float64(sweep.ParallelNs)
+		}
+		if sweep.Instructions > 0 {
+			sweep.SerialNsPerInstruction = float64(sweep.SerialNs) / float64(sweep.Instructions)
+			sweep.ParallelNsPerInstruction = float64(sweep.ParallelNs) / float64(sweep.Instructions)
+		}
+		rep.Sweeps = append(rep.Sweeps, sweep)
+		rep.TotalSerialNs += sweep.SerialNs
+		rep.TotalParallelNs += sweep.ParallelNs
+	}
+	if rep.TotalParallelNs > 0 {
+		rep.Speedup = float64(rep.TotalSerialNs) / float64(rep.TotalParallelNs)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON with a trailing newline.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadBenchReport parses a BENCH_sweep.json document.
+func ReadBenchReport(r io.Reader) (*BenchReport, error) {
+	var rep BenchReport
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench report: %w", err)
+	}
+	return &rep, nil
+}
+
+// Check validates the report against the v1 schema: every field a
+// downstream consumer (CI, the bench trajectory) relies on must be
+// present and plausible.
+func (r *BenchReport) Check() error {
+	if r.Schema != BenchSchema {
+		return fmt.Errorf("bench report: schema %q, want %q", r.Schema, BenchSchema)
+	}
+	if r.GoVersion == "" || r.GOOS == "" || r.GOARCH == "" {
+		return fmt.Errorf("bench report: missing toolchain identification")
+	}
+	if r.GOMAXPROCS < 1 || r.Workers < 1 {
+		return fmt.Errorf("bench report: GOMAXPROCS %d / workers %d out of range", r.GOMAXPROCS, r.Workers)
+	}
+	if r.InstructionsPerProgram == 0 || r.Programs == 0 {
+		return fmt.Errorf("bench report: empty workload (n=%d, programs=%d)",
+			r.InstructionsPerProgram, r.Programs)
+	}
+	if len(r.Sweeps) == 0 {
+		return fmt.Errorf("bench report: no sweeps")
+	}
+	for _, s := range r.Sweeps {
+		if s.Name == "" {
+			return fmt.Errorf("bench report: unnamed sweep")
+		}
+		if s.Configs <= 0 || s.Jobs != s.Configs*r.Programs {
+			return fmt.Errorf("bench report: sweep %s: jobs %d != configs %d x programs %d",
+				s.Name, s.Jobs, s.Configs, r.Programs)
+		}
+		if s.SerialNs <= 0 || s.ParallelNs <= 0 || s.Speedup <= 0 {
+			return fmt.Errorf("bench report: sweep %s: non-positive timings (%d, %d, %g)",
+				s.Name, s.SerialNs, s.ParallelNs, s.Speedup)
+		}
+		if s.Instructions == 0 || s.SerialNsPerInstruction <= 0 || s.ParallelNsPerInstruction <= 0 {
+			return fmt.Errorf("bench report: sweep %s: missing per-instruction normalization", s.Name)
+		}
+	}
+	if r.TotalSerialNs <= 0 || r.TotalParallelNs <= 0 || r.Speedup <= 0 {
+		return fmt.Errorf("bench report: missing totals")
+	}
+	return nil
+}
+
+// RenderBench writes the human-readable summary of a report.
+func RenderBench(w io.Writer, r *BenchReport) {
+	fmt.Fprintf(w, "Benchmark pipeline: %d programs x %d instructions, %d workers (GOMAXPROCS %d, %s/%s, %s)\n",
+		r.Programs, r.InstructionsPerProgram, r.Workers, r.GOMAXPROCS, r.GOOS, r.GOARCH, r.GoVersion)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "sweep\tjobs\tserial\tparallel\tspeedup\tns/instr\tallocs/job")
+	for _, s := range r.Sweeps {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%.2fx\t%.1f\t%d\n",
+			s.Name, s.Jobs,
+			time.Duration(s.SerialNs), time.Duration(s.ParallelNs),
+			s.Speedup, s.ParallelNsPerInstruction, s.AllocsPerJob)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "total: serial %s, parallel %s, speedup %.2fx\n",
+		time.Duration(r.TotalSerialNs), time.Duration(r.TotalParallelNs), r.Speedup)
+}

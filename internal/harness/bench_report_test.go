@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestBenchPipeline runs the benchmark pipeline end-to-end on a reduced
+// workload and validates the report: schema check passes, the JSON
+// round-trips losslessly, and the sweep arithmetic holds.
+func TestBenchPipeline(t *testing.T) {
+	ts, err := LoadTraces(Options{Instructions: 30_000, Programs: []string{"compress", "swim"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunBench(ts, 30_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatalf("fresh report fails its own schema check: %v", err)
+	}
+	if rep.Workers != 2 || rep.Programs != 2 {
+		t.Fatalf("workers %d, programs %d; want 2, 2", rep.Workers, rep.Programs)
+	}
+	if len(rep.Sweeps) != len(benchSweeps) {
+		t.Fatalf("got %d sweeps, want %d", len(rep.Sweeps), len(benchSweeps))
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Fatalf("JSON round trip lost data:\nwrote %+v\nread  %+v", rep, back)
+	}
+
+	var human bytes.Buffer
+	RenderBench(&human, rep)
+	if !strings.Contains(human.String(), "fig6") {
+		t.Errorf("rendered summary missing sweep name:\n%s", human.String())
+	}
+}
+
+// TestBenchCheckRejects pins the validation that the CI smoke job
+// relies on: a wrong schema tag, inconsistent job counts, or unknown
+// fields must all be rejected.
+func TestBenchCheckRejects(t *testing.T) {
+	good := &BenchReport{
+		Schema: BenchSchema, GoVersion: "go0.0", GOOS: "linux", GOARCH: "amd64",
+		GOMAXPROCS: 1, Workers: 1, InstructionsPerProgram: 1, Programs: 2,
+		Sweeps: []BenchSweep{{
+			Name: "fig6", Configs: 3, Jobs: 6, Instructions: 6,
+			SerialNs: 10, ParallelNs: 5, Speedup: 2,
+			SerialNsPerInstruction: 1, ParallelNsPerInstruction: 0.5,
+		}},
+		TotalSerialNs: 10, TotalParallelNs: 5, Speedup: 2,
+	}
+	if err := good.Check(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+
+	mutations := map[string]func(*BenchReport){
+		"wrong schema":   func(r *BenchReport) { r.Schema = "mbbp/bench-sweep/v0" },
+		"no toolchain":   func(r *BenchReport) { r.GoVersion = "" },
+		"zero workers":   func(r *BenchReport) { r.Workers = 0 },
+		"no sweeps":      func(r *BenchReport) { r.Sweeps = nil },
+		"job mismatch":   func(r *BenchReport) { r.Sweeps[0].Jobs = 5 },
+		"no timing":      func(r *BenchReport) { r.Sweeps[0].SerialNs = 0 },
+		"no per-instr":   func(r *BenchReport) { r.Sweeps[0].SerialNsPerInstruction = 0 },
+		"no totals":      func(r *BenchReport) { r.TotalParallelNs = 0 },
+		"empty workload": func(r *BenchReport) { r.Programs = 0 },
+	}
+	for name, mutate := range mutations {
+		r := *good
+		r.Sweeps = append([]BenchSweep(nil), good.Sweeps...)
+		mutate(&r)
+		if err := r.Check(); err == nil {
+			t.Errorf("%s: Check accepted an invalid report", name)
+		}
+	}
+
+	if _, err := ReadBenchReport(strings.NewReader(`{"schema":"x","bogus_field":1}`)); err == nil {
+		t.Error("ReadBenchReport accepted unknown fields")
+	}
+}

@@ -32,79 +32,40 @@ type Comparison struct {
 	CostSingle, CostDualSingle, CostDualDouble float64
 }
 
-// Compare measures every headline claim of the paper on the trace set.
-func Compare(ts *TraceSet) (*Comparison, error) {
-	c := &Comparison{}
-
+// CompareAsync submits every headline-claim configuration (five
+// RunConfig grids plus the near-block trace scan) at once.
+func CompareAsync(s *Scheduler, ts *TraceSet) func() (*Comparison, error) {
 	// Accuracy at the paper's default configuration.
 	base := core.DefaultConfig()
 	base.Mode = core.SingleBlock
-	acc, err := RunConfig(ts, base)
-	if err != nil {
-		return nil, err
-	}
-	c.IntAccuracy = acc.Int.CondAccuracy()
-	c.FPAccuracy = acc.FP.CondAccuracy()
+	accP := RunConfigAsync(s, ts, base)
 
 	// Table 6 normal-cache single vs dual with 8 STs.
 	one := core.DefaultConfig()
 	one.Mode = core.SingleBlock
 	one.NumSTs = 8
-	r1, err := RunConfig(ts, one)
-	if err != nil {
-		return nil, err
-	}
+	r1P := RunConfigAsync(s, ts, one)
 	two := core.DefaultConfig()
 	two.NumSTs = 8
-	r2, err := RunConfig(ts, two)
-	if err != nil {
-		return nil, err
-	}
-	if r1.Int.IPCf() > 0 {
-		c.DualRatioInt = r2.Int.IPCf() / r1.Int.IPCf()
-	}
-	if r1.FP.IPCf() > 0 {
-		c.DualRatioFP = r2.FP.IPCf() / r1.FP.IPCf()
-	}
+	r2P := RunConfigAsync(s, ts, two)
 
 	// Self-aligned dual block.
 	al := core.DefaultConfig()
 	al.Geometry = icache.ForKind(icache.SelfAligned, 8)
 	al.NumSTs = 8
-	ra, err := RunConfig(ts, al)
-	if err != nil {
-		return nil, err
-	}
-	c.AlignFPIPCf = ra.FP.IPCf()
-	// The paper's "averages over 8 IPC_f for the entire SPEC95 suite"
-	// weighs programs equally (their Int 6.42 and FP 10.88 average to
-	// 8.65), so do the same.
-	var sum float64
-	for _, name := range ts.Programs() {
-		r := ra.Per[name]
-		sum += r.IPCf()
-	}
-	if len(ts.Programs()) > 0 {
-		c.SuiteIPCf = sum / float64(len(ts.Programs()))
-	}
+	raP := RunConfigAsync(s, ts, al)
 
 	// Double selection loss.
 	ds := core.DefaultConfig()
 	ds.NumSTs = 8
 	ds.Selection = metrics.DoubleSelection
-	rd, err := RunConfig(ts, ds)
-	if err != nil {
-		return nil, err
-	}
-	if r2.Int.IPCf() > 0 {
-		c.DoubleLoss = 1 - rd.Int.IPCf()/r2.Int.IPCf()
-	}
+	rdP := RunConfigAsync(s, ts, ds)
 
-	// Near-block share over the whole suite.
-	var cond, near uint64
-	for _, name := range ts.Programs() {
-		tr := ts.Trace(name)
-		tr.Reset()
+	// Near-block share over the whole suite: a pure trace scan, one job
+	// per program.
+	nearP := suitePromise(s, ts, func(name string) (metrics.Result, error) {
+		tr := ts.traces[name].Clone()
+		var cond, near uint64
 		for {
 			r, ok := tr.Next()
 			if !ok {
@@ -118,18 +79,81 @@ func Compare(ts *TraceSet) (*Comparison, error) {
 				near++
 			}
 		}
-	}
-	if cond > 0 {
-		c.NearShare = float64(near) / float64(cond)
-	}
+		// Smuggle the two counters through the Result fold: Add sums
+		// CondBranches and CondMispredicts fields exactly.
+		return metrics.Result{CondBranches: cond, CondMispredicts: near}, nil
+	})
 
-	// Cost model.
-	est := cost.PaperDefault()
-	c.CostSingle = float64(est.SingleBlockTotal()) / 1024
-	c.CostDualSingle = float64(est.DualSingleTotal()) / 1024
-	c.CostDualDouble = float64(est.DualDoubleTotal()) / 1024
-	return c, nil
+	return func() (*Comparison, error) {
+		c := &Comparison{}
+		acc, err := accP.Wait()
+		if err != nil {
+			return nil, err
+		}
+		c.IntAccuracy = acc.Int.CondAccuracy()
+		c.FPAccuracy = acc.FP.CondAccuracy()
+
+		r1, err := r1P.Wait()
+		if err != nil {
+			return nil, err
+		}
+		r2, err := r2P.Wait()
+		if err != nil {
+			return nil, err
+		}
+		if r1.Int.IPCf() > 0 {
+			c.DualRatioInt = r2.Int.IPCf() / r1.Int.IPCf()
+		}
+		if r1.FP.IPCf() > 0 {
+			c.DualRatioFP = r2.FP.IPCf() / r1.FP.IPCf()
+		}
+
+		ra, err := raP.Wait()
+		if err != nil {
+			return nil, err
+		}
+		c.AlignFPIPCf = ra.FP.IPCf()
+		// The paper's "averages over 8 IPC_f for the entire SPEC95 suite"
+		// weighs programs equally (their Int 6.42 and FP 10.88 average to
+		// 8.65), so do the same.
+		var sum float64
+		for _, name := range ts.Programs() {
+			r := ra.Per[name]
+			sum += r.IPCf()
+		}
+		if len(ts.Programs()) > 0 {
+			c.SuiteIPCf = sum / float64(len(ts.Programs()))
+		}
+
+		rd, err := rdP.Wait()
+		if err != nil {
+			return nil, err
+		}
+		if r2.Int.IPCf() > 0 {
+			c.DoubleLoss = 1 - rd.Int.IPCf()/r2.Int.IPCf()
+		}
+
+		nr, err := nearP.Wait()
+		if err != nil {
+			return nil, err
+		}
+		cond := nr.Int.CondBranches + nr.FP.CondBranches
+		near := nr.Int.CondMispredicts + nr.FP.CondMispredicts
+		if cond > 0 {
+			c.NearShare = float64(near) / float64(cond)
+		}
+
+		// Cost model.
+		est := cost.PaperDefault()
+		c.CostSingle = float64(est.SingleBlockTotal()) / 1024
+		c.CostDualSingle = float64(est.DualSingleTotal()) / 1024
+		c.CostDualDouble = float64(est.DualDoubleTotal()) / 1024
+		return c, nil
+	}
 }
+
+// Compare measures every headline claim of the paper on the trace set.
+func Compare(ts *TraceSet) (*Comparison, error) { return CompareAsync(DefaultScheduler(), ts)() }
 
 // RenderComparison writes the paper-vs-measured table.
 func RenderComparison(w io.Writer, c *Comparison) {

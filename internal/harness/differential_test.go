@@ -1,0 +1,255 @@
+package harness
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// The determinism contract of the sweep scheduler: running any
+// experiment on the work-stealing pool must produce output
+// byte-identical to the serial reference path (Serial() runs jobs
+// inline at submission, i.e. the pre-scheduler execution order). Each
+// case renders both the human table and, where one exists, the CSV
+// form, and compares the bytes.
+
+// differ runs one experiment twice — serially and on a 4-worker pool —
+// and byte-compares every rendering the experiment has.
+func differ(t *testing.T, name string, run func(s *Scheduler) ([]func(io.Writer) error, error)) {
+	t.Helper()
+	pool := NewScheduler(4)
+	defer pool.Close()
+
+	render := func(s *Scheduler) []string {
+		t.Helper()
+		outs, err := run(s)
+		if err != nil {
+			t.Fatalf("%s (workers=%d): %v", name, s.Workers(), err)
+		}
+		var rendered []string
+		for _, out := range outs {
+			var buf bytes.Buffer
+			if err := out(&buf); err != nil {
+				t.Fatalf("%s (workers=%d): render: %v", name, s.Workers(), err)
+			}
+			rendered = append(rendered, buf.String())
+		}
+		return rendered
+	}
+
+	serial := render(Serial())
+	parallel := render(pool)
+	if len(serial) != len(parallel) {
+		t.Fatalf("%s: rendering count differs", name)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("%s: rendering %d differs between serial and parallel:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				name, i, serial[i], parallel[i])
+		}
+		if len(serial[i]) == 0 {
+			t.Errorf("%s: rendering %d is empty", name, i)
+		}
+	}
+}
+
+func TestDifferentialFig6(t *testing.T) {
+	differ(t, "fig6", func(s *Scheduler) ([]func(io.Writer) error, error) {
+		rows, err := Fig6Async(s, testTraces)()
+		if err != nil {
+			return nil, err
+		}
+		return []func(io.Writer) error{
+			func(w io.Writer) error { RenderFig6(w, rows); return nil },
+			func(w io.Writer) error { return CSVFig6(w, rows) },
+		}, nil
+	})
+}
+
+func TestDifferentialFig7(t *testing.T) {
+	differ(t, "fig7", func(s *Scheduler) ([]func(io.Writer) error, error) {
+		rows, err := Fig7Async(s, testTraces)()
+		if err != nil {
+			return nil, err
+		}
+		return []func(io.Writer) error{
+			func(w io.Writer) error { RenderFig7(w, rows); return nil },
+			func(w io.Writer) error { return CSVFig7(w, rows) },
+		}, nil
+	})
+}
+
+func TestDifferentialFig8(t *testing.T) {
+	differ(t, "fig8", func(s *Scheduler) ([]func(io.Writer) error, error) {
+		rows, err := Fig8Async(s, testTraces)()
+		if err != nil {
+			return nil, err
+		}
+		return []func(io.Writer) error{
+			func(w io.Writer) error { RenderFig8(w, rows); return nil },
+			func(w io.Writer) error { return CSVFig8(w, rows) },
+		}, nil
+	})
+}
+
+func TestDifferentialFig9(t *testing.T) {
+	differ(t, "fig9", func(s *Scheduler) ([]func(io.Writer) error, error) {
+		rows, err := Fig9Async(s, testTraces)()
+		if err != nil {
+			return nil, err
+		}
+		return []func(io.Writer) error{
+			func(w io.Writer) error { RenderFig9(w, rows); return nil },
+			func(w io.Writer) error { return CSVFig9(w, rows) },
+		}, nil
+	})
+}
+
+func TestDifferentialTable5(t *testing.T) {
+	differ(t, "table5", func(s *Scheduler) ([]func(io.Writer) error, error) {
+		rows, err := Table5Async(s, testTraces)()
+		if err != nil {
+			return nil, err
+		}
+		return []func(io.Writer) error{
+			func(w io.Writer) error { RenderTable5(w, rows); return nil },
+			func(w io.Writer) error { return CSVTable5(w, rows) },
+		}, nil
+	})
+}
+
+func TestDifferentialTable6(t *testing.T) {
+	differ(t, "table6", func(s *Scheduler) ([]func(io.Writer) error, error) {
+		rows, err := Table6Async(s, testTraces)()
+		if err != nil {
+			return nil, err
+		}
+		return []func(io.Writer) error{
+			func(w io.Writer) error { RenderTable6(w, rows); return nil },
+			func(w io.Writer) error { return CSVTable6(w, rows) },
+		}, nil
+	})
+}
+
+func TestDifferentialCompare(t *testing.T) {
+	differ(t, "compare", func(s *Scheduler) ([]func(io.Writer) error, error) {
+		c, err := CompareAsync(s, testTraces)()
+		if err != nil {
+			return nil, err
+		}
+		return []func(io.Writer) error{
+			func(w io.Writer) error { RenderComparison(w, c); return nil },
+		}, nil
+	})
+}
+
+func TestDifferentialBaseline(t *testing.T) {
+	differ(t, "baseline", func(s *Scheduler) ([]func(io.Writer) error, error) {
+		rows, err := BaselineAsync(s, testTraces)()
+		if err != nil {
+			return nil, err
+		}
+		return []func(io.Writer) error{
+			func(w io.Writer) error { RenderBaseline(w, rows); return nil },
+		}, nil
+	})
+}
+
+func TestDifferentialExtBlocks(t *testing.T) {
+	differ(t, "extblocks", func(s *Scheduler) ([]func(io.Writer) error, error) {
+		rows, err := ExtBlocksAsync(s, testTraces)()
+		if err != nil {
+			return nil, err
+		}
+		return []func(io.Writer) error{
+			func(w io.Writer) error { RenderExtBlocks(w, rows); return nil },
+		}, nil
+	})
+}
+
+func TestDifferentialAblation(t *testing.T) {
+	differ(t, "ablation", func(s *Scheduler) ([]func(io.Writer) error, error) {
+		rows, err := AblationPHTAsync(s, testTraces)()
+		if err != nil {
+			return nil, err
+		}
+		return []func(io.Writer) error{
+			func(w io.Writer) error { RenderAblationPHT(w, rows); return nil },
+		}, nil
+	})
+}
+
+func TestDifferentialWidths(t *testing.T) {
+	differ(t, "widths", func(s *Scheduler) ([]func(io.Writer) error, error) {
+		rows, err := WidthsAsync(s, testTraces)()
+		if err != nil {
+			return nil, err
+		}
+		return []func(io.Writer) error{
+			func(w io.Writer) error { RenderWidths(w, rows); return nil },
+		}, nil
+	})
+}
+
+func TestDifferentialICache(t *testing.T) {
+	differ(t, "icache", func(s *Scheduler) ([]func(io.Writer) error, error) {
+		rows, err := ICacheAsync(s, testTraces)()
+		if err != nil {
+			return nil, err
+		}
+		return []func(io.Writer) error{
+			func(w io.Writer) error { RenderICache(w, rows); return nil },
+		}, nil
+	})
+}
+
+// TestDifferentialSeeds covers the one driver that captures its own
+// traces (seed sweep) — the trickiest interleaving, since trace capture
+// jobs and simulation jobs coexist on the pool. A reduced grid keeps it
+// fast.
+func TestDifferentialSeeds(t *testing.T) {
+	opts := Options{Instructions: 30_000, Programs: []string{"compress", "swim"}}
+	seeds := []int64{1, 99}
+	differ(t, "seeds", func(s *Scheduler) ([]func(io.Writer) error, error) {
+		rows, err := SeedsAsync(s, opts, seeds)()
+		if err != nil {
+			return nil, err
+		}
+		return []func(io.Writer) error{
+			func(w io.Writer) error { RenderSeeds(w, rows); return nil },
+		}, nil
+	})
+}
+
+// TestDifferentialLoadTraces checks parallel trace capture produces the
+// same trace set as serial capture: same order, same record bytes.
+func TestDifferentialLoadTraces(t *testing.T) {
+	pool := NewScheduler(4)
+	defer pool.Close()
+	opts := Options{Instructions: 30_000}
+	a, err := LoadTracesOn(Serial(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadTracesOn(pool, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Programs()) != len(b.Programs()) {
+		t.Fatalf("program counts differ: %d vs %d", len(a.Programs()), len(b.Programs()))
+	}
+	for i, name := range a.Programs() {
+		if b.Programs()[i] != name {
+			t.Fatalf("program order differs at %d: %s vs %s", i, name, b.Programs()[i])
+		}
+		ta, tb := a.Trace(name), b.Trace(name)
+		if ta.Len() != tb.Len() {
+			t.Fatalf("%s: trace length %d vs %d", name, ta.Len(), tb.Len())
+		}
+		for j := 0; j < int(ta.Len()); j++ {
+			if ta.At(j) != tb.At(j) {
+				t.Fatalf("%s: record %d differs", name, j)
+			}
+		}
+	}
+}

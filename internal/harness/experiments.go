@@ -11,6 +11,13 @@ import (
 	"mbbp/internal/metrics"
 )
 
+// Every experiment driver comes in two forms: XAsync(s, ts) submits the
+// experiment's whole (configuration × program) grid to the scheduler
+// immediately and returns a wait function, so several experiments can
+// share one pool (mbpexp all, the report); X(ts) is the synchronous
+// form on the default scheduler. Wait functions fold in declaration
+// order, so rendered output never depends on execution interleaving.
+
 // Fig6Row is one history length of Figure 6: blocked-PHT vs equal-size
 // scalar conditional misprediction rates.
 type Fig6Row struct {
@@ -20,31 +27,52 @@ type Fig6Row struct {
 	ImproveInt, ImproveFP float64 // scalar - blocked, percentage points
 }
 
-// Fig6 sweeps the branch history length from 6 to 12 (paper Figure 6).
-func Fig6(ts *TraceSet) ([]Fig6Row, error) {
-	var rows []Fig6Row
+// Fig6Async submits the Figure 6 sweep: branch history length 6 to 12,
+// blocked PHT and the equal-size scalar baseline per point.
+func Fig6Async(s *Scheduler, ts *TraceSet) func() ([]Fig6Row, error) {
+	type point struct {
+		h               int
+		blocked, scalar *SuitePromise
+	}
+	var pts []point
 	for h := 6; h <= 12; h++ {
 		cfg := core.DefaultConfig()
 		cfg.Mode = core.SingleBlock
 		cfg.HistoryBits = h
-		blocked, err := RunConfig(ts, cfg)
-		if err != nil {
-			return nil, err
-		}
-		scalar := RunScalar(ts, h, cfg.Geometry.BlockWidth)
-		row := Fig6Row{
-			History:    h,
-			BlockedInt: blocked.Int.CondMispredictRate(),
-			BlockedFP:  blocked.FP.CondMispredictRate(),
-			ScalarInt:  scalar.Int.CondMispredictRate(),
-			ScalarFP:   scalar.FP.CondMispredictRate(),
-		}
-		row.ImproveInt = 100 * (row.ScalarInt - row.BlockedInt)
-		row.ImproveFP = 100 * (row.ScalarFP - row.BlockedFP)
-		rows = append(rows, row)
+		pts = append(pts, point{
+			h:       h,
+			blocked: RunConfigAsync(s, ts, cfg),
+			scalar:  RunScalarAsync(s, ts, h, cfg.Geometry.BlockWidth),
+		})
 	}
-	return rows, nil
+	return func() ([]Fig6Row, error) {
+		var rows []Fig6Row
+		for _, p := range pts {
+			blocked, err := p.blocked.Wait()
+			if err != nil {
+				return nil, err
+			}
+			scalar, err := p.scalar.Wait()
+			if err != nil {
+				return nil, err
+			}
+			row := Fig6Row{
+				History:    p.h,
+				BlockedInt: blocked.Int.CondMispredictRate(),
+				BlockedFP:  blocked.FP.CondMispredictRate(),
+				ScalarInt:  scalar.Int.CondMispredictRate(),
+				ScalarFP:   scalar.FP.CondMispredictRate(),
+			}
+			row.ImproveInt = 100 * (row.ScalarInt - row.BlockedInt)
+			row.ImproveFP = 100 * (row.ScalarFP - row.BlockedFP)
+			rows = append(rows, row)
+		}
+		return rows, nil
+	}
 }
+
+// Fig6 sweeps the branch history length from 6 to 12 (paper Figure 6).
+func Fig6(ts *TraceSet) ([]Fig6Row, error) { return Fig6Async(DefaultScheduler(), ts)() }
 
 // RenderFig6 writes the Figure 6 series as a table.
 func RenderFig6(w io.Writer, rows []Fig6Row) {
@@ -66,32 +94,43 @@ type Fig7Row struct {
 	IPCfInt, IPCfFP     float64
 }
 
-// Fig7 sweeps the separate BIT table size with single-block fetching
-// (paper Figure 7).
-func Fig7(ts *TraceSet) ([]Fig7Row, error) {
-	var rows []Fig7Row
-	for _, entries := range []int{64, 128, 256, 512, 1024, 2048, 4096} {
+// Fig7Async submits the Figure 7 sweep: separate BIT table sizes with
+// single-block fetching.
+func Fig7Async(s *Scheduler, ts *TraceSet) func() ([]Fig7Row, error) {
+	entries := []int{64, 128, 256, 512, 1024, 2048, 4096}
+	var promises []*SuitePromise
+	for _, e := range entries {
 		cfg := core.DefaultConfig()
 		cfg.Mode = core.SingleBlock
-		cfg.BITEntries = entries
-		res, err := RunConfig(ts, cfg)
-		if err != nil {
-			return nil, err
-		}
-		pct := func(r metrics.Result) float64 {
-			if r.BEP() == 0 {
-				return 0
-			}
-			return 100 * r.BEPOf(metrics.BITMispredict) / r.BEP()
-		}
-		rows = append(rows, Fig7Row{
-			Entries:   entries,
-			PctBEPInt: pct(res.Int), PctBEPFP: pct(res.FP),
-			IPCfInt: res.Int.IPCf(), IPCfFP: res.FP.IPCf(),
-		})
+		cfg.BITEntries = e
+		promises = append(promises, RunConfigAsync(s, ts, cfg))
 	}
-	return rows, nil
+	return func() ([]Fig7Row, error) {
+		var rows []Fig7Row
+		for i, p := range promises {
+			res, err := p.Wait()
+			if err != nil {
+				return nil, err
+			}
+			pct := func(r metrics.Result) float64 {
+				if r.BEP() == 0 {
+					return 0
+				}
+				return 100 * r.BEPOf(metrics.BITMispredict) / r.BEP()
+			}
+			rows = append(rows, Fig7Row{
+				Entries:   entries[i],
+				PctBEPInt: pct(res.Int), PctBEPFP: pct(res.FP),
+				IPCfInt: res.Int.IPCf(), IPCfFP: res.FP.IPCf(),
+			})
+		}
+		return rows, nil
+	}
 }
+
+// Fig7 sweeps the separate BIT table size with single-block fetching
+// (paper Figure 7).
+func Fig7(ts *TraceSet) ([]Fig7Row, error) { return Fig7Async(DefaultScheduler(), ts)() }
 
 // RenderFig7 writes the Figure 7 series.
 func RenderFig7(w io.Writer, rows []Fig7Row) {
@@ -113,33 +152,56 @@ type Fig8Row struct {
 	DoubleInt, DoubleFP float64
 }
 
-// Fig8 sweeps history length 9-12 and select-table count 1-8 for single
-// and double selection, dual-block fetching (paper Figure 8).
-func Fig8(ts *TraceSet) ([]Fig8Row, error) {
-	var rows []Fig8Row
+// Fig8Async submits the Figure 8 grid: history length 9-12 × select
+// table count 1-8 × both selection modes — 32 configurations, each
+// fanned out per program.
+func Fig8Async(s *Scheduler, ts *TraceSet) func() ([]Fig8Row, error) {
+	type point struct {
+		h, sts         int
+		single, double *SuitePromise
+	}
+	var pts []point
 	for h := 9; h <= 12; h++ {
 		for _, sts := range []int{1, 2, 4, 8} {
-			row := Fig8Row{History: h, STs: sts}
+			p := point{h: h, sts: sts}
 			for _, sel := range []metrics.SelectionMode{metrics.SingleSelection, metrics.DoubleSelection} {
 				cfg := core.DefaultConfig()
 				cfg.HistoryBits = h
 				cfg.NumSTs = sts
 				cfg.Selection = sel
-				res, err := RunConfig(ts, cfg)
-				if err != nil {
-					return nil, err
-				}
 				if sel == metrics.SingleSelection {
-					row.SingleInt, row.SingleFP = res.Int.IPCf(), res.FP.IPCf()
+					p.single = RunConfigAsync(s, ts, cfg)
 				} else {
-					row.DoubleInt, row.DoubleFP = res.Int.IPCf(), res.FP.IPCf()
+					p.double = RunConfigAsync(s, ts, cfg)
 				}
 			}
-			rows = append(rows, row)
+			pts = append(pts, p)
 		}
 	}
-	return rows, nil
+	return func() ([]Fig8Row, error) {
+		var rows []Fig8Row
+		for _, p := range pts {
+			single, err := p.single.Wait()
+			if err != nil {
+				return nil, err
+			}
+			double, err := p.double.Wait()
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig8Row{
+				History: p.h, STs: p.sts,
+				SingleInt: single.Int.IPCf(), SingleFP: single.FP.IPCf(),
+				DoubleInt: double.Int.IPCf(), DoubleFP: double.FP.IPCf(),
+			})
+		}
+		return rows, nil
+	}
 }
+
+// Fig8 sweeps history length 9-12 and select-table count 1-8 for single
+// and double selection, dual-block fetching (paper Figure 8).
+func Fig8(ts *TraceSet) ([]Fig8Row, error) { return Fig8Async(DefaultScheduler(), ts)() }
 
 // RenderFig8 writes the Figure 8 series.
 func RenderFig8(w io.Writer, rows []Fig8Row) {
@@ -164,29 +226,35 @@ type Table5Row struct {
 	IPCf      float64
 }
 
-// Table5 sweeps target array configurations over the integer suite
-// (paper Table 5): a 4-way BTB with 8-64 block entries and an NLS with
-// 64-512 block entries, each with and without near-block encoding.
-func Table5(ts *TraceSet) ([]Table5Row, error) {
+// Table5Async submits the Table 5 sweep: BTB 8-64 and NLS 64-512 block
+// entries, each with and without near-block encoding.
+func Table5Async(s *Scheduler, ts *TraceSet) func() ([]Table5Row, error) {
 	type point struct {
 		kind    core.TargetArrayKind
 		entries int
+		near    bool
+		promise *SuitePromise
 	}
-	var points []point
-	for _, e := range []int{8, 16, 32, 64} {
-		points = append(points, point{core.BTB, e})
-	}
-	for _, e := range []int{64, 128, 256, 512} {
-		points = append(points, point{core.NLS, e})
-	}
-	var rows []Table5Row
-	for _, p := range points {
+	var pts []point
+	add := func(kind core.TargetArrayKind, entries int) {
 		for _, near := range []bool{false, true} {
 			cfg := core.DefaultConfig()
-			cfg.TargetArray = p.kind
-			cfg.TargetEntries = p.entries
+			cfg.TargetArray = kind
+			cfg.TargetEntries = entries
 			cfg.NearBlock = near
-			res, err := RunConfig(ts, cfg)
+			pts = append(pts, point{kind, entries, near, RunConfigAsync(s, ts, cfg)})
+		}
+	}
+	for _, e := range []int{8, 16, 32, 64} {
+		add(core.BTB, e)
+	}
+	for _, e := range []int{64, 128, 256, 512} {
+		add(core.NLS, e)
+	}
+	return func() ([]Table5Row, error) {
+		var rows []Table5Row
+		for _, p := range pts {
+			res, err := p.promise.Wait()
 			if err != nil {
 				return nil, err
 			}
@@ -199,16 +267,21 @@ func Table5(ts *TraceSet) ([]Table5Row, error) {
 				return 100 * r.BEPOf(k) / bep
 			}
 			rows = append(rows, Table5Row{
-				Kind: p.kind, Entries: p.entries, NearBlock: near,
+				Kind: p.kind, Entries: p.entries, NearBlock: p.near,
 				PctBEPImm: pct(metrics.MisfetchImmediate),
 				PctBEPInd: pct(metrics.MisfetchIndirect),
 				BEP:       bep,
 				IPCf:      r.IPCf(),
 			})
 		}
+		return rows, nil
 	}
-	return rows, nil
 }
+
+// Table5 sweeps target array configurations over the integer suite
+// (paper Table 5): a 4-way BTB with 8-64 block entries and an NLS with
+// 64-512 block entries, each with and without near-block encoding.
+func Table5(ts *TraceSet) ([]Table5Row, error) { return Table5Async(DefaultScheduler(), ts)() }
 
 // RenderTable5 writes Table 5.
 func RenderTable5(w io.Writer, rows []Table5Row) {
@@ -235,33 +308,56 @@ type Table6Row struct {
 	IPCf2Int, IPCf2FP float64 // dual block
 }
 
-// Table6 compares the normal, extended and self-aligned caches with one
-// and two block fetching (paper Table 6: 8 STs, history length 10).
-func Table6(ts *TraceSet) ([]Table6Row, error) {
-	var rows []Table6Row
+// Table6Async submits the Table 6 grid: normal, extended and
+// self-aligned caches × one- and two-block fetching.
+func Table6Async(s *Scheduler, ts *TraceSet) func() ([]Table6Row, error) {
+	type point struct {
+		kind     icache.Kind
+		geom     icache.Geometry
+		one, two *SuitePromise
+	}
+	var pts []point
 	for _, kind := range []icache.Kind{icache.Normal, icache.Extended, icache.SelfAligned} {
 		geom := icache.ForKind(kind, 8)
-		row := Table6Row{Kind: kind, LineSize: geom.LineSize, Banks: geom.Banks}
+		p := point{kind: kind, geom: geom}
 		for _, mode := range []core.FetchMode{core.SingleBlock, core.DualBlock} {
 			cfg := core.DefaultConfig()
 			cfg.Geometry = geom
 			cfg.Mode = mode
 			cfg.NumSTs = 8
-			res, err := RunConfig(ts, cfg)
+			if mode == core.SingleBlock {
+				p.one = RunConfigAsync(s, ts, cfg)
+			} else {
+				p.two = RunConfigAsync(s, ts, cfg)
+			}
+		}
+		pts = append(pts, p)
+	}
+	return func() ([]Table6Row, error) {
+		var rows []Table6Row
+		for _, p := range pts {
+			one, err := p.one.Wait()
 			if err != nil {
 				return nil, err
 			}
-			if mode == core.SingleBlock {
-				row.IPCf1Int, row.IPCf1FP = res.Int.IPCf(), res.FP.IPCf()
-				row.IPBInt, row.IPBFP = res.Int.IPB(), res.FP.IPB()
-			} else {
-				row.IPCf2Int, row.IPCf2FP = res.Int.IPCf(), res.FP.IPCf()
+			two, err := p.two.Wait()
+			if err != nil {
+				return nil, err
 			}
+			rows = append(rows, Table6Row{
+				Kind: p.kind, LineSize: p.geom.LineSize, Banks: p.geom.Banks,
+				IPBInt: one.Int.IPB(), IPBFP: one.FP.IPB(),
+				IPCf1Int: one.Int.IPCf(), IPCf1FP: one.FP.IPCf(),
+				IPCf2Int: two.Int.IPCf(), IPCf2FP: two.FP.IPCf(),
+			})
 		}
-		rows = append(rows, row)
+		return rows, nil
 	}
-	return rows, nil
 }
+
+// Table6 compares the normal, extended and self-aligned caches with one
+// and two block fetching (paper Table 6: 8 STs, history length 10).
+func Table6(ts *TraceSet) ([]Table6Row, error) { return Table6Async(DefaultScheduler(), ts)() }
 
 // RenderTable6 writes Table 6.
 func RenderTable6(w io.Writer, rows []Table6Row) {
@@ -285,35 +381,43 @@ type Fig9Row struct {
 	ByKind  [metrics.NumKinds]float64
 }
 
-// Fig9 computes the per-program BEP breakdown for two-block single
-// selection with a self-aligned cache, 8 STs, history length 10.
-func Fig9(ts *TraceSet) ([]Fig9Row, error) {
+// Fig9Async submits the Figure 9 configuration (two-block single
+// selection, self-aligned cache, 8 STs, history length 10) — a single
+// configuration whose parallelism is the per-program fan-out.
+func Fig9Async(s *Scheduler, ts *TraceSet) func() ([]Fig9Row, error) {
 	cfg := core.DefaultConfig()
 	cfg.Geometry = icache.ForKind(icache.SelfAligned, 8)
 	cfg.NumSTs = 8
-	res, err := RunConfig(ts, cfg)
-	if err != nil {
-		return nil, err
-	}
-	var rows []Fig9Row
-	for _, name := range ts.Programs() {
-		r := res.Per[name]
-		row := Fig9Row{Program: name, Suite: ts.Suite(name).String(), BEP: r.BEP()}
-		for k := metrics.Kind(0); k < metrics.NumKinds; k++ {
-			row.ByKind[k] = r.BEPOf(k)
+	promise := RunConfigAsync(s, ts, cfg)
+	return func() ([]Fig9Row, error) {
+		res, err := promise.Wait()
+		if err != nil {
+			return nil, err
 		}
-		rows = append(rows, row)
-	}
-	// Suite aggregates, as the paper's CINT95/CFP95 bars.
-	for _, agg := range []metrics.Result{res.Int, res.FP} {
-		row := Fig9Row{Program: agg.Program, Suite: agg.Program, BEP: agg.BEP()}
-		for k := metrics.Kind(0); k < metrics.NumKinds; k++ {
-			row.ByKind[k] = agg.BEPOf(k)
+		var rows []Fig9Row
+		for _, name := range ts.Programs() {
+			r := res.Per[name]
+			row := Fig9Row{Program: name, Suite: ts.Suite(name).String(), BEP: r.BEP()}
+			for k := metrics.Kind(0); k < metrics.NumKinds; k++ {
+				row.ByKind[k] = r.BEPOf(k)
+			}
+			rows = append(rows, row)
 		}
-		rows = append(rows, row)
+		// Suite aggregates, as the paper's CINT95/CFP95 bars.
+		for _, agg := range []metrics.Result{res.Int, res.FP} {
+			row := Fig9Row{Program: agg.Program, Suite: agg.Program, BEP: agg.BEP()}
+			for k := metrics.Kind(0); k < metrics.NumKinds; k++ {
+				row.ByKind[k] = agg.BEPOf(k)
+			}
+			rows = append(rows, row)
+		}
+		return rows, nil
 	}
-	return rows, nil
 }
+
+// Fig9 computes the per-program BEP breakdown for two-block single
+// selection with a self-aligned cache, 8 STs, history length 10.
+func Fig9(ts *TraceSet) ([]Fig9Row, error) { return Fig9Async(DefaultScheduler(), ts)() }
 
 // RenderFig9 writes the Figure 9 stacked breakdown.
 func RenderFig9(w io.Writer, rows []Fig9Row) {

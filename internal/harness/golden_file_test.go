@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Byte-level golden files for every rendered table and CSV, against the
+// pinned-seed 120k-instruction test traces. TestGoldenRegression pins
+// the numeric results; these pin the *presentation* — column layout,
+// formatting precision, CSV headers — so an accidental change to a
+// Render*/CSV* function (or any drift the scheduler could introduce)
+// fails loudly. Regenerate after an intentional change with:
+//
+//	go test ./internal/harness/ -run TestGoldenFiles -update
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden file %s (run with -update after intentional changes)\n--- got ---\n%s\n--- want ---\n%s",
+			name, path, got, want)
+	}
+}
+
+func TestGoldenFiles(t *testing.T) {
+	f6 := cachedFig6(t)
+	f7 := cachedFig7(t)
+	f8 := cachedFig8(t)
+	f9 := cachedFig9(t)
+	t5 := cachedTable5(t)
+	t6 := cachedTable6(t)
+
+	cases := []struct {
+		name   string
+		render func(*bytes.Buffer) error
+	}{
+		{"fig6_table", func(b *bytes.Buffer) error { RenderFig6(b, f6); return nil }},
+		{"fig6_csv", func(b *bytes.Buffer) error { return CSVFig6(b, f6) }},
+		{"fig7_table", func(b *bytes.Buffer) error { RenderFig7(b, f7); return nil }},
+		{"fig7_csv", func(b *bytes.Buffer) error { return CSVFig7(b, f7) }},
+		{"fig8_table", func(b *bytes.Buffer) error { RenderFig8(b, f8); return nil }},
+		{"fig8_csv", func(b *bytes.Buffer) error { return CSVFig8(b, f8) }},
+		{"fig9_table", func(b *bytes.Buffer) error { RenderFig9(b, f9); return nil }},
+		{"fig9_csv", func(b *bytes.Buffer) error { return CSVFig9(b, f9) }},
+		{"table5_table", func(b *bytes.Buffer) error { RenderTable5(b, t5); return nil }},
+		{"table5_csv", func(b *bytes.Buffer) error { return CSVTable5(b, t5) }},
+		{"table6_table", func(b *bytes.Buffer) error { RenderTable6(b, t6); return nil }},
+		{"table6_csv", func(b *bytes.Buffer) error { return CSVTable6(b, t6) }},
+		{"cost", func(b *bytes.Buffer) error { RenderCost(b); return nil }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := c.render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Fatal("empty rendering")
+			}
+			checkGolden(t, c.name, buf.Bytes())
+		})
+	}
+}

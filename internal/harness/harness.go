@@ -1,13 +1,14 @@
 // Package harness drives the paper's experiments: it loads workload
 // traces once, sweeps fetch-architecture configurations over them, and
 // renders each of the evaluation section's tables and figures
-// (Figures 6-9, Tables 5-6, and the §5 cost walkthrough).
+// (Figures 6-9, Tables 5-6, and the §5 cost walkthrough). Every sweep
+// is flattened into (configuration × program) jobs on one bounded
+// work-stealing pool (see sched.go); results fold in declaration
+// order, so output is byte-identical to a serial run.
 package harness
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"mbbp/internal/core"
 	"mbbp/internal/metrics"
@@ -57,25 +58,48 @@ type TraceSet struct {
 	warmup bool
 }
 
-// LoadTraces captures traces for the options' programs.
+// LoadTraces captures traces for the options' programs on the default
+// scheduler.
 func LoadTraces(o Options) (*TraceSet, error) {
+	return LoadTracesOn(DefaultScheduler(), o)
+}
+
+// LoadTracesOn captures the per-program traces in parallel on s — the
+// programs are independent and deterministic, so capture order does not
+// matter — and assembles them in suite (declaration) order.
+func LoadTracesOn(s *Scheduler, o Options) (*TraceSet, error) {
 	ts := &TraceSet{
 		traces: make(map[string]*trace.Buffer),
 		suites: make(map[string]workload.Suite),
 		warmup: o.Warmup,
 	}
+	type captured struct {
+		tr    *trace.Buffer
+		suite workload.Suite
+	}
+	var futs []*Future[captured]
 	for _, name := range o.programs() {
-		b, err := workload.Get(name)
+		name := name
+		futs = append(futs, Submit(s, func() (captured, error) {
+			b, err := workload.Get(name)
+			if err != nil {
+				return captured{}, err
+			}
+			tr, err := b.Trace(o.instructions())
+			if err != nil {
+				return captured{}, fmt.Errorf("harness: tracing %s: %w", name, err)
+			}
+			return captured{tr, b.Suite}, nil
+		}))
+	}
+	for i, name := range o.programs() {
+		c, err := futs[i].Wait()
 		if err != nil {
 			return nil, err
 		}
-		tr, err := b.Trace(o.instructions())
-		if err != nil {
-			return nil, fmt.Errorf("harness: tracing %s: %w", name, err)
-		}
 		ts.order = append(ts.order, name)
-		ts.traces[name] = tr
-		ts.suites[name] = b.Suite
+		ts.traces[name] = c.tr
+		ts.suites[name] = c.suite
 	}
 	return ts, nil
 }
@@ -105,54 +129,30 @@ func (s *SuiteResult) Of(suite workload.Suite) metrics.Result {
 	return s.Int
 }
 
-// RunConfig runs one configuration over every trace in the set with a
-// fresh engine per program (the paper simulates each benchmark
-// independently). Programs run in parallel — each engine is
-// independent, and trace buffers are only read through fresh cursors —
-// and results are folded in suite order, so the output is
-// deterministic.
-func RunConfig(ts *TraceSet, cfg core.Config) (*SuiteResult, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
+// SuitePromise is a pending SuiteResult: one submitted job per program,
+// folded in suite order at Wait. The fold order is fixed, so the result
+// is identical however the jobs were interleaved.
+type SuitePromise struct {
+	ts   *TraceSet
+	futs []*Future[metrics.Result]
+	err  error // submission-time failure (e.g. invalid config)
+}
+
+// Wait collects the per-program results and folds them, in suite order.
+func (p *SuitePromise) Wait() (*SuiteResult, error) {
+	if p.err != nil {
+		return nil, p.err
 	}
 	out := &SuiteResult{Per: make(map[string]metrics.Result)}
 	out.Int.Program = "CINT95"
 	out.FP.Program = "CFP95"
-
-	results := make([]metrics.Result, len(ts.order))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	errs := make([]error, len(ts.order))
-	for i, name := range ts.order {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			e, err := core.New(cfg)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			// Each goroutine needs its own read cursor over the
-			// shared records.
-			tr := ts.traces[name].Clone()
-			if ts.warmup {
-				e.Run(tr) // untimed training pass
-			}
-			results[i] = e.Run(tr)
-		}(i, name)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	for i, name := range p.ts.order {
+		r, err := p.futs[i].Wait()
 		if err != nil {
 			return nil, err
 		}
-	}
-	for i, name := range ts.order {
-		r := results[i]
 		out.Per[name] = r
-		if ts.suites[name] == workload.FP {
+		if p.ts.suites[name] == workload.FP {
 			out.FP.Add(r)
 		} else {
 			out.Int.Add(r)
@@ -161,24 +161,70 @@ func RunConfig(ts *TraceSet, cfg core.Config) (*SuiteResult, error) {
 	return out, nil
 }
 
-// RunScalar runs the Figure 6 scalar baseline over every trace.
-func RunScalar(ts *TraceSet, historyBits, numTables int) *SuiteResult {
-	out := &SuiteResult{Per: make(map[string]metrics.Result)}
-	out.Int.Program = "CINT95"
-	out.FP.Program = "CFP95"
+// suitePromise submits one job per program of the trace set.
+func suitePromise(s *Scheduler, ts *TraceSet, run func(name string) (metrics.Result, error)) *SuitePromise {
+	p := &SuitePromise{ts: ts}
 	for _, name := range ts.order {
-		sr := core.RunScalar(ts.traces[name], historyBits, numTables)
-		r := metrics.Result{
+		name := name
+		p.futs = append(p.futs, Submit(s, func() (metrics.Result, error) {
+			return run(name)
+		}))
+	}
+	return p
+}
+
+// RunConfigAsync submits one engine run per program of the set — the
+// (config × program) flattening every sweep driver builds on — and
+// returns the pending suite result. Each job gets a fresh engine (the
+// paper simulates each benchmark independently) and its own read cursor
+// over the shared trace records.
+func RunConfigAsync(s *Scheduler, ts *TraceSet, cfg core.Config) *SuitePromise {
+	if err := cfg.Validate(); err != nil {
+		return &SuitePromise{err: err}
+	}
+	return suitePromise(s, ts, func(name string) (metrics.Result, error) {
+		e, err := core.New(cfg)
+		if err != nil {
+			return metrics.Result{}, err
+		}
+		tr := ts.traces[name].Clone()
+		if ts.warmup {
+			e.Run(tr) // untimed training pass
+		}
+		return e.Run(tr), nil
+	})
+}
+
+// RunConfig runs one configuration over every trace in the set on the
+// default scheduler and folds the results in suite order.
+func RunConfig(ts *TraceSet, cfg core.Config) (*SuiteResult, error) {
+	return RunConfigOn(DefaultScheduler(), ts, cfg)
+}
+
+// RunConfigOn is RunConfig on an explicit scheduler.
+func RunConfigOn(s *Scheduler, ts *TraceSet, cfg core.Config) (*SuiteResult, error) {
+	return RunConfigAsync(s, ts, cfg).Wait()
+}
+
+// RunScalarAsync submits the Figure 6 scalar baseline per program.
+func RunScalarAsync(s *Scheduler, ts *TraceSet, historyBits, numTables int) *SuitePromise {
+	return suitePromise(s, ts, func(name string) (metrics.Result, error) {
+		sr := core.RunScalar(ts.traces[name].Clone(), historyBits, numTables)
+		return metrics.Result{
 			Program:         name,
 			CondBranches:    sr.CondBranches,
 			CondMispredicts: sr.CondMispredicts,
-		}
-		out.Per[name] = r
-		if ts.suites[name] == workload.FP {
-			out.FP.Add(r)
-		} else {
-			out.Int.Add(r)
-		}
+		}, nil
+	})
+}
+
+// RunScalar runs the Figure 6 scalar baseline over every trace.
+func RunScalar(ts *TraceSet, historyBits, numTables int) *SuiteResult {
+	out, err := RunScalarAsync(DefaultScheduler(), ts, historyBits, numTables).Wait()
+	if err != nil {
+		// The scalar jobs cannot fail; keep the historical non-error
+		// signature.
+		panic(err)
 	}
 	return out
 }

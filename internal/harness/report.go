@@ -10,8 +10,25 @@ import (
 
 // WriteReport renders every experiment as one self-contained markdown
 // document with paper-vs-measured commentary — the machine-generated
-// counterpart of EXPERIMENTS.md (mbpexp report > report.md).
+// counterpart of EXPERIMENTS.md (mbpexp report > report.md). The whole
+// experiment grid is submitted to the default scheduler before any
+// section renders, so every sweep's jobs interleave on the pool while
+// the sections are written in order.
 func WriteReport(w io.Writer, ts *TraceSet, instructions uint64) error {
+	s := DefaultScheduler()
+	waitFig6 := Fig6Async(s, ts)
+	waitFig7 := Fig7Async(s, ts)
+	waitFig8 := Fig8Async(s, ts)
+	waitTable5 := Table5Async(s, ts)
+	waitTable6 := Table6Async(s, ts)
+	waitFig9 := Fig9Async(s, ts)
+	waitCompare := CompareAsync(s, ts)
+	waitExt := ExtBlocksAsync(s, ts)
+	waitAbl := AblationPHTAsync(s, ts)
+	waitBase := BaselineAsync(s, ts)
+	waitWidths := WidthsAsync(s, ts)
+	waitICache := ICacheAsync(s, ts)
+
 	fmt.Fprintf(w, "# Reproduction report — Multiple Branch and Block Prediction (HPCA 1997)\n\n")
 	fmt.Fprintf(w, "Workloads: %d programs, %d dynamic instructions each. ", len(ts.Programs()), instructions)
 	fmt.Fprintf(w, "Deterministic: rerunning this command reproduces these numbers exactly.\n\n")
@@ -22,7 +39,7 @@ func WriteReport(w io.Writer, ts *TraceSet, instructions uint64) error {
 
 	// Figure 6.
 	section("Figure 6 — blocked vs scalar PHT")
-	f6, err := Fig6(ts)
+	f6, err := waitFig6()
 	if err != nil {
 		return err
 	}
@@ -42,7 +59,7 @@ func WriteReport(w io.Writer, ts *TraceSet, instructions uint64) error {
 
 	// Figure 7.
 	section("Figure 7 — BIT table size")
-	f7, err := Fig7(ts)
+	f7, err := waitFig7()
 	if err != nil {
 		return err
 	}
@@ -60,7 +77,7 @@ func WriteReport(w io.Writer, ts *TraceSet, instructions uint64) error {
 
 	// Figure 8.
 	section("Figure 8 — single vs double selection")
-	f8, err := Fig8(ts)
+	f8, err := waitFig8()
 	if err != nil {
 		return err
 	}
@@ -78,7 +95,7 @@ func WriteReport(w io.Writer, ts *TraceSet, instructions uint64) error {
 
 	// Table 5.
 	section("Table 5 — target arrays")
-	t5, err := Table5(ts)
+	t5, err := waitTable5()
 	if err != nil {
 		return err
 	}
@@ -88,7 +105,7 @@ func WriteReport(w io.Writer, ts *TraceSet, instructions uint64) error {
 
 	// Table 6.
 	section("Table 6 — cache organizations")
-	t6, err := Table6(ts)
+	t6, err := waitTable6()
 	if err != nil {
 		return err
 	}
@@ -103,7 +120,7 @@ func WriteReport(w io.Writer, ts *TraceSet, instructions uint64) error {
 
 	// Figure 9.
 	section("Figure 9 — BEP breakdown")
-	f9, err := Fig9(ts)
+	f9, err := waitFig9()
 	if err != nil {
 		return err
 	}
@@ -128,7 +145,7 @@ func WriteReport(w io.Writer, ts *TraceSet, instructions uint64) error {
 
 	// Headlines, extension, ablation, baseline, cost.
 	section("Headline claims")
-	cmp, err := Compare(ts)
+	cmp, err := waitCompare()
 	if err != nil {
 		return err
 	}
@@ -137,7 +154,7 @@ func WriteReport(w io.Writer, ts *TraceSet, instructions uint64) error {
 	codeClose()
 
 	section("Extension: blocks per cycle (§5)")
-	ext, err := ExtBlocks(ts)
+	ext, err := waitExt()
 	if err != nil {
 		return err
 	}
@@ -146,7 +163,7 @@ func WriteReport(w io.Writer, ts *TraceSet, instructions uint64) error {
 	codeClose()
 
 	section("Ablation: PHT organization")
-	abl, err := AblationPHT(ts)
+	abl, err := waitAbl()
 	if err != nil {
 		return err
 	}
@@ -155,7 +172,7 @@ func WriteReport(w io.Writer, ts *TraceSet, instructions uint64) error {
 	codeClose()
 
 	section("Baseline: Yeh branch address cache")
-	base, err := Baseline(ts)
+	base, err := waitBase()
 	if err != nil {
 		return err
 	}
@@ -164,7 +181,7 @@ func WriteReport(w io.Writer, ts *TraceSet, instructions uint64) error {
 	codeClose()
 
 	section("Block width sweep (§4 remark)")
-	wid, err := Widths(ts)
+	wid, err := waitWidths()
 	if err != nil {
 		return err
 	}
@@ -173,7 +190,7 @@ func WriteReport(w io.Writer, ts *TraceSet, instructions uint64) error {
 	codeClose()
 
 	section("Extension: finite instruction cache")
-	ic, err := ICache(ts)
+	ic, err := waitICache()
 	if err != nil {
 		return err
 	}

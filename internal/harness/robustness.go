@@ -19,46 +19,74 @@ type SeedsRow struct {
 	MispIntPct      float64
 }
 
+// SeedsAsync submits the robustness sweep: every (seed × program) trace
+// capture is one job, and each seed's suite run fans out per program as
+// soon as its traces are collected. Capture for later seeds overlaps
+// the simulation of earlier ones.
+func SeedsAsync(s *Scheduler, o Options, seeds []int64) func() ([]SeedsRow, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{1, 20261, 777321, 90125, 443556689}
+	}
+	type capture struct {
+		tr    *trace.Buffer
+		suite workload.Suite
+	}
+	futs := make([][]*Future[capture], len(seeds))
+	for i, seed := range seeds {
+		seed := seed
+		for _, name := range o.programs() {
+			name := name
+			futs[i] = append(futs[i], Submit(s, func() (capture, error) {
+				b, err := workload.Get(name)
+				if err != nil {
+					return capture{}, err
+				}
+				tr, err := b.TraceSeeded(o.instructions(), seed)
+				if err != nil {
+					return capture{}, err
+				}
+				return capture{tr, b.Suite}, nil
+			}))
+		}
+	}
+	return func() ([]SeedsRow, error) {
+		var rows []SeedsRow
+		for i, seed := range seeds {
+			ts := &TraceSet{
+				traces: make(map[string]*trace.Buffer),
+				suites: make(map[string]workload.Suite),
+			}
+			for j, name := range o.programs() {
+				c, err := futs[i][j].Wait()
+				if err != nil {
+					return nil, err
+				}
+				ts.order = append(ts.order, name)
+				ts.traces[name] = c.tr
+				ts.suites[name] = c.suite
+			}
+			res, err := RunConfigOn(s, ts, core.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SeedsRow{
+				Seed:       seed,
+				IPCfInt:    res.Int.IPCf(),
+				IPCfFP:     res.FP.IPCf(),
+				MispIntPct: 100 * res.Int.CondMispredictRate(),
+			})
+		}
+		return rows, nil
+	}
+}
+
 // Seeds re-runs the default configuration over the suite with the
 // workload generators' pseudo-random seeds replaced, checking that the
 // reported numbers are properties of program *structure*, not of one
 // particular input stream. (The FP kernels are deterministic; their
 // variation comes only from wave5's particle placement.)
 func Seeds(o Options, seeds []int64) ([]SeedsRow, error) {
-	if len(seeds) == 0 {
-		seeds = []int64{1, 20261, 777321, 90125, 443556689}
-	}
-	var rows []SeedsRow
-	for _, seed := range seeds {
-		ts := &TraceSet{
-			traces: make(map[string]*trace.Buffer),
-			suites: make(map[string]workload.Suite),
-		}
-		for _, name := range o.programs() {
-			b, err := workload.Get(name)
-			if err != nil {
-				return nil, err
-			}
-			tr, err := b.TraceSeeded(o.instructions(), seed)
-			if err != nil {
-				return nil, err
-			}
-			ts.order = append(ts.order, name)
-			ts.traces[name] = tr
-			ts.suites[name] = b.Suite
-		}
-		res, err := RunConfig(ts, core.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, SeedsRow{
-			Seed:       seed,
-			IPCfInt:    res.Int.IPCf(),
-			IPCfFP:     res.FP.IPCf(),
-			MispIntPct: 100 * res.Int.CondMispredictRate(),
-		})
-	}
-	return rows, nil
+	return SeedsAsync(DefaultScheduler(), o, seeds)()
 }
 
 // SeedSpread summarizes the rows: mean and max relative deviation of
@@ -99,11 +127,13 @@ type WidthsRow struct {
 	IPBInt          float64
 }
 
-// Widths sweeps the block width — §4's remark that "a simpler
-// configuration ... would be to use two blocks of four instructions
-// each", which "would still yield an excellent fetching rate".
-func Widths(ts *TraceSet) ([]WidthsRow, error) {
-	var rows []WidthsRow
+// WidthsAsync submits the block-width sweep grid.
+func WidthsAsync(s *Scheduler, ts *TraceSet) func() ([]WidthsRow, error) {
+	type point struct {
+		width, blocks int
+		promise       *SuitePromise
+	}
+	var pts []point
 	for _, w := range []int{4, 8, 16} {
 		for _, blocks := range []int{1, 2} {
 			cfg := core.DefaultConfig()
@@ -111,19 +141,30 @@ func Widths(ts *TraceSet) ([]WidthsRow, error) {
 			if blocks == 1 {
 				cfg.Mode = core.SingleBlock
 			}
-			res, err := RunConfig(ts, cfg)
+			pts = append(pts, point{w, blocks, RunConfigAsync(s, ts, cfg)})
+		}
+	}
+	return func() ([]WidthsRow, error) {
+		var rows []WidthsRow
+		for _, p := range pts {
+			res, err := p.promise.Wait()
 			if err != nil {
 				return nil, err
 			}
 			rows = append(rows, WidthsRow{
-				Width: w, Blocks: blocks,
+				Width: p.width, Blocks: p.blocks,
 				IPCfInt: res.Int.IPCf(), IPCfFP: res.FP.IPCf(),
 				IPBInt: res.Int.IPB(),
 			})
 		}
+		return rows, nil
 	}
-	return rows, nil
 }
+
+// Widths sweeps the block width — §4's remark that "a simpler
+// configuration ... would be to use two blocks of four instructions
+// each", which "would still yield an excellent fetching rate".
+func Widths(ts *TraceSet) ([]WidthsRow, error) { return WidthsAsync(DefaultScheduler(), ts)() }
 
 // ICacheRow is one finite-instruction-cache point.
 type ICacheRow struct {
@@ -132,12 +173,10 @@ type ICacheRow struct {
 	MissPerKInt     float64 // misses per 1000 instructions, Int suite
 }
 
-// ICache sweeps the optional finite instruction cache (an extension —
-// the paper assumes a perfect one): how small the cache must get before
-// fetch-prediction gains drown in miss stalls.
-func ICache(ts *TraceSet) ([]ICacheRow, error) {
+// ICacheAsync submits the finite-instruction-cache sweep.
+func ICacheAsync(s *Scheduler, ts *TraceSet) func() ([]ICacheRow, error) {
 	sizes := []int{0, 32, 64, 128, 256, 1024}
-	var rows []ICacheRow
+	var promises []*SuitePromise
 	for _, lines := range sizes {
 		cfg := core.DefaultConfig()
 		if lines > 0 {
@@ -145,18 +184,29 @@ func ICache(ts *TraceSet) ([]ICacheRow, error) {
 			cfg.ICacheAssoc = 2
 			cfg.ICacheMissPenalty = 10
 		}
-		res, err := RunConfig(ts, cfg)
-		if err != nil {
-			return nil, err
-		}
-		row := ICacheRow{Lines: lines, IPCfInt: res.Int.IPCf(), IPCfFP: res.FP.IPCf()}
-		if res.Int.Instructions > 0 {
-			row.MissPerKInt = 1000 * float64(res.Int.ICacheMisses) / float64(res.Int.Instructions)
-		}
-		rows = append(rows, row)
+		promises = append(promises, RunConfigAsync(s, ts, cfg))
 	}
-	return rows, nil
+	return func() ([]ICacheRow, error) {
+		var rows []ICacheRow
+		for i, p := range promises {
+			res, err := p.Wait()
+			if err != nil {
+				return nil, err
+			}
+			row := ICacheRow{Lines: sizes[i], IPCfInt: res.Int.IPCf(), IPCfFP: res.FP.IPCf()}
+			if res.Int.Instructions > 0 {
+				row.MissPerKInt = 1000 * float64(res.Int.ICacheMisses) / float64(res.Int.Instructions)
+			}
+			rows = append(rows, row)
+		}
+		return rows, nil
+	}
 }
+
+// ICache sweeps the optional finite instruction cache (an extension —
+// the paper assumes a perfect one): how small the cache must get before
+// fetch-prediction gains drown in miss stalls.
+func ICache(ts *TraceSet) ([]ICacheRow, error) { return ICacheAsync(DefaultScheduler(), ts)() }
 
 // RenderICache writes the finite-cache sweep.
 func RenderICache(w io.Writer, rows []ICacheRow) {

@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file implements the sweep scheduler: every experiment flattens
+// its (configuration × program) grid into independent jobs on one
+// bounded work-stealing pool, and folds the results back in declaration
+// order. Parallel execution therefore changes wall-clock time only —
+// every rendered table, CSV and report stays byte-identical to a serial
+// run, which the differential tests pin.
+//
+// Scheduling discipline: jobs are leaves. A job never submits further
+// jobs and never waits on a Future; all submission and waiting happens
+// in driver code outside the pool, so a bounded pool cannot deadlock.
+
+// Scheduler executes independent jobs on a bounded pool of workers.
+// Each worker owns a deque: it pops its own work newest-first (LIFO,
+// cache-warm) and steals from the fullest other deque oldest-first
+// (FIFO), so large sweeps spread across workers without a central
+// bottleneck. The zero value (and Serial()) is a degenerate scheduler
+// that runs every job inline at submission time — the reference serial
+// path the differential tests compare against.
+type Scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	deques [][]func()
+	next   int // round-robin submission target
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewScheduler starts a pool with the given number of workers; n <= 0
+// means one worker per available CPU (GOMAXPROCS).
+func NewScheduler(n int) *Scheduler {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s := &Scheduler{deques: make([][]func(), n)}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go s.work(i)
+	}
+	return s
+}
+
+// Serial returns a scheduler that runs every job synchronously inside
+// Submit, in submission order — exactly the pre-scheduler execution
+// order of the experiment drivers.
+func Serial() *Scheduler { return &Scheduler{} }
+
+// Workers returns the pool size (0 for a serial scheduler).
+func (s *Scheduler) Workers() int { return len(s.deques) }
+
+// serial reports whether jobs run inline at submission.
+func (s *Scheduler) serial() bool { return len(s.deques) == 0 }
+
+// Close stops the workers after the queued jobs finish. Submitting
+// after Close panics. Close is a no-op on a serial scheduler.
+func (s *Scheduler) Close() {
+	if s.serial() {
+		return
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+}
+
+// submit queues one job (or runs it inline when serial).
+func (s *Scheduler) submit(fn func()) {
+	if s.serial() {
+		fn()
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		panic("harness: submit on closed scheduler")
+	}
+	s.deques[s.next] = append(s.deques[s.next], fn)
+	s.next = (s.next + 1) % len(s.deques)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// work is one worker's loop: drain own deque, steal, or park.
+func (s *Scheduler) work(i int) {
+	defer s.wg.Done()
+	s.mu.Lock()
+	for {
+		if fn := s.grabLocked(i); fn != nil {
+			s.mu.Unlock()
+			fn()
+			s.mu.Lock()
+			continue
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		s.cond.Wait()
+	}
+}
+
+// grabLocked takes the next job for worker i: newest from its own
+// deque, else oldest from the fullest victim.
+func (s *Scheduler) grabLocked(i int) func() {
+	if d := s.deques[i]; len(d) > 0 {
+		fn := d[len(d)-1]
+		d[len(d)-1] = nil
+		s.deques[i] = d[:len(d)-1]
+		return fn
+	}
+	victim := -1
+	for j := range s.deques {
+		if j == i || len(s.deques[j]) == 0 {
+			continue
+		}
+		if victim < 0 || len(s.deques[j]) > len(s.deques[victim]) {
+			victim = j
+		}
+	}
+	if victim < 0 {
+		return nil
+	}
+	d := s.deques[victim]
+	fn := d[0]
+	d[0] = nil
+	s.deques[victim] = d[1:]
+	return fn
+}
+
+var (
+	defaultSchedOnce sync.Once
+	defaultSched     *Scheduler
+)
+
+// DefaultScheduler returns the shared process-wide pool, sized to
+// GOMAXPROCS, that the synchronous experiment entry points use. It is
+// created on first use and lives for the life of the process.
+func DefaultScheduler() *Scheduler {
+	defaultSchedOnce.Do(func() { defaultSched = NewScheduler(0) })
+	return defaultSched
+}
+
+// Future is the pending result of one submitted job.
+type Future[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// Submit schedules fn on s and returns its future. On a serial
+// scheduler fn runs before Submit returns.
+func Submit[T any](s *Scheduler, fn func() (T, error)) *Future[T] {
+	f := &Future[T]{done: make(chan struct{})}
+	s.submit(func() {
+		f.val, f.err = fn()
+		close(f.done)
+	})
+	return f
+}
+
+// Wait blocks until the job has run and returns its result.
+func (f *Future[T]) Wait() (T, error) {
+	<-f.done
+	return f.val, f.err
+}

@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"mbbp/internal/metrics"
+	"mbbp/internal/workload"
+)
+
+// TestSchedulerRunsEveryJob submits far more jobs than workers and
+// checks each runs exactly once and its future carries its value.
+func TestSchedulerRunsEveryJob(t *testing.T) {
+	s := NewScheduler(4)
+	defer s.Close()
+	const n = 500
+	var ran [n]int32
+	futs := make([]*Future[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		futs[i] = Submit(s, func() (int, error) {
+			atomic.AddInt32(&ran[i], 1)
+			return i * i, nil
+		})
+	}
+	for i, f := range futs {
+		v, err := f.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if v != i*i {
+			t.Fatalf("job %d returned %d, want %d", i, v, i*i)
+		}
+	}
+	for i := range ran {
+		if ran[i] != 1 {
+			t.Fatalf("job %d ran %d times", i, ran[i])
+		}
+	}
+}
+
+// TestSerialRunsInline pins the reference path of the differential
+// tests: a serial scheduler runs each job inside Submit, in submission
+// order.
+func TestSerialRunsInline(t *testing.T) {
+	s := Serial()
+	if s.Workers() != 0 {
+		t.Fatalf("serial scheduler has %d workers, want 0", s.Workers())
+	}
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		f := Submit(s, func() (int, error) {
+			order = append(order, i)
+			return i, nil
+		})
+		// Inline execution: the future must already be resolved.
+		select {
+		case <-f.done:
+		default:
+			t.Fatal("serial job not run at submit time")
+		}
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial execution order %v, want ascending", order)
+		}
+	}
+	s.Close() // no-op, must not hang
+}
+
+// TestFutureError checks error propagation through Wait.
+func TestFutureError(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Close()
+	boom := errors.New("boom")
+	f := Submit(s, func() (string, error) { return "", boom })
+	if _, err := f.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait err = %v, want %v", err, boom)
+	}
+	// A failed job must not poison the pool.
+	g := Submit(s, func() (string, error) { return "ok", nil })
+	if v, err := g.Wait(); err != nil || v != "ok" {
+		t.Fatalf("pool broken after error: %q, %v", v, err)
+	}
+}
+
+// TestSchedulerWorkStealing forces all jobs onto a saturated pool and
+// checks more than one worker participates (the steal path runs).
+func TestSchedulerWorkStealing(t *testing.T) {
+	s := NewScheduler(4)
+	defer s.Close()
+	const n = 200
+	var futs []*Future[int]
+	for i := 0; i < n; i++ {
+		futs = append(futs, Submit(s, func() (int, error) {
+			x := 0
+			for j := 0; j < 10_000; j++ {
+				x += j
+			}
+			return x, nil
+		}))
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSubmitAfterClosePanics pins the misuse contract.
+func TestSubmitAfterClosePanics(t *testing.T) {
+	s := NewScheduler(1)
+	s.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("submit on closed scheduler did not panic")
+		}
+	}()
+	Submit(s, func() (int, error) { return 0, nil })
+}
+
+// randomResult builds an arbitrary metrics.Result from the generator.
+func randomResult(r *rand.Rand) metrics.Result {
+	var m metrics.Result
+	m.Instructions = r.Uint64() >> 16
+	m.FetchCycles = r.Uint64() >> 16
+	m.Blocks = r.Uint64() >> 16
+	m.Branches = r.Uint64() >> 16
+	m.CondBranches = r.Uint64() >> 16
+	m.CondMispredicts = r.Uint64() >> 16
+	for k := range m.PenaltyCycles {
+		m.PenaltyCycles[k] = r.Uint64() >> 16
+		m.PenaltyEvents[k] = r.Uint64() >> 16
+	}
+	m.ICacheMisses = r.Uint64() >> 16
+	m.ICacheMissCycles = r.Uint64() >> 16
+	return m
+}
+
+// TestSuiteFoldOrderInsensitive quick-checks the property the parallel
+// fold relies on: summing per-program results with Add yields the same
+// suite aggregate whatever order the results arrive in.
+func TestSuiteFoldOrderInsensitive(t *testing.T) {
+	fold := func(rs []metrics.Result, perm []int) metrics.Result {
+		agg := metrics.Result{Program: "CINT95"}
+		for _, i := range perm {
+			agg.Add(rs[i])
+		}
+		return agg
+	}
+	prop := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := int(n%12) + 2
+		rs := make([]metrics.Result, k)
+		for i := range rs {
+			rs[i] = randomResult(r)
+		}
+		asc := make([]int, k)
+		for i := range asc {
+			asc[i] = i
+		}
+		shuffled := r.Perm(k)
+		return reflect.DeepEqual(fold(rs, asc), fold(rs, shuffled))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSuitePromiseFoldMatchesSerial runs the same configuration through
+// a serial and a parallel SuitePromise and requires identical folded
+// aggregates and per-program maps — determinism at the datum level, one
+// layer below the rendered-output differential tests.
+func TestSuitePromiseFoldMatchesSerial(t *testing.T) {
+	pool := NewScheduler(4)
+	defer pool.Close()
+	run := func(name string) (metrics.Result, error) {
+		tr := testTraces.Trace(name)
+		return metrics.Result{
+			Program:      name,
+			Instructions: tr.Len(),
+			CondBranches: uint64(len(name)),
+		}, nil
+	}
+	serial, err := suitePromise(Serial(), testTraces, run).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := suitePromise(pool, testTraces, run).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("parallel fold differs from serial:\nserial: %+v\nparallel: %+v", serial, par)
+	}
+	if serial.Int.Program != "CINT95" || serial.FP.Program != "CFP95" {
+		t.Fatalf("aggregate names %q/%q", serial.Int.Program, serial.FP.Program)
+	}
+	for _, name := range testTraces.Programs() {
+		if _, ok := par.Per[name]; !ok {
+			t.Fatalf("missing per-program result for %s", name)
+		}
+		if testTraces.Suite(name) == workload.FP {
+			continue
+		}
+	}
+}

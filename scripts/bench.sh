@@ -1,0 +1,27 @@
+#!/bin/sh
+# Reproducible benchmark pipeline: build mbpexp, time the pinned sweep
+# set serially and on the work-stealing pool, and record the result in
+# BENCH_sweep.json (schema mbbp/bench-sweep/v1), then validate it.
+#
+# Usage: scripts/bench.sh [instructions-per-program]
+# Default 200000 keeps a full run under a minute on a laptop while still
+# dominating per-job overhead. Simulated results are deterministic —
+# only the recorded timings vary between machines; CI checks the schema
+# and internal consistency, not absolute speed.
+#
+# Environment:
+#   BENCH_OUT  output path (default BENCH_sweep.json in the repo root)
+set -eu
+
+N="${1:-200000}"
+OUT="${BENCH_OUT:-BENCH_sweep.json}"
+
+echo "building mbpexp..."
+go build -o /tmp/mbpexp.$$ ./cmd/mbpexp
+trap 'rm -f /tmp/mbpexp.$$' EXIT
+
+echo "benchmarking ($N instructions/program)..."
+/tmp/mbpexp.$$ -n "$N" -benchout "$OUT" bench
+
+echo "validating $OUT..."
+/tmp/mbpexp.$$ -benchout "$OUT" benchcheck
