@@ -268,7 +268,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	b.SetBytes(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e, err := NewEngine(DefaultConfig())
+		e, err := NewEngine()
 		if err != nil {
 			b.Fatal(err)
 		}

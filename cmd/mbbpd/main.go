@@ -1,0 +1,101 @@
+// Command mbbpd is the long-running simulation service: an HTTP/JSON
+// front end over the paper's fetch-prediction engine.
+//
+// Usage:
+//
+//	mbbpd [-addr :8329] [-queue n] [-workers n] [-cache n]
+//	      [-max-instructions n] [-timeout d] [-log text|json]
+//
+// Endpoints:
+//
+//	POST /v1/sweep        run a (config × workloads × n) sweep; add
+//	                      ?stream=ndjson for per-program streaming
+//	GET  /v1/workloads    list the built-in benchmark suite
+//	GET  /healthz         liveness (503 while draining)
+//	GET  /metrics         expvar counters + latency histogram (JSON)
+//	GET  /debug/pprof/    runtime profiles
+//
+// SIGINT/SIGTERM begin a graceful shutdown: the listener stops
+// accepting, in-flight sweeps drain, then the pool stops.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mbbp/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8329", "listen address")
+	queue := flag.Int("queue", 64, "max admitted (queued+running) sweep requests; overflow gets 429")
+	workers := flag.Int("workers", 0, "simulation pool size (0 = one per CPU)")
+	cacheEntries := flag.Int("cache", 64, "LRU trace cache capacity (traces)")
+	maxN := flag.Uint64("max-instructions", 10_000_000, "per-program instruction cap a request may ask for")
+	timeout := flag.Duration("timeout", 120*time.Second, "per-request timeout")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
+	logFormat := flag.String("log", "text", "log format: text or json")
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "mbbpd: unknown log format %q\n", *logFormat)
+		os.Exit(2)
+	}
+	log := slog.New(handler)
+
+	srv := server.New(server.Config{
+		QueueDepth:      *queue,
+		Workers:         *workers,
+		CacheEntries:    *cacheEntries,
+		MaxInstructions: *maxN,
+		RequestTimeout:  *timeout,
+		Logger:          log,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Info("mbbpd listening", "addr", *addr, "queue", *queue, "workers", *workers)
+
+	select {
+	case err := <-errc:
+		log.Error("listener failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	log.Info("shutting down", "drain_timeout", drainTimeout.String())
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting and let in-flight HTTP exchanges finish, then
+	// drain the simulation layer behind them.
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Error("http shutdown", "err", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Error("drain", "err", err)
+		os.Exit(1)
+	}
+	log.Info("bye")
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+
+	"mbbp/internal/core"
+	"mbbp/internal/icache"
+	"mbbp/internal/metrics"
+	"mbbp/internal/pht"
+)
+
+// cliFlags is the raw flag state, separated from flag.Parse so the
+// flag→configuration mapping is testable.
+type cliFlags struct {
+	mode       string
+	selection  string
+	cache      string
+	width      int
+	hist       int
+	sts        int
+	targetKind string
+	entries    int
+	assoc      int
+	near       bool
+	bit        int
+	blocks     int
+	phts       int
+	indexMode  string
+
+	icacheLines int
+	icacheAssoc int
+	missPenalty int
+}
+
+// buildConfig maps parsed flags onto a validated core.Config. Every
+// failure — an unknown enum value or a combination Config.Validate
+// rejects — satisfies errors.Is(err, core.ErrInvalidConfig) and
+// carries the offending field via *core.FieldError.
+func buildConfig(f cliFlags) (core.Config, error) {
+	cfg := core.DefaultConfig()
+
+	kind, err := icache.ParseKind(f.cache)
+	if err != nil {
+		return core.Config{}, &core.FieldError{Field: "Geometry", Reason: err.Error()}
+	}
+	cfg.Geometry = icache.ForKind(kind, f.width)
+	cfg.HistoryBits = f.hist
+	cfg.NumSTs = f.sts
+	cfg.NearBlock = f.near
+	cfg.BITEntries = f.bit
+	cfg.NumBlocks = f.blocks
+	cfg.NumPHTs = f.phts
+	cfg.TargetEntries = f.entries
+	cfg.BTBAssoc = f.assoc
+	if f.icacheLines > 0 {
+		cfg.ICacheLines = f.icacheLines
+		cfg.ICacheAssoc = f.icacheAssoc
+		cfg.ICacheMissPenalty = f.missPenalty
+	}
+
+	switch f.indexMode {
+	case "gshare":
+		cfg.IndexMode = pht.IndexGShare
+	case "global":
+		cfg.IndexMode = pht.IndexGlobal
+	default:
+		return core.Config{}, &core.FieldError{Field: "IndexMode",
+			Reason: fmt.Sprintf("unknown index mode %q (want gshare or global)", f.indexMode)}
+	}
+	switch f.mode {
+	case "single":
+		cfg.Mode = core.SingleBlock
+	case "dual":
+		cfg.Mode = core.DualBlock
+	default:
+		return core.Config{}, &core.FieldError{Field: "Mode",
+			Reason: fmt.Sprintf("unknown mode %q (want single or dual)", f.mode)}
+	}
+	switch f.selection {
+	case "single":
+		cfg.Selection = metrics.SingleSelection
+	case "double":
+		cfg.Selection = metrics.DoubleSelection
+	default:
+		return core.Config{}, &core.FieldError{Field: "Selection",
+			Reason: fmt.Sprintf("unknown selection %q (want single or double)", f.selection)}
+	}
+	switch f.targetKind {
+	case "nls":
+		cfg.TargetArray = core.NLS
+	case "btb":
+		cfg.TargetArray = core.BTB
+	default:
+		return core.Config{}, &core.FieldError{Field: "TargetArray",
+			Reason: fmt.Sprintf("unknown target array %q (want nls or btb)", f.targetKind)}
+	}
+
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	return cfg, nil
+}

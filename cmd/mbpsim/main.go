@@ -10,39 +10,40 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
 
+	"mbbp"
 	"mbbp/internal/core"
 	"mbbp/internal/harness"
-	"mbbp/internal/icache"
 	"mbbp/internal/metrics"
-	"mbbp/internal/pht"
 	"mbbp/internal/trace"
 	"mbbp/internal/workload"
 )
 
 func main() {
+	var f cliFlags
 	n := flag.Uint64("n", 1_000_000, "dynamic instructions per program")
-	mode := flag.String("mode", "dual", "fetch mode: single or dual block")
-	selection := flag.String("selection", "single", "dual-block selection: single or double")
-	cache := flag.String("cache", "normal", "cache type: normal, extend, or align")
-	width := flag.Int("width", 8, "block width (instructions)")
-	hist := flag.Int("hist", 10, "branch history length (bits)")
-	sts := flag.Int("sts", 1, "number of select tables")
-	targetKind := flag.String("target", "nls", "target array: nls or btb")
-	entries := flag.Int("entries", 256, "target array block entries")
-	assoc := flag.Int("assoc", 4, "BTB associativity")
-	near := flag.Bool("near", false, "enable near-block target encoding")
-	bit := flag.Int("bit", 0, "BIT table entries (0 = stored in I-cache)")
-	blocks := flag.Int("blocks", 0, "blocks per cycle (0 = per mode; 3-4 = §5 extension)")
-	phts := flag.Int("phts", 1, "number of blocked PHTs (per-block variation)")
-	indexMode := flag.String("index", "gshare", "PHT/ST index function: gshare or global")
-	icacheLines := flag.Int("icache", 0, "finite I-cache line frames (0 = perfect, the paper's assumption)")
-	icacheAssoc := flag.Int("icache-assoc", 2, "finite I-cache associativity")
-	missPenalty := flag.Int("miss-penalty", 10, "finite I-cache miss penalty (cycles)")
+	flag.StringVar(&f.mode, "mode", "dual", "fetch mode: single or dual block")
+	flag.StringVar(&f.selection, "selection", "single", "dual-block selection: single or double")
+	flag.StringVar(&f.cache, "cache", "normal", "cache type: normal, extend, or align")
+	flag.IntVar(&f.width, "width", 8, "block width (instructions)")
+	flag.IntVar(&f.hist, "hist", 10, "branch history length (bits)")
+	flag.IntVar(&f.sts, "sts", 1, "number of select tables")
+	flag.StringVar(&f.targetKind, "target", "nls", "target array: nls or btb")
+	flag.IntVar(&f.entries, "entries", 256, "target array block entries")
+	flag.IntVar(&f.assoc, "assoc", 4, "BTB associativity")
+	flag.BoolVar(&f.near, "near", false, "enable near-block target encoding")
+	flag.IntVar(&f.bit, "bit", 0, "BIT table entries (0 = stored in I-cache)")
+	flag.IntVar(&f.blocks, "blocks", 0, "blocks per cycle (0 = per mode; 3-4 = §5 extension)")
+	flag.IntVar(&f.phts, "phts", 1, "number of blocked PHTs (per-block variation)")
+	flag.StringVar(&f.indexMode, "index", "gshare", "PHT/ST index function: gshare or global")
+	flag.IntVar(&f.icacheLines, "icache", 0, "finite I-cache line frames (0 = perfect, the paper's assumption)")
+	flag.IntVar(&f.icacheAssoc, "icache-assoc", 2, "finite I-cache associativity")
+	flag.IntVar(&f.missPenalty, "miss-penalty", 10, "finite I-cache miss penalty (cycles)")
 	traceFile := flag.String("tracefile", "", "simulate a saved trace file instead of workloads")
 	breakdown := flag.Bool("breakdown", false, "print the per-kind BEP breakdown")
 	logBlocks := flag.Uint64("log", 0, "log the first n fetch blocks (single workload or -tracefile)")
@@ -50,82 +51,23 @@ func main() {
 	dumpConfig := flag.Bool("dump-config", false, "print the effective configuration as JSON and exit")
 	flag.Parse()
 
-	cfg := core.DefaultConfig()
-	kind, err := icache.ParseKind(*cache)
+	cfg, err := buildConfig(f)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbpsim:", err)
 		os.Exit(2)
 	}
-	cfg.Geometry = icache.ForKind(kind, *width)
-	cfg.HistoryBits = *hist
-	cfg.NumSTs = *sts
-	cfg.NearBlock = *near
-	cfg.BITEntries = *bit
-	cfg.NumBlocks = *blocks
-	cfg.NumPHTs = *phts
-	cfg.TargetEntries = *entries
-	cfg.BTBAssoc = *assoc
-	if *icacheLines > 0 {
-		cfg.ICacheLines = *icacheLines
-		cfg.ICacheAssoc = *icacheAssoc
-		cfg.ICacheMissPenalty = *missPenalty
-	}
-	switch *indexMode {
-	case "gshare":
-		cfg.IndexMode = pht.IndexGShare
-	case "global":
-		cfg.IndexMode = pht.IndexGlobal
-	default:
-		fmt.Fprintf(os.Stderr, "mbpsim: unknown index mode %q\n", *indexMode)
-		os.Exit(2)
-	}
-	if *blocks > 1 && *mode == "single" {
-		fmt.Fprintln(os.Stderr, "mbpsim: -blocks > 1 requires -mode dual")
-		os.Exit(2)
-	}
-	switch *mode {
-	case "single":
-		cfg.Mode = core.SingleBlock
-	case "dual":
-		cfg.Mode = core.DualBlock
-	default:
-		fmt.Fprintf(os.Stderr, "mbpsim: unknown mode %q\n", *mode)
-		os.Exit(2)
-	}
-	switch *selection {
-	case "single":
-		cfg.Selection = metrics.SingleSelection
-	case "double":
-		cfg.Selection = metrics.DoubleSelection
-	default:
-		fmt.Fprintf(os.Stderr, "mbpsim: unknown selection %q\n", *selection)
-		os.Exit(2)
-	}
-	switch *targetKind {
-	case "nls":
-		cfg.TargetArray = core.NLS
-	case "btb":
-		cfg.TargetArray = core.BTB
-	default:
-		fmt.Fprintf(os.Stderr, "mbpsim: unknown target array %q\n", *targetKind)
-		os.Exit(2)
-	}
 	if *configFile != "" {
-		f, err := os.Open(*configFile)
+		fh, err := os.Open(*configFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mbpsim:", err)
 			os.Exit(2)
 		}
-		cfg, err = core.LoadConfigJSON(f)
-		f.Close()
+		cfg, err = core.LoadConfigJSON(fh)
+		fh.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mbpsim:", err)
 			os.Exit(2)
 		}
-	}
-	if err := cfg.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "mbpsim:", err)
-		os.Exit(2)
 	}
 	if *dumpConfig {
 		if err := cfg.WriteJSON(os.Stdout); err != nil {
@@ -136,37 +78,28 @@ func main() {
 	}
 
 	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
+		fh, err := os.Open(*traceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mbpsim:", err)
 			os.Exit(1)
 		}
-		buf, err := trace.Load(f)
-		f.Close()
+		buf, err := trace.Load(fh)
+		fh.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mbpsim:", err)
 			os.Exit(1)
 		}
-		eng, err := core.New(cfg)
+		r, err := runOne(cfg, buf, *logBlocks)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mbpsim:", err)
 			os.Exit(1)
 		}
-		if *logBlocks > 0 {
-			eng.SetObserver(&core.LogObserver{W: os.Stdout, Limit: *logBlocks})
-		}
-		r := eng.Run(buf)
-		fmt.Printf("config: %s\n", cfg)
-		fmt.Println(r.String())
-		if *breakdown {
-			fmt.Println(r.BreakdownString())
-		}
+		printOne(cfg, r, *breakdown)
 		return
 	}
 
 	if *logBlocks > 0 && flag.NArg() == 1 {
-		// Single-workload logging path: drive one engine directly so
-		// the observer can attach.
+		// Single-workload logging path: one engine, observer attached.
 		b, err := workload.Get(flag.Arg(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mbpsim:", err)
@@ -177,18 +110,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mbpsim:", err)
 			os.Exit(1)
 		}
-		eng, err := core.New(cfg)
+		r, err := runOne(cfg, tr, *logBlocks)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mbpsim:", err)
 			os.Exit(1)
 		}
-		eng.SetObserver(&core.LogObserver{W: os.Stdout, Limit: *logBlocks})
-		r := eng.Run(tr)
-		fmt.Printf("config: %s\n", cfg)
-		fmt.Println(r.String())
-		if *breakdown {
-			fmt.Println(r.BreakdownString())
-		}
+		printOne(cfg, r, *breakdown)
 		return
 	}
 
@@ -227,5 +154,28 @@ func main() {
 			r := res.Per[name]
 			fmt.Println(r.BreakdownString())
 		}
+	}
+}
+
+// runOne simulates one trace. The plain path goes through the
+// canonical mbbp.Run entry point; attaching a block-log observer needs
+// an explicit engine.
+func runOne(cfg core.Config, src *trace.Buffer, logBlocks uint64) (metrics.Result, error) {
+	if logBlocks == 0 {
+		return mbbp.Run(context.Background(), cfg, src)
+	}
+	eng, err := core.New(cfg)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	eng.SetObserver(&core.LogObserver{W: os.Stdout, Limit: logBlocks})
+	return eng.Run(src), nil
+}
+
+func printOne(cfg core.Config, r metrics.Result, breakdown bool) {
+	fmt.Printf("config: %s\n", cfg)
+	fmt.Println(r.String())
+	if breakdown {
+		fmt.Println(r.BreakdownString())
 	}
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"errors"
+	"testing"
+
+	"mbbp/internal/core"
+)
+
+func defaultFlags() cliFlags {
+	return cliFlags{
+		mode:        "dual",
+		selection:   "single",
+		cache:       "normal",
+		width:       8,
+		hist:        10,
+		sts:         1,
+		targetKind:  "nls",
+		entries:     256,
+		assoc:       4,
+		phts:        1,
+		indexMode:   "gshare",
+		icacheAssoc: 2,
+		missPenalty: 10,
+	}
+}
+
+func TestBuildConfigDefaults(t *testing.T) {
+	cfg, err := buildConfig(defaultFlags())
+	if err != nil {
+		t.Fatalf("default flags rejected: %v", err)
+	}
+	if want := core.DefaultConfig(); cfg != want {
+		t.Errorf("default flags give %+v, want %+v", cfg, want)
+	}
+}
+
+// TestBuildConfigRejects pins the validation contract: every bad flag
+// combination fails with a typed error — errors.Is(err,
+// core.ErrInvalidConfig) holds and the *core.FieldError names the
+// offending field.
+func TestBuildConfigRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		mut   func(*cliFlags)
+		field string
+	}{
+		{"unknown mode", func(f *cliFlags) { f.mode = "quad" }, "Mode"},
+		{"unknown selection", func(f *cliFlags) { f.selection = "triple" }, "Selection"},
+		{"unknown cache", func(f *cliFlags) { f.cache = "huge" }, "Geometry"},
+		{"unknown target", func(f *cliFlags) { f.targetKind = "ras" }, "TargetArray"},
+		{"unknown index", func(f *cliFlags) { f.indexMode = "local" }, "IndexMode"},
+		{"hist too long", func(f *cliFlags) { f.hist = 30 }, "HistoryBits"},
+		{"hist zero", func(f *cliFlags) { f.hist = 0 }, "HistoryBits"},
+		{"sts not pow2", func(f *cliFlags) { f.sts = 3 }, "NumSTs"},
+		{"phts not pow2", func(f *cliFlags) { f.phts = 5 }, "NumPHTs"},
+		{"entries not pow2", func(f *cliFlags) { f.entries = 100 }, "TargetEntries"},
+		{"bit not pow2", func(f *cliFlags) { f.bit = 48 }, "BITEntries"},
+		{"blocks out of range", func(f *cliFlags) { f.blocks = 5 }, "NumBlocks"},
+		{"blocks on single mode", func(f *cliFlags) { f.mode = "single"; f.blocks = 4 }, "NumBlocks"},
+		{"double selection on single block", func(f *cliFlags) { f.mode = "single"; f.selection = "double" }, "Selection"},
+		{"ext blocks with double selection", func(f *cliFlags) { f.blocks = 3; f.selection = "double" }, "Selection"},
+		{"double selection keeps BIT", func(f *cliFlags) { f.selection = "double"; f.bit = 64 }, "BITEntries"},
+		{"btb assoc mismatch", func(f *cliFlags) { f.targetKind = "btb"; f.assoc = 3 }, "BTBAssoc"},
+		{"icache lines not pow2", func(f *cliFlags) { f.icacheLines = 100 }, "ICacheLines"},
+		{"icache assoc mismatch", func(f *cliFlags) { f.icacheLines = 128; f.icacheAssoc = 3 }, "ICacheAssoc"},
+		{"icache penalty zero", func(f *cliFlags) { f.icacheLines = 128; f.icacheAssoc = 2; f.missPenalty = 0 }, "ICacheMissPenalty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := defaultFlags()
+			tc.mut(&f)
+			_, err := buildConfig(f)
+			if err == nil {
+				t.Fatal("bad flags accepted")
+			}
+			if !errors.Is(err, core.ErrInvalidConfig) {
+				t.Errorf("error %v does not wrap ErrInvalidConfig", err)
+			}
+			var fe *core.FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("error %v carries no FieldError", err)
+			}
+			if fe.Field != tc.field {
+				t.Errorf("field = %q, want %q (error: %v)", fe.Field, tc.field, err)
+			}
+		})
+	}
+}

@@ -23,13 +23,38 @@
 // suite named after SPEC95 (see DESIGN.md for the substitution
 // argument).
 //
-// Quick start:
+// # Quick start
+//
+// Configurations are assembled with functional options over the
+// paper's §4 defaults and run through the canonical entry point
+// [Run]:
 //
 //	tr, _ := mbbp.WorkloadTrace("compress", 1_000_000)
-//	eng, _ := mbbp.NewEngine(mbbp.DefaultConfig())
-//	res := eng.Run(tr)
+//	cfg := mbbp.NewConfig(mbbp.WithHistoryBits(12), mbbp.WithNearBlock())
+//	res, err := mbbp.Run(context.Background(), cfg, tr)
+//	if err != nil { ... }
 //	fmt.Printf("IPC_f = %.2f, BEP = %.3f\n", res.IPCf(), res.BEP())
 //
+// [Run] validates the configuration (every failure satisfies
+// errors.Is(err, [ErrInvalidConfig]) and names the offending field via
+// [ConfigFieldError]), honors context cancellation mid-simulation, and
+// is the same code path the mbpsim CLI and the mbbpd service execute —
+// results are identical across all three.
+//
+// For repeated runs over one configuration, [NewEngine] builds a
+// reusable engine from the same options:
+//
+//	eng, err := mbbp.NewEngine(mbbp.WithSingleBlock())
+//
+// # Deprecated: plain-struct construction
+//
+// The original pattern — mutating a [Config] struct by hand and
+// passing it to an engine constructor — still works via
+// [NewEngineFromConfig] and remains supported for existing callers,
+// but new code should prefer the options form: it validates eagerly,
+// composes, and keeps defaults in one place.
+//
 // The cmd/mbpexp tool regenerates every table and figure of the paper's
-// evaluation; see EXPERIMENTS.md for measured-vs-paper results.
+// evaluation (see EXPERIMENTS.md for measured-vs-paper results), and
+// cmd/mbbpd serves sweeps over HTTP/JSON (see docs/ARCHITECTURE.md).
 package mbbp

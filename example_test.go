@@ -14,7 +14,7 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := mbbp.NewEngine(mbbp.DefaultConfig())
+	eng, err := mbbp.NewEngine()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +45,7 @@ loop:
 	}
 	cfg := mbbp.DefaultConfig()
 	cfg.Mode = mbbp.SingleBlock
-	eng, err := mbbp.NewEngine(cfg)
+	eng, err := mbbp.NewEngineFromConfig(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

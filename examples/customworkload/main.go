@@ -58,10 +58,7 @@ func main() {
 	// predictable; watch the accuracy as the history shrinks to zero
 	// correlation (1 bit).
 	for _, hist := range []int{1, 2, 4, 10} {
-		cfg := mbbp.DefaultConfig()
-		cfg.Mode = mbbp.SingleBlock
-		cfg.HistoryBits = hist
-		eng, err := mbbp.NewEngine(cfg)
+		eng, err := mbbp.NewEngine(mbbp.WithSingleBlock(), mbbp.WithHistoryBits(hist))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -28,15 +28,11 @@ func main() {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "blocks/cycle\tgo IPC_f\tgo BEP\tswim IPC_f\tswim BEP")
 	for blocks := 1; blocks <= 4; blocks++ {
-		cfg := mbbp.DefaultConfig()
-		if blocks == 1 {
-			cfg.Mode = mbbp.SingleBlock
-		}
-		cfg.NumBlocks = blocks
-		cfg.NumSTs = 8 // give the selectors their best shot
+		// give the selectors their best shot with 8 select tables
+		cfg := mbbp.NewConfig(mbbp.WithBlocks(blocks), mbbp.WithSelectTables(8))
 		row := fmt.Sprintf("%d", blocks)
 		for _, w := range workloads {
-			eng, err := mbbp.NewEngine(cfg)
+			eng, err := mbbp.NewEngineFromConfig(cfg)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,36 +19,26 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Each variant is the paper default plus a couple of options — the
+	// functional-options construction the package now centers on.
 	configs := []struct {
 		label string
 		cfg   mbbp.Config
 	}{
-		{"single block", func() mbbp.Config {
-			c := mbbp.DefaultConfig()
-			c.Mode = mbbp.SingleBlock
-			return c
-		}()},
-		{"dual block, single selection", mbbp.DefaultConfig()},
-		{"dual block, double selection", func() mbbp.Config {
-			c := mbbp.DefaultConfig()
-			c.Selection = mbbp.DoubleSelection
-			c.NumSTs = 8
-			return c
-		}()},
-		{"dual block, self-aligned cache", func() mbbp.Config {
-			c := mbbp.DefaultConfig()
-			c.Geometry = mbbp.CacheGeometry(mbbp.CacheSelfAligned, 8)
-			c.NumSTs = 8
-			return c
-		}()},
+		{"single block", mbbp.NewConfig(mbbp.WithSingleBlock())},
+		{"dual block, single selection", mbbp.NewConfig()},
+		{"dual block, double selection", mbbp.NewConfig(
+			mbbp.WithDualBlock(mbbp.DoubleSelection), mbbp.WithSelectTables(8))},
+		{"dual block, self-aligned cache", mbbp.NewConfig(
+			mbbp.WithCache(mbbp.CacheSelfAligned, 8), mbbp.WithSelectTables(8))},
 	}
 
+	ctx := context.Background()
 	for _, c := range configs {
-		eng, err := mbbp.NewEngine(c.cfg)
+		res, err := mbbp.Run(ctx, c.cfg, tr)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := eng.Run(tr)
 		fmt.Printf("%-32s IPC_f %5.2f, BEP %.3f\n", c.label, res.IPCf(), res.BEP())
 		for k := mbbp.PenaltyKind(0); int(k) < len(res.PenaltyCycles); k++ {
 			if res.PenaltyCycles[k] == 0 {

@@ -1,8 +1,10 @@
 // Quickstart: trace a built-in workload, run it through the paper's
-// default dual-block fetch engine, and print the headline metrics.
+// default dual-block fetch engine via the canonical mbbp.Run entry
+// point, and print the headline metrics.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,6 +12,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Capture one million dynamic instructions of the "compress"
 	// workload (an LZW-style kernel from the CINT95-shaped suite).
 	tr, err := mbbp.WorkloadTrace("compress", 1_000_000)
@@ -17,15 +21,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The default configuration is the paper's §4 setup: block width
+	// NewConfig with no options is the paper's §4 setup: block width
 	// 8, normal cache with 8 banks, 10-bit global history, one blocked
 	// PHT, a 1024-entry select table, a 256-entry NLS target array,
-	// dual-block fetching with single selection.
-	eng, err := mbbp.NewEngine(mbbp.DefaultConfig())
+	// dual-block fetching with single selection. mbbp.Run validates
+	// the configuration, builds an engine, and drives it over the
+	// trace — the same path the CLI and the mbbpd service use.
+	res, err := mbbp.Run(ctx, mbbp.NewConfig(), tr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := eng.Run(tr)
 
 	fmt.Println("multiple branch and block prediction — quickstart")
 	fmt.Printf("workload:            %s (%d instructions)\n", res.Program, res.Instructions)
@@ -35,13 +40,10 @@ func main() {
 	fmt.Printf("cond branch accuracy: %.2f%%\n", 100*res.CondAccuracy())
 
 	// Compare against fetching just one block per cycle.
-	single := mbbp.DefaultConfig()
-	single.Mode = mbbp.SingleBlock
-	se, err := mbbp.NewEngine(single)
+	sres, err := mbbp.Run(ctx, mbbp.NewConfig(mbbp.WithSingleBlock()), tr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sres := se.Run(tr)
 	fmt.Printf("\nsingle-block IPC_f:   %.2f  (dual block is %.2fx faster)\n",
 		sres.IPCf(), res.IPCf()/sres.IPCf())
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -30,14 +31,16 @@ func main() {
 		for _, sts := range []int{1, 8} {
 			row := fmt.Sprintf("%d\t%d", hist, sts)
 			for _, w := range workloads {
-				cfg := mbbp.DefaultConfig()
-				cfg.HistoryBits = hist
-				cfg.NumSTs = sts
-				eng, err := mbbp.NewEngine(cfg)
+				// One option set per design point, one canonical entry
+				// point for running it.
+				cfg := mbbp.NewConfig(
+					mbbp.WithHistoryBits(hist),
+					mbbp.WithSelectTables(sts),
+				)
+				res, err := mbbp.Run(context.Background(), cfg, traces[w])
 				if err != nil {
 					log.Fatal(err)
 				}
-				res := eng.Run(traces[w])
 				row += fmt.Sprintf("\t%.2f", res.IPCf())
 			}
 			fmt.Fprintln(tw, row)

@@ -271,8 +271,8 @@ func (r *bbReader) next() (basicBlock, bool) {
 // dependence the paper's select table removes.
 func (e *Engine) Run(src trace.Source) metrics.Result {
 	src.Reset()
-	if b, ok := src.(*trace.Buffer); ok {
-		e.res.Program = b.Name
+	if b, ok := src.(trace.Named); ok {
+		e.res.Program = b.TraceName()
 	}
 	rd := &bbReader{
 		src: src, width: e.cfg.BlockWidth, lineSize: e.cfg.LineSize,

@@ -136,74 +136,77 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. Every failure wraps
+// ErrInvalidConfig and carries the offending field in a *FieldError, so
+// callers can branch on the class (errors.Is) or the field (errors.As)
+// instead of matching message strings.
 func (c Config) Validate() error {
 	if err := c.Geometry.Validate(); err != nil {
-		return err
+		return &FieldError{Field: "Geometry", Reason: err.Error()}
 	}
 	if c.HistoryBits < 1 || c.HistoryBits > 26 {
-		return fmt.Errorf("core: history bits %d out of range [1,26]", c.HistoryBits)
+		return badField("HistoryBits", "%d out of range [1,26]", c.HistoryBits)
 	}
 	if c.NumPHTs < 0 || (c.NumPHTs > 0 && c.NumPHTs&(c.NumPHTs-1) != 0) {
-		return fmt.Errorf("core: NumPHTs %d must be a power of two", c.NumPHTs)
+		return badField("NumPHTs", "%d must be a power of two", c.NumPHTs)
 	}
 	if c.NumSTs < 1 || c.NumSTs&(c.NumSTs-1) != 0 {
-		return fmt.Errorf("core: NumSTs %d must be a power of two", c.NumSTs)
+		return badField("NumSTs", "%d must be a power of two", c.NumSTs)
 	}
 	switch c.NumBlocks {
 	case 0:
 	case 1:
 		if c.Mode != SingleBlock {
-			return fmt.Errorf("core: NumBlocks 1 conflicts with dual-block mode")
+			return badField("NumBlocks", "1 conflicts with dual-block mode")
 		}
 	case 2:
 		if c.Mode != DualBlock {
-			return fmt.Errorf("core: NumBlocks 2 requires dual-block mode")
+			return badField("NumBlocks", "2 requires dual-block mode")
 		}
 	case 3, 4:
 		if c.Mode != DualBlock {
-			return fmt.Errorf("core: NumBlocks %d requires dual-block mode", c.NumBlocks)
+			return badField("NumBlocks", "%d requires dual-block mode", c.NumBlocks)
 		}
 		if c.Selection != metrics.SingleSelection {
-			return fmt.Errorf("core: more than two blocks requires single selection")
+			return badField("Selection", "more than two blocks requires single selection")
 		}
 	default:
-		return fmt.Errorf("core: NumBlocks %d out of range [0,4]", c.NumBlocks)
+		return badField("NumBlocks", "%d out of range [0,4]", c.NumBlocks)
 	}
 	if c.RASSize < 1 {
-		return fmt.Errorf("core: RAS size %d must be positive", c.RASSize)
+		return badField("RASSize", "%d must be positive", c.RASSize)
 	}
 	if c.BITEntries < 0 || (c.BITEntries > 0 && c.BITEntries&(c.BITEntries-1) != 0) {
-		return fmt.Errorf("core: BIT entries %d must be zero or a power of two", c.BITEntries)
+		return badField("BITEntries", "%d must be zero or a power of two", c.BITEntries)
 	}
 	if c.TargetEntries < 1 || c.TargetEntries&(c.TargetEntries-1) != 0 {
-		return fmt.Errorf("core: target entries %d must be a power of two", c.TargetEntries)
+		return badField("TargetEntries", "%d must be a power of two", c.TargetEntries)
 	}
 	if c.TargetArray == BTB {
 		if c.BTBAssoc < 1 || c.TargetEntries%c.BTBAssoc != 0 {
-			return fmt.Errorf("core: BTB associativity %d must divide entries %d", c.BTBAssoc, c.TargetEntries)
+			return badField("BTBAssoc", "%d must divide entries %d", c.BTBAssoc, c.TargetEntries)
 		}
 	}
 	if c.Mode == SingleBlock && c.Selection == metrics.DoubleSelection {
-		return fmt.Errorf("core: double selection requires dual-block mode")
+		return badField("Selection", "double selection requires dual-block mode")
 	}
 	if c.ICacheLines > 0 {
 		if c.ICacheLines&(c.ICacheLines-1) != 0 {
-			return fmt.Errorf("core: ICacheLines %d must be a power of two", c.ICacheLines)
+			return badField("ICacheLines", "%d must be a power of two", c.ICacheLines)
 		}
 		assoc := c.ICacheAssoc
 		if assoc == 0 {
 			assoc = 1
 		}
 		if assoc < 1 || c.ICacheLines%assoc != 0 {
-			return fmt.Errorf("core: ICacheAssoc %d must divide ICacheLines %d", assoc, c.ICacheLines)
+			return badField("ICacheAssoc", "%d must divide ICacheLines %d", assoc, c.ICacheLines)
 		}
 		if c.ICacheMissPenalty < 1 {
-			return fmt.Errorf("core: ICacheMissPenalty must be positive with a finite cache")
+			return badField("ICacheMissPenalty", "must be positive with a finite cache")
 		}
 	}
 	if c.Selection == metrics.DoubleSelection && c.BITEntries != 0 {
-		return fmt.Errorf("core: double selection removes the BIT table; BITEntries must be 0")
+		return badField("BITEntries", "double selection removes the BIT table; must be 0")
 	}
 	return nil
 }

@@ -116,8 +116,8 @@ func (e *Engine) Reset() {
 // source when it is a named buffer.
 func (e *Engine) Run(src trace.Source) metrics.Result {
 	src.Reset()
-	if b, ok := src.(*trace.Buffer); ok {
-		e.res.Program = b.Name
+	if b, ok := src.(trace.Named); ok {
+		e.res.Program = b.TraceName()
 	}
 	rd := newBlockReader(src, e.geom)
 	for {

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidConfig is the sentinel every configuration-validation
+// failure wraps: callers branch on the class with
+// errors.Is(err, core.ErrInvalidConfig) and recover the offending field
+// with errors.As and *FieldError. The HTTP service maps this class to
+// 400 Bad Request; anything else it treats as an internal failure.
+var ErrInvalidConfig = errors.New("invalid configuration")
+
+// FieldError is one field-level validation failure. It wraps
+// ErrInvalidConfig, so errors.Is(err, ErrInvalidConfig) holds for every
+// error Validate returns.
+type FieldError struct {
+	// Field is the Config field (or dotted path, e.g.
+	// "Geometry.BlockWidth") that failed validation.
+	Field string
+	// Reason says what was wrong with it, including the rejected value.
+	Reason string
+}
+
+// Error implements error.
+func (e *FieldError) Error() string {
+	return fmt.Sprintf("core: invalid config: %s: %s", e.Field, e.Reason)
+}
+
+// Unwrap ties every field error to the ErrInvalidConfig class.
+func (e *FieldError) Unwrap() error { return ErrInvalidConfig }
+
+// badField builds a FieldError for the named field.
+func badField(field, format string, args ...any) error {
+	return &FieldError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"mbbp/internal/metrics"
+)
+
+// Every Validate failure must wrap ErrInvalidConfig and name the field
+// that caused it, so API consumers (CLI flag validation, the HTTP
+// service's 400 mapping) can branch without string matching.
+func TestValidateTypedErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		field  string
+	}{
+		{"history too long", func(c *Config) { c.HistoryBits = 27 }, "HistoryBits"},
+		{"history zero", func(c *Config) { c.HistoryBits = 0 }, "HistoryBits"},
+		{"phts not pow2", func(c *Config) { c.NumPHTs = 3 }, "NumPHTs"},
+		{"sts not pow2", func(c *Config) { c.NumSTs = 5 }, "NumSTs"},
+		{"blocks out of range", func(c *Config) { c.NumBlocks = 5 }, "NumBlocks"},
+		{"ext blocks double sel", func(c *Config) {
+			c.NumBlocks = 3
+			c.Selection = metrics.DoubleSelection
+		}, "Selection"},
+		{"ras zero", func(c *Config) { c.RASSize = 0 }, "RASSize"},
+		{"bit not pow2", func(c *Config) { c.BITEntries = 7 }, "BITEntries"},
+		{"target entries zero", func(c *Config) { c.TargetEntries = 0 }, "TargetEntries"},
+		{"btb assoc", func(c *Config) { c.TargetArray = BTB; c.BTBAssoc = 3 }, "BTBAssoc"},
+		{"double sel single block", func(c *Config) {
+			c.Mode = SingleBlock
+			c.Selection = metrics.DoubleSelection
+		}, "Selection"},
+		{"double sel with BIT", func(c *Config) {
+			c.Selection = metrics.DoubleSelection
+			c.BITEntries = 64
+		}, "BITEntries"},
+		{"icache lines not pow2", func(c *Config) {
+			c.ICacheLines = 12
+			c.ICacheMissPenalty = 10
+		}, "ICacheLines"},
+		{"bad geometry", func(c *Config) { c.Geometry.BlockWidth = 0 }, "Geometry"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an invalid config")
+			}
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Errorf("error %v does not wrap ErrInvalidConfig", err)
+			}
+			var fe *FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("error %v is not a *FieldError", err)
+			}
+			if fe.Field != tc.field {
+				t.Errorf("field = %q, want %q (err: %v)", fe.Field, tc.field, err)
+			}
+		})
+	}
+
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}

@@ -37,8 +37,8 @@ func (r *ScalarResult) Add(other ScalarResult) {
 func RunScalar(src trace.Source, historyBits, numTables int) ScalarResult {
 	src.Reset()
 	var res ScalarResult
-	if b, ok := src.(*trace.Buffer); ok {
-		res.Program = b.Name
+	if b, ok := src.(trace.Named); ok {
+		res.Program = b.TraceName()
 	}
 	p := pht.NewScalar(historyBits, numTables)
 	g := pht.NewGHR(historyBits)

@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"mbbp/internal/core"
@@ -104,6 +105,52 @@ func LoadTracesOn(s *Scheduler, o Options) (*TraceSet, error) {
 	return ts, nil
 }
 
+// LoadTracesCached assembles a TraceSet like LoadTracesOn, but shares
+// capture through the cache: each program's trace is captured at most
+// once per (program, instructions) key across every concurrent caller,
+// which is how the simulation service keeps N simultaneous sweep
+// requests from capturing the workload suite N times.
+//
+// Captures run as jobs on s; the waiting happens here, in the caller's
+// goroutine, so the pool's leaf-job discipline holds (a pool job never
+// blocks on another). Cancelling ctx abandons the waits — an in-flight
+// capture finishes for whoever else wants it and stays cached.
+func LoadTracesCached(ctx context.Context, s *Scheduler, o Options, c *trace.Cache) (*TraceSet, error) {
+	ts := &TraceSet{
+		traces: make(map[string]*trace.Buffer),
+		suites: make(map[string]workload.Suite),
+		warmup: o.Warmup,
+	}
+	n := o.instructions()
+	for _, name := range o.programs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		b, err := workload.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		name := name
+		buf, err := c.Get(ctx, trace.CacheKey{Program: name, N: n}, func() (*trace.Buffer, error) {
+			fut := Submit(s, func() (*trace.Buffer, error) {
+				tr, err := b.Trace(n)
+				if err != nil {
+					return nil, fmt.Errorf("harness: tracing %s: %w", name, err)
+				}
+				return tr, nil
+			})
+			return fut.Wait()
+		})
+		if err != nil {
+			return nil, err
+		}
+		ts.order = append(ts.order, name)
+		ts.traces[name] = buf
+		ts.suites[name] = b.Suite
+	}
+	return ts, nil
+}
+
 // Programs returns the program names in suite order.
 func (ts *TraceSet) Programs() []string { return ts.order }
 
@@ -161,6 +208,48 @@ func (p *SuitePromise) Wait() (*SuiteResult, error) {
 	return out, nil
 }
 
+// WaitCtx is Wait that stops folding once ctx is done. Jobs submitted
+// through SubmitCtx with the same ctx wind down on their own; jobs
+// already running stop at their next trace-source cancellation check.
+func (p *SuitePromise) WaitCtx(ctx context.Context) (*SuiteResult, error) {
+	return p.waitEach(ctx, nil)
+}
+
+// WaitEach folds like Wait but also hands each per-program result to
+// fn as soon as it is available, in suite (declaration) order — the
+// streaming responses of the simulation service are produced here. A
+// non-nil error from fn abandons the fold.
+func (p *SuitePromise) WaitEach(ctx context.Context, fn func(name string, r metrics.Result) error) (*SuiteResult, error) {
+	return p.waitEach(ctx, fn)
+}
+
+func (p *SuitePromise) waitEach(ctx context.Context, fn func(string, metrics.Result) error) (*SuiteResult, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	out := &SuiteResult{Per: make(map[string]metrics.Result)}
+	out.Int.Program = "CINT95"
+	out.FP.Program = "CFP95"
+	for i, name := range p.ts.order {
+		r, err := p.futs[i].WaitCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out.Per[name] = r
+		if p.ts.suites[name] == workload.FP {
+			out.FP.Add(r)
+		} else {
+			out.Int.Add(r)
+		}
+		if fn != nil {
+			if err := fn(name, r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
 // suitePromise submits one job per program of the trace set.
 func suitePromise(s *Scheduler, ts *TraceSet, run func(name string) (metrics.Result, error)) *SuitePromise {
 	p := &SuitePromise{ts: ts}
@@ -193,6 +282,38 @@ func RunConfigAsync(s *Scheduler, ts *TraceSet, cfg core.Config) *SuitePromise {
 		}
 		return e.Run(tr), nil
 	})
+}
+
+// RunConfigCtxAsync is RunConfigAsync with cancellation: jobs that have
+// not started when ctx is cancelled never run, and running jobs stop at
+// the next trace-source cancellation check. An uncancelled run is
+// byte-identical to RunConfigAsync — the context guard only forwards
+// records. The service layer submits every request through this path.
+func RunConfigCtxAsync(ctx context.Context, s *Scheduler, ts *TraceSet, cfg core.Config) *SuitePromise {
+	if err := cfg.Validate(); err != nil {
+		return &SuitePromise{err: err}
+	}
+	p := &SuitePromise{ts: ts}
+	for _, name := range ts.order {
+		name := name
+		p.futs = append(p.futs, SubmitCtx(ctx, s, func(ctx context.Context) (metrics.Result, error) {
+			e, err := core.New(cfg)
+			if err != nil {
+				return metrics.Result{}, err
+			}
+			tr := trace.WithContext(ctx, ts.traces[name].Clone())
+			if ts.warmup {
+				e.Run(tr) // untimed training pass
+				tr.Reset()
+			}
+			r := e.Run(tr)
+			if err := ctx.Err(); err != nil {
+				return metrics.Result{}, err
+			}
+			return r, nil
+		}))
+	}
+	return p
 }
 
 // RunConfig runs one configuration over every trace in the set on the

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (milliseconds) of the request
+// latency histogram, log-spaced from interactive to batch territory.
+var latencyBuckets = []int64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000}
+
+// metricsSet is the service's observability surface: expvar counters
+// and a latency histogram, collected into a private expvar.Map rather
+// than the process-global registry so multiple servers (tests!) never
+// collide on Publish. GET /metrics renders the map as JSON.
+type metricsSet struct {
+	root *expvar.Map
+
+	requestsTotal     *expvar.Int // sweep requests received
+	requestsOK        *expvar.Int // completed 200s
+	requestsRejected  *expvar.Int // 429 backpressure rejections
+	requestsBad       *expvar.Int // 400 validation failures
+	requestsCancelled *expvar.Int // client gone / deadline exceeded
+	requestsErrored   *expvar.Int // everything else (500s, 503s)
+	inflight          *expvar.Int // admitted and currently running
+	queueCapacity     *expvar.Int // the backpressure bound
+
+	latency      *expvar.Map // histogram: le_<ms> -> count, plus +Inf
+	latencyCount *expvar.Int
+	latencySumMs *expvar.Int
+}
+
+func newMetricsSet(queueCapacity int, cacheStats func() (hits, misses uint64)) *metricsSet {
+	m := &metricsSet{
+		root:              new(expvar.Map).Init(),
+		requestsTotal:     new(expvar.Int),
+		requestsOK:        new(expvar.Int),
+		requestsRejected:  new(expvar.Int),
+		requestsBad:       new(expvar.Int),
+		requestsCancelled: new(expvar.Int),
+		requestsErrored:   new(expvar.Int),
+		inflight:          new(expvar.Int),
+		queueCapacity:     new(expvar.Int),
+		latency:           new(expvar.Map).Init(),
+		latencyCount:      new(expvar.Int),
+		latencySumMs:      new(expvar.Int),
+	}
+	m.queueCapacity.Set(int64(queueCapacity))
+	for _, le := range latencyBuckets {
+		m.latency.Set(fmt.Sprintf("le_%dms", le), new(expvar.Int))
+	}
+	m.latency.Set("le_inf", new(expvar.Int))
+
+	m.root.Set("requests_total", m.requestsTotal)
+	m.root.Set("requests_ok", m.requestsOK)
+	m.root.Set("requests_rejected", m.requestsRejected)
+	m.root.Set("requests_bad", m.requestsBad)
+	m.root.Set("requests_cancelled", m.requestsCancelled)
+	m.root.Set("requests_errored", m.requestsErrored)
+	m.root.Set("inflight", m.inflight)
+	m.root.Set("queue_capacity", m.queueCapacity)
+	m.root.Set("queue_depth", expvar.Func(func() any { return m.inflight.Value() }))
+	m.root.Set("trace_cache_hits", expvar.Func(func() any { h, _ := cacheStats(); return h }))
+	m.root.Set("trace_cache_misses", expvar.Func(func() any { _, mi := cacheStats(); return mi }))
+	m.root.Set("job_latency_ms", m.latency)
+	m.root.Set("job_latency_count", m.latencyCount)
+	m.root.Set("job_latency_sum_ms", m.latencySumMs)
+	return m
+}
+
+// observeLatency records one completed request duration.
+func (m *metricsSet) observeLatency(d time.Duration) {
+	ms := d.Milliseconds()
+	m.latencyCount.Add(1)
+	m.latencySumMs.Add(ms)
+	for _, le := range latencyBuckets {
+		if ms <= le {
+			m.latency.Add(fmt.Sprintf("le_%dms", le), 1)
+		}
+	}
+	m.latency.Add("le_inf", 1)
+}
+
+// handler serves the metric map as a JSON document.
+func (m *metricsSet) handler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintln(w, m.root.String())
+}

@@ -1,0 +1,399 @@
+// Package server is the mbbpd simulation service: a long-running
+// HTTP/JSON front end over the paper's fetch-prediction engine. Sweep
+// requests (configuration × workload set × instruction count) are
+// validated, admitted through a bounded queue (full ⇒ 429 +
+// Retry-After), and batched onto one shared work-stealing pool; trace
+// capture is deduplicated across concurrent requests by an LRU cache,
+// request contexts (client disconnect, per-request timeout) cancel
+// queued and running jobs, and results reuse the exact drivers the CLI
+// runs — a sweep's JSON body is byte-identical to the serial harness
+// reference for the same request.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mbbp/internal/core"
+	"mbbp/internal/harness"
+	"mbbp/internal/metrics"
+	"mbbp/internal/trace"
+	"mbbp/internal/workload"
+)
+
+// Config sizes the service.
+type Config struct {
+	// QueueDepth bounds the number of admitted (queued or running)
+	// sweep requests; further requests are rejected with 429 and a
+	// Retry-After header. Default 64.
+	QueueDepth int
+	// Workers sizes the shared simulation pool; <= 0 means one worker
+	// per CPU.
+	Workers int
+	// CacheEntries bounds the LRU trace cache (captured traces keyed
+	// by program and instruction count). Default 64.
+	CacheEntries int
+	// MaxInstructions caps the per-program trace length a request may
+	// ask for. Default 10,000,000.
+	MaxInstructions uint64
+	// RequestTimeout bounds each sweep request's total time; the
+	// deadline propagates into job execution. Default 120s.
+	RequestTimeout time.Duration
+	// Logger receives structured per-request logs; nil means
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 64
+	}
+	if c.MaxInstructions == 0 {
+		c.MaxInstructions = 10_000_000
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 120 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is one service instance. Create it with New, expose
+// Handler() over HTTP, and stop it with Shutdown (drains in-flight
+// requests, then stops the pool).
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	sched   *harness.Scheduler
+	cache   *trace.Cache
+	queue   chan struct{} // admission semaphore; len() is the live depth
+	metrics *metricsSet
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	reqSeq atomic.Uint64
+
+	// hookAdmitted, when set (tests only), runs after a sweep request
+	// is admitted past the queue and before its jobs are submitted.
+	hookAdmitted func(ctx context.Context)
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		log:   cfg.Logger,
+		sched: harness.NewScheduler(cfg.Workers),
+		cache: trace.NewCache(cfg.CacheEntries),
+		queue: make(chan struct{}, cfg.QueueDepth),
+	}
+	s.metrics = newMetricsSet(cfg.QueueDepth, s.cache.Stats)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.metrics.handler)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the service: new sweep requests are refused with
+// 503, in-flight requests run to completion (or until ctx expires),
+// and the worker pool stops. The HTTP listener itself is the caller's
+// to close — stop accepting connections first (http.Server.Shutdown),
+// then call this.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.sched.Close()
+		s.log.Info("server drained")
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown: %w", ctx.Err())
+	}
+}
+
+// admit reserves a queue slot, or reports why it cannot.
+func (s *Server) admit() (release func(), status int) {
+	s.mu.Lock()
+	draining := s.draining
+	if !draining {
+		// Registering inflight under the lock keeps Shutdown's
+		// drain-flag flip and Wait from racing a late admission.
+		select {
+		case s.queue <- struct{}{}:
+			s.inflight.Add(1)
+			s.mu.Unlock()
+			return func() {
+				<-s.queue
+				s.inflight.Done()
+			}, 0
+		default:
+			s.mu.Unlock()
+			return nil, http.StatusTooManyRequests
+		}
+	}
+	s.mu.Unlock()
+	return nil, http.StatusServiceUnavailable
+}
+
+// handleSweep is the core endpoint: decode, validate, admit, run,
+// encode.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id := s.reqSeq.Add(1)
+	log := s.log.With("req", id, "remote", r.RemoteAddr)
+	s.metrics.requestsTotal.Add(1)
+
+	var req SweepRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.metrics.requestsBad.Add(1)
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	cfg, opts, err := req.parse(s.cfg.MaxInstructions)
+	if err != nil {
+		s.metrics.requestsBad.Add(1)
+		log.Warn("rejected request", "err", err)
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	release, status := s.admit()
+	if status != 0 {
+		if status == http.StatusTooManyRequests {
+			s.metrics.requestsRejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			log.Warn("queue full", "queue", len(s.queue))
+		} else {
+			s.metrics.requestsErrored.Add(1)
+			log.Warn("draining; refused")
+		}
+		s.writeError(w, status, errors.New(http.StatusText(status)))
+		return
+	}
+	defer release()
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	if s.hookAdmitted != nil {
+		s.hookAdmitted(ctx)
+	}
+
+	if r.URL.Query().Get("stream") == "ndjson" || r.Header.Get("Accept") == "application/x-ndjson" {
+		s.streamSweep(ctx, w, log, start, cfg, opts)
+		return
+	}
+
+	resp, err := s.runSweep(ctx, cfg, opts)
+	elapsed := time.Since(start)
+	s.metrics.observeLatency(elapsed)
+	if err != nil {
+		s.failSweep(w, log, err, elapsed)
+		return
+	}
+
+	body, err := MarshalResponse(resp)
+	if err != nil {
+		s.metrics.requestsErrored.Add(1)
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.metrics.requestsOK.Add(1)
+	log.Info("sweep done",
+		"config", cfg.String(),
+		"programs", len(opts.Programs),
+		"instructions", opts.Instructions,
+		"dur_ms", elapsed.Milliseconds(),
+		"queue", len(s.queue))
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(body)
+}
+
+// runSweep executes one admitted request on the shared pool.
+func (s *Server) runSweep(ctx context.Context, cfg core.Config, opts harness.Options) (SweepResponse, error) {
+	ts, err := harness.LoadTracesCached(ctx, s.sched, opts, s.cache)
+	if err != nil {
+		return SweepResponse{}, err
+	}
+	res, err := harness.RunConfigCtxAsync(ctx, s.sched, ts, cfg).WaitCtx(ctx)
+	if err != nil {
+		return SweepResponse{}, err
+	}
+	return BuildSweepResponse(cfg, opts, res), nil
+}
+
+// streamSweep is the NDJSON variant of the sweep endpoint: one line
+// per program result as soon as it folds (suite order, so the stream
+// is deterministic), then a final line with the suite aggregates.
+// Errors after the first line can only be signaled by truncating the
+// stream — the terminal "aggregates" line doubles as the success
+// marker clients check for.
+func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, log *slog.Logger, start time.Time, cfg core.Config, opts harness.Options) {
+	ts, err := harness.LoadTracesCached(ctx, s.sched, opts, s.cache)
+	if err != nil {
+		elapsed := time.Since(start)
+		s.metrics.observeLatency(elapsed)
+		s.failSweep(w, log, err, elapsed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	res, err := harness.RunConfigCtxAsync(ctx, s.sched, ts, cfg).WaitEach(ctx,
+		func(name string, r metrics.Result) error {
+			line := struct {
+				Program string        `json:"program"`
+				Result  ProgramResult `json:"result"`
+			}{name, newProgramResult(r)}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+	elapsed := time.Since(start)
+	s.metrics.observeLatency(elapsed)
+	if err != nil {
+		// Headers are out; all we can do is truncate. Record why.
+		s.failStreamed(log, err, elapsed)
+		return
+	}
+	final := struct {
+		Aggregates map[string]ProgramResult `json:"aggregates"`
+	}{map[string]ProgramResult{
+		"CINT95": newProgramResult(res.Int),
+		"CFP95":  newProgramResult(res.FP),
+	}}
+	if err := enc.Encode(final); err != nil {
+		s.failStreamed(log, err, elapsed)
+		return
+	}
+	s.metrics.requestsOK.Add(1)
+	log.Info("sweep streamed",
+		"config", cfg.String(),
+		"programs", len(opts.Programs),
+		"instructions", opts.Instructions,
+		"dur_ms", elapsed.Milliseconds(),
+		"queue", len(s.queue))
+}
+
+// failStreamed accounts a failure that happened after the response
+// status was already committed.
+func (s *Server) failStreamed(log *slog.Logger, err error, elapsed time.Duration) {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.metrics.requestsCancelled.Add(1)
+		log.Info("stream cancelled", "dur_ms", elapsed.Milliseconds())
+	default:
+		s.metrics.requestsErrored.Add(1)
+		log.Error("stream failed", "err", err, "dur_ms", elapsed.Milliseconds())
+	}
+}
+
+// failSweep maps a sweep failure to a response and metrics.
+func (s *Server) failSweep(w http.ResponseWriter, log *slog.Logger, err error, elapsed time.Duration) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		// Client went away; nobody reads this response, but complete it.
+		s.metrics.requestsCancelled.Add(1)
+		log.Info("sweep cancelled", "dur_ms", elapsed.Milliseconds())
+		s.writeError(w, 499, errors.New("request cancelled"))
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.requestsCancelled.Add(1)
+		log.Warn("sweep timed out", "dur_ms", elapsed.Milliseconds())
+		s.writeError(w, http.StatusGatewayTimeout, errors.New("request timed out"))
+	case errors.Is(err, core.ErrInvalidConfig):
+		s.metrics.requestsBad.Add(1)
+		s.writeError(w, http.StatusBadRequest, err)
+	default:
+		s.metrics.requestsErrored.Add(1)
+		log.Error("sweep failed", "err", err)
+		s.writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// writeError emits a small JSON error document; validation failures
+// include the offending config field when known.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	doc := struct {
+		Error string `json:"error"`
+		Field string `json:"field,omitempty"`
+	}{Error: err.Error()}
+	var fe *core.FieldError
+	if errors.As(err, &fe) {
+		doc.Field = fe.Field
+	}
+	json.NewEncoder(w).Encode(doc)
+}
+
+// handleWorkloads lists the built-in benchmark suite.
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(struct {
+		Workloads []string `json:"workloads"`
+		Int       []string `json:"int"`
+		FP        []string `json:"fp"`
+	}{workload.Names(), workload.IntNames(), workload.FPNames()})
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so
+// load balancers stop routing to it.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok queue="+strconv.Itoa(len(s.queue))+"/"+strconv.Itoa(cap(s.queue)))
+}

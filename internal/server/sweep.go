@@ -1,0 +1,138 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"mbbp/internal/core"
+	"mbbp/internal/harness"
+	"mbbp/internal/metrics"
+	"mbbp/internal/workload"
+)
+
+// SweepRequest is the body of POST /v1/sweep: one configuration run
+// over a set of workload programs for a given dynamic instruction
+// count — exactly the (config × workload × n) unit the CLI runs.
+type SweepRequest struct {
+	// Config is a core.Config JSON document (the same schema
+	// mbpsim -config reads, unknown fields rejected); omitted fields
+	// take the paper's §4 defaults, and an omitted Config is the
+	// default configuration outright.
+	Config json.RawMessage `json:"config,omitempty"`
+	// Programs restricts the workload set (empty = the full 18-program
+	// suite).
+	Programs []string `json:"programs,omitempty"`
+	// Instructions is the dynamic trace length per program (default
+	// 1,000,000; bounded by the server's max).
+	Instructions uint64 `json:"instructions,omitempty"`
+	// Warmup runs each engine over its trace once, untimed, first.
+	Warmup bool `json:"warmup,omitempty"`
+}
+
+// parse resolves the request into a validated configuration and
+// harness options. The error, when non-nil, is safe to show clients
+// and maps to 400.
+func (r *SweepRequest) parse(maxInstructions uint64) (core.Config, harness.Options, error) {
+	cfg := core.DefaultConfig()
+	if len(r.Config) > 0 {
+		var err error
+		cfg, err = core.LoadConfigJSON(bytes.NewReader(r.Config))
+		if err != nil {
+			return core.Config{}, harness.Options{}, err
+		}
+	}
+	o := harness.Options{
+		Instructions: r.Instructions,
+		Programs:     r.Programs,
+		Warmup:       r.Warmup,
+	}
+	if o.Instructions == 0 {
+		o.Instructions = 1_000_000
+	}
+	if o.Instructions > maxInstructions {
+		return core.Config{}, harness.Options{},
+			fmt.Errorf("instructions %d exceeds server limit %d", o.Instructions, maxInstructions)
+	}
+	for _, name := range o.Programs {
+		if _, err := workload.Get(name); err != nil {
+			return core.Config{}, harness.Options{}, err
+		}
+	}
+	if len(o.Programs) == 0 {
+		o.Programs = workload.Names()
+	}
+	return cfg, o, nil
+}
+
+// ProgramResult is one program's simulation outcome: the raw counter
+// state of metrics.Result plus the derived figures every consumer
+// wants (the same numbers mbpsim prints).
+type ProgramResult struct {
+	metrics.Result
+	IPCf         float64 `json:"ipc_f"`
+	IPB          float64 `json:"ipb"`
+	BEP          float64 `json:"bep"`
+	CondAccuracy float64 `json:"cond_accuracy"`
+}
+
+func newProgramResult(r metrics.Result) ProgramResult {
+	return ProgramResult{
+		Result:       r,
+		IPCf:         r.IPCf(),
+		IPB:          r.IPB(),
+		BEP:          r.BEP(),
+		CondAccuracy: r.CondAccuracy(),
+	}
+}
+
+// SweepResponse is the body of a completed sweep. Every field is a
+// pure function of (config, programs, instructions), so two runs of
+// the same request — or the server and a serial CLI run — produce
+// byte-identical bodies; timing lives in logs and /metrics, never
+// here.
+type SweepResponse struct {
+	// ConfigLabel is the compact rendering Config.String produces;
+	// the full configuration echoes back under Config.
+	ConfigLabel  string          `json:"config_label"`
+	Config       core.Config     `json:"config"`
+	Instructions uint64          `json:"instructions"`
+	Results      []ProgramResult `json:"results"`
+	// Aggregates holds the suite totals the paper reports (raw event
+	// counts summed), keyed CINT95 / CFP95.
+	Aggregates map[string]ProgramResult `json:"aggregates"`
+}
+
+// BuildSweepResponse assembles the deterministic response body from a
+// folded suite result. The differential tests call this with a
+// harness.Serial() result to pin the service byte-for-byte to the
+// reference path.
+func BuildSweepResponse(cfg core.Config, o harness.Options, res *harness.SuiteResult) SweepResponse {
+	resp := SweepResponse{
+		ConfigLabel:  cfg.String(),
+		Config:       cfg,
+		Instructions: o.Instructions,
+		Aggregates: map[string]ProgramResult{
+			"CINT95": newProgramResult(res.Int),
+			"CFP95":  newProgramResult(res.FP),
+		},
+	}
+	for _, name := range o.Programs {
+		resp.Results = append(resp.Results, newProgramResult(res.Per[name]))
+	}
+	return resp
+}
+
+// MarshalResponse renders a response body exactly as the handler
+// writes it (indented, trailing newline). Exported so differential
+// tests compare bytes against the reference path with no second
+// encoder to drift.
+func MarshalResponse(resp SweepResponse) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Cache is an LRU cache of captured traces keyed by (program, length),
+// built for the simulation service: many concurrent sweep requests over
+// the same workload set should capture each trace once and share the
+// buffer. Capture is deduplicated singleflight-style — the first
+// request for a key runs the capture while later requests block on the
+// same in-flight entry — and completed entries are evicted
+// least-recently-used beyond the capacity.
+//
+// Cached buffers are shared; callers must Clone before reading so each
+// consumer gets its own cursor (records are immutable after capture).
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[CacheKey]*cacheEntry
+	lru     *list.List // front = most recently used; values are *cacheEntry
+
+	hits, misses uint64
+}
+
+// CacheKey identifies one captured trace.
+type CacheKey struct {
+	Program string
+	N       uint64
+}
+
+type cacheEntry struct {
+	key  CacheKey
+	elem *list.Element
+
+	done chan struct{} // closed when buf/err are set
+	buf  *Buffer
+	err  error
+}
+
+// NewCache returns a cache holding at most capacity completed traces;
+// capacity < 1 is treated as 1.
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:     capacity,
+		entries: make(map[CacheKey]*cacheEntry),
+		lru:     list.New(),
+	}
+}
+
+// Get returns the trace for key, running capture to produce it on a
+// miss. Concurrent Gets for the same key share one capture. A capture
+// error is returned to every waiter but not cached — the next Get
+// retries. Get returns early with ctx's error if ctx is done before
+// the shared capture completes (the capture itself keeps running for
+// the requests still waiting on it).
+//
+// The returned buffer is shared: Clone it before reading.
+func (c *Cache) Get(ctx context.Context, key CacheKey, capture func() (*Buffer, error)) (*Buffer, error) {
+	// A dead context never starts a capture — without this a cancelled
+	// request could still burn a full trace capture on a miss.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.buf, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	c.misses++
+	e := &cacheEntry{key: key, done: make(chan struct{})}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.evictLocked()
+	c.mu.Unlock()
+
+	e.buf, e.err = capture()
+	if e.err != nil {
+		// Do not cache failures: drop the entry (if still present) so a
+		// later Get retries the capture.
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+			c.lru.Remove(e.elem)
+		}
+		c.mu.Unlock()
+	}
+	close(e.done)
+	return e.buf, e.err
+}
+
+// evictLocked trims the LRU tail beyond capacity. In-flight entries are
+// skipped — their capturer and waiters hold them anyway, and evicting
+// them would only duplicate work already underway.
+func (c *Cache) evictLocked() {
+	for elem := c.lru.Back(); elem != nil && c.lru.Len() > c.cap; {
+		e := elem.Value.(*cacheEntry)
+		prev := elem.Prev()
+		select {
+		case <-e.done:
+			delete(c.entries, e.key)
+			c.lru.Remove(elem)
+		default:
+			// still capturing; leave it
+		}
+		elem = prev
+	}
+}
+
+// Len returns the number of cached (including in-flight) entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mbbp/internal/cpu"
+)
+
+func testBuffer(name string, n int) *Buffer {
+	b := NewBuffer(name, n)
+	for i := 0; i < n; i++ {
+		b.Append(cpu.Retired{PC: uint32(i)})
+	}
+	return b
+}
+
+func TestCacheSharesCapture(t *testing.T) {
+	c := NewCache(4)
+	var captures atomic.Int64
+	key := CacheKey{Program: "compress", N: 100}
+	capture := func() (*Buffer, error) {
+		captures.Add(1)
+		return testBuffer("compress", 100), nil
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	bufs := make([]*Buffer, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, err := c.Get(context.Background(), key, capture)
+			if err != nil {
+				t.Errorf("Get: %v", err)
+				return
+			}
+			bufs[i] = b
+		}(i)
+	}
+	wg.Wait()
+
+	if got := captures.Load(); got != 1 {
+		t.Errorf("capture ran %d times, want 1", got)
+	}
+	for i, b := range bufs {
+		if b != bufs[0] {
+			t.Errorf("goroutine %d got a different buffer", i)
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != goroutines-1 {
+		t.Errorf("stats = %d hits / %d misses, want %d / 1", hits, misses, goroutines-1)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	get := func(name string) {
+		t.Helper()
+		_, err := c.Get(context.Background(), CacheKey{Program: name, N: 10}, func() (*Buffer, error) {
+			return testBuffer(name, 10), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a")
+	get("b")
+	get("a") // refresh a; b is now LRU
+	get("c") // evicts b
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+
+	// a was refreshed before c's insertion, so it must have survived.
+	if _, err := c.Get(context.Background(), CacheKey{Program: "a", N: 10}, func() (*Buffer, error) {
+		t.Error("a was evicted; want cache hit")
+		return testBuffer("a", 10), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var recaptured bool
+	if _, err := c.Get(context.Background(), CacheKey{Program: "b", N: 10}, func() (*Buffer, error) {
+		recaptured = true
+		return testBuffer("b", 10), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !recaptured {
+		t.Error("evicted entry b served from cache; want recapture")
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache(2)
+	key := CacheKey{Program: "bad", N: 1}
+	boom := errors.New("boom")
+	if _, err := c.Get(context.Background(), key, func() (*Buffer, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	var retried bool
+	if _, err := c.Get(context.Background(), key, func() (*Buffer, error) {
+		retried = true
+		return testBuffer("bad", 1), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !retried {
+		t.Error("failed capture was cached; want retry")
+	}
+}
+
+func TestCacheGetContextCancelled(t *testing.T) {
+	c := NewCache(2)
+	key := CacheKey{Program: "slow", N: 1}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.Get(context.Background(), key, func() (*Buffer, error) {
+			close(started)
+			<-release
+			return testBuffer("slow", 1), nil
+		})
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Get(ctx, key, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+func TestCacheConcurrentMixedKeys(t *testing.T) {
+	c := NewCache(3)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("p%d", i%5)
+			b, err := c.Get(context.Background(), CacheKey{Program: name, N: 50}, func() (*Buffer, error) {
+				return testBuffer(name, 50), nil
+			})
+			if err != nil {
+				t.Errorf("Get(%s): %v", name, err)
+				return
+			}
+			if b.Name != name || b.Len() != 50 {
+				t.Errorf("Get(%s) = buffer %q len %d", name, b.Name, b.Len())
+			}
+		}(i)
+	}
+	wg.Wait()
+}

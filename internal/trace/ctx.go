@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"context"
+
+	"mbbp/internal/cpu"
+)
+
+// ctxCheckStride is how many records flow between cancellation checks.
+// A power of two keeps the check a single mask; 4096 records is a few
+// microseconds of simulation, so cancellation latency stays well under
+// a millisecond without touching the hot path measurably.
+const ctxCheckStride = 4096
+
+// WithContext wraps src so the stream ends early once ctx is done.
+// The wrapper forwards records unchanged, so an uncancelled pass is
+// indistinguishable from reading src directly; after cancellation Next
+// reports end-of-stream and the caller distinguishes "trace drained"
+// from "cancelled" by checking ctx.Err().
+//
+// A Background (or otherwise never-done) context still pays the
+// periodic select, which is in the noise at the stride used.
+func WithContext(ctx context.Context, src Source) Source {
+	if ctx == nil || ctx.Done() == nil {
+		return src
+	}
+	return &ctxSource{ctx: ctx, src: src}
+}
+
+type ctxSource struct {
+	ctx  context.Context
+	src  Source
+	n    uint64 // records since the last cancellation check
+	done bool   // latched once cancellation is observed
+}
+
+// Next implements Source.
+func (c *ctxSource) Next() (cpu.Retired, bool) {
+	if c.done {
+		return cpu.Retired{}, false
+	}
+	if c.n&(ctxCheckStride-1) == 0 {
+		select {
+		case <-c.ctx.Done():
+			c.done = true
+			return cpu.Retired{}, false
+		default:
+		}
+	}
+	c.n++
+	return c.src.Next()
+}
+
+// Reset implements Source; it rewinds the underlying stream and
+// re-arms the cancellation latch (the context may have a new deadline
+// by the time the stream is reused).
+func (c *ctxSource) Reset() {
+	c.src.Reset()
+	c.n = 0
+	c.done = false
+}
+
+// Len implements Source.
+func (c *ctxSource) Len() uint64 { return c.src.Len() }
+
+// TraceName implements Named when the wrapped source does.
+func (c *ctxSource) TraceName() string {
+	if n, ok := c.src.(Named); ok {
+		return n.TraceName()
+	}
+	return ""
+}

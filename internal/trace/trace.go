@@ -58,6 +58,14 @@ func Unpack(p Packed) cpu.Retired {
 	}
 }
 
+// Named is implemented by sources that know which program produced
+// them; engines use it to label their Result. Wrapping sources (e.g.
+// WithContext) forward it.
+type Named interface {
+	// TraceName returns the program name of the trace.
+	TraceName() string
+}
+
 // Source yields a stream of retired instructions. Reset rewinds the
 // stream to the beginning so one trace can drive many simulator
 // configurations.
@@ -104,6 +112,9 @@ func (b *Buffer) Len() uint64 { return uint64(len(b.records)) }
 
 // At returns record i (for tests).
 func (b *Buffer) At(i int) cpu.Retired { return Unpack(b.records[i]) }
+
+// TraceName implements Named.
+func (b *Buffer) TraceName() string { return b.Name }
 
 // Clone returns a new Buffer sharing the (immutable once captured)
 // records with an independent read cursor, so several simulations can

@@ -80,12 +80,36 @@ const (
 	CacheSelfAligned = icache.SelfAligned
 )
 
+// Configuration errors. Validate (and therefore NewEngine and Run)
+// reports every invalid configuration as a *ConfigFieldError wrapping
+// ErrInvalidConfig.
+var ErrInvalidConfig = core.ErrInvalidConfig
+
+// ConfigFieldError carries the field-level detail of a validation
+// failure; recover it with errors.As.
+type ConfigFieldError = core.FieldError
+
 // DefaultConfig returns the paper's §4 defaults (block width 8, normal
 // cache, 10-bit history, 256-entry NLS, dual-block single selection).
 func DefaultConfig() Config { return core.DefaultConfig() }
 
-// NewEngine builds a fetch engine for the configuration.
-func NewEngine(cfg Config) (*Engine, error) { return core.New(cfg) }
+// NewEngine builds a fetch engine from the paper's §4 defaults plus the
+// given options:
+//
+//	eng, err := mbbp.NewEngine(mbbp.WithHistoryBits(12), mbbp.WithNearBlock())
+//
+// A configuration built elsewhere enters through WithConfig or
+// NewEngineFromConfig. Invalid combinations return an error wrapping
+// ErrInvalidConfig.
+func NewEngine(opts ...Option) (*Engine, error) {
+	return core.New(NewConfig(opts...))
+}
+
+// NewEngineFromConfig builds a fetch engine for a plain Config value —
+// the original construction path, kept for code that assembles the
+// struct directly. New code should prefer NewEngine with options, or
+// Run.
+func NewEngineFromConfig(cfg Config) (*Engine, error) { return core.New(cfg) }
 
 // CacheGeometry returns the paper's Table 6 geometry for a cache kind
 // and block width.

@@ -12,7 +12,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := NewEngine(DefaultConfig())
+	eng, err := NewEngine()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ loop:
 	}
 	cfg := DefaultConfig()
 	cfg.Mode = SingleBlock
-	eng, err := NewEngine(cfg)
+	eng, err := NewEngineFromConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestCacheGeometryFacade(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.Geometry = g
-	if _, err := NewEngine(cfg); err != nil {
+	if _, err := NewEngineFromConfig(cfg); err != nil {
 		t.Errorf("self-aligned config rejected: %v", err)
 	}
 }
@@ -107,13 +107,13 @@ func TestCacheGeometryFacade(t *testing.T) {
 func TestInvalidConfigRejected(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.HistoryBits = 0
-	if _, err := NewEngine(cfg); err == nil {
+	if _, err := NewEngineFromConfig(cfg); err == nil {
 		t.Error("history 0 should be rejected")
 	}
 	cfg = DefaultConfig()
 	cfg.Mode = SingleBlock
 	cfg.Selection = DoubleSelection
-	if _, err := NewEngine(cfg); err == nil {
+	if _, err := NewEngineFromConfig(cfg); err == nil {
 		t.Error("single block + double selection should be rejected")
 	}
 }

@@ -1,0 +1,150 @@
+package mbbp
+
+import (
+	"mbbp/internal/core"
+	"mbbp/internal/icache"
+	"mbbp/internal/metrics"
+	"mbbp/internal/pht"
+)
+
+// Option mutates a Config while it is being built. Options layer over
+// the paper's §4 defaults: NewConfig and NewEngine start from
+// DefaultConfig and apply the options in order, so later options win
+// and any field an option does not touch keeps its default. Options
+// never fail — validation happens once, in Config.Validate, which
+// NewEngine and Run call for you.
+type Option func(*Config)
+
+// NewConfig builds a configuration from the paper defaults plus the
+// given options. The result is not validated; call Validate (NewEngine
+// and Run do) to get a typed error for an inconsistent combination.
+func NewConfig(opts ...Option) Config {
+	cfg := core.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithConfig replaces the whole configuration under construction —
+// the bridge from the plain-struct path into the options path. Options
+// applied after it refine the replaced value.
+func WithConfig(cfg Config) Option {
+	return func(c *Config) { *c = cfg }
+}
+
+// WithGeometry sets the instruction cache organization explicitly; see
+// CacheGeometry for the paper's Table 6 presets.
+func WithGeometry(g Geometry) Option {
+	return func(c *Config) { c.Geometry = g }
+}
+
+// WithCache selects the paper's Table 6 geometry for a §4.5 cache kind
+// (CacheNormal, CacheExtended, CacheSelfAligned) and block width.
+func WithCache(kind icache.Kind, blockWidth int) Option {
+	return func(c *Config) { c.Geometry = icache.ForKind(kind, blockWidth) }
+}
+
+// WithHistoryBits sets the global history register length, which also
+// sizes the blocked PHT and each select table at 2^bits entries.
+func WithHistoryBits(bits int) Option {
+	return func(c *Config) { c.HistoryBits = bits }
+}
+
+// WithPHTs sets the number of blocked pattern history tables (1 = the
+// paper's single global blocked PHT).
+func WithPHTs(n int) Option {
+	return func(c *Config) { c.NumPHTs = n }
+}
+
+// WithIndexMode selects the two-level index function (IndexGShare, the
+// paper's default, or IndexGlobal).
+func WithIndexMode(m pht.IndexMode) Option {
+	return func(c *Config) { c.IndexMode = m }
+}
+
+// WithSelectTables sets the number of select tables (1, 2, 4 or 8 in
+// Figure 8).
+func WithSelectTables(n int) Option {
+	return func(c *Config) { c.NumSTs = n }
+}
+
+// WithRAS sets the return address stack depth (paper: 32).
+func WithRAS(depth int) Option {
+	return func(c *Config) { c.RASSize = depth }
+}
+
+// WithNearBlock enables 3-bit BIT codes and computed near-block
+// targets (§2, Table 5).
+func WithNearBlock() Option {
+	return func(c *Config) { c.NearBlock = true }
+}
+
+// WithBIT sizes a separate BIT table (Figure 7); 0 — the default, and
+// the paper's configuration after Figure 7 — stores BIT information in
+// the instruction cache.
+func WithBIT(entries int) Option {
+	return func(c *Config) { c.BITEntries = entries }
+}
+
+// WithNLS selects the tagless direct-mapped target array with the given
+// number of block entries (the paper's default, 256).
+func WithNLS(entries int) Option {
+	return func(c *Config) {
+		c.TargetArray = core.NLS
+		c.TargetEntries = entries
+	}
+}
+
+// WithBTB selects the tagged set-associative target array alternative
+// of Table 5.
+func WithBTB(entries, assoc int) Option {
+	return func(c *Config) {
+		c.TargetArray = core.BTB
+		c.TargetEntries = entries
+		c.BTBAssoc = assoc
+	}
+}
+
+// WithSingleBlock fetches one block per cycle (§2).
+func WithSingleBlock() Option {
+	return func(c *Config) {
+		c.Mode = core.SingleBlock
+		c.Selection = metrics.SingleSelection
+		c.NumBlocks = 0
+	}
+}
+
+// WithDualBlock fetches two blocks per cycle with the given selection
+// mode (§3; SingleSelection or DoubleSelection).
+func WithDualBlock(sel metrics.SelectionMode) Option {
+	return func(c *Config) {
+		c.Mode = core.DualBlock
+		c.Selection = sel
+		c.NumBlocks = 0
+	}
+}
+
+// WithBlocks fetches n blocks per cycle; 3 and 4 enable the §5
+// extension, which requires single selection.
+func WithBlocks(n int) Option {
+	return func(c *Config) {
+		if n > 1 {
+			c.Mode = core.DualBlock
+		} else if n == 1 {
+			c.Mode = core.SingleBlock
+		}
+		c.NumBlocks = n
+	}
+}
+
+// WithICacheModel enables the finite instruction-cache content model
+// (an extension; the paper assumes a perfect cache): misses stall fetch
+// for penalty cycles and are reported separately from Table 3 charges.
+func WithICacheModel(lines, assoc, penalty int) Option {
+	return func(c *Config) {
+		c.ICacheLines = lines
+		c.ICacheAssoc = assoc
+		c.ICacheMissPenalty = penalty
+	}
+}

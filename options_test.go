@@ -1,0 +1,174 @@
+package mbbp
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// The options path and the plain-struct path must describe the same
+// configuration space: each With* option is equivalent to the struct
+// mutation it replaces, so code migrating between the two styles cannot
+// change behavior.
+func TestOptionsMatchPlainStruct(t *testing.T) {
+	cases := []struct {
+		name   string
+		opts   []Option
+		mutate func(*Config)
+	}{
+		{"defaults", nil, func(c *Config) {}},
+		{"history", []Option{WithHistoryBits(12)}, func(c *Config) { c.HistoryBits = 12 }},
+		{"phts", []Option{WithPHTs(4)}, func(c *Config) { c.NumPHTs = 4 }},
+		{"index", []Option{WithIndexMode(IndexGlobal)}, func(c *Config) { c.IndexMode = IndexGlobal }},
+		{"sts", []Option{WithSelectTables(8)}, func(c *Config) { c.NumSTs = 8 }},
+		{"ras", []Option{WithRAS(16)}, func(c *Config) { c.RASSize = 16 }},
+		{"near", []Option{WithNearBlock()}, func(c *Config) { c.NearBlock = true }},
+		{"bit", []Option{WithBIT(1024)}, func(c *Config) { c.BITEntries = 1024 }},
+		{"nls", []Option{WithNLS(512)}, func(c *Config) {
+			c.TargetArray = NLS
+			c.TargetEntries = 512
+		}},
+		{"btb", []Option{WithBTB(256, 4)}, func(c *Config) {
+			c.TargetArray = BTB
+			c.TargetEntries = 256
+			c.BTBAssoc = 4
+		}},
+		{"single block", []Option{WithSingleBlock()}, func(c *Config) { c.Mode = SingleBlock }},
+		{"dual double sel", []Option{WithDualBlock(DoubleSelection)}, func(c *Config) {
+			c.Selection = DoubleSelection
+		}},
+		{"blocks 4", []Option{WithBlocks(4)}, func(c *Config) { c.NumBlocks = 4 }},
+		{"blocks 1", []Option{WithBlocks(1)}, func(c *Config) {
+			c.Mode = SingleBlock
+			c.NumBlocks = 1
+		}},
+		{"cache", []Option{WithCache(CacheSelfAligned, 16)}, func(c *Config) {
+			c.Geometry = CacheGeometry(CacheSelfAligned, 16)
+		}},
+		{"geometry", []Option{WithGeometry(CacheGeometry(CacheExtended, 8))}, func(c *Config) {
+			c.Geometry = CacheGeometry(CacheExtended, 8)
+		}},
+		{"icache model", []Option{WithICacheModel(64, 2, 10)}, func(c *Config) {
+			c.ICacheLines = 64
+			c.ICacheAssoc = 2
+			c.ICacheMissPenalty = 10
+		}},
+		{"stacked", []Option{WithHistoryBits(12), WithNearBlock(), WithBTB(128, 4)}, func(c *Config) {
+			c.HistoryBits = 12
+			c.NearBlock = true
+			c.TargetArray = BTB
+			c.TargetEntries = 128
+			c.BTBAssoc = 4
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := DefaultConfig()
+			tc.mutate(&want)
+			if got := NewConfig(tc.opts...); got != want {
+				t.Errorf("NewConfig(...) = %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// WithConfig is the bridge from plain structs into the options path;
+// later options refine the imported value.
+func TestWithConfigBridge(t *testing.T) {
+	base := DefaultConfig()
+	base.HistoryBits = 14
+	got := NewConfig(WithConfig(base), WithSelectTables(4))
+	if got.HistoryBits != 14 || got.NumSTs != 4 {
+		t.Errorf("bridge config = %+v", got)
+	}
+}
+
+// The plain-struct path must keep producing identical simulations to
+// the options path — the compatibility guarantee of the API redesign.
+func TestPlainStructCompat(t *testing.T) {
+	tr, err := WorkloadTrace("li", 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain := DefaultConfig()
+	plain.HistoryBits = 12
+	plain.NearBlock = true
+	pe, err := NewEngineFromConfig(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres := pe.Run(tr)
+
+	oe, err := NewEngine(WithHistoryBits(12), WithNearBlock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ores := oe.Run(tr)
+
+	if pres != ores {
+		t.Errorf("plain-struct result differs from options result:\n%+v\n%+v", pres, ores)
+	}
+}
+
+func TestNewEngineInvalidOptions(t *testing.T) {
+	_, err := NewEngine(WithHistoryBits(99))
+	if err == nil {
+		t.Fatal("invalid history accepted")
+	}
+	if !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("error %v does not wrap ErrInvalidConfig", err)
+	}
+	var fe *ConfigFieldError
+	if !errors.As(err, &fe) || fe.Field != "HistoryBits" {
+		t.Errorf("error %v does not carry the HistoryBits field", err)
+	}
+}
+
+// Run is the canonical entry point: identical results to Engine.Run,
+// typed validation errors, and prompt cancellation.
+func TestRunMatchesEngineRun(t *testing.T) {
+	tr, err := WorkloadTrace("go", 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := eng.Run(tr)
+
+	got, err := Run(context.Background(), NewConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("Run result differs from Engine.Run:\n%+v\n%+v", got, want)
+	}
+}
+
+func TestRunValidates(t *testing.T) {
+	tr, err := WorkloadTrace("li", 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(context.Background(), NewConfig(WithSelectTables(3)), tr)
+	if !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("Run error = %v, want ErrInvalidConfig", err)
+	}
+	if _, err := Run(context.Background(), NewConfig(), nil); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	tr, err := WorkloadTrace("li", 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, NewConfig(), tr); !errors.Is(err, context.Canceled) {
+		t.Errorf("Run under cancelled ctx = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,37 @@
+package mbbp
+
+import (
+	"context"
+	"fmt"
+
+	"mbbp/internal/core"
+	"mbbp/internal/trace"
+)
+
+// Run is the canonical simulation entry point: it validates cfg, builds
+// a fresh engine, and drives it over src until the trace ends or ctx is
+// cancelled. The CLI (cmd/mbpsim), the mbbpd service, and the examples
+// all funnel through this one path, so a given (config, trace) pair
+// produces the same Result everywhere.
+//
+// Cancellation is checked between fetch blocks (every few thousand
+// records), so a cancelled Run returns promptly with ctx's error and no
+// Result; an uncancelled Run is byte-for-byte identical to
+// Engine.Run(src).
+func Run(ctx context.Context, cfg Config, src TraceSource) (Result, error) {
+	if src == nil {
+		return Result{}, fmt.Errorf("mbbp: Run: nil trace source")
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	e, err := core.New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res := e.Run(trace.WithContext(ctx, src))
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}

@@ -1,0 +1,143 @@
+#!/bin/sh
+# Load test for the mbbpd simulation service: boot a server, fire
+# concurrent sweep requests (a mix of configurations, JSON and NDJSON
+# streaming), verify every response is complete and identical across
+# repeats of the same request, then check overload behavior (429) and
+# a clean drain on SIGTERM.
+#
+# Usage: scripts/loadtest.sh [clients] [instructions-per-program]
+# Defaults: 64 clients, 50000 instructions. Needs curl.
+#
+# Environment:
+#   MBBPD_ADDR  listen address (default 127.0.0.1:8329)
+#   MBBPD_RACE  set to 1 to build the server with -race
+set -eu
+
+CLIENTS="${1:-64}"
+N="${2:-50000}"
+ADDR="${MBBPD_ADDR:-127.0.0.1:8329}"
+BASE="http://$ADDR"
+DIR="$(mktemp -d)"
+BIN="$DIR/mbbpd"
+
+RACEFLAG=""
+[ "${MBBPD_RACE:-0}" = "1" ] && RACEFLAG="-race"
+
+echo "building mbbpd ${RACEFLAG:+(race) }..."
+# shellcheck disable=SC2086
+go build $RACEFLAG -o "$BIN" ./cmd/mbbpd
+
+"$BIN" -addr "$ADDR" -queue "$CLIENTS" -max-instructions 10000000 2>"$DIR/server.log" &
+SRV=$!
+cleanup() {
+    kill "$SRV" 2>/dev/null || true
+    wait "$SRV" 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+echo "waiting for $BASE/healthz..."
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "server never came up"; cat "$DIR/server.log"; exit 1; }
+    sleep 0.1
+done
+
+# Three request bodies: default, near-block+BTB, double selection.
+cat >"$DIR/req0.json" <<EOF
+{"programs":["li","go","swim"],"instructions":$N}
+EOF
+cat >"$DIR/req1.json" <<EOF
+{"config":{"NearBlock":true,"TargetArray":1,"TargetEntries":64},"programs":["li","go","swim"],"instructions":$N}
+EOF
+cat >"$DIR/req2.json" <<EOF
+{"config":{"Selection":1,"NumSTs":4},"programs":["li","go","swim"],"instructions":$N}
+EOF
+
+echo "reference responses..."
+for c in 0 1 2; do
+    curl -fsS -d @"$DIR/req$c.json" "$BASE/v1/sweep" >"$DIR/want$c.json"
+done
+
+echo "firing $CLIENTS concurrent clients..."
+PIDS=""
+c=0
+while [ "$c" -lt "$CLIENTS" ]; do
+    ci=$((c % 3))
+    if [ $((c % 4)) -eq 3 ]; then
+        curl -fsS -d @"$DIR/req$ci.json" "$BASE/v1/sweep?stream=ndjson" >"$DIR/got$c.ndjson" &
+    else
+        curl -fsS -d @"$DIR/req$ci.json" "$BASE/v1/sweep" >"$DIR/got$c.json" &
+    fi
+    PIDS="$PIDS $!"
+    c=$((c + 1))
+done
+for p in $PIDS; do
+    wait "$p" || { echo "FAIL: a client request failed"; exit 1; }
+done
+
+fail=0
+c=0
+while [ "$c" -lt "$CLIENTS" ]; do
+    ci=$((c % 3))
+    if [ $((c % 4)) -eq 3 ]; then
+        # Streamed: 3 program lines + 1 aggregates line, aggregates last.
+        lines=$(wc -l <"$DIR/got$c.ndjson")
+        if [ "$lines" -ne 4 ] || ! tail -1 "$DIR/got$c.ndjson" | grep -q '"aggregates"'; then
+            echo "FAIL: client $c stream truncated ($lines lines)"
+            fail=1
+        fi
+    elif ! cmp -s "$DIR/got$c.json" "$DIR/want$ci.json"; then
+        echo "FAIL: client $c response differs from reference (config $ci)"
+        fail=1
+    fi
+    c=$((c + 1))
+done
+[ "$fail" -eq 0 ] && echo "all $CLIENTS responses complete and byte-identical to references"
+
+echo "metrics:"
+curl -fsS "$BASE/metrics" >"$DIR/metrics.json"
+tr ',' '\n' <"$DIR/metrics.json" | grep -E 'requests_(total|ok|rejected)|trace_cache' || true
+# The service accounted every request (references + clients) as OK.
+expect_ok=$((CLIENTS + 3))
+if ! grep -q "\"requests_ok\": $expect_ok" "$DIR/metrics.json"; then
+    echo "FAIL: /metrics requests_ok != $expect_ok"
+    fail=1
+fi
+
+echo "overload check (queue=1 server)..."
+ADDR2="${ADDR%:*}:$(( ${ADDR##*:} + 1 ))"
+"$BIN" -addr "$ADDR2" -queue 1 -max-instructions 10000000 2>"$DIR/server2.log" &
+SRV2=$!
+trap 'kill "$SRV2" 2>/dev/null || true; cleanup' EXIT
+until curl -fsS "http://$ADDR2/healthz" >/dev/null 2>&1; do sleep 0.1; done
+codes="$DIR/codes.txt"
+: >"$codes"
+PIDS=""
+c=0
+while [ "$c" -lt 8 ]; do
+    curl -s -o /dev/null -w '%{http_code}\n' -d @"$DIR/req0.json" \
+        "http://$ADDR2/v1/sweep" >>"$codes" &
+    PIDS="$PIDS $!"
+    c=$((c + 1))
+done
+for p in $PIDS; do
+    wait "$p" || true
+done
+if grep -q '^429$' "$codes"; then
+    echo "overload produced 429s: $(sort "$codes" | uniq -c | tr '\n' ' ')"
+else
+    echo "WARN: no 429 observed (requests may have finished too fast)"
+fi
+
+echo "graceful drain..."
+kill -TERM "$SRV"
+if wait "$SRV"; then
+    echo "server drained cleanly"
+else
+    echo "FAIL: server exited non-zero on SIGTERM"
+    fail=1
+fi
+
+exit "$fail"
