@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"mbbp/internal/harness"
+	"mbbp/internal/packed"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 	asCSV := flag.Bool("csv", false, "emit CSV instead of tables (fig6-9, table5-6)")
 	benchOut := flag.String("benchout", "BENCH_sweep.json", "bench/benchcheck: benchmark report file (- = stdout)")
 	workers := flag.Int("workers", 0, "bench: parallel pool size (0 = GOMAXPROCS)")
+	storage := flag.String("storage", "packed", "predictor state backing: packed or reference (the slice-backed equivalence oracle)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mbpexp [flags] fig6|fig7|fig8|fig9|table5|table6|cost|compare|baseline|extblocks|ablation|widths|seeds|icache|report|bench|benchcheck|all\n")
 		fmt.Fprintf(os.Stderr, "  all runs every experiment above except report (it re-renders all of them),\n")
@@ -55,6 +57,15 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "mbpexp:", err)
 		os.Exit(1)
+	}
+
+	switch *storage {
+	case "packed":
+		opts.Storage = packed.BackingPacked
+	case "reference":
+		opts.Storage = packed.BackingReference
+	default:
+		fail(fmt.Errorf("unknown -storage %q (want packed or reference)", *storage))
 	}
 
 	// cost and benchcheck need no traces; everything else loads the

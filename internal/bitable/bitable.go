@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"mbbp/internal/isa"
+	"mbbp/internal/packed"
 )
 
 // Code is a BIT type code. The values are the paper's Table 1 rows.
@@ -128,34 +129,72 @@ const invalidOwner = ^uint32(0)
 // A Table with entries == 0 models BIT information stored in the
 // instruction cache itself (always fresh — the paper's configuration for
 // everything past Figure 7).
+//
+// Codes are stored bit-packed at the paper's density (2 bits per
+// instruction, or 3 with near-block encoding — Table 1), so one line's
+// worth of codes is one word load for every paper line size. The
+// original one-byte-per-code slice remains available as
+// packed.BackingReference, the equivalence oracle for the differential
+// tests. Owner tags are bookkeeping in both backings, not modeled
+// hardware state.
 type Table struct {
 	lineSize int
+	bits     int
 	owners   []uint32
-	codes    []Code // entries * lineSize, flat
+
+	ref []Code            // BackingReference; entries * lineSize, flat
+	pk  *packed.CodeArray // BackingPacked
+
+	// Rotating decode buffers for packed lookups: the engine's stale-BIT
+	// check holds two lines' codes at once, so a decoded slice stays
+	// valid until the second-following Lookup.
+	scratch [2][]Code
+	cur     int
 }
 
-// New creates a table with the given number of line entries. entries may
-// be 0 for the perfect (in-cache) variant; otherwise it must be a power
-// of two.
+// New creates a table with the given number of line entries, bit-packed
+// with 3-bit codes (wide enough for every Code value). entries may be 0
+// for the perfect (in-cache) variant; otherwise it must be a power of
+// two.
 func New(entries, lineSize int) *Table {
+	return NewBacked(entries, lineSize, true, packed.BackingPacked)
+}
+
+// NewBacked creates a table with an explicit code width (2-bit codes
+// when nearBlock is false, 3-bit when true — Table 1) and storage
+// backing. Filling a near code into a 2-bit table panics; callers
+// encode with the same nearBlock flag.
+func NewBacked(entries, lineSize int, nearBlock bool, backing packed.Backing) *Table {
 	if lineSize < 1 {
 		panic("bitable: line size must be positive")
 	}
+	t := &Table{lineSize: lineSize, bits: BitsPerInstruction(nearBlock)}
 	if entries == 0 {
-		return &Table{lineSize: lineSize}
+		return t
 	}
 	if entries < 0 || entries&(entries-1) != 0 {
 		panic("bitable: entries must be a power of two (or zero)")
 	}
-	t := &Table{
-		lineSize: lineSize,
-		owners:   make([]uint32, entries),
-		codes:    make([]Code, entries*lineSize),
-	}
+	t.owners = make([]uint32, entries)
 	for i := range t.owners {
 		t.owners[i] = invalidOwner
 	}
+	if backing == packed.BackingReference {
+		t.ref = make([]Code, entries*lineSize)
+	} else {
+		t.pk = packed.NewCodeArray(entries*lineSize, t.bits)
+		t.scratch[0] = make([]Code, lineSize)
+		t.scratch[1] = make([]Code, lineSize)
+	}
 	return t
+}
+
+// Backing reports which storage backs the codes.
+func (t *Table) Backing() packed.Backing {
+	if t.ref != nil {
+		return packed.BackingReference
+	}
+	return packed.BackingPacked
 }
 
 // Perfect reports whether the table models in-cache BIT storage.
@@ -169,7 +208,9 @@ func (t *Table) LineSize() int { return t.lineSize }
 
 // Lookup returns the stored codes for the line and whether they belong
 // to it. Perfect tables return (nil, true): the caller uses the true
-// codes. A never-filled entry returns (nil, false).
+// codes. A never-filled entry returns (nil, false). With the packed
+// backing the returned slice is a decoded copy valid until the
+// second-following Lookup; with the reference backing it is live.
 func (t *Table) Lookup(lineAddr uint32) (codes []Code, fresh bool) {
 	if t.Perfect() {
 		return nil, true
@@ -178,8 +219,17 @@ func (t *Table) Lookup(lineAddr uint32) (codes []Code, fresh bool) {
 	if t.owners[i] == invalidOwner {
 		return nil, false
 	}
+	fresh = t.owners[i] == lineAddr
 	off := i * t.lineSize
-	return t.codes[off : off+t.lineSize], t.owners[i] == lineAddr
+	if t.ref != nil {
+		return t.ref[off : off+t.lineSize], fresh
+	}
+	out := t.scratch[t.cur]
+	t.cur ^= 1
+	for j := 0; j < t.lineSize; j++ {
+		out[j] = Code(t.pk.Get(off + j))
+	}
+	return out, fresh
 }
 
 // Fill installs the codes for a line (after the line has been fetched
@@ -199,19 +249,33 @@ func (t *Table) Fill(lineAddr uint32, codes []Code, known []bool) {
 	if t.owners[i] != lineAddr {
 		// Evict: forget the old line entirely.
 		for j := 0; j < t.lineSize; j++ {
-			t.codes[off+j] = CodePlain
+			t.set(off+j, CodePlain)
 		}
 		t.owners[i] = lineAddr
 	}
 	for j := 0; j < t.lineSize; j++ {
 		if known[j] {
-			t.codes[off+j] = codes[j]
+			t.set(off+j, codes[j])
 		}
 	}
 }
 
-// CostBits returns the storage cost in bits (Table 7: b * W(line) * bits
-// per instruction).
+func (t *Table) set(i int, c Code) {
+	if t.ref != nil {
+		t.ref[i] = c
+		return
+	}
+	t.pk.Set(i, uint8(c))
+}
+
+// StateBits returns the storage cost in bits at the table's constructed
+// code width (Table 7: b * W(line) * bits per instruction; owner tags
+// are bookkeeping, not modeled state).
+func (t *Table) StateBits() int { return len(t.owners) * t.lineSize * t.bits }
+
+// CostBits returns the storage cost in bits for the given near-block
+// setting (Table 7 naming; equals StateBits when nearBlock matches the
+// constructed width).
 func (t *Table) CostBits(nearBlock bool) int {
 	return len(t.owners) * t.lineSize * BitsPerInstruction(nearBlock)
 }

@@ -66,7 +66,7 @@ func BenchmarkScanOnly(b *testing.B) {
 		cp.insts = append([]cpu.Retired(nil), blk.insts...)
 		blocks = append(blocks, cp)
 	}
-	entry := e.tab.Entry(0)
+	entry := e.tab.At(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		blk := &blocks[i%len(blocks)]

@@ -12,6 +12,7 @@ import (
 
 	"mbbp/internal/icache"
 	"mbbp/internal/metrics"
+	"mbbp/internal/packed"
 	"mbbp/internal/pht"
 )
 
@@ -113,6 +114,13 @@ type Config struct {
 	ICacheLines       int
 	ICacheAssoc       int
 	ICacheMissPenalty int
+
+	// Storage selects the predictor-state storage backing: bit-packed
+	// words (the default fast path) or the original wide-value slices
+	// (packed.BackingReference, the equivalence oracle the differential
+	// tests pin the packed path against). Results are byte-identical on
+	// either.
+	Storage packed.Backing
 }
 
 // DefaultConfig returns the paper's §4 defaults: block width 8, normal
@@ -207,6 +215,9 @@ func (c Config) Validate() error {
 	}
 	if c.Selection == metrics.DoubleSelection && c.BITEntries != 0 {
 		return badField("BITEntries", "double selection removes the BIT table; must be 0")
+	}
+	if !c.Storage.Valid() {
+		return badField("Storage", "%d is not a known backing", c.Storage)
 	}
 	return nil
 }

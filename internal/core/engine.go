@@ -68,9 +68,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e := &Engine{cfg: cfg, geom: cfg.Geometry, blocks: cfg.Blocks()}
 	e.ghr = pht.NewGHR(cfg.HistoryBits)
-	e.tab = pht.NewBlockedMulti(cfg.HistoryBits, cfg.Geometry.BlockWidth, cfg.numPHTs(), cfg.IndexMode)
+	e.tab = pht.NewBlockedBacked(cfg.HistoryBits, cfg.Geometry.BlockWidth, cfg.numPHTs(), cfg.IndexMode, cfg.Storage)
 	if cfg.Selection == metrics.SingleSelection {
-		e.bit = bitable.New(cfg.BITEntries, cfg.Geometry.LineSize)
+		e.bit = bitable.NewBacked(cfg.BITEntries, cfg.Geometry.LineSize, cfg.NearBlock, cfg.Storage)
 	}
 	switch cfg.TargetArray {
 	case BTB:
@@ -80,7 +80,8 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.ras = ras.New(cfg.RASSize)
 	if e.blocks > 1 {
-		e.st = seltab.New(cfg.HistoryBits, cfg.NumSTs)
+		e.st = seltab.NewBacked(cfg.HistoryBits, cfg.NumSTs,
+			cfg.Geometry.BlockWidth, cfg.Geometry.LineSize, cfg.NearBlock, cfg.Storage)
 	}
 	if cfg.ICacheLines > 0 {
 		assoc := cfg.ICacheAssoc
@@ -175,7 +176,7 @@ func (e *Engine) consume(blk *block) {
 	}
 
 	ghrPre := e.ghr.Value()
-	entry := e.tab.Entry(e.tab.Index(ghrPre, blk.start))
+	entry := e.tab.At(e.tab.Index(ghrPre, blk.start))
 	trueCodes := e.trueCodes(blk)
 
 	// Finite-BIT penalty: predict with the (possibly stale or missing)
@@ -231,10 +232,10 @@ func (e *Engine) consume(blk *block) {
 		}
 		e.res.CondBranches++
 		pos := int(blk.start+uint32(j)) % w
-		if entry[pos].Taken() != rec.Taken {
+		if entry.Taken(pos) != rec.Taken {
 			e.res.CondMispredicts++
 		}
-		entry[pos] = entry[pos].Update(rec.Taken)
+		entry.Update(pos, rec.Taken)
 	}
 
 	// Target array training: a redirecting exit whose source is the
@@ -363,7 +364,7 @@ func (e *Engine) classify(blk *block, sc scanResult, predNext uint32, predOK boo
 // happened on a branch without a "second chance" (weak counter state),
 // in which case the BBR's replacement selector is written to the select
 // table (§3.3).
-func (e *Engine) condExitWeak(blk *block, sc scanResult, entry []pht.Counter) bool {
+func (e *Engine) condExitWeak(blk *block, sc scanResult, entry pht.Entry) bool {
 	idx := sc.exit
 	if idx < 0 {
 		idx = blk.exitIdx()
@@ -372,7 +373,7 @@ func (e *Engine) condExitWeak(blk *block, sc scanResult, entry []pht.Counter) bo
 		return false
 	}
 	pos := int(blk.start+uint32(idx)) % e.geom.BlockWidth
-	return !entry[pos].SecondChance()
+	return !entry.SecondChance(pos)
 }
 
 // verifyST checks the memoized selector that launched (or, with double
@@ -380,8 +381,8 @@ func (e *Engine) condExitWeak(blk *block, sc scanResult, entry []pht.Counter) bo
 // freshly computed scan, charging misselect and GHR penalties and
 // updating the table (§3.1-3.3).
 func (e *Engine) verifyST(blk *block, sc scanResult, ghrPre uint32, succRole int, squashed, condFlip bool) {
-	var slot *seltab.Selector
-	var entry *seltab.Entry
+	var ref seltab.Ref
+	role := succRole
 	switch {
 	case succRole >= 1:
 		// The successor is a non-first block of the current group; it
@@ -390,19 +391,19 @@ func (e *Engine) verifyST(blk *block, sc scanResult, ghrPre uint32, succRole int
 		if !e.cycValid {
 			return
 		}
-		entry = e.st.Lookup(e.cycGHR, e.cycAddr)
-		slot = entry.Slot(succRole)
+		ref = e.st.At(e.cycGHR, e.cycAddr)
 	case e.cfg.Selection == metrics.DoubleSelection:
 		// With double selection the first block of the next cycle also
 		// comes from the (dual) select table, indexed by this block.
-		entry = e.st.Lookup(ghrPre, blk.start)
-		slot = &entry.First
+		ref = e.st.At(ghrPre, blk.start)
 	default:
 		return // single selection computes first-role fetches directly
 	}
 
-	mismatchMux := !entry.Valid || !slot.SameMux(sc.sel)
-	mismatchGHR := !entry.Valid || !slot.SameGHR(sc.sel)
+	valid := ref.Valid()
+	slot := ref.Get(role)
+	mismatchMux := !valid || !slot.SameMux(sc.sel)
+	mismatchGHR := !valid || !slot.SameGHR(sc.sel)
 	if !squashed {
 		if mismatchMux {
 			e.res.AddPenalty(metrics.Misselect,
@@ -413,15 +414,13 @@ func (e *Engine) verifyST(blk *block, sc scanResult, ghrPre uint32, succRole int
 		}
 	}
 	if mismatchMux || mismatchGHR {
-		*slot = sc.sel
-		entry.Valid = true
+		ref.Set(role, sc.sel)
 	}
 	if condFlip {
 		// Bad branch recovery: the mispredicted branch will predict
 		// differently next time, so install the pre-computed
 		// replacement selector now.
-		*slot = e.correctedSelector(blk)
-		entry.Valid = true
+		ref.Set(role, e.correctedSelector(blk))
 	}
 }
 

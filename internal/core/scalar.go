@@ -2,6 +2,7 @@ package core
 
 import (
 	"mbbp/internal/isa"
+	"mbbp/internal/packed"
 	"mbbp/internal/pht"
 	"mbbp/internal/trace"
 )
@@ -35,12 +36,18 @@ func (r *ScalarResult) Add(other ScalarResult) {
 // conditional branch at a time with a per-branch-updated global history
 // register.
 func RunScalar(src trace.Source, historyBits, numTables int) ScalarResult {
+	return RunScalarBacked(src, historyBits, numTables, packed.BackingPacked)
+}
+
+// RunScalarBacked is RunScalar with an explicit counter storage backing
+// (the differential tests pin packed against reference here too).
+func RunScalarBacked(src trace.Source, historyBits, numTables int, backing packed.Backing) ScalarResult {
 	src.Reset()
 	var res ScalarResult
 	if b, ok := src.(trace.Named); ok {
 		res.Program = b.TraceName()
 	}
-	p := pht.NewScalar(historyBits, numTables)
+	p := pht.NewScalarBacked(historyBits, numTables, backing)
 	g := pht.NewGHR(historyBits)
 	for {
 		r, ok := src.Next()

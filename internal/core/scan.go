@@ -20,7 +20,7 @@ type scanResult struct {
 // branch whose counter predicts taken. codes holds the BIT code for each
 // block-relative position (true codes, or stale table contents for the
 // BIT-penalty check). entry is the blocked PHT entry for this block.
-func (e *Engine) scan(blk *block, codes []bitable.Code, entry []pht.Counter) scanResult {
+func (e *Engine) scan(blk *block, codes []bitable.Code, entry pht.Entry) scanResult {
 	w := e.geom.BlockWidth
 	line := uint32(e.geom.LineSize)
 	var nt uint8
@@ -40,7 +40,7 @@ func (e *Engine) scan(blk *block, codes []bitable.Code, entry []pht.Counter) sca
 				Source: seltab.SrcTarget, Pos: pos, NTCount: nt,
 			}}
 		default: // conditional branch variants
-			if !entry[int(addr)%w].Taken() {
+			if !entry.Taken(int(addr) % w) {
 				nt++
 				continue
 			}

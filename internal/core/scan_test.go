@@ -85,7 +85,7 @@ func TestTable2Example(t *testing.T) {
 	// Starting position 0: exit position 1 — the branch at 9 is
 	// predicted taken (PHT 10) with a prev-line near target.
 	b0 := blockFrom(line, 0, 1, true, 2)
-	sc := e.scan(b0, e.trueCodes(b0), entry)
+	sc := e.scan(b0, e.trueCodes(b0), pht.EntryFor(entry))
 	if sc.exit != 1 || sc.sel.Source != seltab.SrcNearPrev {
 		t.Errorf("start 0: exit %d source %v, want 1, near-prev", sc.exit, sc.sel.Source)
 	}
@@ -111,7 +111,7 @@ func TestTable2Example(t *testing.T) {
 	// Starting position 2: exit position 3, always the target array
 	// ("NLS(3)"), no misprediction possible.
 	b2 := blockFrom(line, 2, 3, true, 100)
-	sc = e.scan(b2, e.trueCodes(b2), entry)
+	sc = e.scan(b2, e.trueCodes(b2), pht.EntryFor(entry))
 	if sc.exit != 1 || sc.sel.Source != seltab.SrcTarget || sc.sel.Pos != 3 {
 		t.Errorf("start 2: exit %d sel %+v, want exit 1 (pos 3), target", sc.exit, sc.sel)
 	}
@@ -123,7 +123,7 @@ func TestTable2Example(t *testing.T) {
 	// NLS(5). On misprediction the alternate is the return at 7 (RAS),
 	// and the second-chance bit means the prediction does not change.
 	b4 := blockFrom(line, 4, 5, true, 200)
-	sc = e.scan(b4, e.trueCodes(b4), entry)
+	sc = e.scan(b4, e.trueCodes(b4), pht.EntryFor(entry))
 	if sc.exit != 1 || sc.sel.Source != seltab.SrcTarget || sc.sel.Pos != 5 {
 		t.Errorf("start 4: sel %+v, want target@5", sc.sel)
 	}
@@ -137,7 +137,7 @@ func TestTable2Example(t *testing.T) {
 
 	// Starting position 6: exit position 7, return — RAS.
 	b6 := blockFrom(line, 6, 7, true, 77)
-	sc = e.scan(b6, e.trueCodes(b6), entry)
+	sc = e.scan(b6, e.trueCodes(b6), pht.EntryFor(entry))
 	if sc.exit != 1 || sc.sel.Source != seltab.SrcRAS || sc.sel.Pos != 7 {
 		t.Errorf("start 6: sel %+v, want ras@7", sc.sel)
 	}
@@ -179,7 +179,7 @@ func TestTable1PredictionSources(t *testing.T) {
 			insts: []cpu.Retired{{PC: 8, Class: c.class, Taken: true, Target: c.target}},
 			next:  c.target,
 		}
-		sc := e.scan(blk, e.trueCodes(blk), taken)
+		sc := e.scan(blk, e.trueCodes(blk), pht.EntryFor(taken))
 		if sc.exit != 0 || sc.sel.Source != c.want {
 			t.Errorf("%v target %d: source %v, want %v", c.class, c.target, sc.sel.Source, c.want)
 		}
@@ -191,7 +191,7 @@ func TestTable1PredictionSources(t *testing.T) {
 		insts: []cpu.Retired{{PC: 8, Class: isa.ClassPlain}, {PC: 9, Class: isa.ClassPlain}},
 		next:  10,
 	}
-	sc := e.scan(blk, e.trueCodes(blk), taken)
+	sc := e.scan(blk, e.trueCodes(blk), pht.EntryFor(taken))
 	if sc.exit != -1 || sc.sel.Source != seltab.SrcFallThrough {
 		t.Errorf("plain block: %+v, want fall-through", sc.sel)
 	}
@@ -209,7 +209,7 @@ func TestTable1PredictionSources(t *testing.T) {
 		},
 		next: 55,
 	}
-	sc = e.scan(blk, e.trueCodes(blk), weak)
+	sc = e.scan(blk, e.trueCodes(blk), pht.EntryFor(weak))
 	if sc.exit != 1 || sc.sel.Source != seltab.SrcRAS || sc.sel.NTCount != 1 {
 		t.Errorf("skip-NT scan = exit %d %+v", sc.exit, sc.sel)
 	}
@@ -233,7 +233,7 @@ func TestGeometryPositionWrap(t *testing.T) {
 		insts: []cpu.Retired{{PC: 12, Class: isa.ClassCond, Taken: true, Target: 300}},
 		next:  300,
 	}
-	sc := e.scan(blk, e.trueCodes(blk), entry)
+	sc := e.scan(blk, e.trueCodes(blk), pht.EntryFor(entry))
 	if sc.exit != 0 || !sc.sel.TakenBit {
 		t.Errorf("wrapped counter not used: %+v", sc.sel)
 	}

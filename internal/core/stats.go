@@ -27,8 +27,8 @@ type StructStats struct {
 func (e *Engine) Stats() StructStats {
 	var s StructStats
 	for i := 0; i < e.tab.Entries(); i++ {
-		for _, c := range e.tab.Entry(uint32(i)) {
-			s.PHTCounters[c&3]++
+		for p := 0; p < e.tab.Width(); p++ {
+			s.PHTCounters[e.tab.CounterAt(uint32(i), p)&3]++
 		}
 	}
 	if e.st != nil {
@@ -42,21 +42,7 @@ func (e *Engine) Stats() StructStats {
 
 // stValidCount counts live select-table entries.
 func (e *Engine) stValidCount() uint64 {
-	var n uint64
-	per := e.st.EntriesPerTable()
-	for t := 0; t < e.st.Tables(); t++ {
-		for i := 0; i < per; i++ {
-			// Reconstruct a (history, address) pair that lands on
-			// (table t, index i): address low bits select the table,
-			// history supplies the index (address high bits zero).
-			addr := uint32(t)
-			hist := uint32(i)
-			if e.st.Lookup(hist, addr).Valid {
-				n++
-			}
-		}
-	}
-	return n
+	return uint64(e.st.ValidCount())
 }
 
 // TrainedFraction returns the share of PHT counters that have left

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mbbp/internal/cost"
+	"mbbp/internal/metrics"
+	"mbbp/internal/packed"
+)
+
+// TestStorageEquivalence fuzzes configurations and traces and requires
+// the packed and reference backings to produce identical results and
+// identical structure snapshots — the engine-level statement of the
+// packed arrays' losslessness.
+func TestStorageEquivalence(t *testing.T) {
+	f := func(seed int64, a, b, c, d, e, g uint8) bool {
+		cfg := randomConfig(a, b, c, d, e, g)
+		cfg.Storage = packed.BackingPacked
+		pk, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Storage = packed.BackingReference
+		ref, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := randomTrace(seed, 3000)
+		rp, rr := pk.Run(tr), ref.Run(tr)
+		if rp != rr {
+			t.Logf("results diverge:\npacked:    %+v\nreference: %+v", rp, rr)
+			return false
+		}
+		sp, sr := pk.Stats(), ref.Stats()
+		if sp != sr {
+			t.Logf("stats diverge:\npacked:    %+v\nreference: %+v", sp, sr)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigRejectsUnknownStorage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Storage = packed.Backing(7)
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown storage backing should not validate")
+	}
+}
+
+// TestStateBitsMatchesCostModel pins the measured breakdown of live
+// engines against the cost package's Table 7 closed forms for the
+// paper's walkthrough configuration.
+func TestStateBitsMatchesCostModel(t *testing.T) {
+	p := cost.PaperParams()
+	est := cost.Compute(p)
+
+	single := DefaultConfig()
+	single.Mode = SingleBlock
+	single.BITEntries = p.BITEntries
+	eng, err := New(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := eng.StateBits()
+	if s.PHT != est.PHT {
+		t.Errorf("PHT = %d, want %d", s.PHT, est.PHT)
+	}
+	if s.BIT != est.BIT {
+		t.Errorf("BIT = %d, want %d", s.BIT, est.BIT)
+	}
+	if s.SelectTable != 0 {
+		t.Errorf("single-block SelectTable = %d, want 0", s.SelectTable)
+	}
+	if s.TargetArray != est.NLS {
+		t.Errorf("TargetArray = %d, want %d", s.TargetArray, est.NLS)
+	}
+
+	dual := DefaultConfig() // dual/single-select, BIT in cache
+	eng, err = New(dual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = eng.StateBits()
+	if s.SelectTable != est.ST {
+		t.Errorf("dual SelectTable = %d, want %d", s.SelectTable, est.ST)
+	}
+	if s.BIT != 0 {
+		t.Errorf("in-cache BIT = %d, want 0", s.BIT)
+	}
+	if s.TargetArray != 2*est.NLS {
+		t.Errorf("dual TargetArray = %d, want %d", s.TargetArray, 2*est.NLS)
+	}
+	if s.Total() != s.PHT+s.BIT+s.SelectTable+s.TargetArray {
+		t.Error("Total is not the sum of the parts")
+	}
+
+	double := DefaultConfig()
+	double.Selection = metrics.DoubleSelection
+	eng, err = New(double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = eng.StateBits()
+	if s.SelectTable != est.STDouble {
+		t.Errorf("double SelectTable = %d, want %d", s.SelectTable, est.STDouble)
+	}
+	if s.BIT != 0 {
+		t.Errorf("double-selection BIT = %d, want 0", s.BIT)
+	}
+}
+
+// TestScalarBackedEquivalence pins the Figure 6 baseline across
+// backings.
+func TestScalarBackedEquivalence(t *testing.T) {
+	tr := randomTrace(11, 5000)
+	rp := RunScalarBacked(tr, 10, 8, packed.BackingPacked)
+	rr := RunScalarBacked(tr, 10, 8, packed.BackingReference)
+	if rp != rr {
+		t.Errorf("scalar baseline diverges:\npacked:    %+v\nreference: %+v", rp, rr)
+	}
+}

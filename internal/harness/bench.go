@@ -7,18 +7,25 @@ import (
 	"runtime"
 	"text/tabwriter"
 	"time"
+
+	"mbbp/internal/core"
+	"mbbp/internal/icache"
+	"mbbp/internal/packed"
 )
 
 // The reproducible benchmark pipeline behind `mbpexp bench` and
-// scripts/bench.sh: a fixed set of representative sweeps is run twice
-// over pinned-seed traces — once on the serial reference path, once on
-// a fresh parallel pool — and the wall-clock, per-instruction and
+// scripts/bench.sh: a fixed set of representative sweeps is run three
+// times over pinned-seed traces — once on the serial packed path, once
+// on a fresh parallel pool, and once serially on the slice-backed
+// reference storage — and the wall-clock, per-instruction and
 // allocation numbers land in BENCH_sweep.json. The workloads are fully
 // deterministic, so the simulated numbers never vary between passes;
 // only the timings do.
 
-// BenchSchema identifies the BENCH_sweep.json layout.
-const BenchSchema = "mbbp/bench-sweep/v1"
+// BenchSchema identifies the BENCH_sweep.json layout. v2 adds the
+// reference-storage pass (reference_ns, reference_ns_per_instruction,
+// packed_speedup, total_reference_ns) and the width8/width16 sweeps.
+const BenchSchema = "mbbp/bench-sweep/v2"
 
 // BenchSweep is one benchmarked sweep's timing record.
 type BenchSweep struct {
@@ -37,10 +44,18 @@ type BenchSweep struct {
 	ParallelNs int64 `json:"parallel_ns"`
 	// Speedup is SerialNs / ParallelNs.
 	Speedup float64 `json:"speedup"`
-	// SerialNsPerInstruction and ParallelNsPerInstruction normalize the
-	// wall-clock by the simulated instruction count.
-	SerialNsPerInstruction   float64 `json:"serial_ns_per_instruction"`
-	ParallelNsPerInstruction float64 `json:"parallel_ns_per_instruction"`
+	// ReferenceNs is the wall-clock of the same sweep run serially on
+	// the slice-backed reference storage, and PackedSpeedup is
+	// ReferenceNs / SerialNs — how much the bit-packed fast path buys
+	// over the equivalence oracle.
+	ReferenceNs   int64   `json:"reference_ns"`
+	PackedSpeedup float64 `json:"packed_speedup"`
+	// SerialNsPerInstruction, ParallelNsPerInstruction and
+	// ReferenceNsPerInstruction normalize the wall-clock by the
+	// simulated instruction count.
+	SerialNsPerInstruction    float64 `json:"serial_ns_per_instruction"`
+	ParallelNsPerInstruction  float64 `json:"parallel_ns_per_instruction"`
+	ReferenceNsPerInstruction float64 `json:"reference_ns_per_instruction"`
 	// AllocsPerJob and BytesPerJob are heap allocation counts per
 	// engine run, measured on the serial pass (no concurrent noise).
 	AllocsPerJob uint64 `json:"allocs_per_job"`
@@ -60,13 +75,30 @@ type BenchReport struct {
 	Sweeps                 []BenchSweep `json:"sweeps"`
 	TotalSerialNs          int64        `json:"total_serial_ns"`
 	TotalParallelNs        int64        `json:"total_parallel_ns"`
+	TotalReferenceNs       int64        `json:"total_reference_ns"`
 	Speedup                float64      `json:"speedup"`
+	PackedSpeedup          float64      `json:"packed_speedup"`
+}
+
+// widthSweep runs a single storage-heavy configuration (history length
+// 14, 8 STs, self-aligned cache) at the given block width — the sweeps
+// where the packed backing's smaller PHT/ST footprint should pay off.
+func widthSweep(blockWidth int) func(*Scheduler, *TraceSet) error {
+	return func(s *Scheduler, ts *TraceSet) error {
+		cfg := core.DefaultConfig()
+		cfg.Geometry = icache.ForKind(icache.SelfAligned, blockWidth)
+		cfg.HistoryBits = 14
+		cfg.NumSTs = 8
+		_, err := RunConfigAsync(s, ts, cfg).Wait()
+		return err
+	}
 }
 
 // benchSweeps is the pinned sweep set: fig6 exercises the scheduler on
 // a sweep with two job kinds per point, table6 on a small grid of heavy
-// dual-block configurations, and fig9 on a single configuration whose
-// only parallelism is the per-program fan-out.
+// dual-block configurations, fig9 on a single configuration whose only
+// parallelism is the per-program fan-out, and width8/width16 on
+// large-table configurations that stress the storage backing.
 var benchSweeps = []struct {
 	name    string
 	configs int // engine configurations per program
@@ -84,6 +116,8 @@ var benchSweeps = []struct {
 		_, err := Fig9Async(s, ts)()
 		return err
 	}},
+	{"width8", 1, widthSweep(8)},
+	{"width16", 1, widthSweep(16)},
 }
 
 // RunBench executes the pinned sweep set over ts serially and on a
@@ -134,19 +168,35 @@ func RunBench(ts *TraceSet, instructions uint64, workers int) (*BenchReport, err
 		}
 		sweep.ParallelNs = time.Since(start).Nanoseconds()
 
+		// Reference-storage pass: the same drivers, serially, on the
+		// slice-backed oracle (apples to apples against SerialNs).
+		start = time.Now()
+		if err := b.run(Serial(), ts.WithStorage(packed.BackingReference)); err != nil {
+			return nil, fmt.Errorf("bench %s (reference): %w", b.name, err)
+		}
+		sweep.ReferenceNs = time.Since(start).Nanoseconds()
+
 		if sweep.ParallelNs > 0 {
 			sweep.Speedup = float64(sweep.SerialNs) / float64(sweep.ParallelNs)
+		}
+		if sweep.SerialNs > 0 {
+			sweep.PackedSpeedup = float64(sweep.ReferenceNs) / float64(sweep.SerialNs)
 		}
 		if sweep.Instructions > 0 {
 			sweep.SerialNsPerInstruction = float64(sweep.SerialNs) / float64(sweep.Instructions)
 			sweep.ParallelNsPerInstruction = float64(sweep.ParallelNs) / float64(sweep.Instructions)
+			sweep.ReferenceNsPerInstruction = float64(sweep.ReferenceNs) / float64(sweep.Instructions)
 		}
 		rep.Sweeps = append(rep.Sweeps, sweep)
 		rep.TotalSerialNs += sweep.SerialNs
 		rep.TotalParallelNs += sweep.ParallelNs
+		rep.TotalReferenceNs += sweep.ReferenceNs
 	}
 	if rep.TotalParallelNs > 0 {
 		rep.Speedup = float64(rep.TotalSerialNs) / float64(rep.TotalParallelNs)
+	}
+	if rep.TotalSerialNs > 0 {
+		rep.PackedSpeedup = float64(rep.TotalReferenceNs) / float64(rep.TotalSerialNs)
 	}
 	return rep, nil
 }
@@ -169,7 +219,7 @@ func ReadBenchReport(r io.Reader) (*BenchReport, error) {
 	return &rep, nil
 }
 
-// Check validates the report against the v1 schema: every field a
+// Check validates the report against the v2 schema: every field a
 // downstream consumer (CI, the bench trajectory) relies on must be
 // present and plausible.
 func (r *BenchReport) Check() error {
@@ -201,11 +251,17 @@ func (r *BenchReport) Check() error {
 			return fmt.Errorf("bench report: sweep %s: non-positive timings (%d, %d, %g)",
 				s.Name, s.SerialNs, s.ParallelNs, s.Speedup)
 		}
-		if s.Instructions == 0 || s.SerialNsPerInstruction <= 0 || s.ParallelNsPerInstruction <= 0 {
+		if s.ReferenceNs <= 0 || s.PackedSpeedup <= 0 {
+			return fmt.Errorf("bench report: sweep %s: missing reference-storage pass (%d, %g)",
+				s.Name, s.ReferenceNs, s.PackedSpeedup)
+		}
+		if s.Instructions == 0 || s.SerialNsPerInstruction <= 0 ||
+			s.ParallelNsPerInstruction <= 0 || s.ReferenceNsPerInstruction <= 0 {
 			return fmt.Errorf("bench report: sweep %s: missing per-instruction normalization", s.Name)
 		}
 	}
-	if r.TotalSerialNs <= 0 || r.TotalParallelNs <= 0 || r.Speedup <= 0 {
+	if r.TotalSerialNs <= 0 || r.TotalParallelNs <= 0 || r.Speedup <= 0 ||
+		r.TotalReferenceNs <= 0 || r.PackedSpeedup <= 0 {
 		return fmt.Errorf("bench report: missing totals")
 	}
 	return nil
@@ -216,14 +272,16 @@ func RenderBench(w io.Writer, r *BenchReport) {
 	fmt.Fprintf(w, "Benchmark pipeline: %d programs x %d instructions, %d workers (GOMAXPROCS %d, %s/%s, %s)\n",
 		r.Programs, r.InstructionsPerProgram, r.Workers, r.GOMAXPROCS, r.GOOS, r.GOARCH, r.GoVersion)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "sweep\tjobs\tserial\tparallel\tspeedup\tns/instr\tallocs/job")
+	fmt.Fprintln(tw, "sweep\tjobs\tserial\tparallel\tspeedup\tpacked ns/i\tref ns/i\tpacked-vs-ref\tallocs/job")
 	for _, s := range r.Sweeps {
-		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%.2fx\t%.1f\t%d\n",
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%.2fx\t%.1f\t%.1f\t%.2fx\t%d\n",
 			s.Name, s.Jobs,
 			time.Duration(s.SerialNs), time.Duration(s.ParallelNs),
-			s.Speedup, s.ParallelNsPerInstruction, s.AllocsPerJob)
+			s.Speedup, s.SerialNsPerInstruction, s.ReferenceNsPerInstruction,
+			s.PackedSpeedup, s.AllocsPerJob)
 	}
 	tw.Flush()
-	fmt.Fprintf(w, "total: serial %s, parallel %s, speedup %.2fx\n",
-		time.Duration(r.TotalSerialNs), time.Duration(r.TotalParallelNs), r.Speedup)
+	fmt.Fprintf(w, "total: serial %s, parallel %s, reference %s, speedup %.2fx, packed-vs-ref %.2fx\n",
+		time.Duration(r.TotalSerialNs), time.Duration(r.TotalParallelNs),
+		time.Duration(r.TotalReferenceNs), r.Speedup, r.PackedSpeedup)
 }

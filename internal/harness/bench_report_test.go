@@ -58,9 +58,12 @@ func TestBenchCheckRejects(t *testing.T) {
 		Sweeps: []BenchSweep{{
 			Name: "fig6", Configs: 3, Jobs: 6, Instructions: 6,
 			SerialNs: 10, ParallelNs: 5, Speedup: 2,
+			ReferenceNs: 12, PackedSpeedup: 1.2,
 			SerialNsPerInstruction: 1, ParallelNsPerInstruction: 0.5,
+			ReferenceNsPerInstruction: 2,
 		}},
-		TotalSerialNs: 10, TotalParallelNs: 5, Speedup: 2,
+		TotalSerialNs: 10, TotalParallelNs: 5, TotalReferenceNs: 12,
+		Speedup: 2, PackedSpeedup: 1.2,
 	}
 	if err := good.Check(); err != nil {
 		t.Fatalf("valid report rejected: %v", err)
@@ -73,8 +76,11 @@ func TestBenchCheckRejects(t *testing.T) {
 		"no sweeps":      func(r *BenchReport) { r.Sweeps = nil },
 		"job mismatch":   func(r *BenchReport) { r.Sweeps[0].Jobs = 5 },
 		"no timing":      func(r *BenchReport) { r.Sweeps[0].SerialNs = 0 },
+		"no reference":   func(r *BenchReport) { r.Sweeps[0].ReferenceNs = 0 },
 		"no per-instr":   func(r *BenchReport) { r.Sweeps[0].SerialNsPerInstruction = 0 },
+		"no ref/instr":   func(r *BenchReport) { r.Sweeps[0].ReferenceNsPerInstruction = 0 },
 		"no totals":      func(r *BenchReport) { r.TotalParallelNs = 0 },
+		"no ref total":   func(r *BenchReport) { r.TotalReferenceNs = 0 },
 		"empty workload": func(r *BenchReport) { r.Programs = 0 },
 	}
 	for name, mutate := range mutations {

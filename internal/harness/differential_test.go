@@ -4,58 +4,80 @@ import (
 	"bytes"
 	"io"
 	"testing"
+
+	"mbbp/internal/packed"
 )
 
-// The determinism contract of the sweep scheduler: running any
-// experiment on the work-stealing pool must produce output
-// byte-identical to the serial reference path (Serial() runs jobs
-// inline at submission, i.e. the pre-scheduler execution order). Each
-// case renders both the human table and, where one exists, the CSV
-// form, and compares the bytes.
+// Two determinism contracts, checked together for every experiment:
+//
+//  1. Scheduling: running any experiment on the work-stealing pool must
+//     produce output byte-identical to the serial reference path
+//     (Serial() runs jobs inline at submission, i.e. the pre-scheduler
+//     execution order).
+//  2. Storage: running any experiment with the bit-packed predictor
+//     state (the default) must produce output byte-identical to the
+//     slice-backed reference storage — the pinned statement that the
+//     packed fast path is lossless across every configuration the
+//     experiments reach.
+//
+// Each case renders the human table and, where one exists, the CSV
+// form, and compares the bytes across all three variants.
 
-// differ runs one experiment twice — serially and on a 4-worker pool —
-// and byte-compares every rendering the experiment has.
-func differ(t *testing.T, name string, run func(s *Scheduler) ([]func(io.Writer) error, error)) {
+// differ runs one experiment three ways — serial/packed, pooled/packed,
+// serial/reference-storage — and byte-compares every rendering the
+// experiment has.
+func differ(t *testing.T, name string, run func(s *Scheduler, ts *TraceSet) ([]func(io.Writer) error, error)) {
 	t.Helper()
 	pool := NewScheduler(4)
 	defer pool.Close()
 
-	render := func(s *Scheduler) []string {
+	render := func(label string, s *Scheduler, ts *TraceSet) []string {
 		t.Helper()
-		outs, err := run(s)
+		outs, err := run(s, ts)
 		if err != nil {
-			t.Fatalf("%s (workers=%d): %v", name, s.Workers(), err)
+			t.Fatalf("%s (%s): %v", name, label, err)
 		}
 		var rendered []string
 		for _, out := range outs {
 			var buf bytes.Buffer
 			if err := out(&buf); err != nil {
-				t.Fatalf("%s (workers=%d): render: %v", name, s.Workers(), err)
+				t.Fatalf("%s (%s): render: %v", name, label, err)
 			}
 			rendered = append(rendered, buf.String())
 		}
 		return rendered
 	}
 
-	serial := render(Serial())
-	parallel := render(pool)
-	if len(serial) != len(parallel) {
-		t.Fatalf("%s: rendering count differs", name)
+	serial := render("serial", Serial(), testTraces)
+	variants := []struct {
+		label string
+		got   []string
+	}{
+		{"parallel", render("parallel", pool, testTraces)},
+		{"reference storage", render("reference storage", Serial(),
+			testTraces.WithStorage(packed.BackingReference))},
 	}
 	for i := range serial {
-		if serial[i] != parallel[i] {
-			t.Errorf("%s: rendering %d differs between serial and parallel:\n--- serial ---\n%s\n--- parallel ---\n%s",
-				name, i, serial[i], parallel[i])
-		}
 		if len(serial[i]) == 0 {
 			t.Errorf("%s: rendering %d is empty", name, i)
+		}
+	}
+	for _, v := range variants {
+		if len(serial) != len(v.got) {
+			t.Fatalf("%s: rendering count differs between serial and %s", name, v.label)
+		}
+		for i := range serial {
+			if serial[i] != v.got[i] {
+				t.Errorf("%s: rendering %d differs between serial and %s:\n--- serial ---\n%s\n--- %s ---\n%s",
+					name, i, v.label, serial[i], v.label, v.got[i])
+			}
 		}
 	}
 }
 
 func TestDifferentialFig6(t *testing.T) {
-	differ(t, "fig6", func(s *Scheduler) ([]func(io.Writer) error, error) {
-		rows, err := Fig6Async(s, testTraces)()
+	differ(t, "fig6", func(s *Scheduler, ts *TraceSet) ([]func(io.Writer) error, error) {
+		rows, err := Fig6Async(s, ts)()
 		if err != nil {
 			return nil, err
 		}
@@ -67,8 +89,8 @@ func TestDifferentialFig6(t *testing.T) {
 }
 
 func TestDifferentialFig7(t *testing.T) {
-	differ(t, "fig7", func(s *Scheduler) ([]func(io.Writer) error, error) {
-		rows, err := Fig7Async(s, testTraces)()
+	differ(t, "fig7", func(s *Scheduler, ts *TraceSet) ([]func(io.Writer) error, error) {
+		rows, err := Fig7Async(s, ts)()
 		if err != nil {
 			return nil, err
 		}
@@ -80,8 +102,8 @@ func TestDifferentialFig7(t *testing.T) {
 }
 
 func TestDifferentialFig8(t *testing.T) {
-	differ(t, "fig8", func(s *Scheduler) ([]func(io.Writer) error, error) {
-		rows, err := Fig8Async(s, testTraces)()
+	differ(t, "fig8", func(s *Scheduler, ts *TraceSet) ([]func(io.Writer) error, error) {
+		rows, err := Fig8Async(s, ts)()
 		if err != nil {
 			return nil, err
 		}
@@ -93,8 +115,8 @@ func TestDifferentialFig8(t *testing.T) {
 }
 
 func TestDifferentialFig9(t *testing.T) {
-	differ(t, "fig9", func(s *Scheduler) ([]func(io.Writer) error, error) {
-		rows, err := Fig9Async(s, testTraces)()
+	differ(t, "fig9", func(s *Scheduler, ts *TraceSet) ([]func(io.Writer) error, error) {
+		rows, err := Fig9Async(s, ts)()
 		if err != nil {
 			return nil, err
 		}
@@ -106,8 +128,8 @@ func TestDifferentialFig9(t *testing.T) {
 }
 
 func TestDifferentialTable5(t *testing.T) {
-	differ(t, "table5", func(s *Scheduler) ([]func(io.Writer) error, error) {
-		rows, err := Table5Async(s, testTraces)()
+	differ(t, "table5", func(s *Scheduler, ts *TraceSet) ([]func(io.Writer) error, error) {
+		rows, err := Table5Async(s, ts)()
 		if err != nil {
 			return nil, err
 		}
@@ -119,8 +141,8 @@ func TestDifferentialTable5(t *testing.T) {
 }
 
 func TestDifferentialTable6(t *testing.T) {
-	differ(t, "table6", func(s *Scheduler) ([]func(io.Writer) error, error) {
-		rows, err := Table6Async(s, testTraces)()
+	differ(t, "table6", func(s *Scheduler, ts *TraceSet) ([]func(io.Writer) error, error) {
+		rows, err := Table6Async(s, ts)()
 		if err != nil {
 			return nil, err
 		}
@@ -132,8 +154,8 @@ func TestDifferentialTable6(t *testing.T) {
 }
 
 func TestDifferentialCompare(t *testing.T) {
-	differ(t, "compare", func(s *Scheduler) ([]func(io.Writer) error, error) {
-		c, err := CompareAsync(s, testTraces)()
+	differ(t, "compare", func(s *Scheduler, ts *TraceSet) ([]func(io.Writer) error, error) {
+		c, err := CompareAsync(s, ts)()
 		if err != nil {
 			return nil, err
 		}
@@ -144,8 +166,8 @@ func TestDifferentialCompare(t *testing.T) {
 }
 
 func TestDifferentialBaseline(t *testing.T) {
-	differ(t, "baseline", func(s *Scheduler) ([]func(io.Writer) error, error) {
-		rows, err := BaselineAsync(s, testTraces)()
+	differ(t, "baseline", func(s *Scheduler, ts *TraceSet) ([]func(io.Writer) error, error) {
+		rows, err := BaselineAsync(s, ts)()
 		if err != nil {
 			return nil, err
 		}
@@ -156,8 +178,8 @@ func TestDifferentialBaseline(t *testing.T) {
 }
 
 func TestDifferentialExtBlocks(t *testing.T) {
-	differ(t, "extblocks", func(s *Scheduler) ([]func(io.Writer) error, error) {
-		rows, err := ExtBlocksAsync(s, testTraces)()
+	differ(t, "extblocks", func(s *Scheduler, ts *TraceSet) ([]func(io.Writer) error, error) {
+		rows, err := ExtBlocksAsync(s, ts)()
 		if err != nil {
 			return nil, err
 		}
@@ -168,8 +190,8 @@ func TestDifferentialExtBlocks(t *testing.T) {
 }
 
 func TestDifferentialAblation(t *testing.T) {
-	differ(t, "ablation", func(s *Scheduler) ([]func(io.Writer) error, error) {
-		rows, err := AblationPHTAsync(s, testTraces)()
+	differ(t, "ablation", func(s *Scheduler, ts *TraceSet) ([]func(io.Writer) error, error) {
+		rows, err := AblationPHTAsync(s, ts)()
 		if err != nil {
 			return nil, err
 		}
@@ -180,8 +202,8 @@ func TestDifferentialAblation(t *testing.T) {
 }
 
 func TestDifferentialWidths(t *testing.T) {
-	differ(t, "widths", func(s *Scheduler) ([]func(io.Writer) error, error) {
-		rows, err := WidthsAsync(s, testTraces)()
+	differ(t, "widths", func(s *Scheduler, ts *TraceSet) ([]func(io.Writer) error, error) {
+		rows, err := WidthsAsync(s, ts)()
 		if err != nil {
 			return nil, err
 		}
@@ -192,8 +214,8 @@ func TestDifferentialWidths(t *testing.T) {
 }
 
 func TestDifferentialICache(t *testing.T) {
-	differ(t, "icache", func(s *Scheduler) ([]func(io.Writer) error, error) {
-		rows, err := ICacheAsync(s, testTraces)()
+	differ(t, "icache", func(s *Scheduler, ts *TraceSet) ([]func(io.Writer) error, error) {
+		rows, err := ICacheAsync(s, ts)()
 		if err != nil {
 			return nil, err
 		}
@@ -205,12 +227,16 @@ func TestDifferentialICache(t *testing.T) {
 
 // TestDifferentialSeeds covers the one driver that captures its own
 // traces (seed sweep) — the trickiest interleaving, since trace capture
-// jobs and simulation jobs coexist on the pool. A reduced grid keeps it
-// fast.
+// jobs and simulation jobs coexist on the pool, and the storage lever
+// must travel through Options instead of the shared trace set. A
+// reduced grid keeps it fast.
 func TestDifferentialSeeds(t *testing.T) {
-	opts := Options{Instructions: 30_000, Programs: []string{"compress", "swim"}}
 	seeds := []int64{1, 99}
-	differ(t, "seeds", func(s *Scheduler) ([]func(io.Writer) error, error) {
+	differ(t, "seeds", func(s *Scheduler, ts *TraceSet) ([]func(io.Writer) error, error) {
+		opts := Options{Instructions: 30_000, Programs: []string{"compress", "swim"}}
+		if ts.storageSet {
+			opts.Storage = ts.storage
+		}
 		rows, err := SeedsAsync(s, opts, seeds)()
 		if err != nil {
 			return nil, err

@@ -439,7 +439,10 @@ func RenderFig9(w io.Writer, rows []Fig9Row) {
 }
 
 // RenderCost writes the §5 cost walkthrough for the paper's default
-// configuration.
+// configuration: first the Table 7 closed forms, then the same
+// accounting measured from live engines' structures (Engine.StateBits)
+// — the path the sweep tooling uses to print hardware-cost rows for
+// arbitrary configurations.
 func RenderCost(w io.Writer) {
 	est := cost.PaperDefault()
 	fmt.Fprintln(w, "Section 5: simplified hardware cost estimates (paper defaults)")
@@ -451,6 +454,35 @@ func RenderCost(w io.Writer) {
 	fmt.Fprintf(w, "  single block total:             %6.1f Kbits\n", kbits(est.SingleBlockTotal()))
 	fmt.Fprintf(w, "  dual block, single select total: %5.1f Kbits\n", kbits(est.DualSingleTotal()))
 	fmt.Fprintf(w, "  dual block, double select total: %5.1f Kbits\n", kbits(est.DualDoubleTotal()))
+
+	single := core.DefaultConfig()
+	single.Mode = core.SingleBlock
+	single.BITEntries = cost.PaperParams().BITEntries
+	double := core.DefaultConfig()
+	double.Selection = metrics.DoubleSelection
+	fmt.Fprintln(w, "Measured from live engine structures (Engine.StateBits):")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  config\tPHT\tST\tBIT\ttargets\ttotal (Kbits)")
+	for _, c := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"single block", single},
+		{"dual, single select", core.DefaultConfig()},
+		{"dual, double select", double},
+	} {
+		eng, err := core.New(c.cfg)
+		if err != nil {
+			fmt.Fprintf(tw, "  %s\t%v\n", c.name, err)
+			continue
+		}
+		s := eng.StateBits()
+		fmt.Fprintf(tw, "  %s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			c.name, kbits(s.PHT), kbits(s.SelectTable), kbits(s.BIT),
+			kbits(s.TargetArray), kbits(s.Total()))
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "  (BBR registers live outside the modeled tables; dual rows keep the BIT in-cache)")
 }
 
 func kbits(bits int) float64 { return float64(bits) / 1024 }

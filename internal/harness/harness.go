@@ -13,6 +13,7 @@ import (
 
 	"mbbp/internal/core"
 	"mbbp/internal/metrics"
+	"mbbp/internal/packed"
 	"mbbp/internal/trace"
 	"mbbp/internal/workload"
 )
@@ -29,6 +30,10 @@ type Options struct {
 	// effects. The paper does not warm up (its 10^9-instruction runs
 	// drown cold-start noise); this is an analysis aid.
 	Warmup bool
+	// Storage selects the predictor state backing for every engine run
+	// from the resulting trace set (zero value = the packed fast path;
+	// the differential tests re-run on the reference backing).
+	Storage packed.Backing
 }
 
 // DefaultOptions returns the defaults used by the CLI.
@@ -57,6 +62,32 @@ type TraceSet struct {
 	traces map[string]*trace.Buffer
 	suites map[string]workload.Suite
 	warmup bool
+
+	// storage, when set, overrides Config.Storage for every run
+	// launched from this set (see WithStorage).
+	storage    packed.Backing
+	storageSet bool
+}
+
+// WithStorage returns a view of the trace set that forces the given
+// predictor-state backing onto every configuration run through it —
+// the lever the differential tests and the benchmark pipeline use to
+// re-run identical experiment drivers on the reference backing without
+// touching per-experiment config construction. The traces themselves
+// are shared, not copied.
+func (ts *TraceSet) WithStorage(b packed.Backing) *TraceSet {
+	out := *ts
+	out.storage = b
+	out.storageSet = true
+	return &out
+}
+
+// applyStorage returns cfg with the set's storage override, if any.
+func (ts *TraceSet) applyStorage(cfg core.Config) core.Config {
+	if ts.storageSet {
+		cfg.Storage = ts.storage
+	}
+	return cfg
 }
 
 // LoadTraces captures traces for the options' programs on the default
@@ -70,9 +101,11 @@ func LoadTraces(o Options) (*TraceSet, error) {
 // matter — and assembles them in suite (declaration) order.
 func LoadTracesOn(s *Scheduler, o Options) (*TraceSet, error) {
 	ts := &TraceSet{
-		traces: make(map[string]*trace.Buffer),
-		suites: make(map[string]workload.Suite),
-		warmup: o.Warmup,
+		traces:     make(map[string]*trace.Buffer),
+		suites:     make(map[string]workload.Suite),
+		warmup:     o.Warmup,
+		storage:    o.Storage,
+		storageSet: o.Storage != packed.BackingPacked,
 	}
 	type captured struct {
 		tr    *trace.Buffer
@@ -117,9 +150,11 @@ func LoadTracesOn(s *Scheduler, o Options) (*TraceSet, error) {
 // capture finishes for whoever else wants it and stays cached.
 func LoadTracesCached(ctx context.Context, s *Scheduler, o Options, c *trace.Cache) (*TraceSet, error) {
 	ts := &TraceSet{
-		traces: make(map[string]*trace.Buffer),
-		suites: make(map[string]workload.Suite),
-		warmup: o.Warmup,
+		traces:     make(map[string]*trace.Buffer),
+		suites:     make(map[string]workload.Suite),
+		warmup:     o.Warmup,
+		storage:    o.Storage,
+		storageSet: o.Storage != packed.BackingPacked,
 	}
 	n := o.instructions()
 	for _, name := range o.programs() {
@@ -268,6 +303,7 @@ func suitePromise(s *Scheduler, ts *TraceSet, run func(name string) (metrics.Res
 // paper simulates each benchmark independently) and its own read cursor
 // over the shared trace records.
 func RunConfigAsync(s *Scheduler, ts *TraceSet, cfg core.Config) *SuitePromise {
+	cfg = ts.applyStorage(cfg)
 	if err := cfg.Validate(); err != nil {
 		return &SuitePromise{err: err}
 	}
@@ -290,6 +326,7 @@ func RunConfigAsync(s *Scheduler, ts *TraceSet, cfg core.Config) *SuitePromise {
 // byte-identical to RunConfigAsync — the context guard only forwards
 // records. The service layer submits every request through this path.
 func RunConfigCtxAsync(ctx context.Context, s *Scheduler, ts *TraceSet, cfg core.Config) *SuitePromise {
+	cfg = ts.applyStorage(cfg)
 	if err := cfg.Validate(); err != nil {
 		return &SuitePromise{err: err}
 	}
@@ -329,8 +366,12 @@ func RunConfigOn(s *Scheduler, ts *TraceSet, cfg core.Config) (*SuiteResult, err
 
 // RunScalarAsync submits the Figure 6 scalar baseline per program.
 func RunScalarAsync(s *Scheduler, ts *TraceSet, historyBits, numTables int) *SuitePromise {
+	backing := packed.BackingPacked
+	if ts.storageSet {
+		backing = ts.storage
+	}
 	return suitePromise(s, ts, func(name string) (metrics.Result, error) {
-		sr := core.RunScalar(ts.traces[name].Clone(), historyBits, numTables)
+		sr := core.RunScalarBacked(ts.traces[name].Clone(), historyBits, numTables, backing)
 		return metrics.Result{
 			Program:         name,
 			CondBranches:    sr.CondBranches,

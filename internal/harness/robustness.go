@@ -8,6 +8,7 @@ import (
 
 	"mbbp/internal/core"
 	"mbbp/internal/icache"
+	"mbbp/internal/packed"
 	"mbbp/internal/trace"
 	"mbbp/internal/workload"
 )
@@ -53,8 +54,10 @@ func SeedsAsync(s *Scheduler, o Options, seeds []int64) func() ([]SeedsRow, erro
 		var rows []SeedsRow
 		for i, seed := range seeds {
 			ts := &TraceSet{
-				traces: make(map[string]*trace.Buffer),
-				suites: make(map[string]workload.Suite),
+				traces:     make(map[string]*trace.Buffer),
+				suites:     make(map[string]workload.Suite),
+				storage:    o.Storage,
+				storageSet: o.Storage != packed.BackingPacked,
 			}
 			for j, name := range o.programs() {
 				c, err := futs[i][j].Wait()

@@ -1,0 +1,251 @@
+// Package packed provides the bit-packed storage primitives behind the
+// simulator's predictor state. The paper sizes every structure in bits
+// — W 2-bit PHT counters per entry, 2/3-bit BIT codes per line
+// position, log2-sized select-table fields (Tables 2-3, 7) — and these
+// arrays store them at exactly that density, backed by []uint64 words:
+//
+//   - Counter2Array: 2-bit saturating counters, 32 per word. A blocked
+//     PHT entry of width W <= 32 occupies 2W consecutive bits of one
+//     word, so predicting a whole fetch block touches one word (two for
+//     W = 64) instead of W byte slots.
+//   - CodeArray: 2- or 3-bit BIT type codes, 32 or 21 per word.
+//   - FieldArray: fixed-width fields of 1..32 bits (select-table
+//     selectors, not-taken counts, valid bits), 64/width per word, with
+//     no field straddling a word boundary.
+//
+// Updates are single-load read-modify-writes: one word load, a shift
+// and mask, one store. Every array also reports its logical size via
+// StateBits (the paper's cost-model bits, excluding word-padding), so
+// the hardware-cost tables can be printed from the live structures.
+package packed
+
+import "fmt"
+
+// Backing selects between the bit-packed arrays of this package and the
+// original wide-value slice implementations, which are kept alive as a
+// reference: the engine must produce byte-identical results on either,
+// and the differential tests pin that equivalence.
+type Backing uint8
+
+const (
+	// BackingPacked stores predictor state in packed []uint64 words
+	// (the default fast path).
+	BackingPacked Backing = iota
+	// BackingReference stores predictor state in plain Go slices (one
+	// wide value per logical field) — the original implementation,
+	// retained as the equivalence oracle.
+	BackingReference
+)
+
+func (b Backing) String() string {
+	if b == BackingReference {
+		return "reference"
+	}
+	return "packed"
+}
+
+// Valid reports whether b is a known backing.
+func (b Backing) Valid() bool { return b == BackingPacked || b == BackingReference }
+
+// Counter2Array is a dense array of 2-bit saturating counters
+// (0 strongly not-taken .. 3 strongly taken), 32 per 64-bit word.
+// Counter i lives at bits [2i mod 64, 2i mod 64 + 2) of word i/32, so
+// consecutive counters are consecutive bits and an aligned run of W
+// counters (a blocked-PHT entry, W a power of two <= 32) never
+// straddles a word.
+type Counter2Array struct {
+	n     int
+	words []uint64
+}
+
+// NewCounter2Array returns n counters all initialized to init (0..3).
+func NewCounter2Array(n int, init uint8) *Counter2Array {
+	if n < 0 {
+		panic(fmt.Sprintf("packed: NewCounter2Array(%d): negative length", n))
+	}
+	if init > 3 {
+		panic(fmt.Sprintf("packed: NewCounter2Array init %d out of range", init))
+	}
+	a := &Counter2Array{n: n, words: make([]uint64, (n+31)/32)}
+	if init != 0 {
+		var w uint64
+		for sh := uint(0); sh < 64; sh += 2 {
+			w |= uint64(init) << sh
+		}
+		for i := range a.words {
+			a.words[i] = w
+		}
+		a.clearTail()
+	}
+	return a
+}
+
+// clearTail zeroes the padding bits past the last counter so that
+// whole-word comparisons (tests, fuzzing) see a canonical form.
+func (a *Counter2Array) clearTail() {
+	if tail := a.n & 31; tail != 0 && len(a.words) > 0 {
+		a.words[len(a.words)-1] &= 1<<(uint(tail)*2) - 1
+	}
+}
+
+// Len returns the number of counters.
+func (a *Counter2Array) Len() int { return a.n }
+
+// Get returns counter i (0..3).
+func (a *Counter2Array) Get(i int) uint8 {
+	return uint8(a.words[i>>5] >> ((uint(i) & 31) * 2) & 3)
+}
+
+// Set stores v (0..3) into counter i.
+func (a *Counter2Array) Set(i int, v uint8) {
+	if v > 3 {
+		panic(fmt.Sprintf("packed: Counter2Array.Set(%d, %d): value out of range", i, v))
+	}
+	sh := (uint(i) & 31) * 2
+	w := &a.words[i>>5]
+	*w = *w&^(3<<sh) | uint64(v)<<sh
+}
+
+// Update moves counter i one step toward the outcome, saturating at 0
+// and 3 — a single-load read-modify-write: one word load, the
+// saturating add on the extracted 2-bit field, one store.
+func (a *Counter2Array) Update(i int, taken bool) {
+	sh := (uint(i) & 31) * 2
+	w := &a.words[i>>5]
+	c := *w >> sh & 3
+	if taken {
+		if c < 3 {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	*w = *w&^(3<<sh) | c<<sh
+}
+
+// StateBits returns the logical storage size in bits (2 per counter,
+// the paper's cost-model figure; word padding excluded).
+func (a *Counter2Array) StateBits() int { return 2 * a.n }
+
+// Words returns the number of backing 64-bit words actually allocated.
+func (a *Counter2Array) Words() int { return len(a.words) }
+
+// CodeArray is a dense array of BIT type codes of 2 or 3 bits each
+// (paper Table 1: 2 bits without near-block encoding, 3 with). Codes
+// pack floor(64/bits) per word — 32 two-bit or 21 three-bit codes, the
+// 3-bit layout wasting one pad bit per word — so no code straddles a
+// word boundary.
+type CodeArray struct {
+	n       int
+	bits    uint
+	perWord int
+	mask    uint64
+	words   []uint64
+}
+
+// NewCodeArray returns n codes of the given width (2 or 3 bits), all
+// zero.
+func NewCodeArray(n, bits int) *CodeArray {
+	if n < 0 {
+		panic(fmt.Sprintf("packed: NewCodeArray(%d, %d): negative length", n, bits))
+	}
+	if bits != 2 && bits != 3 {
+		panic(fmt.Sprintf("packed: NewCodeArray: %d bits per code, want 2 or 3", bits))
+	}
+	perWord := 64 / bits
+	return &CodeArray{
+		n:       n,
+		bits:    uint(bits),
+		perWord: perWord,
+		mask:    1<<uint(bits) - 1,
+		words:   make([]uint64, (n+perWord-1)/perWord),
+	}
+}
+
+// Len returns the number of codes.
+func (a *CodeArray) Len() int { return a.n }
+
+// Bits returns the width of one code.
+func (a *CodeArray) Bits() int { return int(a.bits) }
+
+// Get returns code i.
+func (a *CodeArray) Get(i int) uint8 {
+	return uint8(a.words[i/a.perWord] >> (uint(i%a.perWord) * a.bits) & a.mask)
+}
+
+// Set stores v into code i. v must fit the code width.
+func (a *CodeArray) Set(i int, v uint8) {
+	if uint64(v) > a.mask {
+		panic(fmt.Sprintf("packed: CodeArray.Set(%d, %d): value exceeds %d bits", i, v, a.bits))
+	}
+	sh := uint(i%a.perWord) * a.bits
+	w := &a.words[i/a.perWord]
+	*w = *w&^(a.mask<<sh) | uint64(v)<<sh
+}
+
+// StateBits returns the logical storage size in bits (the paper's
+// per-instruction BIT cost times the length; pad bits excluded).
+func (a *CodeArray) StateBits() int { return int(a.bits) * a.n }
+
+// Words returns the number of backing 64-bit words actually allocated.
+func (a *CodeArray) Words() int { return len(a.words) }
+
+// FieldArray is a dense array of fixed-width fields of 1..32 bits,
+// floor(64/width) per word with no field straddling a word boundary.
+// The select table packs each memoized selector into one field sized by
+// the paper's Table 2 formula (log2-sized position, count and offset
+// subfields), and its valid bits into a width-1 FieldArray.
+type FieldArray struct {
+	n       int
+	width   uint
+	perWord int
+	mask    uint64
+	words   []uint64
+}
+
+// NewFieldArray returns n fields of the given width (1..32 bits), all
+// zero.
+func NewFieldArray(n, width int) *FieldArray {
+	if n < 0 {
+		panic(fmt.Sprintf("packed: NewFieldArray(%d, %d): negative length", n, width))
+	}
+	if width < 1 || width > 32 {
+		panic(fmt.Sprintf("packed: NewFieldArray: field width %d out of range [1,32]", width))
+	}
+	perWord := 64 / width
+	return &FieldArray{
+		n:       n,
+		width:   uint(width),
+		perWord: perWord,
+		mask:    1<<uint(width) - 1,
+		words:   make([]uint64, (n+perWord-1)/perWord),
+	}
+}
+
+// Len returns the number of fields.
+func (a *FieldArray) Len() int { return a.n }
+
+// Width returns the width of one field in bits.
+func (a *FieldArray) Width() int { return int(a.width) }
+
+// Get returns field i.
+func (a *FieldArray) Get(i int) uint64 {
+	return a.words[i/a.perWord] >> (uint(i%a.perWord) * a.width) & a.mask
+}
+
+// Set stores v into field i. v must fit the field width.
+func (a *FieldArray) Set(i int, v uint64) {
+	if v > a.mask {
+		panic(fmt.Sprintf("packed: FieldArray.Set(%d, %#x): value exceeds %d bits", i, v, a.width))
+	}
+	sh := uint(i%a.perWord) * a.width
+	w := &a.words[i/a.perWord]
+	*w = *w&^(a.mask<<sh) | v<<sh
+}
+
+// StateBits returns the logical storage size in bits (width per field;
+// pad bits excluded).
+func (a *FieldArray) StateBits() int { return int(a.width) * a.n }
+
+// Words returns the number of backing 64-bit words actually allocated.
+func (a *FieldArray) Words() int { return len(a.words) }

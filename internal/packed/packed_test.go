@@ -1,0 +1,192 @@
+package packed
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBackingString(t *testing.T) {
+	if BackingPacked.String() != "packed" || BackingReference.String() != "reference" {
+		t.Error("backing names wrong")
+	}
+	if !BackingPacked.Valid() || !BackingReference.Valid() || Backing(9).Valid() {
+		t.Error("backing validity wrong")
+	}
+}
+
+func TestCounter2ArrayBasics(t *testing.T) {
+	a := NewCounter2Array(100, 1)
+	if a.Len() != 100 || a.StateBits() != 200 || a.Words() != 4 {
+		t.Fatalf("geometry: len=%d bits=%d words=%d", a.Len(), a.StateBits(), a.Words())
+	}
+	for i := 0; i < 100; i++ {
+		if a.Get(i) != 1 {
+			t.Fatalf("counter %d = %d, want weakly-not-taken init", i, a.Get(i))
+		}
+	}
+	a.Set(0, 3)
+	a.Set(99, 0)
+	if a.Get(0) != 3 || a.Get(99) != 0 || a.Get(1) != 1 || a.Get(98) != 1 {
+		t.Error("Set disturbed a neighbor")
+	}
+}
+
+func TestCounter2ArraySaturation(t *testing.T) {
+	a := NewCounter2Array(4, 1)
+	for i := 0; i < 10; i++ {
+		a.Update(2, true)
+	}
+	if a.Get(2) != 3 {
+		t.Errorf("saturating up: got %d, want 3", a.Get(2))
+	}
+	for i := 0; i < 10; i++ {
+		a.Update(2, false)
+	}
+	if a.Get(2) != 0 {
+		t.Errorf("saturating down: got %d, want 0", a.Get(2))
+	}
+	if a.Get(1) != 1 || a.Get(3) != 1 {
+		t.Error("Update disturbed a neighbor")
+	}
+}
+
+func TestCounter2ArrayPanics(t *testing.T) {
+	mustPanic(t, "negative length", func() { NewCounter2Array(-1, 0) })
+	mustPanic(t, "bad init", func() { NewCounter2Array(4, 4) })
+	mustPanic(t, "bad Set value", func() { NewCounter2Array(4, 0).Set(0, 4) })
+}
+
+func TestCodeArrayBothWidths(t *testing.T) {
+	for _, bits := range []int{2, 3} {
+		a := NewCodeArray(50, bits)
+		if a.Bits() != bits || a.StateBits() != 50*bits {
+			t.Fatalf("bits=%d: geometry wrong", bits)
+		}
+		max := uint8(1<<bits - 1)
+		for i := 0; i < 50; i++ {
+			a.Set(i, uint8(i)&max)
+		}
+		for i := 0; i < 50; i++ {
+			if a.Get(i) != uint8(i)&max {
+				t.Fatalf("bits=%d: code %d = %d, want %d", bits, i, a.Get(i), uint8(i)&max)
+			}
+		}
+	}
+	// 21 three-bit codes per word: 22 codes need two words.
+	if w := NewCodeArray(22, 3).Words(); w != 2 {
+		t.Errorf("22 3-bit codes in %d words, want 2", w)
+	}
+	if w := NewCodeArray(32, 2).Words(); w != 1 {
+		t.Errorf("32 2-bit codes in %d words, want 1", w)
+	}
+}
+
+func TestCodeArrayPanics(t *testing.T) {
+	mustPanic(t, "bad width", func() { NewCodeArray(4, 4) })
+	mustPanic(t, "negative length", func() { NewCodeArray(-1, 2) })
+	mustPanic(t, "value too wide", func() { NewCodeArray(4, 2).Set(0, 4) })
+}
+
+func TestFieldArrayWidths(t *testing.T) {
+	for _, width := range []int{1, 3, 7, 13, 17, 23, 32} {
+		a := NewFieldArray(40, width)
+		if a.Width() != width || a.StateBits() != 40*width {
+			t.Fatalf("width=%d: geometry wrong", width)
+		}
+		mask := uint64(1)<<uint(width) - 1
+		for i := 0; i < 40; i++ {
+			a.Set(i, uint64(i*2654435761)&mask)
+		}
+		for i := 0; i < 40; i++ {
+			if a.Get(i) != uint64(i*2654435761)&mask {
+				t.Fatalf("width=%d: field %d mismatch", width, i)
+			}
+		}
+	}
+}
+
+func TestFieldArrayPanics(t *testing.T) {
+	mustPanic(t, "width 0", func() { NewFieldArray(4, 0) })
+	mustPanic(t, "width 33", func() { NewFieldArray(4, 33) })
+	mustPanic(t, "negative length", func() { NewFieldArray(-1, 4) })
+	mustPanic(t, "value too wide", func() { NewFieldArray(4, 4).Set(0, 16) })
+}
+
+// Property: a Counter2Array behaves exactly like a []uint8 model under
+// any interleaving of Set and Update, and neighbors are never
+// disturbed.
+func TestCounter2ArrayQuickVsModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const n = 67 // odd size: exercises the partial tail word
+		a := NewCounter2Array(n, 1)
+		model := make([]uint8, n)
+		for i := range model {
+			model[i] = 1
+		}
+		for _, op := range ops {
+			i := int(op>>2) % n
+			switch op & 3 {
+			case 0:
+				a.Update(i, true)
+				if model[i] < 3 {
+					model[i]++
+				}
+			case 1:
+				a.Update(i, false)
+				if model[i] > 0 {
+					model[i]--
+				}
+			default:
+				v := uint8(op>>1) & 3
+				a.Set(i, v)
+				model[i] = v
+			}
+		}
+		for i := range model {
+			if a.Get(i) != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FieldArray round-trips any in-range value at any index
+// without disturbing other fields.
+func TestFieldArrayQuickVsModel(t *testing.T) {
+	f := func(width8 uint8, writes []uint64) bool {
+		width := int(width8)%32 + 1
+		const n = 45
+		a := NewFieldArray(n, width)
+		model := make([]uint64, n)
+		mask := uint64(1)<<uint(width) - 1
+		for k, w := range writes {
+			i := k * 7 % n
+			v := w & mask
+			a.Set(i, v)
+			model[i] = v
+		}
+		for i := range model {
+			if a.Get(i) != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}

@@ -1,5 +1,7 @@
 package pht
 
+import "mbbp/internal/packed"
+
 // IndexMode selects how a two-level table combines history and address.
 type IndexMode int
 
@@ -32,6 +34,12 @@ func (m IndexMode) String() string {
 // With numTables > 1 the structure becomes the paper's per-block
 // variation of Yeh's per-addr scheme: the block address's low bits pick
 // a table and the remaining bits participate in the index.
+//
+// Counters are stored bit-packed (two bits each, the paper's Table 7
+// density: a W-wide entry is 2W consecutive bits, so one block lookup
+// touches a single word for every paper width) or, with
+// BackingReference, as the original one-byte-per-counter slice kept as
+// the equivalence oracle.
 type Blocked struct {
 	width    int
 	tables   int
@@ -40,7 +48,9 @@ type Blocked struct {
 	hBits    int
 	idxMask  uint32
 	mode     IndexMode
-	counters []Counter // tables * entries * width, flat
+
+	pk  *packed.Counter2Array // BackingPacked
+	ref []Counter             // BackingReference; tables * entries * width, flat
 }
 
 // NewBlocked creates a single gshare-indexed blocked PHT with
@@ -52,8 +62,14 @@ func NewBlocked(historyBits, blockWidth int) *Blocked {
 }
 
 // NewBlockedMulti creates numTables blocked PHTs (a power of two) with
-// the given index mode.
+// the given index mode, bit-packed.
 func NewBlockedMulti(historyBits, blockWidth, numTables int, mode IndexMode) *Blocked {
+	return NewBlockedBacked(historyBits, blockWidth, numTables, mode, packed.BackingPacked)
+}
+
+// NewBlockedBacked creates numTables blocked PHTs with an explicit
+// counter storage backing.
+func NewBlockedBacked(historyBits, blockWidth, numTables int, mode IndexMode, backing packed.Backing) *Blocked {
 	if historyBits < 1 || historyBits > 26 {
 		panic("pht: history bits out of range")
 	}
@@ -76,12 +92,25 @@ func NewBlockedMulti(historyBits, blockWidth, numTables int, mode IndexMode) *Bl
 		hBits:    historyBits,
 		idxMask:  uint32(n - 1),
 		mode:     mode,
-		counters: make([]Counter, numTables*n*blockWidth),
 	}
-	for i := range b.counters {
-		b.counters[i] = WeaklyNotTaken
+	total := numTables * n * blockWidth
+	if backing == packed.BackingReference {
+		b.ref = make([]Counter, total)
+		for i := range b.ref {
+			b.ref[i] = WeaklyNotTaken
+		}
+	} else {
+		b.pk = packed.NewCounter2Array(total, uint8(WeaklyNotTaken))
 	}
 	return b
+}
+
+// Backing reports which storage backs the counters.
+func (b *Blocked) Backing() packed.Backing {
+	if b.ref != nil {
+		return packed.BackingReference
+	}
+	return packed.BackingPacked
 }
 
 // Width returns the number of counters per entry.
@@ -91,7 +120,7 @@ func (b *Blocked) Width() int { return b.width }
 func (b *Blocked) Tables() int { return b.tables }
 
 // Entries returns the number of PHT entries across all tables.
-func (b *Blocked) Entries() int { return len(b.counters) / b.width }
+func (b *Blocked) Entries() int { return b.tables << b.hBits }
 
 // Index computes the entry index for a history value and block starting
 // address.
@@ -107,30 +136,79 @@ func (b *Blocked) Index(history, blockAddr uint32) uint32 {
 	return table<<b.hBits | idx
 }
 
-// Entry returns the live counter slice for an entry index; mutations
-// write through to the table.
-func (b *Blocked) Entry(index uint32) []Counter {
-	off := int(index) * b.width
-	return b.counters[off : off+b.width]
+// Entry is a handle on one blocked-PHT entry: the W counters predicting
+// a fetch block. Reads and writes go straight to the table's storage —
+// for the packed backing all W counters share one 64-bit word (two for
+// W = 64), so a whole-block scan stays within a word instead of
+// touching W slice elements.
+type Entry struct {
+	pk   *packed.Counter2Array
+	ref  []Counter // the entry's counters, when reference-backed
+	base int       // first counter offset, when packed
+}
+
+// EntryFor wraps a plain counter slice as a reference-backed Entry (a
+// test and analysis helper; the slice stays live behind the handle).
+func EntryFor(counters []Counter) Entry { return Entry{ref: counters} }
+
+// At returns the live entry handle for an entry index.
+func (b *Blocked) At(index uint32) Entry {
+	if b.ref != nil {
+		off := int(index) * b.width
+		return Entry{ref: b.ref[off : off+b.width]}
+	}
+	return Entry{pk: b.pk, base: int(index) * b.width}
+}
+
+// Counter returns the counter at a position within the entry.
+func (e Entry) Counter(pos int) Counter {
+	if e.ref != nil {
+		return e.ref[pos]
+	}
+	return Counter(e.pk.Get(e.base + pos))
+}
+
+// Taken returns the predicted direction of the counter at pos.
+func (e Entry) Taken(pos int) bool { return e.Counter(pos).Taken() }
+
+// SecondChance reports whether the counter at pos is in a strong state.
+func (e Entry) SecondChance(pos int) bool { return e.Counter(pos).SecondChance() }
+
+// Update trains the counter at pos toward the outcome (a single-load
+// read-modify-write on the packed backing).
+func (e Entry) Update(pos int, taken bool) {
+	if e.ref != nil {
+		e.ref[pos] = e.ref[pos].Update(taken)
+		return
+	}
+	e.pk.Update(e.base+pos, taken)
 }
 
 // CounterPos maps an instruction address to its counter position within
 // an entry.
 func (b *Blocked) CounterPos(instAddr uint32) int { return int(instAddr) % b.width }
 
+// CounterAt returns one counter of one entry (analysis and statistics
+// use; the hot path holds an Entry instead).
+func (b *Blocked) CounterAt(index uint32, pos int) Counter { return b.At(index).Counter(pos) }
+
 // Predict returns the predicted direction for the branch at instAddr
 // under the given history/block index.
 func (b *Blocked) Predict(history, blockAddr, instAddr uint32) bool {
-	return b.Entry(b.Index(history, blockAddr))[b.CounterPos(instAddr)].Taken()
+	return b.At(b.Index(history, blockAddr)).Taken(b.CounterPos(instAddr))
 }
 
 // Update trains the counter for the branch at instAddr.
 func (b *Blocked) Update(history, blockAddr, instAddr uint32, taken bool) {
-	e := b.Entry(b.Index(history, blockAddr))
-	p := b.CounterPos(instAddr)
-	e[p] = e[p].Update(taken)
+	b.At(b.Index(history, blockAddr)).Update(b.CounterPos(instAddr), taken)
 }
 
-// CostBits returns the storage cost in bits (Table 7: p * 2^k * 2W for
-// one table; multiply externally for multiple PHTs).
-func (b *Blocked) CostBits() int { return len(b.counters) * 2 }
+// StateBits returns the storage cost in bits — the paper's Table 7
+// closed form p * 2^k * 2W, which both backings account identically
+// (the packed backing also stores exactly this many bits, modulo word
+// padding).
+func (b *Blocked) StateBits() int { return b.Entries() * b.width * 2 }
+
+// CostBits returns the storage cost in bits (Table 7 naming; identical
+// to StateBits).
+func (b *Blocked) CostBits() int { return b.StateBits() }

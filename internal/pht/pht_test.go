@@ -150,11 +150,11 @@ func TestBlockedIsolation(t *testing.T) {
 		if i1 == i2 && q1 == q2 {
 			return true // same slot, nothing to check
 		}
-		before := b.Entry(i2)[q2]
+		before := b.CounterAt(i2, q2)
 		b.Update(h1, a1, a1-a1%8+uint32(q1), true)
 		// The update above used counter position q1 of entry i1; any
 		// distinct slot must be untouched.
-		return b.Entry(i2)[q2] == before
+		return b.CounterAt(i2, q2) == before
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

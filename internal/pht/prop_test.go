@@ -1,0 +1,135 @@
+package pht
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mbbp/internal/packed"
+)
+
+// Property: within one blocked-PHT entry, the order in which distinct
+// counter positions are updated does not matter — each position is an
+// independent 2-bit field of the packed word, so a block's worth of
+// updates commutes across positions. (Updates to the SAME position do
+// not commute; the property permutes positions, not outcomes.)
+func TestPackedUpdateOrderPositionIndependent(t *testing.T) {
+	f := func(h, addr uint32, outcomes uint8, perm []uint8) bool {
+		const w = 8
+		fwd := NewBlocked(6, w)
+		rev := NewBlocked(6, w)
+		idx := fwd.Index(h, addr)
+		// One outcome per position, applied in index order on fwd and
+		// in reverse on rev.
+		for p := 0; p < w; p++ {
+			fwd.At(idx).Update(p, outcomes>>uint(p)&1 == 1)
+		}
+		for p := w - 1; p >= 0; p-- {
+			rev.At(idx).Update(p, outcomes>>uint(p)&1 == 1)
+		}
+		// And in an arbitrary permutation (each position once).
+		prm := NewBlocked(6, w)
+		seen := [w]bool{}
+		order := make([]int, 0, w)
+		for _, v := range perm {
+			p := int(v) % w
+			if !seen[p] {
+				seen[p] = true
+				order = append(order, p)
+			}
+		}
+		for p := 0; p < w; p++ {
+			if !seen[p] {
+				order = append(order, p)
+			}
+		}
+		for _, p := range order {
+			prm.At(idx).Update(p, outcomes>>uint(p)&1 == 1)
+		}
+		for p := 0; p < w; p++ {
+			if fwd.CounterAt(idx, p) != rev.CounterAt(idx, p) ||
+				fwd.CounterAt(idx, p) != prm.CounterAt(idx, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: packed and reference backings are observationally identical
+// under any Predict/Update stream.
+func TestBlockedPackedMatchesReference(t *testing.T) {
+	f := func(ops []uint32) bool {
+		pk := NewBlockedBacked(7, 8, 2, IndexGShare, packed.BackingPacked)
+		ref := NewBlockedBacked(7, 8, 2, IndexGShare, packed.BackingReference)
+		for _, op := range ops {
+			h, addr, taken := op>>16, op&0xFFFF, op&1 == 1
+			if pk.Predict(h, addr, addr+3) != ref.Predict(h, addr, addr+3) {
+				return false
+			}
+			pk.Update(h, addr, addr+uint32(op>>8&7), taken)
+			ref.Update(h, addr, addr+uint32(op>>8&7), taken)
+		}
+		for i := 0; i < pk.Entries(); i++ {
+			for p := 0; p < pk.Width(); p++ {
+				if pk.CounterAt(uint32(i), p) != ref.CounterAt(uint32(i), p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalarPackedMatchesReference(t *testing.T) {
+	f := func(ops []uint32) bool {
+		pk := NewScalarBacked(7, 8, packed.BackingPacked)
+		ref := NewScalarBacked(7, 8, packed.BackingReference)
+		for _, op := range ops {
+			h, addr, taken := op>>16, op&0xFFFF, op&1 == 1
+			if pk.Predict(h, addr) != ref.Predict(h, addr) {
+				return false
+			}
+			pk.Update(h, addr, taken)
+			ref.Update(h, addr, taken)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: StateBits matches the paper's Table 7 closed form
+// p * 2^k * 2W for every supported geometry, on both backings.
+func TestBlockedStateBitsClosedForm(t *testing.T) {
+	for _, k := range []int{4, 8, 10, 12} {
+		for _, w := range []int{4, 8, 16, 32} {
+			for _, p := range []int{1, 2, 4} {
+				for _, bk := range []packed.Backing{packed.BackingPacked, packed.BackingReference} {
+					b := NewBlockedBacked(k, w, p, IndexGShare, bk)
+					want := p * (1 << uint(k)) * 2 * w
+					if got := b.StateBits(); got != want {
+						t.Errorf("StateBits(k=%d,W=%d,p=%d,%v) = %d, want %d", k, w, p, bk, got, want)
+					}
+					if b.CostBits() != want {
+						t.Errorf("CostBits(k=%d,W=%d,p=%d,%v) != StateBits", k, w, p, bk)
+					}
+				}
+			}
+		}
+	}
+	for _, k := range []int{4, 8, 12} {
+		for _, p := range []int{1, 8} {
+			s := NewScalarBacked(k, p, packed.BackingPacked)
+			if want := p * (1 << uint(k)) * 2; s.StateBits() != want {
+				t.Errorf("scalar StateBits(k=%d,p=%d) = %d, want %d", k, p, s.StateBits(), want)
+			}
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package pht
 
+import "mbbp/internal/packed"
+
 // Scalar is the equal-cost scalar two-level baseline from Figure 6: a
 // per-address scheme with numTables pattern history tables selected by
 // the branch address's low bits, each table holding 2^historyBits 2-bit
@@ -7,18 +9,29 @@ package pht
 // remaining address bits. With 8 tables it matches the storage of a
 // blocked PHT with W = 8. It predicts one branch per lookup and its
 // history register is updated per branch, not per block.
+//
+// Counters are bit-packed by default, with the original slice storage
+// available as BackingReference (the equivalence oracle).
 type Scalar struct {
 	tables    int
 	tableBits int
 	idxMask   uint32
 	selMask   uint32
 	selShift  uint
-	counters  []Counter // tables * 2^historyBits, flat
+
+	pk  *packed.Counter2Array // BackingPacked
+	ref []Counter             // BackingReference; tables * 2^historyBits, flat
 }
 
-// NewScalar creates the baseline predictor. numTables must be a power of
-// two.
+// NewScalar creates the baseline predictor, bit-packed. numTables must
+// be a power of two.
 func NewScalar(historyBits, numTables int) *Scalar {
+	return NewScalarBacked(historyBits, numTables, packed.BackingPacked)
+}
+
+// NewScalarBacked creates the baseline predictor with an explicit
+// counter storage backing.
+func NewScalarBacked(historyBits, numTables int, backing packed.Backing) *Scalar {
 	if historyBits < 1 || historyBits > 26 {
 		panic("pht: history bits out of range")
 	}
@@ -36,12 +49,24 @@ func NewScalar(historyBits, numTables int) *Scalar {
 		idxMask:   uint32(n - 1),
 		selMask:   uint32(numTables - 1),
 		selShift:  shift,
-		counters:  make([]Counter, numTables*n),
 	}
-	for i := range s.counters {
-		s.counters[i] = WeaklyNotTaken
+	if backing == packed.BackingReference {
+		s.ref = make([]Counter, numTables*n)
+		for i := range s.ref {
+			s.ref[i] = WeaklyNotTaken
+		}
+	} else {
+		s.pk = packed.NewCounter2Array(numTables*n, uint8(WeaklyNotTaken))
 	}
 	return s
+}
+
+// Backing reports which storage backs the counters.
+func (s *Scalar) Backing() packed.Backing {
+	if s.ref != nil {
+		return packed.BackingReference
+	}
+	return packed.BackingPacked
 }
 
 func (s *Scalar) slot(history, branchAddr uint32) int {
@@ -50,16 +75,30 @@ func (s *Scalar) slot(history, branchAddr uint32) int {
 	return int(table)<<s.tableBits | int(idx)
 }
 
+func (s *Scalar) counter(i int) Counter {
+	if s.ref != nil {
+		return s.ref[i]
+	}
+	return Counter(s.pk.Get(i))
+}
+
 // Predict returns the predicted direction for the branch at branchAddr.
 func (s *Scalar) Predict(history, branchAddr uint32) bool {
-	return s.counters[s.slot(history, branchAddr)].Taken()
+	return s.counter(s.slot(history, branchAddr)).Taken()
 }
 
 // Update trains the counter for the branch.
 func (s *Scalar) Update(history, branchAddr uint32, taken bool) {
 	i := s.slot(history, branchAddr)
-	s.counters[i] = s.counters[i].Update(taken)
+	if s.ref != nil {
+		s.ref[i] = s.ref[i].Update(taken)
+		return
+	}
+	s.pk.Update(i, taken)
 }
 
-// CostBits returns the storage cost in bits.
-func (s *Scalar) CostBits() int { return len(s.counters) * 2 }
+// StateBits returns the storage cost in bits (2 per counter).
+func (s *Scalar) StateBits() int { return s.tables << s.tableBits * 2 }
+
+// CostBits returns the storage cost in bits (identical to StateBits).
+func (s *Scalar) CostBits() int { return s.StateBits() }

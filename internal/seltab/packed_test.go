@@ -1,0 +1,135 @@
+package seltab
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mbbp/internal/packed"
+)
+
+// randomized selector within a geometry's reachable ranges.
+func selFor(op uint64, blockWidth, lineSize int, nearBlock bool) Selector {
+	s := Selector{
+		Source:   Source(op % uint64(numSources)),
+		Pos:      uint8(op >> 8 % uint64(blockWidth)),
+		NTCount:  uint8(op >> 16 % uint64(blockWidth+1)),
+		TakenBit: op>>24&1 == 1,
+	}
+	if nearBlock {
+		s.StartOff = uint8(op >> 32 % uint64(lineSize))
+	}
+	return s
+}
+
+// Property: packed and reference tables are observationally identical
+// under any Get/Set stream, across geometries.
+func TestPackedMatchesReference(t *testing.T) {
+	geoms := []struct {
+		w, line int
+		near    bool
+	}{{4, 4, false}, {8, 8, false}, {8, 8, true}, {16, 16, true}, {1, 4, false}}
+	for _, g := range geoms {
+		g := g
+		f := func(ops []uint64) bool {
+			pk := NewBacked(6, 2, g.w, g.line, g.near, packed.BackingPacked)
+			ref := NewBacked(6, 2, g.w, g.line, g.near, packed.BackingReference)
+			for _, op := range ops {
+				h, addr := uint32(op>>40), uint32(op>>52)
+				role := int(op >> 4 % MaxBlocks)
+				rp, rr := pk.At(h, addr), ref.At(h, addr)
+				if rp.Valid() != rr.Valid() {
+					return false
+				}
+				if rr.Valid() && rp.Get(role) != rr.Get(role) {
+					return false
+				}
+				if op&2 == 0 {
+					s := selFor(op, g.w, g.line, g.near)
+					rp.Set(role, s)
+					rr.Set(role, s)
+					if rp.Get(role) != s || !rp.Valid() {
+						return false
+					}
+				}
+			}
+			if pk.ValidCount() != ref.ValidCount() {
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("W=%d line=%d near=%v: %v", g.w, g.line, g.near, err)
+		}
+	}
+}
+
+// Every reachable selector round-trips losslessly through the packed
+// field encoding (§3.1's bit budget is sufficient).
+func TestPackedSelectorRoundTrip(t *testing.T) {
+	tb := NewBacked(4, 1, 8, 8, true, packed.BackingPacked)
+	for src := Source(0); src < numSources; src++ {
+		for pos := 0; pos < 8; pos++ {
+			for nt := 0; nt <= 8; nt++ {
+				for off := 0; off < 8; off++ {
+					s := Selector{
+						Source: src, Pos: uint8(pos), NTCount: uint8(nt),
+						TakenBit: nt&1 == 0, StartOff: uint8(off),
+					}
+					if got := tb.decode(tb.encode(s)); got != s {
+						t.Fatalf("round trip: %+v -> %+v", s, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPackedEncodePanicsOutOfRange(t *testing.T) {
+	tb := NewBacked(4, 1, 8, 8, false, packed.BackingPacked)
+	for name, s := range map[string]Selector{
+		"pos too wide":        {Pos: 8},
+		"nt too wide":         {NTCount: 16},
+		"offset without near": {StartOff: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			tb.encode(s)
+		}()
+	}
+}
+
+func TestLookupPanicsOnPackedBacking(t *testing.T) {
+	tb := NewBacked(4, 1, 8, 8, false, packed.BackingPacked)
+	defer func() {
+		if recover() == nil {
+			t.Error("Lookup on packed backing should panic")
+		}
+	}()
+	tb.Lookup(0, 0)
+}
+
+func TestStateBitsClosedForm(t *testing.T) {
+	// Table 7: the 1024-entry, 8-bit-selector ST is 8 Kbit single, 16 dual.
+	tb := NewBacked(10, 1, 8, 8, false, packed.BackingPacked)
+	if got := tb.StateBits(false); got != 8*1024 {
+		t.Errorf("StateBits(single) = %d, want 8192", got)
+	}
+	if got := tb.StateBits(true); got != 16*1024 {
+		t.Errorf("StateBits(double) = %d, want 16384", got)
+	}
+	// Closed form matches CostBits for every geometry, on both backings.
+	for _, bk := range []packed.Backing{packed.BackingPacked, packed.BackingReference} {
+		for _, w := range []int{4, 8, 16} {
+			for _, near := range []bool{false, true} {
+				s := NewBacked(8, 2, w, 8, near, bk)
+				if s.StateBits(false) != s.CostBits(w, 8, near, false) {
+					t.Errorf("W=%d near=%v %v: StateBits != CostBits", w, near, bk)
+				}
+			}
+		}
+	}
+}

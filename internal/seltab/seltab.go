@@ -8,7 +8,11 @@
 // predicted starting offset within the target line.
 package seltab
 
-import "fmt"
+import (
+	"fmt"
+
+	"mbbp/internal/packed"
+)
 
 // Source enumerates the next-fetch multiplexer inputs (paper Table 1
 // plus the RAS-bypass inputs of §3.1 resolved by the engine).
@@ -121,31 +125,92 @@ func (e *Entry) Slot(role int) *Selector {
 // entries, indexed by GHR XOR block address (the PHT index); with
 // multiple tables, the low bits of the block's starting address choose
 // the table, helping distinguish entering positions (§4.3).
+//
+// With the packed backing, each entry's MaxBlocks selectors are stored
+// as bit fields sized exactly by the construction geometry — source (3
+// bits), taken bit (1), position (log2 W), not-taken count (log2 W + 1,
+// since up to W conditionals can fall through), and, with near-block
+// prediction, a log2(line) starting offset — plus a 1-bit valid array.
+// Those ranges are invariants of the engine's scan (a block never holds
+// more than W instructions), so the packing is lossless; Put panics if
+// a selector ever falls outside them. The original []Entry slice
+// remains available as packed.BackingReference, the equivalence oracle.
 type Table struct {
 	tables  int
 	hBits   int
 	idxMask uint32
 	tblMask uint32
-	entries []Entry
+
+	entries []Entry // BackingReference
+
+	// BackingPacked: n * MaxBlocks selector fields and n valid bits.
+	slots *packed.FieldArray
+	valid *packed.FieldArray
+	// Packed subfield geometry (see encode).
+	posBits, ntBits, offBits uint
+
+	blockWidth, lineSize int
+	nearBlock            bool
 }
 
-// New creates numTables select tables of 2^historyBits entries each.
-// numTables must be a power of two (the paper sweeps 1, 2, 4, 8).
+// New creates numTables select tables of 2^historyBits entries each,
+// reference-backed (the original wide-struct storage; Lookup returns
+// live entries). numTables must be a power of two (the paper sweeps 1,
+// 2, 4, 8). The engine uses NewBacked, which also supports the packed
+// backing.
 func New(historyBits, numTables int) *Table {
+	return NewBacked(historyBits, numTables, 8, 8, true, packed.BackingReference)
+}
+
+// NewBacked creates numTables select tables of 2^historyBits entries
+// each with an explicit storage backing. blockWidth, lineSize and
+// nearBlock size the packed selector fields (and the paper cost
+// formulas); they must match the fetch geometry the selectors will
+// describe.
+func NewBacked(historyBits, numTables, blockWidth, lineSize int, nearBlock bool, backing packed.Backing) *Table {
 	if historyBits < 1 || historyBits > 26 {
 		panic("seltab: history bits out of range")
 	}
 	if numTables < 1 || numTables&(numTables-1) != 0 {
 		panic("seltab: numTables must be a power of two")
 	}
-	n := 1 << historyBits
-	return &Table{
-		tables:  numTables,
-		hBits:   historyBits,
-		idxMask: uint32(n - 1),
-		tblMask: uint32(numTables - 1),
-		entries: make([]Entry, numTables*n),
+	if blockWidth < 1 || blockWidth > 64 {
+		panic("seltab: block width out of range")
 	}
+	if lineSize < 1 || lineSize > 256 {
+		panic("seltab: line size out of range")
+	}
+	n := numTables << historyBits
+	t := &Table{
+		tables:     numTables,
+		hBits:      historyBits,
+		idxMask:    uint32(1<<historyBits - 1),
+		tblMask:    uint32(numTables - 1),
+		blockWidth: blockWidth,
+		lineSize:   lineSize,
+		nearBlock:  nearBlock,
+	}
+	if backing == packed.BackingReference {
+		t.entries = make([]Entry, n)
+		return t
+	}
+	t.posBits = uint(log2(blockWidth))
+	t.ntBits = uint(log2(blockWidth)) + 1
+	if nearBlock {
+		t.offBits = uint(log2(lineSize))
+	}
+	width := int(4 + t.posBits + t.ntBits + t.offBits)
+	t.slots = packed.NewFieldArray(n*MaxBlocks, width)
+	t.valid = packed.NewFieldArray(n, 1)
+	return t
+}
+
+// Backing reports which storage backs the entries.
+func (t *Table) Backing() packed.Backing {
+	if t.entries != nil {
+		return packed.BackingReference
+	}
+	return packed.BackingPacked
 }
 
 // Tables returns the number of select tables.
@@ -154,12 +219,126 @@ func (t *Table) Tables() int { return t.tables }
 // EntriesPerTable returns 2^historyBits.
 func (t *Table) EntriesPerTable() int { return 1 << t.hBits }
 
-// Lookup returns the live entry for (history, block address); mutations
-// write through.
-func (t *Table) Lookup(history, blockAddr uint32) *Entry {
+func (t *Table) index(history, blockAddr uint32) int {
 	table := blockAddr & t.tblMask
 	idx := (history ^ blockAddr) & t.idxMask
-	return &t.entries[int(table)<<t.hBits|int(idx)]
+	return int(table)<<t.hBits | int(idx)
+}
+
+// Lookup returns the live entry for (history, block address); mutations
+// write through. It requires the reference backing (the packed backing
+// has no addressable Entry; use At).
+func (t *Table) Lookup(history, blockAddr uint32) *Entry {
+	if t.entries == nil {
+		panic("seltab: Lookup on packed backing; use At")
+	}
+	return &t.entries[t.index(history, blockAddr)]
+}
+
+// Ref is a backing-agnostic handle on one select-table entry.
+type Ref struct {
+	t *Table
+	i int
+}
+
+// At returns the entry handle for (history, block address) on either
+// backing.
+func (t *Table) At(history, blockAddr uint32) Ref {
+	return Ref{t: t, i: t.index(history, blockAddr)}
+}
+
+// Valid reports whether the entry has ever been written.
+func (r Ref) Valid() bool {
+	if r.t.entries != nil {
+		return r.t.entries[r.i].Valid
+	}
+	return r.t.valid.Get(r.i) != 0
+}
+
+// Get returns the selector for the given role (0 = first block of a
+// group, 1 = second, ...). Meaningful only when Valid.
+func (r Ref) Get(role int) Selector {
+	if r.t.entries != nil {
+		return *r.t.entries[r.i].Slot(role)
+	}
+	return r.t.decode(r.t.slots.Get(r.slot(role)))
+}
+
+// Set stores the selector for the role and marks the entry valid (the
+// table's valid bit covers the whole entry, as in verifyST's original
+// write-through semantics).
+func (r Ref) Set(role int, s Selector) {
+	if r.t.entries != nil {
+		e := &r.t.entries[r.i]
+		*e.Slot(role) = s
+		e.Valid = true
+		return
+	}
+	r.t.slots.Set(r.slot(role), r.t.encode(s))
+	r.t.valid.Set(r.i, 1)
+}
+
+func (r Ref) slot(role int) int {
+	if role < 0 || role >= MaxBlocks {
+		role = MaxBlocks - 1
+	}
+	return r.i*MaxBlocks + role
+}
+
+// encode packs a selector into one field:
+// source(3) | taken(1) | pos(posBits) | nt(ntBits) | off(offBits).
+// Values outside the geometry's ranges panic: they would alias another
+// subfield, and the engine's scan invariants guarantee they never occur.
+func (t *Table) encode(s Selector) uint64 {
+	if s.Source >= numSources {
+		panic("seltab: encode: unknown source")
+	}
+	if uint(s.Pos)>>t.posBits != 0 {
+		panic(fmt.Sprintf("seltab: encode: Pos %d exceeds block width %d", s.Pos, t.blockWidth))
+	}
+	if uint(s.NTCount)>>t.ntBits != 0 {
+		panic(fmt.Sprintf("seltab: encode: NTCount %d exceeds block width %d", s.NTCount, t.blockWidth))
+	}
+	if uint(s.StartOff)>>t.offBits != 0 {
+		panic(fmt.Sprintf("seltab: encode: StartOff %d needs near-block offsets (line %d)", s.StartOff, t.lineSize))
+	}
+	v := uint64(s.Source)
+	if s.TakenBit {
+		v |= 1 << 3
+	}
+	v |= uint64(s.Pos) << 4
+	v |= uint64(s.NTCount) << (4 + t.posBits)
+	v |= uint64(s.StartOff) << (4 + t.posBits + t.ntBits)
+	return v
+}
+
+func (t *Table) decode(v uint64) Selector {
+	return Selector{
+		Source:   Source(v & 7),
+		TakenBit: v>>3&1 == 1,
+		Pos:      uint8(v >> 4 & (1<<t.posBits - 1)),
+		NTCount:  uint8(v >> (4 + t.posBits) & (1<<t.ntBits - 1)),
+		StartOff: uint8(v >> (4 + t.posBits + t.ntBits) & (1<<t.offBits - 1)),
+	}
+}
+
+// ValidCount returns the number of entries ever written.
+func (t *Table) ValidCount() int {
+	n := 0
+	if t.entries != nil {
+		for i := range t.entries {
+			if t.entries[i].Valid {
+				n++
+			}
+		}
+		return n
+	}
+	for i := 0; i < t.valid.Len(); i++ {
+		if t.valid.Get(i) != 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // SelectorBits returns the paper's per-selector encoding size: a
@@ -181,7 +360,16 @@ func (t *Table) CostBits(blockWidth, lineSize int, nearBlock, double bool) int {
 	if double {
 		per *= 2
 	}
-	return len(t.entries) * per
+	return t.tables << t.hBits * per
+}
+
+// StateBits returns the paper's storage cost in bits at the table's
+// construction geometry (Table 7's s * 2^k * SelectorBits closed form;
+// double selection stores two selectors per entry). The physical packed
+// layout allocates MaxBlocks uniform slots per entry for the §5 N-block
+// extension, but the modeled hardware cost is the paper's.
+func (t *Table) StateBits(double bool) int {
+	return t.CostBits(t.blockWidth, t.lineSize, t.nearBlock, double)
 }
 
 func log2(n int) int {

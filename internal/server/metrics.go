@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"mbbp/internal/core"
 )
 
 // latencyBuckets are the upper bounds (milliseconds) of the request
@@ -67,6 +69,22 @@ func newMetricsSet(queueCapacity int, cacheStats func() (hits, misses uint64)) *
 	m.root.Set("job_latency_ms", m.latency)
 	m.root.Set("job_latency_count", m.latencyCount)
 	m.root.Set("job_latency_sum_ms", m.latencySumMs)
+
+	// The hardware-cost accounting of the default configuration's
+	// predictor structures (Table 7 conventions), measured from a live
+	// engine — the same numbers `mbpexp cost` prints.
+	if eng, err := core.New(core.DefaultConfig()); err == nil {
+		sb := eng.StateBits()
+		m.root.Set("state_bits", expvar.Func(func() any {
+			return map[string]int{
+				"pht":          sb.PHT,
+				"bit":          sb.BIT,
+				"select_table": sb.SelectTable,
+				"target_array": sb.TargetArray,
+				"total":        sb.Total(),
+			}
+		}))
+	}
 	return m
 }
 

@@ -419,10 +419,14 @@ func TestAuxEndpoints(t *testing.T) {
 		t.Fatalf("metrics not JSON: %v\n%s", err, w.Body.String())
 	}
 	for _, key := range []string{"requests_total", "requests_ok", "queue_capacity",
-		"trace_cache_hits", "trace_cache_misses", "job_latency_ms", "job_latency_count"} {
+		"trace_cache_hits", "trace_cache_misses", "job_latency_ms", "job_latency_count",
+		"state_bits"} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("metrics missing %q", key)
 		}
+	}
+	if sb, ok := m["state_bits"].(map[string]any); !ok || sb["total"].(float64) <= 0 {
+		t.Errorf("state_bits breakdown missing or empty: %v", m["state_bits"])
 	}
 	if m["requests_total"].(float64) < 1 || m["requests_ok"].(float64) < 1 {
 		t.Errorf("request counters did not move: %v", m)

@@ -69,6 +69,13 @@ func promote(set []btbEntry, w int) {
 	set[0] = e
 }
 
+// StateBits returns the target storage cost entries * W * n (one
+// structure serves every target number; tags and LRU state excluded,
+// as in the paper's accounting).
+func (b *BTB) StateBits(lineIndexBits int) int {
+	return b.sets * b.assoc * b.width * lineIndexBits
+}
+
 // Lookup searches the set indexed by the block address for an entry
 // tagged with that address and target number. A hit returns the
 // position's target and call bit and refreshes the entry's LRU

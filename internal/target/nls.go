@@ -57,6 +57,12 @@ func (n *NLS) slot(addr uint32, pos, targetNum int) *nlsSlot {
 	return &a[int(addr%uint32(n.entries))*n.width+pos%n.width]
 }
 
+// StateBits returns the Table 7 cost e * W * n summed over the group's
+// duplicated arrays, with n = lineIndexBits per stored target.
+func (n *NLS) StateBits(lineIndexBits int) int {
+	return len(n.arrays) * n.entries * n.width * lineIndexBits
+}
+
 // Lookup reads the slot for the indexing block address and exit
 // position from array targetNum. A tagless array always hits; a cold
 // slot returns target 0.

@@ -47,6 +47,11 @@ package target
 type Array interface {
 	Lookup(indexAddr uint32, pos, targetNum int) (target uint32, callBit, hit bool)
 	Update(blockAddr uint32, pos, targetNum int, next uint32, isCall bool)
+	// StateBits returns the modeled storage cost in bits, with targets
+	// stored as lineIndexBits-bit line indexes (Table 7's n; the paper
+	// uses 10 for its 32 KByte cache). Tag and LRU bookkeeping is
+	// excluded, matching the paper's e * W * n accounting.
+	StateBits(lineIndexBits int) int
 }
 
 // NearMinDelta and NearMaxDelta bound the line deltas representable by

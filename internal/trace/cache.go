@@ -55,50 +55,63 @@ func NewCache(capacity int) *Cache {
 
 // Get returns the trace for key, running capture to produce it on a
 // miss. Concurrent Gets for the same key share one capture. A capture
-// error is returned to every waiter but not cached — the next Get
-// retries. Get returns early with ctx's error if ctx is done before
-// the shared capture completes (the capture itself keeps running for
-// the requests still waiting on it).
+// error is never cached: the failing entry is dropped, the capturer
+// gets the error, and waiters that shared the flight retry with a
+// fresh capture instead of inheriting it — the capturer's failure may
+// be its own context being cancelled, which says nothing about the
+// waiters' requests. Get returns early with ctx's error if ctx is done
+// before the shared capture completes (the capture itself keeps
+// running for the requests still waiting on it).
 //
 // The returned buffer is shared: Clone it before reading.
 func (c *Cache) Get(ctx context.Context, key CacheKey, capture func() (*Buffer, error)) (*Buffer, error) {
-	// A dead context never starts a capture — without this a cancelled
-	// request could still burn a full trace capture on a miss.
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		c.hits++
-		c.lru.MoveToFront(e.elem)
-		c.mu.Unlock()
-		select {
-		case <-e.done:
-			return e.buf, e.err
-		case <-ctx.Done():
-			return nil, ctx.Err()
+	for {
+		// A dead context never starts or joins a capture — without this
+		// a cancelled request could still burn a full trace capture on a
+		// miss.
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-	}
-	c.misses++
-	e := &cacheEntry{key: key, done: make(chan struct{})}
-	e.elem = c.lru.PushFront(e)
-	c.entries[key] = e
-	c.evictLocked()
-	c.mu.Unlock()
-
-	e.buf, e.err = capture()
-	if e.err != nil {
-		// Do not cache failures: drop the entry (if still present) so a
-		// later Get retries the capture.
 		c.mu.Lock()
-		if c.entries[key] == e {
-			delete(c.entries, key)
-			c.lru.Remove(e.elem)
+		if e, ok := c.entries[key]; ok {
+			c.hits++
+			c.lru.MoveToFront(e.elem)
+			c.mu.Unlock()
+			select {
+			case <-e.done:
+				if e.err != nil {
+					// The capturer failed and dropped the entry. Its error
+					// belongs to its request (a mid-flight cancellation
+					// poisons only that flight), so go around and recapture
+					// under our own context.
+					continue
+				}
+				return e.buf, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 		}
+		c.misses++
+		e := &cacheEntry{key: key, done: make(chan struct{})}
+		e.elem = c.lru.PushFront(e)
+		c.entries[key] = e
+		c.evictLocked()
 		c.mu.Unlock()
+
+		e.buf, e.err = capture()
+		if e.err != nil {
+			// Do not cache failures: drop the entry (if still present) so a
+			// later Get retries the capture.
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+				c.lru.Remove(e.elem)
+			}
+			c.mu.Unlock()
+		}
+		close(e.done)
+		return e.buf, e.err
 	}
-	close(e.done)
-	return e.buf, e.err
 }
 
 // evictLocked trims the LRU tail beyond capacity. In-flight entries are

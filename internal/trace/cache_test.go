@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"mbbp/internal/cpu"
 )
@@ -139,6 +140,69 @@ func TestCacheGetContextCancelled(t *testing.T) {
 		t.Errorf("err = %v, want context.Canceled", err)
 	}
 	close(release)
+}
+
+// TestCacheWaiterNotPoisonedByCancelledCapture is the regression test
+// for a singleflight bug: a waiter that joined an in-flight capture
+// used to inherit the capturer's error verbatim, so one request's
+// mid-flight context cancellation failed every rider even though their
+// own contexts were live. The waiter must instead retry the capture
+// under its own context.
+func TestCacheWaiterNotPoisonedByCancelledCapture(t *testing.T) {
+	c := NewCache(2)
+	key := CacheKey{Program: "shared", N: 7}
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	// Capturer whose request is cancelled mid-flight.
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := c.Get(context.Background(), key, func() (*Buffer, error) {
+			close(started)
+			<-release
+			return nil, context.Canceled
+		})
+		leaderErr <- err
+	}()
+	<-started
+
+	// Waiter with a live context rides the same flight.
+	waiterErr := make(chan error, 1)
+	var retried atomic.Bool
+	var got *Buffer
+	go func() {
+		b, err := c.Get(context.Background(), key, func() (*Buffer, error) {
+			retried.Store(true)
+			return testBuffer("shared", 7), nil
+		})
+		got = b
+		waiterErr <- err
+	}()
+	// Only fail the capture once the waiter has actually joined it (its
+	// Get counts as a hit); otherwise it would recapture trivially.
+	for {
+		if hits, _ := c.Stats(); hits >= 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Errorf("capturer err = %v, want context.Canceled", err)
+	}
+	if err := <-waiterErr; err != nil {
+		t.Errorf("waiter err = %v, want nil (retry, not the capturer's cancellation)", err)
+	}
+	if !retried.Load() {
+		t.Error("waiter never retried the capture")
+	}
+	if got == nil || got.Name != "shared" || got.Len() != 7 {
+		t.Errorf("waiter buffer = %+v, want the retried capture", got)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache len = %d, want 1 (the retried entry)", c.Len())
+	}
 }
 
 func TestCacheConcurrentMixedKeys(t *testing.T) {

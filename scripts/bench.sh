@@ -1,7 +1,9 @@
 #!/bin/sh
 # Reproducible benchmark pipeline: build mbpexp, time the pinned sweep
-# set serially and on the work-stealing pool, and record the result in
-# BENCH_sweep.json (schema mbbp/bench-sweep/v1), then validate it.
+# set serially, on the work-stealing pool, and serially on the
+# slice-backed reference storage (packed-vs-reference ns/instruction),
+# and record the result in BENCH_sweep.json (schema
+# mbbp/bench-sweep/v2), then validate it.
 #
 # Usage: scripts/bench.sh [instructions-per-program]
 # Default 200000 keeps a full run under a minute on a laptop while still

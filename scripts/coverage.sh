@@ -1,0 +1,46 @@
+#!/bin/sh
+# Coverage gate: run the full test suite with a merged statement
+# coverage profile and fail if any package listed in
+# testdata/coverage_floor.txt has dropped below its committed floor.
+#
+# Usage: scripts/coverage.sh [profile-out]
+# The merged profile lands in profile-out (default coverage.out) so CI
+# can upload it as an artifact; the per-package gate reads the `go
+# test` summary lines, not the profile.
+set -eu
+
+OUT="${1:-coverage.out}"
+FLOORS="testdata/coverage_floor.txt"
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+
+echo "running tests with coverage..."
+go test -count=1 -coverprofile="$OUT" ./... | tee "$LOG"
+
+status=0
+while read -r pkg floor; do
+    case "$pkg" in
+    '' | '#'*) continue ;;
+    esac
+    pct=$(awk -v pkg="$pkg" '
+        $1 == "ok" && $2 == pkg {
+            for (i = 1; i <= NF; i++)
+                if ($i ~ /%$/) { gsub(/%/, "", $i); print $i; exit }
+        }' "$LOG")
+    if [ -z "$pct" ]; then
+        echo "coverage: FAIL $pkg: no test result (package removed? update $FLOORS)"
+        status=1
+        continue
+    fi
+    if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+        echo "coverage: FAIL $pkg: $pct% < floor $floor%"
+        status=1
+    else
+        echo "coverage: ok   $pkg: $pct% >= $floor%"
+    fi
+done <"$FLOORS"
+
+if [ "$status" -ne 0 ]; then
+    echo "coverage: gate failed — either restore the lost tests or justify lowering the floor in $FLOORS"
+fi
+exit "$status"
