@@ -4,16 +4,26 @@
 // Usage:
 //
 //	mbbpd [-addr :8329] [-queue n] [-workers n] [-cache n]
-//	      [-max-instructions n] [-timeout d] [-log text|json]
+//	      [-max-instructions n] [-timeout d] [-log text|json] [-tap]
 //
 // Endpoints:
 //
 //	POST /v1/sweep        run a (config × workloads × n) sweep; add
 //	                      ?stream=ndjson for per-program streaming
 //	GET  /v1/workloads    list the built-in benchmark suite
-//	GET  /healthz         liveness (503 while draining)
-//	GET  /metrics         expvar counters + latency histogram (JSON)
+//	GET  /healthz         liveness (503 while draining) + build info
+//	GET  /metrics         service counters, latency histogram, pool and
+//	                      tap telemetry; JSON by default, Prometheus
+//	                      text exposition with ?format=prom
+//	GET  /debug/vars      standard expvar (process-global: memstats,
+//	                      cmdline) — the Go-runtime view, distinct from
+//	                      the service-level /metrics
 //	GET  /debug/pprof/    runtime profiles
+//
+// With -tap, every sweep runs under the engine event tap and /metrics
+// additionally reports fetched blocks, redirects, and penalty cycles
+// and events by misprediction kind, aggregated across all requests.
+// Taps never change simulation results.
 //
 // SIGINT/SIGTERM begin a graceful shutdown: the listener stops
 // accepting, in-flight sweeps drain, then the pool stops.
@@ -43,6 +53,7 @@ func main() {
 	timeout := flag.Duration("timeout", 120*time.Second, "per-request timeout")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
 	logFormat := flag.String("log", "text", "log format: text or json")
+	tap := flag.Bool("tap", false, "enable the engine event tap; /metrics gains per-kind penalty aggregates")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -64,6 +75,7 @@ func main() {
 		MaxInstructions: *maxN,
 		RequestTimeout:  *timeout,
 		Logger:          log,
+		Tap:             *tap,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -8,7 +8,11 @@
 //	mbpexp [-n instructions] [-programs a,b,c] [-csv|-chart] [-warmup] <experiment>|all
 //
 // Experiments: fig6 fig7 fig8 fig9 table5 table6 cost compare baseline
-// extblocks ablation widths seeds icache report bench benchcheck.
+// extblocks ablation widths seeds icache events report bench benchcheck.
+//
+// events replays each program under an engine event tap and prints the
+// top -topn block addresses per misprediction kind (Table 3) by penalty
+// cycles — the first place to look when a configuration regresses.
 //
 // Every experiment flattens its (configuration × program) grid onto
 // one work-stealing pool and folds results in declaration order, so
@@ -23,6 +27,7 @@ import (
 	"os"
 	"strings"
 
+	"mbbp/internal/core"
 	"mbbp/internal/harness"
 	"mbbp/internal/packed"
 )
@@ -36,8 +41,9 @@ func main() {
 	benchOut := flag.String("benchout", "BENCH_sweep.json", "bench/benchcheck: benchmark report file (- = stdout)")
 	workers := flag.Int("workers", 0, "bench: parallel pool size (0 = GOMAXPROCS)")
 	storage := flag.String("storage", "packed", "predictor state backing: packed or reference (the slice-backed equivalence oracle)")
+	topN := flag.Int("topn", harness.DefaultEventsTopN, "events: block addresses shown per misprediction kind")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mbpexp [flags] fig6|fig7|fig8|fig9|table5|table6|cost|compare|baseline|extblocks|ablation|widths|seeds|icache|report|bench|benchcheck|all\n")
+		fmt.Fprintf(os.Stderr, "usage: mbpexp [flags] fig6|fig7|fig8|fig9|table5|table6|cost|compare|baseline|extblocks|ablation|widths|seeds|icache|events|report|bench|benchcheck|all\n")
 		fmt.Fprintf(os.Stderr, "  all runs every experiment above except report (it re-renders all of them),\n")
 		fmt.Fprintf(os.Stderr, "  bench (it re-times a pinned subset) and benchcheck, sharing one sweep pool.\n")
 		flag.PrintDefaults()
@@ -257,6 +263,19 @@ func main() {
 				harness.RenderICache(os.Stdout, rows)
 				return nil
 			}, true
+		case "events":
+			wait := harness.EventsAsync(sched, ts, core.DefaultConfig())
+			return func() error {
+				rows, err := wait()
+				if err != nil {
+					return err
+				}
+				if *asCSV {
+					return harness.CSVEvents(os.Stdout, rows, *topN)
+				}
+				harness.RenderEvents(os.Stdout, rows, *topN)
+				return nil
+			}, true
 		case "report":
 			return func() error { return harness.WriteReport(os.Stdout, ts, *n) }, true
 		case "bench":
@@ -269,7 +288,7 @@ func main() {
 		names := []string{
 			"fig6", "fig7", "fig8", "table5", "table6", "fig9", "cost",
 			"extblocks", "ablation", "baseline", "compare", "widths",
-			"seeds", "icache",
+			"seeds", "icache", "events",
 		}
 		finishers := make([]func() error, len(names))
 		for i, name := range names {

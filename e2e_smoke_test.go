@@ -44,6 +44,19 @@ func TestE2ESmokeExpExtBlocks(t *testing.T) {
 	}
 }
 
+func TestE2ESmokeExpEvents(t *testing.T) {
+	out := runTool(t, "mbpexp", "-n", "20000", "-programs", "li,go", "-topn", "3", "events")
+	for _, want := range []string{"Misprediction attribution", "top 3", "BEP=", "mispredict", "@"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mbpexp events output missing %q:\n%s", want, out)
+		}
+	}
+	csv := runTool(t, "mbpexp", "-n", "20000", "-programs", "li,go", "-csv", "events")
+	if !strings.Contains(csv, "program,kind,rank,block_addr,events,cycles,kind_cycles,share") {
+		t.Errorf("mbpexp events -csv missing header:\n%s", csv)
+	}
+}
+
 func TestE2ESmokeAsmList(t *testing.T) {
 	out := runTool(t, "mbpasm", "-list")
 	for _, want := range []string{"compress", "swim", "CINT95", "CFP95"} {

@@ -59,6 +59,11 @@ type Engine struct {
 	lineCodeBuf []bitable.Code
 
 	obs Observer
+	// runObs is the observer active for the current Run: e.obs unless a
+	// gated observer reported itself disabled at Run entry, in which
+	// case it is nil and the per-block tap cost collapses to one
+	// nil-check (the obs-overhead guarantee).
+	runObs Observer
 }
 
 // New builds an engine for the configuration.
@@ -116,6 +121,10 @@ func (e *Engine) Reset() {
 // accumulated result. The result's Program field is taken from the
 // source when it is a named buffer.
 func (e *Engine) Run(src trace.Source) metrics.Result {
+	e.runObs = e.obs
+	if g, ok := e.obs.(ObserverGate); ok && !g.ObserverEnabled() {
+		e.runObs = nil
+	}
 	src.Reset()
 	if b, ok := src.(trace.Named); ok {
 		e.res.Program = b.TraceName()
@@ -144,7 +153,7 @@ func (e *Engine) consume(blk *block) {
 		role = 0
 	}
 	var penaltiesBefore [metrics.NumKinds]uint64
-	if e.obs != nil {
+	if e.runObs != nil {
 		penaltiesBefore = e.res.PenaltyCycles
 	}
 
@@ -281,10 +290,11 @@ func (e *Engine) consume(blk *block) {
 		e.role = succRole
 	}
 
-	if e.obs != nil {
+	if e.runObs != nil {
 		ev := Event{
 			Cycle: e.res.FetchCycles, Block: e.res.Blocks, Role: role,
 			Start: blk.start, Len: blk.n(),
+			GHR:           ghrPre,
 			Selector:      sc.sel,
 			PredictedNext: predNext,
 			ActualNext:    blk.next,
@@ -299,7 +309,7 @@ func (e *Engine) consume(blk *block) {
 				ev.Penalty, ev.Kind = d, k
 			}
 		}
-		e.obs.Observe(ev)
+		e.runObs.Observe(ev)
 	}
 }
 

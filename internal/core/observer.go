@@ -22,6 +22,11 @@ type Event struct {
 	Start     uint32
 	Len       int
 	ExitClass isa.Class
+	// GHR is the global history register value the block was predicted
+	// under (its state before the block's own outcomes were shifted in)
+	// — the index material for correlating mispredictions with history
+	// patterns.
+	GHR uint32
 	// Selector is the multiplexer selection the scan produced for the
 	// block's successor; PredictedNext is its evaluated address and
 	// ActualNext where execution really went.
@@ -40,6 +45,16 @@ type Event struct {
 // the simulation path; keep them cheap.
 type Observer interface {
 	Observe(Event)
+}
+
+// ObserverGate is optionally implemented by observers that can be
+// switched off while staying installed (obs.Tap). Run checks the gate
+// once per call: a disabled observer is treated exactly like nil, so
+// the per-block cost of an installed-but-disabled tap is the same
+// single nil-check the engine always pays — the guarantee the
+// obs-overhead benchmark pins.
+type ObserverGate interface {
+	ObserverEnabled() bool
 }
 
 // SetObserver installs an observer (nil to remove).

@@ -5,6 +5,7 @@ import (
 	"io"
 	"testing"
 
+	"mbbp/internal/core"
 	"mbbp/internal/packed"
 )
 
@@ -243,6 +244,23 @@ func TestDifferentialSeeds(t *testing.T) {
 		}
 		return []func(io.Writer) error{
 			func(w io.Writer) error { RenderSeeds(w, rows); return nil },
+		}, nil
+	})
+}
+
+// TestDifferentialEvents covers the tapped replay: attribution rides on
+// observers, which must not perturb results, so the events rendering
+// and CSV obey the same serial/parallel/storage byte-identity as every
+// untapped experiment.
+func TestDifferentialEvents(t *testing.T) {
+	differ(t, "events", func(s *Scheduler, ts *TraceSet) ([]func(io.Writer) error, error) {
+		rows, err := EventsAsync(s, ts, core.DefaultConfig())()
+		if err != nil {
+			return nil, err
+		}
+		return []func(io.Writer) error{
+			func(w io.Writer) error { RenderEvents(w, rows, DefaultEventsTopN); return nil },
+			func(w io.Writer) error { return CSVEvents(w, rows, DefaultEventsTopN) },
 		}, nil
 	})
 }

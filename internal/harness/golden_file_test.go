@@ -48,6 +48,7 @@ func TestGoldenFiles(t *testing.T) {
 	f9 := cachedFig9(t)
 	t5 := cachedTable5(t)
 	t6 := cachedTable6(t)
+	evs := cachedEvents(t)
 
 	cases := []struct {
 		name   string
@@ -66,6 +67,8 @@ func TestGoldenFiles(t *testing.T) {
 		{"table6_table", func(b *bytes.Buffer) error { RenderTable6(b, t6); return nil }},
 		{"table6_csv", func(b *bytes.Buffer) error { return CSVTable6(b, t6) }},
 		{"cost", func(b *bytes.Buffer) error { RenderCost(b); return nil }},
+		{"events_table", func(b *bytes.Buffer) error { RenderEvents(b, evs, DefaultEventsTopN); return nil }},
+		{"events_csv", func(b *bytes.Buffer) error { return CSVEvents(b, evs, DefaultEventsTopN) }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

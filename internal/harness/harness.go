@@ -67,6 +67,10 @@ type TraceSet struct {
 	// launched from this set (see WithStorage).
 	storage    packed.Backing
 	storageSet bool
+
+	// observer, when set, supplies an engine observer per run (see
+	// WithObserver).
+	observer func(program string) core.Observer
 }
 
 // WithStorage returns a view of the trace set that forces the given
@@ -80,6 +84,33 @@ func (ts *TraceSet) WithStorage(b packed.Backing) *TraceSet {
 	out.storage = b
 	out.storageSet = true
 	return &out
+}
+
+// WithObserver returns a view of the trace set that installs f's
+// observer on every engine run launched through it — the hook the
+// observability layer uses to tap engines the harness constructs
+// internally (the mbbpd aggregate tap, the events attribution view). f
+// is called once per engine run with the program name and may return a
+// shared concurrency-safe observer (obs.Counters) or a fresh one per
+// call; a nil return leaves that run untapped. Warmup passes are not
+// observed — the observer sees exactly the measured run. Observers
+// cannot change results, so every determinism contract holds with or
+// without one.
+func (ts *TraceSet) WithObserver(f func(program string) core.Observer) *TraceSet {
+	out := *ts
+	out.observer = f
+	return &out
+}
+
+// attachObserver installs the set's observer on e for name's measured
+// run, if one is configured.
+func (ts *TraceSet) attachObserver(e *core.Engine, name string) {
+	if ts.observer == nil {
+		return
+	}
+	if o := ts.observer(name); o != nil {
+		e.SetObserver(o)
+	}
 }
 
 // applyStorage returns cfg with the set's storage override, if any.
@@ -316,6 +347,7 @@ func RunConfigAsync(s *Scheduler, ts *TraceSet, cfg core.Config) *SuitePromise {
 		if ts.warmup {
 			e.Run(tr) // untimed training pass
 		}
+		ts.attachObserver(e, name)
 		return e.Run(tr), nil
 	})
 }
@@ -343,6 +375,7 @@ func RunConfigCtxAsync(ctx context.Context, s *Scheduler, ts *TraceSet, cfg core
 				e.Run(tr) // untimed training pass
 				tr.Reset()
 			}
+			ts.attachObserver(e, name)
 			r := e.Run(tr)
 			if err := ctx.Err(); err != nil {
 				return metrics.Result{}, err

@@ -41,6 +41,7 @@ var (
 	cachedFig9   = cached(Fig9)
 	cachedTable5 = cached(Table5)
 	cachedTable6 = cached(Table6)
+	cachedEvents = cached(Events)
 )
 
 // TestFig6Shape checks the paper's Figure 6 claims: the blocked PHT's

@@ -4,6 +4,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // This file implements the sweep scheduler: every experiment flattens
@@ -31,6 +33,61 @@ type Scheduler struct {
 	next   int // round-robin submission target
 	closed bool
 	wg     sync.WaitGroup
+
+	// Telemetry. submits is atomic so the serial (lock-free) path can
+	// count too; the queue-shape counters are only touched under mu,
+	// where the scheduler already is at every event of interest; busy
+	// is per-worker and updated outside the lock around job execution.
+	submits  atomic.Uint64
+	ownPops  uint64
+	steals   uint64
+	parks    uint64
+	queued   int // jobs currently queued across all deques
+	maxDepth int // high-water mark of queued
+	busy     []atomic.Int64 // per-worker ns spent executing jobs
+}
+
+// PoolStats is a point-in-time snapshot of the scheduler's telemetry:
+// how work arrived (Submits), how it was claimed (OwnPops from a
+// worker's own deque vs Steals from a victim), how often workers ran
+// dry (Parks), the deepest backlog seen (MaxQueueDepth), and where the
+// execution time went (WorkerBusy, one duration per worker). A serial
+// scheduler only counts Submits — everything else describes the pool.
+type PoolStats struct {
+	Workers       int
+	Submits       uint64
+	OwnPops       uint64
+	Steals        uint64
+	Parks         uint64
+	MaxQueueDepth int
+	WorkerBusy    []time.Duration
+}
+
+// BusyTotal sums the per-worker execution time.
+func (p PoolStats) BusyTotal() time.Duration {
+	var t time.Duration
+	for _, d := range p.WorkerBusy {
+		t += d
+	}
+	return t
+}
+
+// Stats snapshots the scheduler's telemetry counters. It is safe to
+// call concurrently with running work; counters read mid-flight may
+// trail each other by the events in between.
+func (s *Scheduler) Stats() PoolStats {
+	st := PoolStats{Workers: len(s.deques), Submits: s.submits.Load()}
+	s.mu.Lock()
+	st.OwnPops, st.Steals, st.Parks = s.ownPops, s.steals, s.parks
+	st.MaxQueueDepth = s.maxDepth
+	s.mu.Unlock()
+	if len(s.busy) > 0 {
+		st.WorkerBusy = make([]time.Duration, len(s.busy))
+		for i := range s.busy {
+			st.WorkerBusy[i] = time.Duration(s.busy[i].Load())
+		}
+	}
+	return st
 }
 
 // NewScheduler starts a pool with the given number of workers; n <= 0
@@ -39,7 +96,7 @@ func NewScheduler(n int) *Scheduler {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	s := &Scheduler{deques: make([][]func(), n)}
+	s := &Scheduler{deques: make([][]func(), n), busy: make([]atomic.Int64, n)}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(n)
 	for i := 0; i < n; i++ {
@@ -74,6 +131,7 @@ func (s *Scheduler) Close() {
 
 // submit queues one job (or runs it inline when serial).
 func (s *Scheduler) submit(fn func()) {
+	s.submits.Add(1)
 	if s.serial() {
 		fn()
 		return
@@ -85,6 +143,10 @@ func (s *Scheduler) submit(fn func()) {
 	}
 	s.deques[s.next] = append(s.deques[s.next], fn)
 	s.next = (s.next + 1) % len(s.deques)
+	s.queued++
+	if s.queued > s.maxDepth {
+		s.maxDepth = s.queued
+	}
 	s.mu.Unlock()
 	s.cond.Signal()
 }
@@ -96,7 +158,9 @@ func (s *Scheduler) work(i int) {
 	for {
 		if fn := s.grabLocked(i); fn != nil {
 			s.mu.Unlock()
+			start := time.Now()
 			fn()
+			s.busy[i].Add(int64(time.Since(start)))
 			s.mu.Lock()
 			continue
 		}
@@ -104,6 +168,7 @@ func (s *Scheduler) work(i int) {
 			s.mu.Unlock()
 			return
 		}
+		s.parks++
 		s.cond.Wait()
 	}
 }
@@ -115,6 +180,8 @@ func (s *Scheduler) grabLocked(i int) func() {
 		fn := d[len(d)-1]
 		d[len(d)-1] = nil
 		s.deques[i] = d[:len(d)-1]
+		s.ownPops++
+		s.queued--
 		return fn
 	}
 	victim := -1
@@ -133,6 +200,8 @@ func (s *Scheduler) grabLocked(i int) func() {
 	fn := d[0]
 	d[0] = nil
 	s.deques[victim] = d[1:]
+	s.steals++
+	s.queued--
 	return fn
 }
 

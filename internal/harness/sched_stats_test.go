@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mbbp/internal/core"
+	"mbbp/internal/metrics"
+	"mbbp/internal/obs"
+)
+
+func TestPoolStatsAccounting(t *testing.T) {
+	s := NewScheduler(4)
+	const jobs = 64
+	var futs []*Future[int]
+	for i := 0; i < jobs; i++ {
+		i := i
+		futs = append(futs, Submit(s, func() (int, error) {
+			time.Sleep(200 * time.Microsecond)
+			return i, nil
+		}))
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	s.Close()
+
+	if st.Workers != 4 {
+		t.Errorf("workers = %d, want 4", st.Workers)
+	}
+	if st.Submits != jobs {
+		t.Errorf("submits = %d, want %d", st.Submits, jobs)
+	}
+	if got := st.OwnPops + st.Steals; got != jobs {
+		t.Errorf("own-pops %d + steals %d = %d, want %d (every job claimed exactly once)",
+			st.OwnPops, st.Steals, got, jobs)
+	}
+	if st.MaxQueueDepth < 1 || st.MaxQueueDepth > jobs {
+		t.Errorf("max queue depth = %d, want 1..%d", st.MaxQueueDepth, jobs)
+	}
+	if len(st.WorkerBusy) != 4 {
+		t.Fatalf("worker busy slice has %d entries, want 4", len(st.WorkerBusy))
+	}
+	if st.BusyTotal() < jobs*100*time.Microsecond {
+		t.Errorf("busy total %v implausibly small for %d sleeping jobs", st.BusyTotal(), jobs)
+	}
+}
+
+func TestPoolStatsSerial(t *testing.T) {
+	s := Serial()
+	for i := 0; i < 3; i++ {
+		Submit(s, func() (int, error) { return 0, nil })
+	}
+	st := s.Stats()
+	if st.Submits != 3 {
+		t.Errorf("serial submits = %d, want 3", st.Submits)
+	}
+	if st.Workers != 0 || st.OwnPops != 0 || st.Steals != 0 || st.MaxQueueDepth != 0 {
+		t.Errorf("serial scheduler grew pool counters: %+v", st)
+	}
+}
+
+// TestPoolStatsConcurrentScrape reads stats while jobs run (the server
+// scrapes a live pool); the race detector job makes this a
+// synchronization proof.
+func TestPoolStatsConcurrentScrape(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Close()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = s.Stats()
+			}
+		}
+	}()
+	var futs []*Future[int]
+	for i := 0; i < 32; i++ {
+		futs = append(futs, Submit(s, func() (int, error) { return 0, nil }))
+	}
+	for _, f := range futs {
+		f.Wait()
+	}
+	close(done)
+	wg.Wait()
+	if st := s.Stats(); st.Submits != 32 {
+		t.Errorf("submits = %d, want 32", st.Submits)
+	}
+}
+
+// TestWithObserverTapsMeasuredRun checks the trace-set observer hook:
+// a shared counting tap sees every block of every program's measured
+// run, and the results are identical to an untapped run.
+func TestWithObserverTapsMeasuredRun(t *testing.T) {
+	cfg := core.DefaultConfig()
+	plain, err := RunConfig(testTraces, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := obs.NewCounters()
+	tapped, err := RunConfig(testTraces.WithObserver(func(string) core.Observer {
+		return counters
+	}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var blocks uint64
+	for _, name := range testTraces.Programs() {
+		if tapped.Per[name] != plain.Per[name] {
+			t.Errorf("%s: tapped result differs from untapped", name)
+		}
+		blocks += plain.Per[name].Blocks
+	}
+	if got := counters.Snapshot().Blocks; got != blocks {
+		t.Errorf("tap saw %d blocks, runs produced %d", got, blocks)
+	}
+}
+
+// TestEventsAttributionMatchesResults ties the events experiment to the
+// per-program results it rides on: per-kind penalty events observed by
+// the tap equal the result's counts exactly (the tap reports the
+// dominant charge per block, and at most one charge of each kind is
+// recorded per block).
+func TestEventsAttributionMatchesResults(t *testing.T) {
+	rows := cachedEvents(t)
+	if len(rows) != len(testTraces.Programs()) {
+		t.Fatalf("events rows = %d, want %d", len(rows), len(testTraces.Programs()))
+	}
+	for _, r := range rows {
+		if r.Att.Blocks() != r.Res.Blocks {
+			t.Errorf("%s: tap saw %d blocks, result has %d", r.Program, r.Att.Blocks(), r.Res.Blocks)
+		}
+		var attCycles uint64
+		for k := metrics.Kind(0); k < metrics.NumKinds; k++ {
+			attCycles += r.Att.KindCycles(k)
+		}
+		if attCycles == 0 && r.Res.TotalPenaltyCycles() > 0 {
+			t.Errorf("%s: no cycles attributed despite %d penalty cycles",
+				r.Program, r.Res.TotalPenaltyCycles())
+		}
+		if attCycles > r.Res.TotalPenaltyCycles() {
+			t.Errorf("%s: attributed %d cycles, result only has %d",
+				r.Program, attCycles, r.Res.TotalPenaltyCycles())
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"sort"
+
+	"mbbp/internal/core"
+	"mbbp/internal/metrics"
+)
+
+// Attribution aggregates the event stream into the paper's §4
+// attribution question: which block addresses caused the penalty
+// cycles, and through which Table 3 structure. This is the "hard to
+// predict" view — a handful of static blocks usually carries most of a
+// kind's penalty, and finding them is the first step of any predictor
+// diagnosis.
+//
+// Attribution is not synchronized; give each engine its own and merge
+// with Add.
+type Attribution struct {
+	blocks uint64 // events observed (one per fetched block)
+	sites  map[site]*siteAgg
+	cycles [metrics.NumKinds]uint64
+	events [metrics.NumKinds]uint64
+}
+
+// site keys one (misprediction kind, block start address) cell.
+type site struct {
+	kind metrics.Kind
+	addr uint32
+}
+
+type siteAgg struct {
+	events uint64
+	cycles uint64
+}
+
+// Site is one row of the top-N view: a block start address with its
+// accumulated penalty for one kind.
+type Site struct {
+	Addr   uint32
+	Events uint64
+	Cycles uint64
+}
+
+// NewAttribution returns an empty accumulator.
+func NewAttribution() *Attribution {
+	return &Attribution{sites: make(map[site]*siteAgg)}
+}
+
+// Observe implements core.Observer: penalty-carrying events are charged
+// to their (kind, block address) site.
+func (a *Attribution) Observe(ev core.Event) {
+	a.blocks++
+	if ev.Penalty <= 0 {
+		return
+	}
+	a.cycles[ev.Kind] += uint64(ev.Penalty)
+	a.events[ev.Kind]++
+	k := site{ev.Kind, ev.Start}
+	agg := a.sites[k]
+	if agg == nil {
+		agg = &siteAgg{}
+		a.sites[k] = agg
+	}
+	agg.events++
+	agg.cycles += uint64(ev.Penalty)
+}
+
+// Add merges other into a (for combining per-engine accumulators).
+func (a *Attribution) Add(other *Attribution) {
+	a.blocks += other.blocks
+	for k, agg := range other.sites {
+		mine := a.sites[k]
+		if mine == nil {
+			mine = &siteAgg{}
+			a.sites[k] = mine
+		}
+		mine.events += agg.events
+		mine.cycles += agg.cycles
+	}
+	for k := range a.cycles {
+		a.cycles[k] += other.cycles[k]
+		a.events[k] += other.events[k]
+	}
+}
+
+// Blocks returns the number of observed events (fetched blocks).
+func (a *Attribution) Blocks() uint64 { return a.blocks }
+
+// KindCycles returns the penalty cycles attributed to kind.
+func (a *Attribution) KindCycles(k metrics.Kind) uint64 { return a.cycles[k] }
+
+// KindEvents returns the penalty events attributed to kind.
+func (a *Attribution) KindEvents(k metrics.Kind) uint64 { return a.events[k] }
+
+// Sites returns the number of distinct (kind, address) cells.
+func (a *Attribution) Sites() int { return len(a.sites) }
+
+// Top returns the n worst block addresses for kind, ordered by penalty
+// cycles, then events, then address — a total order, so the output is
+// deterministic for a deterministic simulation.
+func (a *Attribution) Top(k metrics.Kind, n int) []Site {
+	var out []Site
+	for key, agg := range a.sites {
+		if key.kind == k {
+			out = append(out, Site{Addr: key.addr, Events: agg.events, Cycles: agg.cycles})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		if out[i].Events != out[j].Events {
+			return out[i].Events > out[j].Events
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"mbbp/internal/core"
+)
+
+// eventJSON is the stable NDJSON schema for one engine event. Field
+// names are part of the tooling contract (mbpexp events -ndjson, log
+// shippers); add fields, never rename them.
+type eventJSON struct {
+	Cycle    uint64 `json:"cycle"`
+	Block    uint64 `json:"block"`
+	Role     int    `json:"role"`
+	Start    uint32 `json:"start"`
+	Len      int    `json:"len"`
+	Exit     string `json:"exit"`
+	GHR      uint32 `json:"ghr"`
+	Sel      string `json:"sel"`
+	Pred     uint32 `json:"pred"`
+	Actual   uint32 `json:"actual"`
+	Kind     string `json:"kind,omitempty"`
+	Penalty  int    `json:"penalty,omitempty"`
+	Redirect bool   `json:"redirect,omitempty"`
+}
+
+// NDJSON is a sink encoding each event as one JSON line — the
+// machine-readable event stream for offline analysis (the raw material
+// per-branch misprediction studies work from). Encoding errors are
+// latched: the first one stops further writes and is returned by Err.
+type NDJSON struct {
+	enc *json.Encoder
+	err error
+}
+
+// NewNDJSON returns an NDJSON sink writing to w.
+func NewNDJSON(w io.Writer) *NDJSON {
+	return &NDJSON{enc: json.NewEncoder(w)}
+}
+
+// Observe implements core.Observer.
+func (n *NDJSON) Observe(ev core.Event) {
+	if n.err != nil {
+		return
+	}
+	line := eventJSON{
+		Cycle:    ev.Cycle,
+		Block:    ev.Block,
+		Role:     ev.Role,
+		Start:    ev.Start,
+		Len:      ev.Len,
+		Exit:     ev.ExitClass.String(),
+		GHR:      ev.GHR,
+		Sel:      ev.Selector.Source.String(),
+		Pred:     ev.PredictedNext,
+		Actual:   ev.ActualNext,
+		Penalty:  ev.Penalty,
+		Redirect: ev.Redirect,
+	}
+	if ev.Penalty > 0 {
+		line.Kind = ev.Kind.String()
+	}
+	n.err = n.enc.Encode(line)
+}
+
+// Err returns the first encoding error, if any.
+func (n *NDJSON) Err() error { return n.err }

@@ -1,0 +1,109 @@
+// Package obs is the unified observability layer: engine event taps
+// with sinks (ring buffer, NDJSON), misprediction attribution in the
+// paper's Table 3 taxonomy, concurrency-safe aggregate counters for
+// the simulation service, and per-request stage spans.
+//
+// The layer is zero-overhead when disabled. An engine with no observer
+// pays one nil-check per block; an engine with a Tap installed but
+// disabled pays exactly the same, because core.Engine.Run consults the
+// tap's gate once per run and drops to the nil path (the obs-overhead
+// benchmark and CI gate pin this).
+package obs
+
+import (
+	"sync/atomic"
+
+	"mbbp/internal/core"
+)
+
+// Tap is the switchable engine event tap: it forwards every event to
+// its sink while enabled, and reports its state to the engine's
+// ObserverGate check so a disabled tap costs nothing per block. The
+// enabled flag is atomic — a tap can be shared by concurrent engines
+// and toggled from another goroutine (the toggle takes effect at each
+// engine's next Run).
+type Tap struct {
+	sink core.Observer
+	on   atomic.Bool
+}
+
+// NewTap returns an enabled tap forwarding to sink.
+func NewTap(sink core.Observer) *Tap {
+	t := &Tap{sink: sink}
+	t.on.Store(true)
+	return t
+}
+
+// Enable turns the tap on.
+func (t *Tap) Enable() { t.on.Store(true) }
+
+// Disable turns the tap off; the engine treats it as absent from its
+// next Run on.
+func (t *Tap) Disable() { t.on.Store(false) }
+
+// ObserverEnabled implements core.ObserverGate.
+func (t *Tap) ObserverEnabled() bool { return t.on.Load() }
+
+// Observe implements core.Observer. The enabled check here covers
+// observers driven directly (outside an engine Run, or mid-run after a
+// concurrent Disable — the engine only re-checks the gate per Run).
+func (t *Tap) Observe(ev core.Event) {
+	if t.on.Load() {
+		t.sink.Observe(ev)
+	}
+}
+
+// Ring is a fixed-capacity ring-buffer sink: it keeps the most recent
+// events and counts how many older ones were overwritten. It is not
+// synchronized — a ring belongs to one engine, which calls Observe from
+// a single goroutine (use Counters for a sink shared across engines).
+type Ring struct {
+	buf     []core.Event
+	next    int // next write position
+	n       int // live events (≤ cap)
+	dropped uint64
+}
+
+// NewRing returns a ring holding the last capacity events; capacity < 1
+// is treated as 1.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]core.Event, capacity)}
+}
+
+// Observe implements core.Observer.
+func (r *Ring) Observe(ev core.Event) {
+	if r.n == len(r.buf) {
+		r.dropped++
+	} else {
+		r.n++
+	}
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// Len returns the number of buffered events.
+func (r *Ring) Len() int { return r.n }
+
+// Dropped returns how many events were overwritten before being read.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Events returns the buffered events, oldest first.
+func (r *Ring) Events() []core.Event {
+	out := make([]core.Event, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Reset empties the ring and clears the dropped count.
+func (r *Ring) Reset() {
+	r.next, r.n, r.dropped = 0, 0, 0
+}

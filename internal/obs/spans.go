@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"strings"
+	"time"
+)
+
+// Spans records the stage timeline of one request: consecutive Mark
+// calls split the time since construction into named spans (admit →
+// queue → capture → simulate → render in the sweep handler). A Spans
+// value belongs to one request goroutine; it is not synchronized.
+type Spans struct {
+	last  time.Time
+	spans []Span
+}
+
+// Span is one named stage duration.
+type Span struct {
+	Stage string
+	Dur   time.Duration
+}
+
+// NewSpans starts a timeline at now.
+func NewSpans(now time.Time) *Spans { return &Spans{last: now} }
+
+// Mark ends the current stage, charging it the time since the previous
+// Mark (or construction).
+func (s *Spans) Mark(stage string) {
+	now := time.Now()
+	s.spans = append(s.spans, Span{Stage: stage, Dur: now.Sub(s.last)})
+	s.last = now
+}
+
+// Spans returns the recorded stages in order.
+func (s *Spans) Spans() []Span { return s.spans }
+
+// Header renders the timeline in the Server-Timing-style format carried
+// by the X-Request-Stages trailer: "admit;dur=0.123, queue;dur=4.5"
+// with durations in milliseconds.
+func (s *Spans) Header() string {
+	var b strings.Builder
+	for i, sp := range s.spans {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s;dur=%.3f", sp.Stage, float64(sp.Dur)/float64(time.Millisecond))
+	}
+	return b.String()
+}
+
+// LogValue implements slog.LogValuer: the stages become one group of
+// per-stage duration attrs, so `"stages", spans` logs structurally.
+func (s *Spans) LogValue() slog.Value {
+	attrs := make([]slog.Attr, 0, len(s.spans))
+	for _, sp := range s.spans {
+		attrs = append(attrs, slog.Duration(sp.Stage, sp.Dur))
+	}
+	return slog.GroupValue(attrs...)
+}

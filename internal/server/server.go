@@ -14,6 +14,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -27,6 +28,7 @@ import (
 	"mbbp/internal/core"
 	"mbbp/internal/harness"
 	"mbbp/internal/metrics"
+	"mbbp/internal/obs"
 	"mbbp/internal/trace"
 	"mbbp/internal/workload"
 )
@@ -52,6 +54,12 @@ type Config struct {
 	// Logger receives structured per-request logs; nil means
 	// slog.Default().
 	Logger *slog.Logger
+	// Tap enables the engine event tap for every sweep run: one shared
+	// set of atomic counters (blocks, redirects, penalty cycles and
+	// events by Table 3 kind) accumulates across requests and is
+	// exposed by /metrics. Off by default; taps never change results,
+	// and a disabled tap costs nothing.
+	Tap bool
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +94,7 @@ type Server struct {
 	cache   *trace.Cache
 	queue   chan struct{} // admission semaphore; len() is the live depth
 	metrics *metricsSet
+	tap     *obs.Counters // nil unless Config.Tap
 	mux     *http.ServeMux
 
 	mu       sync.Mutex
@@ -109,12 +118,21 @@ func New(cfg Config) *Server {
 		cache: trace.NewCache(cfg.CacheEntries),
 		queue: make(chan struct{}, cfg.QueueDepth),
 	}
-	s.metrics = newMetricsSet(cfg.QueueDepth, s.cache.Stats)
+	if cfg.Tap {
+		s.tap = obs.NewCounters()
+	}
+	s.metrics = newMetricsSet(cfg.QueueDepth, s.cache.Stats, s.sched.Stats, s.tap)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.metrics.handler)
+	// /debug/vars is the standard expvar view of the *process* — Go
+	// runtime memstats, cmdline, and anything published globally. It
+	// complements /metrics, which is this service's own snapshot
+	// (request counters, latency histogram, pool/tap telemetry) and
+	// deliberately avoids the global registry so test servers coexist.
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -185,6 +203,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	id := s.reqSeq.Add(1)
 	log := s.log.With("req", id, "remote", r.RemoteAddr)
 	s.metrics.requestsTotal.Add(1)
+	sp := obs.NewSpans(start)
 
 	var req SweepRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
@@ -199,6 +218,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	sp.Mark("admit") // decode + validation
 
 	release, status := s.admit()
 	if status != 0 {
@@ -216,6 +236,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
+	sp.Mark("queue") // admission semaphore
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
@@ -224,11 +245,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if r.URL.Query().Get("stream") == "ndjson" || r.Header.Get("Accept") == "application/x-ndjson" {
-		s.streamSweep(ctx, w, log, start, cfg, opts)
+		s.streamSweep(ctx, w, log, start, sp, cfg, opts)
 		return
 	}
 
-	resp, err := s.runSweep(ctx, cfg, opts)
+	resp, err := s.runSweep(ctx, sp, cfg, opts)
 	elapsed := time.Since(start)
 	s.metrics.observeLatency(elapsed)
 	if err != nil {
@@ -243,27 +264,50 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.requestsOK.Add(1)
+	// The stage timeline travels as an HTTP trailer (declared before
+	// the body, set after) so it can include the render stage itself.
+	w.Header().Set("Trailer", stagesTrailer)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(body)
+	sp.Mark("render")
+	w.Header().Set(stagesTrailer, sp.Header())
 	log.Info("sweep done",
 		"config", cfg.String(),
 		"programs", len(opts.Programs),
 		"instructions", opts.Instructions,
 		"dur_ms", elapsed.Milliseconds(),
+		"stages", sp,
 		"queue", len(s.queue))
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.Write(body)
 }
 
+// stagesTrailer carries the request's stage timeline
+// ("admit;dur=0.1, queue;dur=0.0, ..." — milliseconds) to clients that
+// read trailers; the same timeline logs structurally via slog.
+const stagesTrailer = "X-Request-Stages"
+
 // runSweep executes one admitted request on the shared pool.
-func (s *Server) runSweep(ctx context.Context, cfg core.Config, opts harness.Options) (SweepResponse, error) {
+func (s *Server) runSweep(ctx context.Context, sp *obs.Spans, cfg core.Config, opts harness.Options) (SweepResponse, error) {
 	ts, err := harness.LoadTracesCached(ctx, s.sched, opts, s.cache)
 	if err != nil {
 		return SweepResponse{}, err
 	}
-	res, err := harness.RunConfigCtxAsync(ctx, s.sched, ts, cfg).WaitCtx(ctx)
+	sp.Mark("capture")
+	res, err := harness.RunConfigCtxAsync(ctx, s.sched, s.tapped(ts), cfg).WaitCtx(ctx)
 	if err != nil {
 		return SweepResponse{}, err
 	}
+	sp.Mark("simulate")
 	return BuildSweepResponse(cfg, opts, res), nil
+}
+
+// tapped attaches the service-wide event tap to a trace set, when
+// enabled. The counters are shared by every engine of every request —
+// they are atomic — and observers never perturb results.
+func (s *Server) tapped(ts *harness.TraceSet) *harness.TraceSet {
+	if s.tap == nil {
+		return ts
+	}
+	return ts.WithObserver(func(string) core.Observer { return s.tap })
 }
 
 // streamSweep is the NDJSON variant of the sweep endpoint: one line
@@ -272,7 +316,7 @@ func (s *Server) runSweep(ctx context.Context, cfg core.Config, opts harness.Opt
 // Errors after the first line can only be signaled by truncating the
 // stream — the terminal "aggregates" line doubles as the success
 // marker clients check for.
-func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, log *slog.Logger, start time.Time, cfg core.Config, opts harness.Options) {
+func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, log *slog.Logger, start time.Time, sp *obs.Spans, cfg core.Config, opts harness.Options) {
 	ts, err := harness.LoadTracesCached(ctx, s.sched, opts, s.cache)
 	if err != nil {
 		elapsed := time.Since(start)
@@ -280,10 +324,12 @@ func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, log *sl
 		s.failSweep(w, log, err, elapsed)
 		return
 	}
+	sp.Mark("capture")
+	w.Header().Set("Trailer", stagesTrailer)
 	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	res, err := harness.RunConfigCtxAsync(ctx, s.sched, ts, cfg).WaitEach(ctx,
+	res, err := harness.RunConfigCtxAsync(ctx, s.sched, s.tapped(ts), cfg).WaitEach(ctx,
 		func(name string, r metrics.Result) error {
 			line := struct {
 				Program string        `json:"program"`
@@ -304,6 +350,7 @@ func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, log *sl
 		s.failStreamed(log, err, elapsed)
 		return
 	}
+	sp.Mark("simulate")
 	final := struct {
 		Aggregates map[string]ProgramResult `json:"aggregates"`
 	}{map[string]ProgramResult{
@@ -315,11 +362,14 @@ func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, log *sl
 		return
 	}
 	s.metrics.requestsOK.Add(1)
+	sp.Mark("render")
+	w.Header().Set(stagesTrailer, sp.Header())
 	log.Info("sweep streamed",
 		"config", cfg.String(),
 		"programs", len(opts.Programs),
 		"instructions", opts.Instructions,
 		"dur_ms", elapsed.Milliseconds(),
+		"stages", sp,
 		"queue", len(s.queue))
 }
 
@@ -396,4 +446,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok queue="+strconv.Itoa(len(s.queue))+"/"+strconv.Itoa(cap(s.queue)))
+	b := s.metrics.build
+	fmt.Fprintln(w, "build "+b.GoVersion+" "+b.Version+" "+b.Revision)
 }
