@@ -67,9 +67,33 @@ func BenchmarkScanOnly(b *testing.B) {
 		blocks = append(blocks, cp)
 	}
 	entry := e.tab.At(0)
+	sh := newSharedBlock(e.geom)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		blk := &blocks[i%len(blocks)]
-		_ = e.scan(blk, e.trueCodes(blk), entry)
+		sh.set(blk)
+		_ = e.scan(blk, sh.trueCodes(e.cfg.NearBlock), entry)
 	}
+}
+
+// BenchmarkLaneSet measures a 8-lane lockstep run against the same
+// work done as 8 independent engine runs (BenchmarkConsume × 8).
+func BenchmarkLaneSet(b *testing.B) {
+	tr := randomTrace(1, 10_000)
+	cfgs := make([]Config, 8)
+	for i := range cfgs {
+		cfgs[i] = DefaultConfig()
+		cfgs[i].HistoryBits = 6 + i
+	}
+	ls, err := NewLanes(cfgs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	total := uint64(0)
+	for i := 0; i < b.N; i++ {
+		rs := ls.Run(tr)
+		total += rs[0].Instructions
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "instrs/s")
 }

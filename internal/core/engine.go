@@ -52,8 +52,6 @@ type Engine struct {
 	// Per-engine scratch buffers, sized once in New and reused for
 	// every block so the consume hot path performs no heap allocation.
 	linesA      []uint32
-	linesB      []uint32
-	codeBuf     []bitable.Code
 	staleBuf    []bitable.Code
 	knownBuf    []bool
 	lineCodeBuf []bitable.Code
@@ -99,7 +97,6 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.icache = m
 	}
-	e.codeBuf = make([]bitable.Code, cfg.Geometry.BlockWidth)
 	e.staleBuf = make([]bitable.Code, cfg.Geometry.BlockWidth)
 	e.knownBuf = make([]bool, cfg.Geometry.LineSize)
 	return e, nil
@@ -130,12 +127,14 @@ func (e *Engine) Run(src trace.Source) metrics.Result {
 		e.res.Program = b.TraceName()
 	}
 	rd := newBlockReader(src, e.geom)
+	sh := newSharedBlock(e.geom)
 	for {
 		blk, ok := rd.next()
 		if !ok {
 			break
 		}
-		e.consume(&blk)
+		sh.set(&blk)
+		e.consume(&blk, sh)
 	}
 	out := e.res
 	e.res = metrics.Result{Program: e.res.Program}
@@ -145,8 +144,11 @@ func (e *Engine) Run(src trace.Source) metrics.Result {
 // consume processes one actual block: accounts the fetch request,
 // predicts the block's successor from its BIT/PHT state, verifies any
 // select-table involvement, classifies mispredictions, charges Table 3
-// penalties and trains every structure.
-func (e *Engine) consume(blk *block) {
+// penalties and trains every structure. sh carries the block's
+// config-independent derived values (lines touched, BIT codes, packed
+// conditional outcomes), computed once per block and shared by every
+// lane consuming the same stream.
+func (e *Engine) consume(blk *block, sh *sharedBlock) {
 	dual := e.blocks > 1
 	role := e.role
 	if !dual {
@@ -161,7 +163,7 @@ func (e *Engine) consume(blk *block) {
 	e.res.Instructions += uint64(blk.n())
 	if role == 0 {
 		e.res.FetchCycles++
-		e.linesA = e.geom.LinesTouched(e.linesA[:0], blk.start, blk.n())
+		e.linesA = append(e.linesA[:0], sh.lines...)
 		e.accessICache(e.linesA)
 		// Snapshot the select-table index of this group: its
 		// non-first blocks were predicted from the slot indexed when
@@ -175,18 +177,17 @@ func (e *Engine) consume(blk *block) {
 	} else {
 		// Later block of the group: bank-conflict check against the
 		// lines fetched so far this cycle (§3.3, §4.5).
-		e.linesB = e.geom.LinesTouched(e.linesB[:0], blk.start, blk.n())
-		e.accessICache(e.linesB)
-		if e.geom.Conflict(e.linesA, e.linesB) {
+		e.accessICache(sh.lines)
+		if e.geom.Conflict(e.linesA, sh.lines) {
 			e.res.AddPenalty(metrics.BankConflict,
 				metrics.Penalty(metrics.BankConflict, role, e.cfg.Selection))
 		}
-		e.linesA = append(e.linesA, e.linesB...)
+		e.linesA = append(e.linesA, sh.lines...)
 	}
 
 	ghrPre := e.ghr.Value()
 	entry := e.tab.At(e.tab.Index(ghrPre, blk.start))
-	trueCodes := e.trueCodes(blk)
+	trueCodes := sh.trueCodes(e.cfg.NearBlock)
 
 	// Finite-BIT penalty: predict with the (possibly stale or missing)
 	// table contents; if that changes the prediction, the fetch logic
@@ -274,8 +275,7 @@ func (e *Engine) consume(blk *block) {
 
 	// GHR: shifted once per block with the block's conditional
 	// outcomes (§2).
-	n, bits := blk.condOutcomes()
-	e.ghr.ShiftPacked(n, bits)
+	e.ghr.ShiftPacked(sh.condN, sh.condBits)
 
 	// Carry state for the next block.
 	copy(e.addrRing[1:], e.addrRing[:len(e.addrRing)-1])
@@ -447,17 +447,6 @@ func (e *Engine) usesTargetArray(rec cpu.Retired, exitAddr uint32) bool {
 	default:
 		return true
 	}
-}
-
-// trueCodes computes the correct BIT codes for the block's instructions
-// into the engine's code scratch buffer (valid until the next call).
-func (e *Engine) trueCodes(blk *block) []bitable.Code {
-	codes := e.codeBuf[:blk.n()]
-	for j, rec := range blk.insts {
-		codes[j] = bitable.Encode(rec.Class, blk.start+uint32(j), rec.Target,
-			e.geom.LineSize, e.cfg.NearBlock)
-	}
-	return codes
 }
 
 // staleCodes materializes the BIT table's current contents for the

@@ -11,6 +11,14 @@ import (
 	"mbbp/internal/seltab"
 )
 
+// trueCodes is a test convenience: the shared-block BIT codes for one
+// block under the engine's own near-block setting.
+func (e *Engine) trueCodes(blk *block) []bitable.Code {
+	sh := newSharedBlock(e.geom)
+	sh.set(blk)
+	return sh.trueCodes(e.cfg.NearBlock)
+}
+
 // table2Engine builds an engine with near-block encoding for the
 // paper's Table 2 example and a PHT entry holding the example's counter
 // values: position 1 = 10 (weakly taken), position 5 = 11 (strongly

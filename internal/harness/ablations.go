@@ -24,6 +24,7 @@ type ExtBlocksRow struct {
 
 // ExtBlocksAsync submits the §5 extension sweep: 1-4 blocks per cycle.
 func ExtBlocksAsync(s *Scheduler, ts *TraceSet) func() ([]ExtBlocksRow, error) {
+	b := NewBatch(s, ts)
 	var promises []*SuitePromise
 	for blocks := 1; blocks <= 4; blocks++ {
 		cfg := core.DefaultConfig()
@@ -31,8 +32,9 @@ func ExtBlocksAsync(s *Scheduler, ts *TraceSet) func() ([]ExtBlocksRow, error) {
 			cfg.Mode = core.SingleBlock
 		}
 		cfg.NumBlocks = blocks
-		promises = append(promises, RunConfigAsync(s, ts, cfg))
+		promises = append(promises, b.RunConfig(cfg))
 	}
+	b.Flush()
 	return func() ([]ExtBlocksRow, error) {
 		var rows []ExtBlocksRow
 		for i, p := range promises {
@@ -94,14 +96,16 @@ func AblationPHTAsync(s *Scheduler, ts *TraceSet) func() ([]AblationRow, error) 
 		{"4 PHTs, gshare", 4, pht.IndexGShare},
 		{"4 PHTs, history-only (per-block GAp)", 4, pht.IndexGlobal},
 	}
+	b := NewBatch(s, ts)
 	var promises []*SuitePromise
 	for _, p := range points {
 		cfg := core.DefaultConfig()
 		cfg.Mode = core.SingleBlock
 		cfg.NumPHTs = p.phts
 		cfg.IndexMode = p.mode
-		promises = append(promises, RunConfigAsync(s, ts, cfg))
+		promises = append(promises, b.RunConfig(cfg))
 	}
+	b.Flush()
 	return func() ([]AblationRow, error) {
 		var rows []AblationRow
 		for i, p := range promises {

@@ -35,7 +35,9 @@ func BaselineAsync(s *Scheduler, ts *TraceSet) func() ([]BaselineRow, error) {
 			return e.Run(ts.traces[name].Clone()), nil
 		}))
 	}
-	paperP := RunConfigAsync(s, ts, core.DefaultConfig())
+	b := NewBatch(s, ts)
+	paperP := b.RunConfig(core.DefaultConfig())
+	b.Flush()
 
 	return func() ([]BaselineRow, error) {
 		var rows []BaselineRow

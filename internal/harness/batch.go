@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"context"
+
+	"mbbp/internal/core"
+	"mbbp/internal/icache"
+	"mbbp/internal/metrics"
+	"mbbp/internal/trace"
+)
+
+// Batch collects configuration submissions for one experiment and runs
+// them through config-parallel lanes (core.LaneSet): configurations
+// sharing a cache geometry are grouped, and each (group × program) pair
+// becomes ONE pool job that walks the program's trace once while
+// driving every lane in lockstep — instead of one walk per
+// configuration. Results fold through the same SuitePromise machinery,
+// and the lane engine's equivalence guarantee makes every rendered
+// table, CSV and response body byte-identical to the per-config path
+// (pinned by the differential, property and fuzz suites).
+//
+// Usage mirrors the RunConfigAsync flow with one extra step:
+//
+//	b := NewBatch(s, ts)
+//	p1 := b.RunConfig(cfgA) // promises fill after Flush
+//	p2 := b.RunConfig(cfgB)
+//	b.Flush()               // submits one lane job per (group, program)
+//	r1, err := p1.Wait()
+//
+// Flush must be called before waiting on any returned promise; drivers
+// call it right before returning their wait function. Jobs remain
+// leaves: grouping happens at submission time in the driver goroutine,
+// and a lane job never submits or waits.
+//
+// A TraceSet viewed through PerConfig disables grouping — RunConfig
+// then degrades to RunConfigAsync (or the ctx variant), which is how
+// the differential tests and the bench pipeline run identical drivers
+// down both paths.
+type Batch struct {
+	s   *Scheduler
+	ts  *TraceSet
+	ctx context.Context // nil = no cancellation
+
+	order  []icache.Geometry
+	groups map[icache.Geometry]*laneGroup
+}
+
+// laneGroup is the pending work for one cache geometry: the lane
+// configurations in submission order and, per lane, one future per
+// program, filled by the group's lane jobs at Flush.
+type laneGroup struct {
+	cfgs []core.Config
+	rows [][]*Future[metrics.Result] // rows[lane][program index]
+}
+
+// NewBatch returns an empty batch submitting to s over ts's traces.
+func NewBatch(s *Scheduler, ts *TraceSet) *Batch {
+	return &Batch{s: s, ts: ts, groups: make(map[icache.Geometry]*laneGroup)}
+}
+
+// NewBatchCtx is NewBatch with cancellation: lane jobs not started when
+// ctx is cancelled never run, and running jobs stop at the next
+// trace-source cancellation check — the same contract as
+// RunConfigCtxAsync, which the degraded (PerConfig) path uses directly.
+func NewBatchCtx(ctx context.Context, s *Scheduler, ts *TraceSet) *Batch {
+	b := NewBatch(s, ts)
+	b.ctx = ctx
+	return b
+}
+
+// RunConfig registers one configuration and returns its pending suite
+// result. The promise's futures fill once Flush has submitted the lane
+// jobs and they have run; an invalid configuration resolves immediately
+// to its validation error, exactly like RunConfigAsync.
+func (b *Batch) RunConfig(cfg core.Config) *SuitePromise {
+	cfg = b.ts.applyStorage(cfg)
+	if err := cfg.Validate(); err != nil {
+		return &SuitePromise{err: err}
+	}
+	if b.ts.lanesOff {
+		if b.ctx != nil {
+			return RunConfigCtxAsync(b.ctx, b.s, b.ts, cfg)
+		}
+		return RunConfigAsync(b.s, b.ts, cfg)
+	}
+	g := b.groups[cfg.Geometry]
+	if g == nil {
+		g = &laneGroup{}
+		b.groups[cfg.Geometry] = g
+		b.order = append(b.order, cfg.Geometry)
+	}
+	g.cfgs = append(g.cfgs, cfg)
+	row := make([]*Future[metrics.Result], len(b.ts.order))
+	for i := range row {
+		row[i] = &Future[metrics.Result]{done: make(chan struct{})}
+	}
+	g.rows = append(g.rows, row)
+	return &SuitePromise{ts: b.ts, futs: row}
+}
+
+// Flush submits one lane job per (geometry group, program) and clears
+// the batch for reuse. On a serial scheduler the jobs run inline here,
+// in group-registration then suite order.
+func (b *Batch) Flush() {
+	for _, geom := range b.order {
+		g := b.groups[geom]
+		for pi, name := range b.ts.order {
+			pi, name := pi, name
+			b.s.submit(func() { b.runGroup(g, pi, name) })
+		}
+	}
+	b.order = nil
+	b.groups = make(map[icache.Geometry]*laneGroup)
+}
+
+// runGroup is one lane job: a fresh LaneSet over one program's trace,
+// filling the group's future for every lane at that program.
+func (b *Batch) runGroup(g *laneGroup, pi int, name string) {
+	fill := func(vals []metrics.Result, err error) {
+		for l := range g.rows {
+			f := g.rows[l][pi]
+			if err != nil {
+				f.err = err
+			} else {
+				f.val = vals[l]
+			}
+			close(f.done)
+		}
+	}
+	if b.ctx != nil {
+		if err := b.ctx.Err(); err != nil {
+			fill(nil, err)
+			return
+		}
+	}
+	ls, err := core.NewLanes(g.cfgs)
+	if err != nil {
+		fill(nil, err)
+		return
+	}
+	var tr trace.Source = b.ts.traces[name].Clone()
+	if b.ctx != nil {
+		tr = trace.WithContext(b.ctx, tr)
+	}
+	if b.ts.warmup {
+		ls.Run(tr) // untimed training pass, all lanes at once
+	}
+	for _, e := range ls.Lanes() {
+		b.ts.attachObserver(e, name)
+	}
+	rs := ls.Run(tr)
+	if b.ctx != nil {
+		if err := b.ctx.Err(); err != nil {
+			fill(nil, err)
+			return
+		}
+	}
+	fill(rs, nil)
+}
+
+// PerConfig returns a view of the trace set on which Batch.RunConfig
+// degrades to one independent engine run per (configuration, program) —
+// the pre-lane execution shape. The differential tests and the bench
+// pipeline use this view to pin lane-mode output byte-identical to the
+// per-config path; results never differ, only the work grouping does.
+func (ts *TraceSet) PerConfig() *TraceSet {
+	out := *ts
+	out.lanesOff = true
+	return &out
+}

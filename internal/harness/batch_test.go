@@ -1,0 +1,226 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mbbp/internal/core"
+	"mbbp/internal/icache"
+	"mbbp/internal/metrics"
+)
+
+// Lane batching is pure plumbing: however configurations are grouped
+// into batches, ordered within a batch, or interleaved on the pool,
+// each configuration's folded suite result must equal its independent
+// RunConfigAsync run. These properties complement the core-level lane
+// equivalence suite (internal/core/lanes_test.go) one layer up, where
+// grouping, futures and the scheduler join the picture.
+
+// batchConfigs derives a small mixed-geometry config set from fuzzable
+// knobs: most share the default geometry (and so share lanes), one is
+// self-aligned (its own group).
+func batchConfigs(n int, hist, tables uint8) []core.Config {
+	if n < 1 {
+		n = 1
+	}
+	if n > 5 {
+		n = 5
+	}
+	cfgs := make([]core.Config, n)
+	for i := range cfgs {
+		cfg := core.DefaultConfig()
+		cfg.HistoryBits = 4 + int(hist%8) + i%3
+		cfg.NumPHTs = []int{1, 2, 4, 8}[tables%4]
+		switch i % 4 {
+		case 1:
+			cfg.Mode = core.SingleBlock
+		case 2:
+			cfg.Geometry = icache.ForKind(icache.SelfAligned, 8)
+		case 3:
+			cfg.NearBlock = true
+		}
+		cfgs[i] = cfg
+	}
+	return cfgs
+}
+
+// waitAll folds every promise, failing the test on any error.
+func waitAll(t *testing.T, ps []*SuitePromise) []*SuiteResult {
+	t.Helper()
+	out := make([]*SuiteResult, len(ps))
+	for i, p := range ps {
+		res, err := p.Wait()
+		if err != nil {
+			t.Fatalf("promise %d: %v", i, err)
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// sameSuite compares two folded suite results exactly.
+func sameSuite(a, b *SuiteResult) bool {
+	if a.Int != b.Int || a.FP != b.FP || len(a.Per) != len(b.Per) {
+		return false
+	}
+	for k, v := range a.Per {
+		if b.Per[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatchMatchesPerConfig: the ground truth — every batched result
+// equals its independent per-config run, on the serial scheduler and on
+// the pool.
+func TestBatchMatchesPerConfig(t *testing.T) {
+	cfgs := batchConfigs(5, 3, 2)
+	pool := NewScheduler(4)
+	defer pool.Close()
+
+	var want []*SuiteResult
+	for _, cfg := range cfgs {
+		res, err := RunConfigAsync(Serial(), testTraces, cfg).Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+
+	for _, s := range []*Scheduler{Serial(), pool} {
+		b := NewBatch(s, testTraces)
+		var ps []*SuitePromise
+		for _, cfg := range cfgs {
+			ps = append(ps, b.RunConfig(cfg))
+		}
+		b.Flush()
+		for i, res := range waitAll(t, ps) {
+			if !sameSuite(res, want[i]) {
+				t.Errorf("config %d: batched result differs from independent run", i)
+			}
+		}
+	}
+}
+
+// TestBatchOrderInsensitive (quick): submitting the same configurations
+// to a batch in any order yields, per configuration, the same folded
+// result — lane position is invisible.
+func TestBatchOrderInsensitive(t *testing.T) {
+	cfgs := batchConfigs(4, 5, 1)
+	base := func() []*SuiteResult {
+		b := NewBatch(Serial(), testTraces)
+		var ps []*SuitePromise
+		for _, cfg := range cfgs {
+			ps = append(ps, b.RunConfig(cfg))
+		}
+		b.Flush()
+		return waitAll(t, ps)
+	}()
+
+	prop := func(seed int64) bool {
+		perm := rand.New(rand.NewSource(seed)).Perm(len(cfgs))
+		b := NewBatch(Serial(), testTraces)
+		ps := make([]*SuitePromise, len(cfgs))
+		for _, i := range perm {
+			ps[i] = b.RunConfig(cfgs[i])
+		}
+		b.Flush()
+		for i, res := range waitAll(t, ps) {
+			if !sameSuite(res, base[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBatchPartitionInvariance (quick): splitting the configurations
+// across several batches (several Flushes) changes only the lane
+// grouping, never any result.
+func TestBatchPartitionInvariance(t *testing.T) {
+	prop := func(n, hist, tables uint8, cut uint8) bool {
+		cfgs := batchConfigs(1+int(n%5), hist, tables)
+		k := int(cut) % (len(cfgs) + 1)
+
+		one := func() []*SuiteResult {
+			b := NewBatch(Serial(), testTraces)
+			var ps []*SuitePromise
+			for _, cfg := range cfgs {
+				ps = append(ps, b.RunConfig(cfg))
+			}
+			b.Flush()
+			return waitAll(t, ps)
+		}()
+
+		var ps []*SuitePromise
+		for _, part := range [][]core.Config{cfgs[:k], cfgs[k:]} {
+			b := NewBatch(Serial(), testTraces)
+			for _, cfg := range part {
+				ps = append(ps, b.RunConfig(cfg))
+			}
+			b.Flush()
+		}
+		for i, res := range waitAll(t, ps) {
+			if !sameSuite(res, one[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBatchPooledNoAliasing drives many concurrent lane jobs — several
+// batches of several mixed-geometry configurations each, all in flight
+// on one pool at once, with observers attached — and checks every
+// result against the serial per-config reference. Under -race (the CI
+// lane-differential step) this doubles as the pin that pooled lanes
+// never alias mutable per-lane state: any sharing of PHT/BIT/ST/target
+// state or result structs across lanes or jobs is a data race here.
+func TestBatchPooledNoAliasing(t *testing.T) {
+	pool := NewScheduler(4)
+	defer pool.Close()
+
+	cfgs := batchConfigs(5, 2, 3)
+	want := make([]metrics.Result, len(cfgs))
+	for i, cfg := range cfgs {
+		res, err := RunConfigAsync(Serial(), testTraces, cfg).Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Int
+	}
+
+	// Observers exercise the per-lane attach path concurrently.
+	tsv := testTraces.WithObserver(func(string) core.Observer {
+		return countingObserver{}
+	})
+	const rounds = 4
+	all := make([][]*SuitePromise, rounds)
+	for r := range all {
+		b := NewBatch(pool, tsv)
+		for _, cfg := range cfgs {
+			all[r] = append(all[r], b.RunConfig(cfg))
+		}
+		b.Flush()
+	}
+	for r, ps := range all {
+		for i, res := range waitAll(t, ps) {
+			if res.Int != want[i] {
+				t.Errorf("round %d config %d: pooled lane result differs from serial reference", r, i)
+			}
+		}
+	}
+}
+
+// countingObserver is a trivial observer: shared, stateless, safe.
+type countingObserver struct{}
+
+func (countingObserver) Observe(core.Event) {}

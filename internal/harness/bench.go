@@ -14,18 +14,21 @@ import (
 )
 
 // The reproducible benchmark pipeline behind `mbpexp bench` and
-// scripts/bench.sh: a fixed set of representative sweeps is run three
-// times over pinned-seed traces — once on the serial packed path, once
-// on a fresh parallel pool, and once serially on the slice-backed
-// reference storage — and the wall-clock, per-instruction and
+// scripts/bench.sh: a fixed set of representative sweeps is run four
+// times over pinned-seed traces — serially per-config on the packed
+// path, per-config on a fresh parallel pool, serially per-config on
+// the slice-backed reference storage, and serially with config-parallel
+// lanes (the default execution shape: same-geometry configurations
+// share one trace walk) — and the wall-clock, per-instruction and
 // allocation numbers land in BENCH_sweep.json. The workloads are fully
 // deterministic, so the simulated numbers never vary between passes;
 // only the timings do.
 
-// BenchSchema identifies the BENCH_sweep.json layout. v2 adds the
-// reference-storage pass (reference_ns, reference_ns_per_instruction,
-// packed_speedup, total_reference_ns) and the width8/width16 sweeps.
-const BenchSchema = "mbbp/bench-sweep/v2"
+// BenchSchema identifies the BENCH_sweep.json layout. v3 adds the
+// config-parallel lane pass (lane_ns, lane_ns_per_instruction,
+// lane_speedup, total_lane_ns) and the fig8 sweep — 32 same-geometry
+// configurations, the lane grouping's best case.
+const BenchSchema = "mbbp/bench-sweep/v3"
 
 // BenchSweep is one benchmarked sweep's timing record.
 type BenchSweep struct {
@@ -50,12 +53,19 @@ type BenchSweep struct {
 	// over the equivalence oracle.
 	ReferenceNs   int64   `json:"reference_ns"`
 	PackedSpeedup float64 `json:"packed_speedup"`
-	// SerialNsPerInstruction, ParallelNsPerInstruction and
-	// ReferenceNsPerInstruction normalize the wall-clock by the
-	// simulated instruction count.
+	// LaneNs is the wall-clock of the same sweep run serially with
+	// config-parallel lanes — same-geometry configurations sharing one
+	// trace walk — and LaneSpeedup is SerialNs / LaneNs: how much lane
+	// grouping buys over one independent engine run per configuration.
+	LaneNs      int64   `json:"lane_ns"`
+	LaneSpeedup float64 `json:"lane_speedup"`
+	// SerialNsPerInstruction, ParallelNsPerInstruction,
+	// ReferenceNsPerInstruction and LaneNsPerInstruction normalize the
+	// wall-clock by the simulated instruction count.
 	SerialNsPerInstruction    float64 `json:"serial_ns_per_instruction"`
 	ParallelNsPerInstruction  float64 `json:"parallel_ns_per_instruction"`
 	ReferenceNsPerInstruction float64 `json:"reference_ns_per_instruction"`
+	LaneNsPerInstruction      float64 `json:"lane_ns_per_instruction"`
 	// AllocsPerJob and BytesPerJob are heap allocation counts per
 	// engine run, measured on the serial pass (no concurrent noise).
 	AllocsPerJob uint64 `json:"allocs_per_job"`
@@ -76,8 +86,10 @@ type BenchReport struct {
 	TotalSerialNs          int64        `json:"total_serial_ns"`
 	TotalParallelNs        int64        `json:"total_parallel_ns"`
 	TotalReferenceNs       int64        `json:"total_reference_ns"`
+	TotalLaneNs            int64        `json:"total_lane_ns"`
 	Speedup                float64      `json:"speedup"`
 	PackedSpeedup          float64      `json:"packed_speedup"`
+	LaneSpeedup            float64      `json:"lane_speedup"`
 }
 
 // widthSweep runs a single storage-heavy configuration (history length
@@ -110,6 +122,10 @@ var benchSweeps = []struct {
 	}},
 	{"table6", 6, func(s *Scheduler, ts *TraceSet) error {
 		_, err := Table6Async(s, ts)()
+		return err
+	}},
+	{"fig8", 32, func(s *Scheduler, ts *TraceSet) error { // history × STs × selection, one geometry
+		_, err := Fig8Async(s, ts)()
 		return err
 	}},
 	{"fig9", 1, func(s *Scheduler, ts *TraceSet) error {
@@ -146,12 +162,14 @@ func RunBench(ts *TraceSet, instructions uint64, workers int) (*BenchReport, err
 			Instructions: uint64(jobs) * instructions,
 		}
 
-		// Serial reference pass, with allocation accounting.
+		// Serial per-config reference pass (one independent engine run
+		// per configuration), with allocation accounting.
+		perConfig := ts.PerConfig()
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		if err := b.run(Serial(), ts); err != nil {
+		if err := b.run(Serial(), perConfig); err != nil {
 			return nil, fmt.Errorf("bench %s (serial): %w", b.name, err)
 		}
 		sweep.SerialNs = time.Since(start).Nanoseconds()
@@ -161,20 +179,28 @@ func RunBench(ts *TraceSet, instructions uint64, workers int) (*BenchReport, err
 			sweep.BytesPerJob = (after.TotalAlloc - before.TotalAlloc) / uint64(jobs)
 		}
 
-		// Parallel pass on the pool.
+		// Per-config parallel pass on the pool.
 		start = time.Now()
-		if err := b.run(pool, ts); err != nil {
+		if err := b.run(pool, perConfig); err != nil {
 			return nil, fmt.Errorf("bench %s (parallel): %w", b.name, err)
 		}
 		sweep.ParallelNs = time.Since(start).Nanoseconds()
 
-		// Reference-storage pass: the same drivers, serially, on the
-		// slice-backed oracle (apples to apples against SerialNs).
+		// Reference-storage pass: the same drivers, serially per-config,
+		// on the slice-backed oracle (apples to apples against SerialNs).
 		start = time.Now()
-		if err := b.run(Serial(), ts.WithStorage(packed.BackingReference)); err != nil {
+		if err := b.run(Serial(), perConfig.WithStorage(packed.BackingReference)); err != nil {
 			return nil, fmt.Errorf("bench %s (reference): %w", b.name, err)
 		}
 		sweep.ReferenceNs = time.Since(start).Nanoseconds()
+
+		// Lane pass: the default execution shape — serially, with
+		// same-geometry configurations sharing one trace walk each.
+		start = time.Now()
+		if err := b.run(Serial(), ts); err != nil {
+			return nil, fmt.Errorf("bench %s (lanes): %w", b.name, err)
+		}
+		sweep.LaneNs = time.Since(start).Nanoseconds()
 
 		if sweep.ParallelNs > 0 {
 			sweep.Speedup = float64(sweep.SerialNs) / float64(sweep.ParallelNs)
@@ -182,21 +208,29 @@ func RunBench(ts *TraceSet, instructions uint64, workers int) (*BenchReport, err
 		if sweep.SerialNs > 0 {
 			sweep.PackedSpeedup = float64(sweep.ReferenceNs) / float64(sweep.SerialNs)
 		}
+		if sweep.LaneNs > 0 {
+			sweep.LaneSpeedup = float64(sweep.SerialNs) / float64(sweep.LaneNs)
+		}
 		if sweep.Instructions > 0 {
 			sweep.SerialNsPerInstruction = float64(sweep.SerialNs) / float64(sweep.Instructions)
 			sweep.ParallelNsPerInstruction = float64(sweep.ParallelNs) / float64(sweep.Instructions)
 			sweep.ReferenceNsPerInstruction = float64(sweep.ReferenceNs) / float64(sweep.Instructions)
+			sweep.LaneNsPerInstruction = float64(sweep.LaneNs) / float64(sweep.Instructions)
 		}
 		rep.Sweeps = append(rep.Sweeps, sweep)
 		rep.TotalSerialNs += sweep.SerialNs
 		rep.TotalParallelNs += sweep.ParallelNs
 		rep.TotalReferenceNs += sweep.ReferenceNs
+		rep.TotalLaneNs += sweep.LaneNs
 	}
 	if rep.TotalParallelNs > 0 {
 		rep.Speedup = float64(rep.TotalSerialNs) / float64(rep.TotalParallelNs)
 	}
 	if rep.TotalSerialNs > 0 {
 		rep.PackedSpeedup = float64(rep.TotalReferenceNs) / float64(rep.TotalSerialNs)
+	}
+	if rep.TotalLaneNs > 0 {
+		rep.LaneSpeedup = float64(rep.TotalSerialNs) / float64(rep.TotalLaneNs)
 	}
 	return rep, nil
 }
@@ -219,9 +253,10 @@ func ReadBenchReport(r io.Reader) (*BenchReport, error) {
 	return &rep, nil
 }
 
-// Check validates the report against the v2 schema: every field a
+// Check validates the report against the v3 schema: every field a
 // downstream consumer (CI, the bench trajectory) relies on must be
-// present and plausible.
+// present and plausible. Older schemas (v2 and before) are rejected —
+// they lack the lane pass.
 func (r *BenchReport) Check() error {
 	if r.Schema != BenchSchema {
 		return fmt.Errorf("bench report: schema %q, want %q", r.Schema, BenchSchema)
@@ -255,13 +290,19 @@ func (r *BenchReport) Check() error {
 			return fmt.Errorf("bench report: sweep %s: missing reference-storage pass (%d, %g)",
 				s.Name, s.ReferenceNs, s.PackedSpeedup)
 		}
+		if s.LaneNs <= 0 || s.LaneSpeedup <= 0 {
+			return fmt.Errorf("bench report: sweep %s: missing lane pass (%d, %g)",
+				s.Name, s.LaneNs, s.LaneSpeedup)
+		}
 		if s.Instructions == 0 || s.SerialNsPerInstruction <= 0 ||
-			s.ParallelNsPerInstruction <= 0 || s.ReferenceNsPerInstruction <= 0 {
+			s.ParallelNsPerInstruction <= 0 || s.ReferenceNsPerInstruction <= 0 ||
+			s.LaneNsPerInstruction <= 0 {
 			return fmt.Errorf("bench report: sweep %s: missing per-instruction normalization", s.Name)
 		}
 	}
 	if r.TotalSerialNs <= 0 || r.TotalParallelNs <= 0 || r.Speedup <= 0 ||
-		r.TotalReferenceNs <= 0 || r.PackedSpeedup <= 0 {
+		r.TotalReferenceNs <= 0 || r.PackedSpeedup <= 0 ||
+		r.TotalLaneNs <= 0 || r.LaneSpeedup <= 0 {
 		return fmt.Errorf("bench report: missing totals")
 	}
 	return nil
@@ -272,16 +313,18 @@ func RenderBench(w io.Writer, r *BenchReport) {
 	fmt.Fprintf(w, "Benchmark pipeline: %d programs x %d instructions, %d workers (GOMAXPROCS %d, %s/%s, %s)\n",
 		r.Programs, r.InstructionsPerProgram, r.Workers, r.GOMAXPROCS, r.GOOS, r.GOARCH, r.GoVersion)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "sweep\tjobs\tserial\tparallel\tspeedup\tpacked ns/i\tref ns/i\tpacked-vs-ref\tallocs/job")
+	fmt.Fprintln(tw, "sweep\tjobs\tserial\tparallel\tspeedup\tlanes\tlane-speedup\tpacked ns/i\tref ns/i\tpacked-vs-ref\tallocs/job")
 	for _, s := range r.Sweeps {
-		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%.2fx\t%.1f\t%.1f\t%.2fx\t%d\n",
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%.2fx\t%s\t%.2fx\t%.1f\t%.1f\t%.2fx\t%d\n",
 			s.Name, s.Jobs,
-			time.Duration(s.SerialNs), time.Duration(s.ParallelNs),
-			s.Speedup, s.SerialNsPerInstruction, s.ReferenceNsPerInstruction,
+			time.Duration(s.SerialNs), time.Duration(s.ParallelNs), s.Speedup,
+			time.Duration(s.LaneNs), s.LaneSpeedup,
+			s.SerialNsPerInstruction, s.ReferenceNsPerInstruction,
 			s.PackedSpeedup, s.AllocsPerJob)
 	}
 	tw.Flush()
-	fmt.Fprintf(w, "total: serial %s, parallel %s, reference %s, speedup %.2fx, packed-vs-ref %.2fx\n",
+	fmt.Fprintf(w, "total: serial %s, parallel %s, reference %s, lanes %s, speedup %.2fx, packed-vs-ref %.2fx, lane-speedup %.2fx\n",
 		time.Duration(r.TotalSerialNs), time.Duration(r.TotalParallelNs),
-		time.Duration(r.TotalReferenceNs), r.Speedup, r.PackedSpeedup)
+		time.Duration(r.TotalReferenceNs), time.Duration(r.TotalLaneNs),
+		r.Speedup, r.PackedSpeedup, r.LaneSpeedup)
 }

@@ -59,11 +59,12 @@ func TestBenchCheckRejects(t *testing.T) {
 			Name: "fig6", Configs: 3, Jobs: 6, Instructions: 6,
 			SerialNs: 10, ParallelNs: 5, Speedup: 2,
 			ReferenceNs: 12, PackedSpeedup: 1.2,
+			LaneNs: 6, LaneSpeedup: 10.0 / 6,
 			SerialNsPerInstruction: 1, ParallelNsPerInstruction: 0.5,
-			ReferenceNsPerInstruction: 2,
+			ReferenceNsPerInstruction: 2, LaneNsPerInstruction: 1,
 		}},
-		TotalSerialNs: 10, TotalParallelNs: 5, TotalReferenceNs: 12,
-		Speedup: 2, PackedSpeedup: 1.2,
+		TotalSerialNs: 10, TotalParallelNs: 5, TotalReferenceNs: 12, TotalLaneNs: 6,
+		Speedup: 2, PackedSpeedup: 1.2, LaneSpeedup: 10.0 / 6,
 	}
 	if err := good.Check(); err != nil {
 		t.Fatalf("valid report rejected: %v", err)
@@ -71,16 +72,20 @@ func TestBenchCheckRejects(t *testing.T) {
 
 	mutations := map[string]func(*BenchReport){
 		"wrong schema":   func(r *BenchReport) { r.Schema = "mbbp/bench-sweep/v0" },
+		"v2 schema":      func(r *BenchReport) { r.Schema = "mbbp/bench-sweep/v2" },
 		"no toolchain":   func(r *BenchReport) { r.GoVersion = "" },
 		"zero workers":   func(r *BenchReport) { r.Workers = 0 },
 		"no sweeps":      func(r *BenchReport) { r.Sweeps = nil },
 		"job mismatch":   func(r *BenchReport) { r.Sweeps[0].Jobs = 5 },
 		"no timing":      func(r *BenchReport) { r.Sweeps[0].SerialNs = 0 },
 		"no reference":   func(r *BenchReport) { r.Sweeps[0].ReferenceNs = 0 },
+		"no lane pass":   func(r *BenchReport) { r.Sweeps[0].LaneNs = 0 },
 		"no per-instr":   func(r *BenchReport) { r.Sweeps[0].SerialNsPerInstruction = 0 },
 		"no ref/instr":   func(r *BenchReport) { r.Sweeps[0].ReferenceNsPerInstruction = 0 },
+		"no lane/instr":  func(r *BenchReport) { r.Sweeps[0].LaneNsPerInstruction = 0 },
 		"no totals":      func(r *BenchReport) { r.TotalParallelNs = 0 },
 		"no ref total":   func(r *BenchReport) { r.TotalReferenceNs = 0 },
+		"no lane total":  func(r *BenchReport) { r.TotalLaneNs = 0 },
 		"empty workload": func(r *BenchReport) { r.Programs = 0 },
 	}
 	for name, mutate := range mutations {
@@ -95,4 +100,66 @@ func TestBenchCheckRejects(t *testing.T) {
 	if _, err := ReadBenchReport(strings.NewReader(`{"schema":"x","bogus_field":1}`)); err == nil {
 		t.Error("ReadBenchReport accepted unknown fields")
 	}
+}
+
+// TestBenchCheckRejectsV2Document: a complete, well-formed v2 report
+// (no lane pass) must parse — its fields are a subset of v3's — and
+// then fail Check on the schema tag, so CI cannot accept a stale
+// BENCH_sweep.json generated before the lane pipeline.
+func TestBenchCheckRejectsV2Document(t *testing.T) {
+	const v2 = `{
+  "schema": "mbbp/bench-sweep/v2",
+  "go_version": "go0.0", "goos": "linux", "goarch": "amd64",
+  "gomaxprocs": 1, "workers": 1,
+  "instructions_per_program": 1, "programs": 2,
+  "sweeps": [{
+    "name": "fig6", "configs": 3, "jobs": 6, "instructions_simulated": 6,
+    "serial_ns": 10, "parallel_ns": 5, "speedup": 2,
+    "reference_ns": 12, "packed_speedup": 1.2,
+    "serial_ns_per_instruction": 1, "parallel_ns_per_instruction": 0.5,
+    "reference_ns_per_instruction": 2,
+    "allocs_per_job": 1, "bytes_per_job": 1
+  }],
+  "total_serial_ns": 10, "total_parallel_ns": 5, "total_reference_ns": 12,
+  "speedup": 2, "packed_speedup": 1.2
+}`
+	rep, err := ReadBenchReport(strings.NewReader(v2))
+	if err != nil {
+		t.Fatalf("v2 document failed to parse (fields should be a v3 subset): %v", err)
+	}
+	if err := rep.Check(); err == nil {
+		t.Error("Check accepted a v2 report without a lane pass")
+	} else if !strings.Contains(err.Error(), "schema") {
+		t.Errorf("v2 rejection should name the schema: %v", err)
+	}
+}
+
+// TestGoldenBenchRender pins the v3 human rendering — column layout and
+// formatting — on a fixed synthetic report (real timings are not
+// reproducible, so the golden uses pinned numbers).
+func TestGoldenBenchRender(t *testing.T) {
+	rep := &BenchReport{
+		Schema: BenchSchema, GoVersion: "go1.99", GOOS: "linux", GOARCH: "amd64",
+		GOMAXPROCS: 8, Workers: 8, InstructionsPerProgram: 1000, Programs: 2,
+		Sweeps: []BenchSweep{
+			{
+				Name: "fig8", Configs: 32, Jobs: 64, Instructions: 64000,
+				SerialNs: 64_000_000, ParallelNs: 16_000_000, Speedup: 4,
+				ReferenceNs: 96_000_000, PackedSpeedup: 1.5,
+				LaneNs: 40_000_000, LaneSpeedup: 1.6,
+				SerialNsPerInstruction: 1000, ParallelNsPerInstruction: 250,
+				ReferenceNsPerInstruction: 1500, LaneNsPerInstruction: 625,
+				AllocsPerJob: 42, BytesPerJob: 4096,
+			},
+		},
+		TotalSerialNs: 64_000_000, TotalParallelNs: 16_000_000,
+		TotalReferenceNs: 96_000_000, TotalLaneNs: 40_000_000,
+		Speedup: 4, PackedSpeedup: 1.5, LaneSpeedup: 1.6,
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatalf("synthetic report invalid: %v", err)
+	}
+	var buf bytes.Buffer
+	RenderBench(&buf, rep)
+	checkGolden(t, "bench_v3_table", buf.Bytes())
 }

@@ -35,31 +35,34 @@ type Comparison struct {
 // CompareAsync submits every headline-claim configuration (five
 // RunConfig grids plus the near-block trace scan) at once.
 func CompareAsync(s *Scheduler, ts *TraceSet) func() (*Comparison, error) {
+	b := NewBatch(s, ts)
+
 	// Accuracy at the paper's default configuration.
 	base := core.DefaultConfig()
 	base.Mode = core.SingleBlock
-	accP := RunConfigAsync(s, ts, base)
+	accP := b.RunConfig(base)
 
 	// Table 6 normal-cache single vs dual with 8 STs.
 	one := core.DefaultConfig()
 	one.Mode = core.SingleBlock
 	one.NumSTs = 8
-	r1P := RunConfigAsync(s, ts, one)
+	r1P := b.RunConfig(one)
 	two := core.DefaultConfig()
 	two.NumSTs = 8
-	r2P := RunConfigAsync(s, ts, two)
+	r2P := b.RunConfig(two)
 
-	// Self-aligned dual block.
+	// Self-aligned dual block (its own lane group — different geometry).
 	al := core.DefaultConfig()
 	al.Geometry = icache.ForKind(icache.SelfAligned, 8)
 	al.NumSTs = 8
-	raP := RunConfigAsync(s, ts, al)
+	raP := b.RunConfig(al)
 
 	// Double selection loss.
 	ds := core.DefaultConfig()
 	ds.NumSTs = 8
 	ds.Selection = metrics.DoubleSelection
-	rdP := RunConfigAsync(s, ts, ds)
+	rdP := b.RunConfig(ds)
+	b.Flush()
 
 	// Near-block share over the whole suite: a pure trace scan, one job
 	// per program.

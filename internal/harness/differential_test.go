@@ -9,7 +9,7 @@ import (
 	"mbbp/internal/packed"
 )
 
-// Two determinism contracts, checked together for every experiment:
+// Three determinism contracts, checked together for every experiment:
 //
 //  1. Scheduling: running any experiment on the work-stealing pool must
 //     produce output byte-identical to the serial reference path
@@ -20,13 +20,19 @@ import (
 //     slice-backed reference storage — the pinned statement that the
 //     packed fast path is lossless across every configuration the
 //     experiments reach.
+//  3. Lanes: running any experiment with config-parallel lane grouping
+//     (the default; same-geometry configurations share one trace walk)
+//     must produce output byte-identical to the per-config view
+//     (PerConfig(): one independent engine run per configuration, the
+//     pre-lane execution shape) — serially and on the pool.
 //
 // Each case renders the human table and, where one exists, the CSV
-// form, and compares the bytes across all three variants.
+// form, and compares the bytes across all five variants.
 
-// differ runs one experiment three ways — serial/packed, pooled/packed,
-// serial/reference-storage — and byte-compares every rendering the
-// experiment has.
+// differ runs one experiment five ways — serial/packed (lanes),
+// pooled/packed (lanes), serial/reference-storage, per-config serial,
+// per-config pooled — and byte-compares every rendering the experiment
+// has.
 func differ(t *testing.T, name string, run func(s *Scheduler, ts *TraceSet) ([]func(io.Writer) error, error)) {
 	t.Helper()
 	pool := NewScheduler(4)
@@ -57,6 +63,10 @@ func differ(t *testing.T, name string, run func(s *Scheduler, ts *TraceSet) ([]f
 		{"parallel", render("parallel", pool, testTraces)},
 		{"reference storage", render("reference storage", Serial(),
 			testTraces.WithStorage(packed.BackingReference))},
+		{"per-config serial", render("per-config serial", Serial(),
+			testTraces.PerConfig())},
+		{"per-config parallel", render("per-config parallel", pool,
+			testTraces.PerConfig())},
 	}
 	for i := range serial {
 		if len(serial[i]) == 0 {
@@ -238,6 +248,7 @@ func TestDifferentialSeeds(t *testing.T) {
 		if ts.storageSet {
 			opts.Storage = ts.storage
 		}
+		opts.PerConfig = ts.lanesOff
 		rows, err := SeedsAsync(s, opts, seeds)()
 		if err != nil {
 			return nil, err

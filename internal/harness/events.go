@@ -29,40 +29,30 @@ type EventsRow struct {
 // DefaultEventsTopN is the per-kind site count the renderers show.
 const DefaultEventsTopN = 5
 
-// EventsAsync submits one tapped engine run per program: each job
-// replays its trace with an enabled obs.Tap feeding an attribution
-// accumulator, and the rows fold in suite order — deterministic like
-// every other experiment (taps observe, they never steer).
+// EventsAsync submits the tapped replay: one attribution accumulator
+// per program, installed on the measured run through the trace set's
+// observer hook, with the engine runs batched like every other
+// experiment. Rows fold in suite order — deterministic like every
+// other experiment (taps observe, they never steer).
 func EventsAsync(s *Scheduler, ts *TraceSet, cfg core.Config) func() ([]EventsRow, error) {
-	cfg = ts.applyStorage(cfg)
-	if err := cfg.Validate(); err != nil {
-		return func() ([]EventsRow, error) { return nil, err }
-	}
-	var futs []*Future[EventsRow]
+	atts := make(map[string]*obs.Attribution, len(ts.order))
 	for _, name := range ts.order {
-		name := name
-		futs = append(futs, Submit(s, func() (EventsRow, error) {
-			e, err := core.New(cfg)
-			if err != nil {
-				return EventsRow{}, err
-			}
-			tr := ts.traces[name].Clone()
-			if ts.warmup {
-				e.Run(tr) // untimed training pass
-			}
-			att := obs.NewAttribution()
-			e.SetObserver(obs.NewTap(att))
-			return EventsRow{Program: name, Res: e.Run(tr), Att: att}, nil
-		}))
+		atts[name] = obs.NewAttribution()
 	}
+	tsv := ts.WithObserver(func(program string) core.Observer {
+		return obs.NewTap(atts[program])
+	})
+	b := NewBatch(s, tsv)
+	p := b.RunConfig(cfg)
+	b.Flush()
 	return func() ([]EventsRow, error) {
+		res, err := p.Wait()
+		if err != nil {
+			return nil, err
+		}
 		var rows []EventsRow
-		for _, fut := range futs {
-			row, err := fut.Wait()
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
+		for _, name := range ts.order {
+			rows = append(rows, EventsRow{Program: name, Res: res.Per[name], Att: atts[name]})
 		}
 		return rows, nil
 	}

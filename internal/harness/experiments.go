@@ -34,6 +34,7 @@ func Fig6Async(s *Scheduler, ts *TraceSet) func() ([]Fig6Row, error) {
 		h               int
 		blocked, scalar *SuitePromise
 	}
+	b := NewBatch(s, ts)
 	var pts []point
 	for h := 6; h <= 12; h++ {
 		cfg := core.DefaultConfig()
@@ -41,10 +42,11 @@ func Fig6Async(s *Scheduler, ts *TraceSet) func() ([]Fig6Row, error) {
 		cfg.HistoryBits = h
 		pts = append(pts, point{
 			h:       h,
-			blocked: RunConfigAsync(s, ts, cfg),
+			blocked: b.RunConfig(cfg),
 			scalar:  RunScalarAsync(s, ts, h, cfg.Geometry.BlockWidth),
 		})
 	}
+	b.Flush()
 	return func() ([]Fig6Row, error) {
 		var rows []Fig6Row
 		for _, p := range pts {
@@ -98,13 +100,15 @@ type Fig7Row struct {
 // single-block fetching.
 func Fig7Async(s *Scheduler, ts *TraceSet) func() ([]Fig7Row, error) {
 	entries := []int{64, 128, 256, 512, 1024, 2048, 4096}
+	b := NewBatch(s, ts)
 	var promises []*SuitePromise
 	for _, e := range entries {
 		cfg := core.DefaultConfig()
 		cfg.Mode = core.SingleBlock
 		cfg.BITEntries = e
-		promises = append(promises, RunConfigAsync(s, ts, cfg))
+		promises = append(promises, b.RunConfig(cfg))
 	}
+	b.Flush()
 	return func() ([]Fig7Row, error) {
 		var rows []Fig7Row
 		for i, p := range promises {
@@ -160,6 +164,7 @@ func Fig8Async(s *Scheduler, ts *TraceSet) func() ([]Fig8Row, error) {
 		h, sts         int
 		single, double *SuitePromise
 	}
+	b := NewBatch(s, ts)
 	var pts []point
 	for h := 9; h <= 12; h++ {
 		for _, sts := range []int{1, 2, 4, 8} {
@@ -170,14 +175,15 @@ func Fig8Async(s *Scheduler, ts *TraceSet) func() ([]Fig8Row, error) {
 				cfg.NumSTs = sts
 				cfg.Selection = sel
 				if sel == metrics.SingleSelection {
-					p.single = RunConfigAsync(s, ts, cfg)
+					p.single = b.RunConfig(cfg)
 				} else {
-					p.double = RunConfigAsync(s, ts, cfg)
+					p.double = b.RunConfig(cfg)
 				}
 			}
 			pts = append(pts, p)
 		}
 	}
+	b.Flush()
 	return func() ([]Fig8Row, error) {
 		var rows []Fig8Row
 		for _, p := range pts {
@@ -235,6 +241,7 @@ func Table5Async(s *Scheduler, ts *TraceSet) func() ([]Table5Row, error) {
 		near    bool
 		promise *SuitePromise
 	}
+	b := NewBatch(s, ts)
 	var pts []point
 	add := func(kind core.TargetArrayKind, entries int) {
 		for _, near := range []bool{false, true} {
@@ -242,7 +249,7 @@ func Table5Async(s *Scheduler, ts *TraceSet) func() ([]Table5Row, error) {
 			cfg.TargetArray = kind
 			cfg.TargetEntries = entries
 			cfg.NearBlock = near
-			pts = append(pts, point{kind, entries, near, RunConfigAsync(s, ts, cfg)})
+			pts = append(pts, point{kind, entries, near, b.RunConfig(cfg)})
 		}
 	}
 	for _, e := range []int{8, 16, 32, 64} {
@@ -251,6 +258,7 @@ func Table5Async(s *Scheduler, ts *TraceSet) func() ([]Table5Row, error) {
 	for _, e := range []int{64, 128, 256, 512} {
 		add(core.NLS, e)
 	}
+	b.Flush()
 	return func() ([]Table5Row, error) {
 		var rows []Table5Row
 		for _, p := range pts {
@@ -316,6 +324,7 @@ func Table6Async(s *Scheduler, ts *TraceSet) func() ([]Table6Row, error) {
 		geom     icache.Geometry
 		one, two *SuitePromise
 	}
+	b := NewBatch(s, ts)
 	var pts []point
 	for _, kind := range []icache.Kind{icache.Normal, icache.Extended, icache.SelfAligned} {
 		geom := icache.ForKind(kind, 8)
@@ -326,13 +335,14 @@ func Table6Async(s *Scheduler, ts *TraceSet) func() ([]Table6Row, error) {
 			cfg.Mode = mode
 			cfg.NumSTs = 8
 			if mode == core.SingleBlock {
-				p.one = RunConfigAsync(s, ts, cfg)
+				p.one = b.RunConfig(cfg)
 			} else {
-				p.two = RunConfigAsync(s, ts, cfg)
+				p.two = b.RunConfig(cfg)
 			}
 		}
 		pts = append(pts, p)
 	}
+	b.Flush()
 	return func() ([]Table6Row, error) {
 		var rows []Table6Row
 		for _, p := range pts {
@@ -388,7 +398,9 @@ func Fig9Async(s *Scheduler, ts *TraceSet) func() ([]Fig9Row, error) {
 	cfg := core.DefaultConfig()
 	cfg.Geometry = icache.ForKind(icache.SelfAligned, 8)
 	cfg.NumSTs = 8
-	promise := RunConfigAsync(s, ts, cfg)
+	b := NewBatch(s, ts)
+	promise := b.RunConfig(cfg)
+	b.Flush()
 	return func() ([]Fig9Row, error) {
 		res, err := promise.Wait()
 		if err != nil {

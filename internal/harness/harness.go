@@ -34,6 +34,11 @@ type Options struct {
 	// from the resulting trace set (zero value = the packed fast path;
 	// the differential tests re-run on the reference backing).
 	Storage packed.Backing
+	// PerConfig disables config-parallel lane grouping for batches run
+	// from the resulting trace set (see TraceSet.PerConfig) — the lever
+	// drivers that build their own trace sets (the seed sweep) use to
+	// run the pre-lane execution shape.
+	PerConfig bool
 }
 
 // DefaultOptions returns the defaults used by the CLI.
@@ -71,6 +76,10 @@ type TraceSet struct {
 	// observer, when set, supplies an engine observer per run (see
 	// WithObserver).
 	observer func(program string) core.Observer
+
+	// lanesOff disables config-parallel lane grouping for batches run
+	// through this view (see PerConfig).
+	lanesOff bool
 }
 
 // WithStorage returns a view of the trace set that forces the given
@@ -137,6 +146,7 @@ func LoadTracesOn(s *Scheduler, o Options) (*TraceSet, error) {
 		warmup:     o.Warmup,
 		storage:    o.Storage,
 		storageSet: o.Storage != packed.BackingPacked,
+		lanesOff:   o.PerConfig,
 	}
 	type captured struct {
 		tr    *trace.Buffer
@@ -186,6 +196,7 @@ func LoadTracesCached(ctx context.Context, s *Scheduler, o Options, c *trace.Cac
 		warmup:     o.Warmup,
 		storage:    o.Storage,
 		storageSet: o.Storage != packed.BackingPacked,
+		lanesOff:   o.PerConfig,
 	}
 	n := o.instructions()
 	for _, name := range o.programs() {

@@ -58,6 +58,7 @@ func SeedsAsync(s *Scheduler, o Options, seeds []int64) func() ([]SeedsRow, erro
 				suites:     make(map[string]workload.Suite),
 				storage:    o.Storage,
 				storageSet: o.Storage != packed.BackingPacked,
+				lanesOff:   o.PerConfig,
 			}
 			for j, name := range o.programs() {
 				c, err := futs[i][j].Wait()
@@ -68,7 +69,10 @@ func SeedsAsync(s *Scheduler, o Options, seeds []int64) func() ([]SeedsRow, erro
 				ts.traces[name] = c.tr
 				ts.suites[name] = c.suite
 			}
-			res, err := RunConfigOn(s, ts, core.DefaultConfig())
+			b := NewBatch(s, ts)
+			p := b.RunConfig(core.DefaultConfig())
+			b.Flush()
+			res, err := p.Wait()
 			if err != nil {
 				return nil, err
 			}
@@ -136,6 +140,7 @@ func WidthsAsync(s *Scheduler, ts *TraceSet) func() ([]WidthsRow, error) {
 		width, blocks int
 		promise       *SuitePromise
 	}
+	b := NewBatch(s, ts)
 	var pts []point
 	for _, w := range []int{4, 8, 16} {
 		for _, blocks := range []int{1, 2} {
@@ -144,9 +149,10 @@ func WidthsAsync(s *Scheduler, ts *TraceSet) func() ([]WidthsRow, error) {
 			if blocks == 1 {
 				cfg.Mode = core.SingleBlock
 			}
-			pts = append(pts, point{w, blocks, RunConfigAsync(s, ts, cfg)})
+			pts = append(pts, point{w, blocks, b.RunConfig(cfg)})
 		}
 	}
+	b.Flush()
 	return func() ([]WidthsRow, error) {
 		var rows []WidthsRow
 		for _, p := range pts {
@@ -179,6 +185,7 @@ type ICacheRow struct {
 // ICacheAsync submits the finite-instruction-cache sweep.
 func ICacheAsync(s *Scheduler, ts *TraceSet) func() ([]ICacheRow, error) {
 	sizes := []int{0, 32, 64, 128, 256, 1024}
+	b := NewBatch(s, ts)
 	var promises []*SuitePromise
 	for _, lines := range sizes {
 		cfg := core.DefaultConfig()
@@ -187,8 +194,9 @@ func ICacheAsync(s *Scheduler, ts *TraceSet) func() ([]ICacheRow, error) {
 			cfg.ICacheAssoc = 2
 			cfg.ICacheMissPenalty = 10
 		}
-		promises = append(promises, RunConfigAsync(s, ts, cfg))
+		promises = append(promises, b.RunConfig(cfg))
 	}
+	b.Flush()
 	return func() ([]ICacheRow, error) {
 		var rows []ICacheRow
 		for i, p := range promises {

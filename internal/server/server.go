@@ -211,7 +211,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	cfg, opts, err := req.parse(s.cfg.MaxInstructions)
+	cfgs, opts, multi, err := req.parseAll(s.cfg.MaxInstructions)
 	if err != nil {
 		s.metrics.requestsBad.Add(1)
 		log.Warn("rejected request", "err", err)
@@ -245,22 +245,41 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if r.URL.Query().Get("stream") == "ndjson" || r.Header.Get("Accept") == "application/x-ndjson" {
-		s.streamSweep(ctx, w, log, start, sp, cfg, opts)
+		if multi {
+			s.metrics.requestsBad.Add(1)
+			err := errors.New("streaming supports a single config; use the configs field without stream=ndjson")
+			log.Warn("rejected request", "err", err)
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		s.streamSweep(ctx, w, log, start, sp, cfgs[0], opts)
 		return
 	}
 
-	resp, err := s.runSweep(ctx, sp, cfg, opts)
-	elapsed := time.Since(start)
-	s.metrics.observeLatency(elapsed)
-	if err != nil {
-		s.failSweep(w, log, err, elapsed)
-		return
+	var body []byte
+	var renderErr error
+	if multi {
+		resp, err := s.runSweepMulti(ctx, sp, cfgs, opts)
+		elapsed := time.Since(start)
+		s.metrics.observeLatency(elapsed)
+		if err != nil {
+			s.failSweep(w, log, err, elapsed)
+			return
+		}
+		body, renderErr = MarshalMultiResponse(resp)
+	} else {
+		resp, err := s.runSweep(ctx, sp, cfgs[0], opts)
+		elapsed := time.Since(start)
+		s.metrics.observeLatency(elapsed)
+		if err != nil {
+			s.failSweep(w, log, err, elapsed)
+			return
+		}
+		body, renderErr = MarshalResponse(resp)
 	}
-
-	body, err := MarshalResponse(resp)
-	if err != nil {
+	if renderErr != nil {
 		s.metrics.requestsErrored.Add(1)
-		s.writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, renderErr)
 		return
 	}
 	s.metrics.requestsOK.Add(1)
@@ -272,10 +291,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	sp.Mark("render")
 	w.Header().Set(stagesTrailer, sp.Header())
 	log.Info("sweep done",
-		"config", cfg.String(),
+		"config", cfgs[0].String(),
+		"configs", len(cfgs),
 		"programs", len(opts.Programs),
 		"instructions", opts.Instructions,
-		"dur_ms", elapsed.Milliseconds(),
+		"dur_ms", time.Since(start).Milliseconds(),
 		"stages", sp,
 		"queue", len(s.queue))
 }
@@ -298,6 +318,35 @@ func (s *Server) runSweep(ctx context.Context, sp *obs.Spans, cfg core.Config, o
 	}
 	sp.Mark("simulate")
 	return BuildSweepResponse(cfg, opts, res), nil
+}
+
+// runSweepMulti executes a multi-config request as one lane batch:
+// every configuration registers with a harness.Batch over the same
+// (cached) trace set, so configurations sharing a cache geometry run
+// as lockstep lanes of one trace walk per program. The responses are
+// exactly what runSweep would have produced for each configuration.
+func (s *Server) runSweepMulti(ctx context.Context, sp *obs.Spans, cfgs []core.Config, opts harness.Options) (MultiSweepResponse, error) {
+	ts, err := harness.LoadTracesCached(ctx, s.sched, opts, s.cache)
+	if err != nil {
+		return MultiSweepResponse{}, err
+	}
+	sp.Mark("capture")
+	b := harness.NewBatchCtx(ctx, s.sched, s.tapped(ts))
+	promises := make([]*harness.SuitePromise, len(cfgs))
+	for i, cfg := range cfgs {
+		promises[i] = b.RunConfig(cfg)
+	}
+	b.Flush()
+	resp := MultiSweepResponse{Sweeps: make([]SweepResponse, 0, len(cfgs))}
+	for i, p := range promises {
+		res, err := p.WaitCtx(ctx)
+		if err != nil {
+			return MultiSweepResponse{}, err
+		}
+		resp.Sweeps = append(resp.Sweeps, BuildSweepResponse(cfgs[i], opts, res))
+	}
+	sp.Mark("simulate")
+	return resp, nil
 }
 
 // tapped attaches the service-wide event tap to a trace set, when

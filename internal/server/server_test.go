@@ -120,6 +120,104 @@ func TestSweepDifferential(t *testing.T) {
 	}
 }
 
+// TestSweepMultiConfigDifferential pins the batched endpoint: a
+// multi-config request must return a MultiSweepResponse whose every
+// entry is byte-identical to the pre-lane single-config path (a
+// harness.Serial() per-config run of the same request), while the
+// trace cache records exactly one capture per program — the whole
+// point of lane batching is that N configurations cost one trace walk,
+// not N.
+func TestSweepMultiConfigDifferential(t *testing.T) {
+	s := newTestServer(t, Config{})
+	opts := harness.Options{Instructions: 25_000, Programs: []string{"li", "swim"}}
+	ts, err := harness.LoadTracesOn(harness.Serial(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgs := pinnedConfigs()
+	want := MultiSweepResponse{}
+	raws := make([]json.RawMessage, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		ref, err := harness.RunConfigOn(harness.Serial(), ts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Sweeps = append(want.Sweeps, BuildSweepResponse(cfg, opts, ref))
+		raws = append(raws, configJSON(t, cfg))
+	}
+	wantBody, err := MarshalMultiResponse(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := postSweep(t, s.Handler(), SweepRequest{
+		Configs:      raws,
+		Programs:     opts.Programs,
+		Instructions: opts.Instructions,
+	}, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	if got := w.Body.Bytes(); !bytes.Equal(got, wantBody) {
+		t.Errorf("multi-config body differs from per-config serial reference\ngot:  %s\nwant: %s", got, wantBody)
+	}
+
+	// One capture per program, no matter how many configurations rode
+	// the request; /metrics carries the same counters.
+	hits, misses := s.cache.Stats()
+	if misses != uint64(len(opts.Programs)) {
+		t.Errorf("cache misses = %d, want %d (one capture per program, not per config)",
+			misses, len(opts.Programs))
+	}
+	if hits != 0 {
+		t.Errorf("cache hits = %d, want 0 on a cold cache", hits)
+	}
+	mw := httptest.NewRecorder()
+	s.Handler().ServeHTTP(mw, httptest.NewRequest("GET", "/metrics", nil))
+	var m map[string]any
+	if err := json.Unmarshal(mw.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if got := m["trace_cache_misses"].(float64); got != float64(len(opts.Programs)) {
+		t.Errorf("/metrics trace_cache_misses = %v, want %d", got, len(opts.Programs))
+	}
+}
+
+// TestSweepMultiConfigRejections pins the multi-config validation
+// surface: mutually exclusive fields, per-entry validation with the
+// index named, and no NDJSON streaming of batches.
+func TestSweepMultiConfigRejections(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	def := configJSON(t, core.DefaultConfig())
+
+	w := postSweep(t, h, SweepRequest{Config: def, Configs: []json.RawMessage{def}}, "")
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("config+configs: status = %d, want 400", w.Code)
+	}
+
+	w = postSweep(t, h, SweepRequest{
+		Configs:  []json.RawMessage{def, json.RawMessage(`{"NumSTs":3}`)},
+		Programs: []string{"li"},
+	}, "")
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("bad entry: status = %d, want 400", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "configs[1]") {
+		t.Errorf("bad entry error does not name the index: %s", w.Body.String())
+	}
+
+	w = postSweep(t, h, SweepRequest{
+		Configs:      []json.RawMessage{def},
+		Programs:     []string{"li"},
+		Instructions: 5_000,
+	}, "?stream=ndjson")
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("multi+stream: status = %d, want 400; body %s", w.Code, w.Body.String())
+	}
+}
+
 // TestSweepStreamNDJSON checks the streaming variant: one line per
 // program in suite order, then an aggregates line, all agreeing with
 // the serial reference.

@@ -20,6 +20,14 @@ type SweepRequest struct {
 	// take the paper's §4 defaults, and an omitted Config is the
 	// default configuration outright.
 	Config json.RawMessage `json:"config,omitempty"`
+	// Configs submits several configurations as one request; the
+	// response is a MultiSweepResponse whose sweeps correspond 1:1 and
+	// are each byte-identical to the single-config response for that
+	// entry. Configurations sharing a cache geometry run as lockstep
+	// lanes over one trace walk per program (core.LaneSet), so a
+	// 20-config comparison costs about one simulation. Mutually
+	// exclusive with Config; not available with NDJSON streaming.
+	Configs []json.RawMessage `json:"configs,omitempty"`
 	// Programs restricts the workload set (empty = the full 18-program
 	// suite).
 	Programs []string `json:"programs,omitempty"`
@@ -42,6 +50,41 @@ func (r *SweepRequest) parse(maxInstructions uint64) (core.Config, harness.Optio
 			return core.Config{}, harness.Options{}, err
 		}
 	}
+	o, err := r.options(maxInstructions)
+	if err != nil {
+		return core.Config{}, harness.Options{}, err
+	}
+	return cfg, o, nil
+}
+
+// parseAll resolves single- and multi-config requests alike: the
+// returned slice has one entry per requested configuration and multi
+// reports which response schema the client asked for (Configs set).
+func (r *SweepRequest) parseAll(maxInstructions uint64) (cfgs []core.Config, o harness.Options, multi bool, err error) {
+	if len(r.Configs) == 0 {
+		cfg, o, err := r.parse(maxInstructions)
+		return []core.Config{cfg}, o, false, err
+	}
+	if len(r.Config) > 0 {
+		return nil, harness.Options{}, true,
+			fmt.Errorf("config and configs are mutually exclusive")
+	}
+	for i, raw := range r.Configs {
+		cfg, err := core.LoadConfigJSON(bytes.NewReader(raw))
+		if err != nil {
+			return nil, harness.Options{}, true, fmt.Errorf("configs[%d]: %w", i, err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	o, err = r.options(maxInstructions)
+	if err != nil {
+		return nil, harness.Options{}, true, err
+	}
+	return cfgs, o, true, nil
+}
+
+// options resolves the workload-set part of the request.
+func (r *SweepRequest) options(maxInstructions uint64) (harness.Options, error) {
 	o := harness.Options{
 		Instructions: r.Instructions,
 		Programs:     r.Programs,
@@ -51,18 +94,18 @@ func (r *SweepRequest) parse(maxInstructions uint64) (core.Config, harness.Optio
 		o.Instructions = 1_000_000
 	}
 	if o.Instructions > maxInstructions {
-		return core.Config{}, harness.Options{},
+		return harness.Options{},
 			fmt.Errorf("instructions %d exceeds server limit %d", o.Instructions, maxInstructions)
 	}
 	for _, name := range o.Programs {
 		if _, err := workload.Get(name); err != nil {
-			return core.Config{}, harness.Options{}, err
+			return harness.Options{}, err
 		}
 	}
 	if len(o.Programs) == 0 {
 		o.Programs = workload.Names()
 	}
-	return cfg, o, nil
+	return o, nil
 }
 
 // ProgramResult is one program's simulation outcome: the raw counter
@@ -128,6 +171,27 @@ func BuildSweepResponse(cfg core.Config, o harness.Options, res *harness.SuiteRe
 // tests compare bytes against the reference path with no second
 // encoder to drift.
 func MarshalResponse(resp SweepResponse) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// MultiSweepResponse is the body of a completed multi-config sweep:
+// one SweepResponse per requested configuration, in request order.
+// Each entry is the same document the single-config endpoint would
+// return for that configuration — lane batching changes cost, not
+// content.
+type MultiSweepResponse struct {
+	Sweeps []SweepResponse `json:"sweeps"`
+}
+
+// MarshalMultiResponse renders a multi-config response body exactly as
+// the handler writes it.
+func MarshalMultiResponse(resp MultiSweepResponse) ([]byte, error) {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,79 @@
+package mbbp
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRunManyMatchesRun: every RunMany result is identical to the
+// corresponding single Run over the same trace, including across a
+// geometry split (normal + self-aligned lanes in one call).
+func TestRunManyMatchesRun(t *testing.T) {
+	tr, err := WorkloadTrace("li", 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []Config{
+		DefaultConfig(),
+		NewConfig(WithHistoryBits(12)),
+		NewConfig(WithCache(CacheSelfAligned, 8)),
+		NewConfig(WithSingleBlock()),
+	}
+	ctx := context.Background()
+	many, err := RunMany(ctx, cfgs, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(many) != len(cfgs) {
+		t.Fatalf("got %d results for %d configs", len(many), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		solo, err := Run(ctx, cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if many[i] != solo {
+			t.Errorf("config %d diverges:\n many %+v\n solo %+v", i, many[i], solo)
+		}
+	}
+}
+
+// TestRunManyErrors: nil sources, empty sets and invalid configurations
+// are rejected before any simulation, with the config index named.
+func TestRunManyErrors(t *testing.T) {
+	tr, err := WorkloadTrace("li", 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := RunMany(ctx, []Config{DefaultConfig()}, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := RunMany(ctx, nil, tr); err == nil {
+		t.Error("empty config set accepted")
+	}
+	bad := DefaultConfig()
+	bad.HistoryBits = -3
+	_, err = RunMany(ctx, []Config{DefaultConfig(), bad}, tr)
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if !errors.Is(err, ErrInvalidConfig) || !strings.Contains(err.Error(), "config 1") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+// TestRunManyCancellation: a pre-cancelled context yields no results.
+func TestRunManyCancellation(t *testing.T) {
+	tr, err := WorkloadTrace("li", 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunMany(ctx, []Config{DefaultConfig()}, tr); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Reproducible benchmark pipeline: build mbpexp, time the pinned sweep
-# set serially, on the work-stealing pool, and serially on the
+# set serially per-config, on the work-stealing pool, serially on the
 # slice-backed reference storage (packed-vs-reference ns/instruction),
-# and record the result in BENCH_sweep.json (schema
-# mbbp/bench-sweep/v2), then validate it.
+# and serially with config-parallel lanes (lane_speedup = per-config /
+# lanes), and record the result in BENCH_sweep.json (schema
+# mbbp/bench-sweep/v3), then validate it.
 #
 # Usage: scripts/bench.sh [instructions-per-program]
 # Default 200000 keeps a full run under a minute on a laptop while still
