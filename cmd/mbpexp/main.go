@@ -18,13 +18,16 @@
 // one work-stealing pool and folds results in declaration order, so
 // the output is byte-identical to a serial run; `all` shares the pool
 // across experiments. `bench` times the pinned sweep set serially and
-// in parallel and writes BENCH_sweep.json; `benchcheck` validates it.
+// across a worker matrix (-workers, default 1,2,4,NumCPU; GOMAXPROCS
+// pinned per row) and writes BENCH_sweep.json; `benchcheck` validates
+// it and, with -minspeedup, gates the recorded scaling.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"mbbp/internal/core"
@@ -39,7 +42,10 @@ func main() {
 	chart := flag.Bool("chart", false, "draw terminal charts alongside the tables")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of tables (fig6-9, table5-6)")
 	benchOut := flag.String("benchout", "BENCH_sweep.json", "bench/benchcheck: benchmark report file (- = stdout)")
-	workers := flag.Int("workers", 0, "bench: parallel pool size (0 = GOMAXPROCS)")
+	workers := flag.String("workers", "", "bench: comma-separated worker-matrix counts (default 1,2,4,NumCPU)")
+	minSpeedup := flag.Float64("minspeedup", 0, "benchcheck: fail unless -scalesweep's speedup at -scaleworkers reaches this floor (0 = schema check only)")
+	scaleSweep := flag.String("scalesweep", "fig6", "benchcheck: sweep the -minspeedup floor applies to")
+	scaleWorkers := flag.Int("scaleworkers", 4, "benchcheck: worker count the -minspeedup floor applies to")
 	storage := flag.String("storage", "packed", "predictor state backing: packed or reference (the slice-backed equivalence oracle)")
 	topN := flag.Int("topn", harness.DefaultEventsTopN, "events: block addresses shown per misprediction kind")
 	flag.Usage = func() {
@@ -304,7 +310,7 @@ func main() {
 	}
 
 	if what == "benchcheck" {
-		if err := checkBench(*benchOut); err != nil {
+		if err := checkBench(*benchOut, *scaleSweep, *scaleWorkers, *minSpeedup); err != nil {
 			fail(err)
 		}
 		return
@@ -321,9 +327,30 @@ func main() {
 	fmt.Println()
 }
 
+// parseWorkers turns the -workers flag into the matrix's worker
+// counts; empty means the default matrix (1, 2, 4, NumCPU).
+func parseWorkers(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q (want positive integers, comma-separated)", part)
+		}
+		counts = append(counts, w)
+	}
+	return counts, nil
+}
+
 // runBench executes the benchmark pipeline and writes the JSON report.
-func runBench(ts *harness.TraceSet, n uint64, workers int, out string) error {
-	rep, err := harness.RunBench(ts, n, workers)
+func runBench(ts *harness.TraceSet, n uint64, workers string, out string) error {
+	counts, err := parseWorkers(workers)
+	if err != nil {
+		return err
+	}
+	rep, err := harness.RunBench(ts, n, counts)
 	if err != nil {
 		return err
 	}
@@ -346,8 +373,10 @@ func runBench(ts *harness.TraceSet, n uint64, workers int, out string) error {
 	return nil
 }
 
-// checkBench validates an existing benchmark report against the schema.
-func checkBench(path string) error {
+// checkBench validates an existing benchmark report against the schema
+// and, when a floor is given, gates the worker-matrix speedup — the CI
+// scaling-smoke job's teeth.
+func checkBench(path, sweep string, workers int, minSpeedup float64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -360,6 +389,14 @@ func checkBench(path string) error {
 	if err := rep.Check(); err != nil {
 		return err
 	}
-	fmt.Printf("%s: ok (%s, %d sweeps, speedup %.2fx)\n", path, rep.Schema, len(rep.Sweeps), rep.Speedup)
+	if minSpeedup > 0 {
+		if err := rep.GateScaling(sweep, workers, minSpeedup); err != nil {
+			return err
+		}
+		row, _ := rep.MatrixRow(sweep, workers)
+		fmt.Printf("%s: scaling gate ok (%s at %d workers: %.2fx >= %.2fx, efficiency %.2f)\n",
+			path, sweep, workers, row.SpeedupVs1, minSpeedup, row.Efficiency)
+	}
+	fmt.Printf("%s: ok (%s, %d sweeps, lane-speedup %.2fx)\n", path, rep.Schema, len(rep.Sweeps), rep.LaneSpeedup)
 	return nil
 }

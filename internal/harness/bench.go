@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"text/tabwriter"
 	"time"
 
@@ -14,21 +15,75 @@ import (
 )
 
 // The reproducible benchmark pipeline behind `mbpexp bench` and
-// scripts/bench.sh: a fixed set of representative sweeps is run four
-// times over pinned-seed traces — serially per-config on the packed
-// path, per-config on a fresh parallel pool, serially per-config on
-// the slice-backed reference storage, and serially with config-parallel
-// lanes (the default execution shape: same-geometry configurations
-// share one trace walk) — and the wall-clock, per-instruction and
-// allocation numbers land in BENCH_sweep.json. The workloads are fully
-// deterministic, so the simulated numbers never vary between passes;
-// only the timings do.
+// scripts/bench.sh: a fixed set of representative sweeps is run over
+// pinned-seed traces serially per-config on the packed path, serially
+// per-config on the slice-backed reference storage, serially with
+// config-parallel lanes, and then — the v4 worker matrix — in the
+// default execution shape (lanes on) on a fresh work-stealing pool at
+// every worker count in the matrix, with GOMAXPROCS pinned to the pool
+// size and the pool's telemetry snapshotted per row. Wall-clock,
+// per-instruction, allocation and scaling numbers land in
+// BENCH_sweep.json. The workloads are fully deterministic, so the
+// simulated numbers never vary between passes; only the timings do.
 
-// BenchSchema identifies the BENCH_sweep.json layout. v3 adds the
-// config-parallel lane pass (lane_ns, lane_ns_per_instruction,
-// lane_speedup, total_lane_ns) and the fig8 sweep — 32 same-geometry
-// configurations, the lane grouping's best case.
-const BenchSchema = "mbbp/bench-sweep/v3"
+// BenchSchema identifies the BENCH_sweep.json layout. v4 replaces the
+// single pooled pass (parallel_ns/speedup at one fixed worker count)
+// with a per-sweep worker matrix: one row per worker count with
+// GOMAXPROCS pinned to match, speedup and efficiency against the
+// one-worker row, and a scheduler-telemetry snapshot (steals, parks,
+// queue depth, per-worker busy time) so scaling bottlenecks are
+// visible in the committed artifact, not just reproducible locally.
+const BenchSchema = "mbbp/bench-sweep/v4"
+
+// PoolSnapshot is the scheduler telemetry recorded after one worker-
+// matrix pass — a JSON projection of harness.PoolStats.
+type PoolSnapshot struct {
+	Submits       uint64  `json:"submits"`
+	OwnPops       uint64  `json:"own_pops"`
+	Steals        uint64  `json:"steals"`
+	Parks         uint64  `json:"parks"`
+	MaxQueueDepth int     `json:"max_queue_depth"`
+	WorkerBusyNs  []int64 `json:"worker_busy_ns"`
+}
+
+// snapshotPool projects a PoolStats into its JSON form.
+func snapshotPool(st PoolStats) PoolSnapshot {
+	snap := PoolSnapshot{
+		Submits:       st.Submits,
+		OwnPops:       st.OwnPops,
+		Steals:        st.Steals,
+		Parks:         st.Parks,
+		MaxQueueDepth: st.MaxQueueDepth,
+	}
+	for _, d := range st.WorkerBusy {
+		snap.WorkerBusyNs = append(snap.WorkerBusyNs, int64(d))
+	}
+	return snap
+}
+
+// WorkerRow is one worker-count measurement of a sweep: the sweep run
+// in its default execution shape (config-parallel lanes on) on a fresh
+// pool of Workers workers with GOMAXPROCS pinned to match.
+type WorkerRow struct {
+	Workers          int     `json:"workers"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	Ns               int64   `json:"ns"`
+	NsPerInstruction float64 `json:"ns_per_instruction"`
+	// SpeedupVs1 is the one-worker row's Ns divided by this row's Ns,
+	// and Efficiency is SpeedupVs1 / Workers (1.0 = perfectly linear).
+	SpeedupVs1 float64      `json:"speedup_vs_1"`
+	Efficiency float64      `json:"efficiency"`
+	Pool       PoolSnapshot `json:"pool"`
+}
+
+// WorkerTotal is the report-level scaling summary for one worker
+// count: the matrix pass times summed across sweeps.
+type WorkerTotal struct {
+	Workers    int     `json:"workers"`
+	TotalNs    int64   `json:"total_ns"`
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+	Efficiency float64 `json:"efficiency"`
+}
 
 // BenchSweep is one benchmarked sweep's timing record.
 type BenchSweep struct {
@@ -41,12 +96,9 @@ type BenchSweep struct {
 	// Instructions is the nominal dynamic instruction count simulated
 	// (jobs × instructions per program).
 	Instructions uint64 `json:"instructions_simulated"`
-	// SerialNs and ParallelNs are the wall-clock times of the serial
-	// reference pass and the pooled pass.
-	SerialNs   int64 `json:"serial_ns"`
-	ParallelNs int64 `json:"parallel_ns"`
-	// Speedup is SerialNs / ParallelNs.
-	Speedup float64 `json:"speedup"`
+	// SerialNs is the wall-clock time of the serial per-config
+	// reference pass (one independent engine run per configuration).
+	SerialNs int64 `json:"serial_ns"`
 	// ReferenceNs is the wall-clock of the same sweep run serially on
 	// the slice-backed reference storage, and PackedSpeedup is
 	// ReferenceNs / SerialNs — how much the bit-packed fast path buys
@@ -59,37 +111,61 @@ type BenchSweep struct {
 	// grouping buys over one independent engine run per configuration.
 	LaneNs      int64   `json:"lane_ns"`
 	LaneSpeedup float64 `json:"lane_speedup"`
-	// SerialNsPerInstruction, ParallelNsPerInstruction,
-	// ReferenceNsPerInstruction and LaneNsPerInstruction normalize the
-	// wall-clock by the simulated instruction count.
+	// SerialNsPerInstruction, ReferenceNsPerInstruction and
+	// LaneNsPerInstruction normalize the wall-clock by the simulated
+	// instruction count.
 	SerialNsPerInstruction    float64 `json:"serial_ns_per_instruction"`
-	ParallelNsPerInstruction  float64 `json:"parallel_ns_per_instruction"`
 	ReferenceNsPerInstruction float64 `json:"reference_ns_per_instruction"`
 	LaneNsPerInstruction      float64 `json:"lane_ns_per_instruction"`
 	// AllocsPerJob and BytesPerJob are heap allocation counts per
 	// engine run, measured on the serial pass (no concurrent noise).
 	AllocsPerJob uint64 `json:"allocs_per_job"`
 	BytesPerJob  uint64 `json:"bytes_per_job"`
+	// WorkerMatrix is the scaling measurement: one row per worker
+	// count (matching the report's WorkerCounts, ascending), each the
+	// sweep's default shape on a fresh pool with GOMAXPROCS pinned.
+	WorkerMatrix []WorkerRow `json:"worker_matrix"`
 }
 
 // BenchReport is the BENCH_sweep.json document.
 type BenchReport struct {
-	Schema                 string       `json:"schema"`
-	GoVersion              string       `json:"go_version"`
-	GOOS                   string       `json:"goos"`
-	GOARCH                 string       `json:"goarch"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// GOMAXPROCS is the ambient setting outside the matrix passes
+	// (each matrix row pins its own); NumCPU is the host's core count
+	// — the ceiling any honest wall-clock speedup can reach, which the
+	// scaling gate checks before enforcing a floor.
 	GOMAXPROCS             int          `json:"gomaxprocs"`
-	Workers                int          `json:"workers"`
+	NumCPU                 int          `json:"num_cpu"`
+	WorkerCounts           []int        `json:"worker_counts"`
 	InstructionsPerProgram uint64       `json:"instructions_per_program"`
 	Programs               int          `json:"programs"`
 	Sweeps                 []BenchSweep `json:"sweeps"`
 	TotalSerialNs          int64        `json:"total_serial_ns"`
-	TotalParallelNs        int64        `json:"total_parallel_ns"`
 	TotalReferenceNs       int64        `json:"total_reference_ns"`
 	TotalLaneNs            int64        `json:"total_lane_ns"`
-	Speedup                float64      `json:"speedup"`
 	PackedSpeedup          float64      `json:"packed_speedup"`
 	LaneSpeedup            float64      `json:"lane_speedup"`
+	// Scaling sums the matrix passes across sweeps, one entry per
+	// worker count.
+	Scaling []WorkerTotal `json:"scaling"`
+}
+
+// DefaultWorkerCounts returns the pinned worker matrix {1, 2, 4,
+// NumCPU}, deduplicated and ascending — on a 4-core host {1, 2, 4}, on
+// a 16-core host {1, 2, 4, 16}.
+func DefaultWorkerCounts() []int {
+	counts := []int{1, 2, 4, runtime.NumCPU()}
+	sort.Ints(counts)
+	out := counts[:1]
+	for _, c := range counts[1:] {
+		if c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // widthSweep runs a single storage-heavy configuration (history length
@@ -136,12 +212,50 @@ var benchSweeps = []struct {
 	{"width16", 1, widthSweep(16)},
 }
 
-// RunBench executes the pinned sweep set over ts serially and on a
-// fresh pool of the given size (0 = GOMAXPROCS), and returns the
-// timing report. Trace capture is excluded from the timings.
-func RunBench(ts *TraceSet, instructions uint64, workers int) (*BenchReport, error) {
-	pool := NewScheduler(workers)
+// runMatrixRow times one sweep at one worker count: a fresh pool of w
+// workers, GOMAXPROCS pinned to w for the duration, telemetry
+// snapshotted before the pool closes. The GOMAXPROCS pin is restored
+// before returning even on error.
+func runMatrixRow(b func(*Scheduler, *TraceSet) error, ts *TraceSet, w int) (WorkerRow, error) {
+	prev := runtime.GOMAXPROCS(w)
+	defer runtime.GOMAXPROCS(prev)
+	pool := NewScheduler(w)
 	defer pool.Close()
+	start := time.Now()
+	if err := b(pool, ts); err != nil {
+		return WorkerRow{}, err
+	}
+	ns := time.Since(start).Nanoseconds()
+	return WorkerRow{
+		Workers:    w,
+		GOMAXPROCS: w,
+		Ns:         ns,
+		Pool:       snapshotPool(pool.Stats()),
+	}, nil
+}
+
+// RunBench executes the pinned sweep set over ts — serially per-config,
+// serially on the reference storage, serially with lanes, and across
+// the worker matrix — and returns the timing report. workerCounts nil
+// or empty means DefaultWorkerCounts(); a count of 1 is always
+// included (it is the matrix baseline). Trace capture is excluded from
+// the timings.
+func RunBench(ts *TraceSet, instructions uint64, workerCounts []int) (*BenchReport, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = DefaultWorkerCounts()
+	}
+	counts := append([]int{1}, workerCounts...)
+	sort.Ints(counts)
+	dedup := counts[:1]
+	for _, c := range counts[1:] {
+		if c < 1 {
+			return nil, fmt.Errorf("bench: worker count %d out of range", c)
+		}
+		if c != dedup[len(dedup)-1] {
+			dedup = append(dedup, c)
+		}
+	}
+	counts = dedup
 
 	rep := &BenchReport{
 		Schema:                 BenchSchema,
@@ -149,10 +263,12 @@ func RunBench(ts *TraceSet, instructions uint64, workers int) (*BenchReport, err
 		GOOS:                   runtime.GOOS,
 		GOARCH:                 runtime.GOARCH,
 		GOMAXPROCS:             runtime.GOMAXPROCS(0),
-		Workers:                pool.Workers(),
+		NumCPU:                 runtime.NumCPU(),
+		WorkerCounts:           counts,
 		InstructionsPerProgram: instructions,
 		Programs:               len(ts.Programs()),
 	}
+	matrixTotals := make([]int64, len(counts))
 	for _, b := range benchSweeps {
 		jobs := b.configs * len(ts.Programs())
 		sweep := BenchSweep{
@@ -179,13 +295,6 @@ func RunBench(ts *TraceSet, instructions uint64, workers int) (*BenchReport, err
 			sweep.BytesPerJob = (after.TotalAlloc - before.TotalAlloc) / uint64(jobs)
 		}
 
-		// Per-config parallel pass on the pool.
-		start = time.Now()
-		if err := b.run(pool, perConfig); err != nil {
-			return nil, fmt.Errorf("bench %s (parallel): %w", b.name, err)
-		}
-		sweep.ParallelNs = time.Since(start).Nanoseconds()
-
 		// Reference-storage pass: the same drivers, serially per-config,
 		// on the slice-backed oracle (apples to apples against SerialNs).
 		start = time.Now()
@@ -202,9 +311,26 @@ func RunBench(ts *TraceSet, instructions uint64, workers int) (*BenchReport, err
 		}
 		sweep.LaneNs = time.Since(start).Nanoseconds()
 
-		if sweep.ParallelNs > 0 {
-			sweep.Speedup = float64(sweep.SerialNs) / float64(sweep.ParallelNs)
+		// Worker matrix: the default shape on a fresh pool per worker
+		// count, GOMAXPROCS pinned to match.
+		for i, w := range counts {
+			row, err := runMatrixRow(b.run, ts, w)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s (%d workers): %w", b.name, w, err)
+			}
+			if base := sweep.WorkerMatrix; len(base) > 0 && row.Ns > 0 {
+				row.SpeedupVs1 = float64(base[0].Ns) / float64(row.Ns)
+			} else {
+				row.SpeedupVs1 = 1
+			}
+			row.Efficiency = row.SpeedupVs1 / float64(w)
+			if sweep.Instructions > 0 {
+				row.NsPerInstruction = float64(row.Ns) / float64(sweep.Instructions)
+			}
+			sweep.WorkerMatrix = append(sweep.WorkerMatrix, row)
+			matrixTotals[i] += row.Ns
 		}
+
 		if sweep.SerialNs > 0 {
 			sweep.PackedSpeedup = float64(sweep.ReferenceNs) / float64(sweep.SerialNs)
 		}
@@ -213,24 +339,27 @@ func RunBench(ts *TraceSet, instructions uint64, workers int) (*BenchReport, err
 		}
 		if sweep.Instructions > 0 {
 			sweep.SerialNsPerInstruction = float64(sweep.SerialNs) / float64(sweep.Instructions)
-			sweep.ParallelNsPerInstruction = float64(sweep.ParallelNs) / float64(sweep.Instructions)
 			sweep.ReferenceNsPerInstruction = float64(sweep.ReferenceNs) / float64(sweep.Instructions)
 			sweep.LaneNsPerInstruction = float64(sweep.LaneNs) / float64(sweep.Instructions)
 		}
 		rep.Sweeps = append(rep.Sweeps, sweep)
 		rep.TotalSerialNs += sweep.SerialNs
-		rep.TotalParallelNs += sweep.ParallelNs
 		rep.TotalReferenceNs += sweep.ReferenceNs
 		rep.TotalLaneNs += sweep.LaneNs
-	}
-	if rep.TotalParallelNs > 0 {
-		rep.Speedup = float64(rep.TotalSerialNs) / float64(rep.TotalParallelNs)
 	}
 	if rep.TotalSerialNs > 0 {
 		rep.PackedSpeedup = float64(rep.TotalReferenceNs) / float64(rep.TotalSerialNs)
 	}
 	if rep.TotalLaneNs > 0 {
 		rep.LaneSpeedup = float64(rep.TotalSerialNs) / float64(rep.TotalLaneNs)
+	}
+	for i, w := range counts {
+		wt := WorkerTotal{Workers: w, TotalNs: matrixTotals[i]}
+		if wt.TotalNs > 0 {
+			wt.SpeedupVs1 = float64(matrixTotals[0]) / float64(wt.TotalNs)
+			wt.Efficiency = wt.SpeedupVs1 / float64(w)
+		}
+		rep.Scaling = append(rep.Scaling, wt)
 	}
 	return rep, nil
 }
@@ -242,7 +371,10 @@ func (r *BenchReport) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// ReadBenchReport parses a BENCH_sweep.json document.
+// ReadBenchReport parses a BENCH_sweep.json document. Unknown fields
+// are rejected, which is what fails v2/v3 documents with an error
+// naming the stale field (their parallel-pass fields no longer exist
+// in v4) before the schema tag is even compared.
 func ReadBenchReport(r io.Reader) (*BenchReport, error) {
 	var rep BenchReport
 	dec := json.NewDecoder(r)
@@ -253,10 +385,50 @@ func ReadBenchReport(r io.Reader) (*BenchReport, error) {
 	return &rep, nil
 }
 
-// Check validates the report against the v3 schema: every field a
-// downstream consumer (CI, the bench trajectory) relies on must be
-// present and plausible. Older schemas (v2 and before) are rejected —
-// they lack the lane pass.
+// MatrixRow returns the named sweep's worker-matrix row at the given
+// worker count.
+func (r *BenchReport) MatrixRow(sweep string, workers int) (WorkerRow, bool) {
+	for _, s := range r.Sweeps {
+		if s.Name != sweep {
+			continue
+		}
+		for _, row := range s.WorkerMatrix {
+			if row.Workers == workers {
+				return row, true
+			}
+		}
+	}
+	return WorkerRow{}, false
+}
+
+// GateScaling enforces the CI scaling floor: the named sweep's
+// worker-matrix row at the given worker count must show SpeedupVs1 of
+// at least floor. A report generated on a host with fewer cores than
+// the gated worker count is rejected outright — a wall-clock speedup
+// on an oversubscribed host proves nothing, and silently passing would
+// let a single-core runner green-light a scaling regression.
+func (r *BenchReport) GateScaling(sweep string, workers int, floor float64) error {
+	if r.NumCPU < workers {
+		return fmt.Errorf("bench report: scaling gate needs >= %d cores, report host has %d — run on a multi-core host",
+			workers, r.NumCPU)
+	}
+	row, ok := r.MatrixRow(sweep, workers)
+	if !ok {
+		return fmt.Errorf("bench report: sweep %q has no worker-matrix row at %d workers", sweep, workers)
+	}
+	if row.SpeedupVs1 < floor {
+		return fmt.Errorf("bench report: sweep %q speedup at %d workers = %.2fx, floor %.2fx (efficiency %.2f)",
+			sweep, workers, row.SpeedupVs1, floor, row.Efficiency)
+	}
+	return nil
+}
+
+// Check validates the report against the v4 schema: every field a
+// downstream consumer (CI, the bench trajectory, the scaling gate)
+// relies on must be present and plausible. Older schemas are rejected
+// — v3 and before carry the retired single-pass parallel fields and
+// fail ReadBenchReport on the field name, and a v4-shaped document
+// with a stale tag fails here.
 func (r *BenchReport) Check() error {
 	if r.Schema != BenchSchema {
 		return fmt.Errorf("bench report: schema %q, want %q", r.Schema, BenchSchema)
@@ -264,8 +436,17 @@ func (r *BenchReport) Check() error {
 	if r.GoVersion == "" || r.GOOS == "" || r.GOARCH == "" {
 		return fmt.Errorf("bench report: missing toolchain identification")
 	}
-	if r.GOMAXPROCS < 1 || r.Workers < 1 {
-		return fmt.Errorf("bench report: GOMAXPROCS %d / workers %d out of range", r.GOMAXPROCS, r.Workers)
+	if r.GOMAXPROCS < 1 || r.NumCPU < 1 {
+		return fmt.Errorf("bench report: GOMAXPROCS %d / num_cpu %d out of range", r.GOMAXPROCS, r.NumCPU)
+	}
+	if len(r.WorkerCounts) == 0 || r.WorkerCounts[0] != 1 {
+		return fmt.Errorf("bench report: worker_counts %v must be non-empty and start at 1 (the matrix baseline)",
+			r.WorkerCounts)
+	}
+	for i := 1; i < len(r.WorkerCounts); i++ {
+		if r.WorkerCounts[i] <= r.WorkerCounts[i-1] {
+			return fmt.Errorf("bench report: worker_counts %v not strictly ascending", r.WorkerCounts)
+		}
 	}
 	if r.InstructionsPerProgram == 0 || r.Programs == 0 {
 		return fmt.Errorf("bench report: empty workload (n=%d, programs=%d)",
@@ -282,9 +463,8 @@ func (r *BenchReport) Check() error {
 			return fmt.Errorf("bench report: sweep %s: jobs %d != configs %d x programs %d",
 				s.Name, s.Jobs, s.Configs, r.Programs)
 		}
-		if s.SerialNs <= 0 || s.ParallelNs <= 0 || s.Speedup <= 0 {
-			return fmt.Errorf("bench report: sweep %s: non-positive timings (%d, %d, %g)",
-				s.Name, s.SerialNs, s.ParallelNs, s.Speedup)
+		if s.SerialNs <= 0 {
+			return fmt.Errorf("bench report: sweep %s: non-positive serial timing (%d)", s.Name, s.SerialNs)
 		}
 		if s.ReferenceNs <= 0 || s.PackedSpeedup <= 0 {
 			return fmt.Errorf("bench report: sweep %s: missing reference-storage pass (%d, %g)",
@@ -295,36 +475,91 @@ func (r *BenchReport) Check() error {
 				s.Name, s.LaneNs, s.LaneSpeedup)
 		}
 		if s.Instructions == 0 || s.SerialNsPerInstruction <= 0 ||
-			s.ParallelNsPerInstruction <= 0 || s.ReferenceNsPerInstruction <= 0 ||
-			s.LaneNsPerInstruction <= 0 {
+			s.ReferenceNsPerInstruction <= 0 || s.LaneNsPerInstruction <= 0 {
 			return fmt.Errorf("bench report: sweep %s: missing per-instruction normalization", s.Name)
 		}
+		if len(s.WorkerMatrix) != len(r.WorkerCounts) {
+			return fmt.Errorf("bench report: sweep %s: %d worker-matrix rows, want %d (one per worker count)",
+				s.Name, len(s.WorkerMatrix), len(r.WorkerCounts))
+		}
+		for i, row := range s.WorkerMatrix {
+			if row.Workers != r.WorkerCounts[i] {
+				return fmt.Errorf("bench report: sweep %s: matrix row %d has workers %d, want %d",
+					s.Name, i, row.Workers, r.WorkerCounts[i])
+			}
+			if row.GOMAXPROCS != row.Workers {
+				return fmt.Errorf("bench report: sweep %s: matrix row at %d workers ran with GOMAXPROCS %d (must be pinned to match)",
+					s.Name, row.Workers, row.GOMAXPROCS)
+			}
+			if row.Ns <= 0 || row.NsPerInstruction <= 0 {
+				return fmt.Errorf("bench report: sweep %s: matrix row at %d workers missing timing (%d)",
+					s.Name, row.Workers, row.Ns)
+			}
+			if row.SpeedupVs1 <= 0 || row.Efficiency <= 0 {
+				return fmt.Errorf("bench report: sweep %s: matrix row at %d workers missing speedup (%g, %g)",
+					s.Name, row.Workers, row.SpeedupVs1, row.Efficiency)
+			}
+			if row.Pool.Submits == 0 {
+				return fmt.Errorf("bench report: sweep %s: matrix row at %d workers has an empty pool snapshot",
+					s.Name, row.Workers)
+			}
+			if len(row.Pool.WorkerBusyNs) != row.Workers {
+				return fmt.Errorf("bench report: sweep %s: matrix row at %d workers has %d busy entries",
+					s.Name, row.Workers, len(row.Pool.WorkerBusyNs))
+			}
+		}
 	}
-	if r.TotalSerialNs <= 0 || r.TotalParallelNs <= 0 || r.Speedup <= 0 ||
+	if r.TotalSerialNs <= 0 ||
 		r.TotalReferenceNs <= 0 || r.PackedSpeedup <= 0 ||
 		r.TotalLaneNs <= 0 || r.LaneSpeedup <= 0 {
 		return fmt.Errorf("bench report: missing totals")
 	}
+	if len(r.Scaling) != len(r.WorkerCounts) {
+		return fmt.Errorf("bench report: %d scaling totals, want %d (one per worker count)",
+			len(r.Scaling), len(r.WorkerCounts))
+	}
+	for i, wt := range r.Scaling {
+		if wt.Workers != r.WorkerCounts[i] || wt.TotalNs <= 0 || wt.SpeedupVs1 <= 0 || wt.Efficiency <= 0 {
+			return fmt.Errorf("bench report: scaling total %d malformed: %+v", i, wt)
+		}
+	}
 	return nil
 }
 
-// RenderBench writes the human-readable summary of a report.
+// RenderBench writes the human-readable summary of a report: the
+// per-sweep single-threaded passes, then the worker matrix with its
+// scheduler telemetry, then the scaling totals.
 func RenderBench(w io.Writer, r *BenchReport) {
-	fmt.Fprintf(w, "Benchmark pipeline: %d programs x %d instructions, %d workers (GOMAXPROCS %d, %s/%s, %s)\n",
-		r.Programs, r.InstructionsPerProgram, r.Workers, r.GOMAXPROCS, r.GOOS, r.GOARCH, r.GoVersion)
+	fmt.Fprintf(w, "Benchmark pipeline: %d programs x %d instructions, worker matrix %v (%d cores, %s/%s, %s)\n",
+		r.Programs, r.InstructionsPerProgram, r.WorkerCounts, r.NumCPU, r.GOOS, r.GOARCH, r.GoVersion)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "sweep\tjobs\tserial\tparallel\tspeedup\tlanes\tlane-speedup\tpacked ns/i\tref ns/i\tpacked-vs-ref\tallocs/job")
+	fmt.Fprintln(tw, "sweep\tjobs\tserial\tlanes\tlane-speedup\tpacked ns/i\tref ns/i\tpacked-vs-ref\tallocs/job")
 	for _, s := range r.Sweeps {
-		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%.2fx\t%s\t%.2fx\t%.1f\t%.1f\t%.2fx\t%d\n",
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%.2fx\t%.1f\t%.1f\t%.2fx\t%d\n",
 			s.Name, s.Jobs,
-			time.Duration(s.SerialNs), time.Duration(s.ParallelNs), s.Speedup,
-			time.Duration(s.LaneNs), s.LaneSpeedup,
+			time.Duration(s.SerialNs), time.Duration(s.LaneNs), s.LaneSpeedup,
 			s.SerialNsPerInstruction, s.ReferenceNsPerInstruction,
 			s.PackedSpeedup, s.AllocsPerJob)
 	}
 	tw.Flush()
-	fmt.Fprintf(w, "total: serial %s, parallel %s, reference %s, lanes %s, speedup %.2fx, packed-vs-ref %.2fx, lane-speedup %.2fx\n",
-		time.Duration(r.TotalSerialNs), time.Duration(r.TotalParallelNs),
+	fmt.Fprintln(w, "worker matrix (GOMAXPROCS pinned to workers, lanes on):")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "sweep\tworkers\tns\tspeedup\tefficiency\tsteals\tparks\tmax-queue")
+	for _, s := range r.Sweeps {
+		for _, row := range s.WorkerMatrix {
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%.2fx\t%.2f\t%d\t%d\t%d\n",
+				s.Name, row.Workers, time.Duration(row.Ns),
+				row.SpeedupVs1, row.Efficiency,
+				row.Pool.Steals, row.Pool.Parks, row.Pool.MaxQueueDepth)
+		}
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "total: serial %s, reference %s, lanes %s, packed-vs-ref %.2fx, lane-speedup %.2fx\n",
+		time.Duration(r.TotalSerialNs),
 		time.Duration(r.TotalReferenceNs), time.Duration(r.TotalLaneNs),
-		r.Speedup, r.PackedSpeedup, r.LaneSpeedup)
+		r.PackedSpeedup, r.LaneSpeedup)
+	for _, wt := range r.Scaling {
+		fmt.Fprintf(w, "scaling: %d workers %s, speedup %.2fx, efficiency %.2f\n",
+			wt.Workers, time.Duration(wt.TotalNs), wt.SpeedupVs1, wt.Efficiency)
+	}
 }

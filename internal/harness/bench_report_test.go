@@ -3,30 +3,57 @@ package harness
 import (
 	"bytes"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 )
 
 // TestBenchPipeline runs the benchmark pipeline end-to-end on a reduced
 // workload and validates the report: schema check passes, the JSON
-// round-trips losslessly, and the sweep arithmetic holds.
+// round-trips losslessly, the sweep arithmetic holds, and the worker
+// matrix covers the requested counts with pinned GOMAXPROCS and a
+// telemetry snapshot per row.
 func TestBenchPipeline(t *testing.T) {
 	ts, err := LoadTraces(Options{Instructions: 30_000, Programs: []string{"compress", "swim"}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := RunBench(ts, 30_000, 2)
+	before := runtime.GOMAXPROCS(0)
+	rep, err := RunBench(ts, 30_000, []int{1, 2})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if got := runtime.GOMAXPROCS(0); got != before {
+		t.Fatalf("RunBench left GOMAXPROCS at %d, want %d restored", got, before)
 	}
 	if err := rep.Check(); err != nil {
 		t.Fatalf("fresh report fails its own schema check: %v", err)
 	}
-	if rep.Workers != 2 || rep.Programs != 2 {
-		t.Fatalf("workers %d, programs %d; want 2, 2", rep.Workers, rep.Programs)
+	if !reflect.DeepEqual(rep.WorkerCounts, []int{1, 2}) || rep.Programs != 2 {
+		t.Fatalf("worker counts %v, programs %d; want [1 2], 2", rep.WorkerCounts, rep.Programs)
+	}
+	if rep.NumCPU != runtime.NumCPU() {
+		t.Fatalf("report NumCPU %d, host has %d", rep.NumCPU, runtime.NumCPU())
 	}
 	if len(rep.Sweeps) != len(benchSweeps) {
 		t.Fatalf("got %d sweeps, want %d", len(rep.Sweeps), len(benchSweeps))
+	}
+	for _, s := range rep.Sweeps {
+		if len(s.WorkerMatrix) != 2 {
+			t.Fatalf("sweep %s has %d matrix rows, want 2", s.Name, len(s.WorkerMatrix))
+		}
+		for i, row := range s.WorkerMatrix {
+			if row.Workers != []int{1, 2}[i] || row.GOMAXPROCS != row.Workers {
+				t.Errorf("sweep %s row %d: workers %d, GOMAXPROCS %d", s.Name, i, row.Workers, row.GOMAXPROCS)
+			}
+			if claimed := row.Pool.OwnPops + row.Pool.Steals; claimed != row.Pool.Submits {
+				t.Errorf("sweep %s at %d workers: %d claims for %d submits",
+					s.Name, row.Workers, claimed, row.Pool.Submits)
+			}
+		}
+		if s.WorkerMatrix[0].SpeedupVs1 != 1 {
+			t.Errorf("sweep %s baseline row speedup = %g, want 1", s.Name, s.WorkerMatrix[0].SpeedupVs1)
+		}
 	}
 
 	var buf bytes.Buffer
@@ -46,52 +73,87 @@ func TestBenchPipeline(t *testing.T) {
 	if !strings.Contains(human.String(), "fig6") {
 		t.Errorf("rendered summary missing sweep name:\n%s", human.String())
 	}
+	if !strings.Contains(human.String(), "worker matrix") {
+		t.Errorf("rendered summary missing the worker-matrix table:\n%s", human.String())
+	}
 }
 
-// TestBenchCheckRejects pins the validation that the CI smoke job
-// relies on: a wrong schema tag, inconsistent job counts, or unknown
-// fields must all be rejected.
-func TestBenchCheckRejects(t *testing.T) {
-	good := &BenchReport{
+// goodV4 builds a minimal valid v4 report for the mutation tests.
+func goodV4() *BenchReport {
+	return &BenchReport{
 		Schema: BenchSchema, GoVersion: "go0.0", GOOS: "linux", GOARCH: "amd64",
-		GOMAXPROCS: 1, Workers: 1, InstructionsPerProgram: 1, Programs: 2,
+		GOMAXPROCS: 1, NumCPU: 8, WorkerCounts: []int{1, 4},
+		InstructionsPerProgram: 1, Programs: 2,
 		Sweeps: []BenchSweep{{
 			Name: "fig6", Configs: 3, Jobs: 6, Instructions: 6,
-			SerialNs: 10, ParallelNs: 5, Speedup: 2,
+			SerialNs:    10,
 			ReferenceNs: 12, PackedSpeedup: 1.2,
 			LaneNs: 6, LaneSpeedup: 10.0 / 6,
-			SerialNsPerInstruction: 1, ParallelNsPerInstruction: 0.5,
+			SerialNsPerInstruction:    1,
 			ReferenceNsPerInstruction: 2, LaneNsPerInstruction: 1,
+			WorkerMatrix: []WorkerRow{
+				{Workers: 1, GOMAXPROCS: 1, Ns: 8, NsPerInstruction: 8.0 / 6,
+					SpeedupVs1: 1, Efficiency: 1,
+					Pool: PoolSnapshot{Submits: 6, OwnPops: 6, WorkerBusyNs: []int64{8}}},
+				{Workers: 4, GOMAXPROCS: 4, Ns: 2, NsPerInstruction: 2.0 / 6,
+					SpeedupVs1: 4, Efficiency: 1,
+					Pool: PoolSnapshot{Submits: 6, OwnPops: 4, Steals: 2, Parks: 4,
+						MaxQueueDepth: 3, WorkerBusyNs: []int64{2, 2, 2, 2}}},
+			},
 		}},
-		TotalSerialNs: 10, TotalParallelNs: 5, TotalReferenceNs: 12, TotalLaneNs: 6,
-		Speedup: 2, PackedSpeedup: 1.2, LaneSpeedup: 10.0 / 6,
+		TotalSerialNs: 10, TotalReferenceNs: 12, TotalLaneNs: 6,
+		PackedSpeedup: 1.2, LaneSpeedup: 10.0 / 6,
+		Scaling: []WorkerTotal{
+			{Workers: 1, TotalNs: 8, SpeedupVs1: 1, Efficiency: 1},
+			{Workers: 4, TotalNs: 2, SpeedupVs1: 4, Efficiency: 1},
+		},
 	}
-	if err := good.Check(); err != nil {
+}
+
+// TestBenchCheckRejects pins the validation that the CI smoke and
+// scaling jobs rely on: a wrong schema tag, inconsistent job counts,
+// malformed worker-matrix rows, or unknown fields must all be
+// rejected.
+func TestBenchCheckRejects(t *testing.T) {
+	if err := goodV4().Check(); err != nil {
 		t.Fatalf("valid report rejected: %v", err)
 	}
 
 	mutations := map[string]func(*BenchReport){
-		"wrong schema":   func(r *BenchReport) { r.Schema = "mbbp/bench-sweep/v0" },
-		"v2 schema":      func(r *BenchReport) { r.Schema = "mbbp/bench-sweep/v2" },
-		"no toolchain":   func(r *BenchReport) { r.GoVersion = "" },
-		"zero workers":   func(r *BenchReport) { r.Workers = 0 },
-		"no sweeps":      func(r *BenchReport) { r.Sweeps = nil },
-		"job mismatch":   func(r *BenchReport) { r.Sweeps[0].Jobs = 5 },
-		"no timing":      func(r *BenchReport) { r.Sweeps[0].SerialNs = 0 },
-		"no reference":   func(r *BenchReport) { r.Sweeps[0].ReferenceNs = 0 },
-		"no lane pass":   func(r *BenchReport) { r.Sweeps[0].LaneNs = 0 },
-		"no per-instr":   func(r *BenchReport) { r.Sweeps[0].SerialNsPerInstruction = 0 },
-		"no ref/instr":   func(r *BenchReport) { r.Sweeps[0].ReferenceNsPerInstruction = 0 },
-		"no lane/instr":  func(r *BenchReport) { r.Sweeps[0].LaneNsPerInstruction = 0 },
-		"no totals":      func(r *BenchReport) { r.TotalParallelNs = 0 },
-		"no ref total":   func(r *BenchReport) { r.TotalReferenceNs = 0 },
-		"no lane total":  func(r *BenchReport) { r.TotalLaneNs = 0 },
-		"empty workload": func(r *BenchReport) { r.Programs = 0 },
+		"wrong schema":          func(r *BenchReport) { r.Schema = "mbbp/bench-sweep/v0" },
+		"v3 schema tag":         func(r *BenchReport) { r.Schema = "mbbp/bench-sweep/v3" },
+		"no toolchain":          func(r *BenchReport) { r.GoVersion = "" },
+		"zero cpus":             func(r *BenchReport) { r.NumCPU = 0 },
+		"no worker counts":      func(r *BenchReport) { r.WorkerCounts = nil },
+		"no baseline count":     func(r *BenchReport) { r.WorkerCounts = []int{2, 4} },
+		"unsorted counts":       func(r *BenchReport) { r.WorkerCounts = []int{1, 4, 2} },
+		"no sweeps":             func(r *BenchReport) { r.Sweeps = nil },
+		"job mismatch":          func(r *BenchReport) { r.Sweeps[0].Jobs = 5 },
+		"no timing":             func(r *BenchReport) { r.Sweeps[0].SerialNs = 0 },
+		"no reference":          func(r *BenchReport) { r.Sweeps[0].ReferenceNs = 0 },
+		"no lane pass":          func(r *BenchReport) { r.Sweeps[0].LaneNs = 0 },
+		"no per-instr":          func(r *BenchReport) { r.Sweeps[0].SerialNsPerInstruction = 0 },
+		"no ref/instr":          func(r *BenchReport) { r.Sweeps[0].ReferenceNsPerInstruction = 0 },
+		"no lane/instr":         func(r *BenchReport) { r.Sweeps[0].LaneNsPerInstruction = 0 },
+		"missing matrix":        func(r *BenchReport) { r.Sweeps[0].WorkerMatrix = nil },
+		"short matrix":          func(r *BenchReport) { r.Sweeps[0].WorkerMatrix = r.Sweeps[0].WorkerMatrix[:1] },
+		"matrix count mismatch": func(r *BenchReport) { r.Sweeps[0].WorkerMatrix[1].Workers = 3 },
+		"unpinned gomaxprocs":   func(r *BenchReport) { r.Sweeps[0].WorkerMatrix[1].GOMAXPROCS = 1 },
+		"no row timing":         func(r *BenchReport) { r.Sweeps[0].WorkerMatrix[1].Ns = 0 },
+		"no row speedup":        func(r *BenchReport) { r.Sweeps[0].WorkerMatrix[1].SpeedupVs1 = 0 },
+		"no row efficiency":     func(r *BenchReport) { r.Sweeps[0].WorkerMatrix[1].Efficiency = 0 },
+		"empty pool snapshot":   func(r *BenchReport) { r.Sweeps[0].WorkerMatrix[1].Pool = PoolSnapshot{} },
+		"busy len mismatch":     func(r *BenchReport) { r.Sweeps[0].WorkerMatrix[1].Pool.WorkerBusyNs = []int64{1} },
+		"no ref total":          func(r *BenchReport) { r.TotalReferenceNs = 0 },
+		"no lane total":         func(r *BenchReport) { r.TotalLaneNs = 0 },
+		"no scaling totals":     func(r *BenchReport) { r.Scaling = nil },
+		"scaling mismatch":      func(r *BenchReport) { r.Scaling[1].Workers = 2 },
+		"zero scaling total":    func(r *BenchReport) { r.Scaling[1].TotalNs = 0 },
+		"empty workload":        func(r *BenchReport) { r.Programs = 0 },
 	}
 	for name, mutate := range mutations {
-		r := *good
-		r.Sweeps = append([]BenchSweep(nil), good.Sweeps...)
-		mutate(&r)
+		r := goodV4()
+		mutate(r)
 		if err := r.Check(); err == nil {
 			t.Errorf("%s: Check accepted an invalid report", name)
 		}
@@ -102,10 +164,38 @@ func TestBenchCheckRejects(t *testing.T) {
 	}
 }
 
-// TestBenchCheckRejectsV2Document: a complete, well-formed v2 report
-// (no lane pass) must parse — its fields are a subset of v3's — and
-// then fail Check on the schema tag, so CI cannot accept a stale
-// BENCH_sweep.json generated before the lane pipeline.
+// TestBenchCheckRejectsV3Document: a complete, well-formed v3 report
+// (single pooled pass, top-level workers) must fail to parse with an
+// error naming the retired field, so CI cannot accept a stale
+// BENCH_sweep.json generated before the worker matrix.
+func TestBenchCheckRejectsV3Document(t *testing.T) {
+	const v3 = `{
+  "schema": "mbbp/bench-sweep/v3",
+  "go_version": "go0.0", "goos": "linux", "goarch": "amd64",
+  "gomaxprocs": 1, "workers": 1,
+  "instructions_per_program": 1, "programs": 2,
+  "sweeps": [{
+    "name": "fig6", "configs": 3, "jobs": 6, "instructions_simulated": 6,
+    "serial_ns": 10, "parallel_ns": 5, "speedup": 2,
+    "reference_ns": 12, "packed_speedup": 1.2,
+    "lane_ns": 6, "lane_speedup": 1.67,
+    "serial_ns_per_instruction": 1, "parallel_ns_per_instruction": 0.5,
+    "reference_ns_per_instruction": 2, "lane_ns_per_instruction": 1,
+    "allocs_per_job": 1, "bytes_per_job": 1
+  }],
+  "total_serial_ns": 10, "total_parallel_ns": 5, "total_reference_ns": 12,
+  "total_lane_ns": 6, "speedup": 2, "packed_speedup": 1.2, "lane_speedup": 1.67
+}`
+	_, err := ReadBenchReport(strings.NewReader(v3))
+	if err == nil {
+		t.Fatal("ReadBenchReport accepted a v3 document")
+	}
+	if !strings.Contains(err.Error(), `"workers"`) {
+		t.Errorf("v3 rejection should name the retired field: %v", err)
+	}
+}
+
+// TestBenchCheckRejectsV2Document: same for v2 (no lane pass either).
 func TestBenchCheckRejectsV2Document(t *testing.T) {
 	const v2 = `{
   "schema": "mbbp/bench-sweep/v2",
@@ -123,43 +213,101 @@ func TestBenchCheckRejectsV2Document(t *testing.T) {
   "total_serial_ns": 10, "total_parallel_ns": 5, "total_reference_ns": 12,
   "speedup": 2, "packed_speedup": 1.2
 }`
-	rep, err := ReadBenchReport(strings.NewReader(v2))
-	if err != nil {
-		t.Fatalf("v2 document failed to parse (fields should be a v3 subset): %v", err)
+	_, err := ReadBenchReport(strings.NewReader(v2))
+	if err == nil {
+		t.Fatal("ReadBenchReport accepted a v2 document")
 	}
-	if err := rep.Check(); err == nil {
-		t.Error("Check accepted a v2 report without a lane pass")
+	if !strings.Contains(err.Error(), `"workers"`) {
+		t.Errorf("v2 rejection should name the retired field: %v", err)
+	}
+
+	// A v4-shaped document with a stale tag gets past the parser and
+	// must then fail Check on the schema line.
+	stale := goodV4()
+	stale.Schema = "mbbp/bench-sweep/v2"
+	if err := stale.Check(); err == nil {
+		t.Error("Check accepted a v2 schema tag")
 	} else if !strings.Contains(err.Error(), "schema") {
-		t.Errorf("v2 rejection should name the schema: %v", err)
+		t.Errorf("stale-tag rejection should name the schema: %v", err)
 	}
 }
 
-// TestGoldenBenchRender pins the v3 human rendering — column layout and
-// formatting — on a fixed synthetic report (real timings are not
-// reproducible, so the golden uses pinned numbers).
+// TestGateScaling pins the CI scaling gate's three outcomes: pass,
+// below-floor failure, and refusal to certify a report produced on a
+// host with fewer cores than the gated worker count.
+func TestGateScaling(t *testing.T) {
+	r := goodV4()
+	if err := r.GateScaling("fig6", 4, 3.0); err != nil {
+		t.Errorf("gate rejected a 4.0x row at floor 3.0: %v", err)
+	}
+	if err := r.GateScaling("fig6", 4, 4.5); err == nil {
+		t.Error("gate accepted a 4.0x row at floor 4.5")
+	} else if !strings.Contains(err.Error(), "floor") {
+		t.Errorf("below-floor error should name the floor: %v", err)
+	}
+	if err := r.GateScaling("fig6", 8, 1.0); err == nil {
+		t.Error("gate accepted a worker count with no matrix row")
+	}
+	if err := r.GateScaling("nope", 4, 1.0); err == nil {
+		t.Error("gate accepted an unknown sweep")
+	}
+
+	small := goodV4()
+	small.NumCPU = 1
+	if err := small.GateScaling("fig6", 4, 3.0); err == nil {
+		t.Error("gate certified scaling measured on a single-core host")
+	} else if !strings.Contains(err.Error(), "core") {
+		t.Errorf("small-host refusal should explain the core count: %v", err)
+	}
+}
+
+// TestGoldenBenchRender pins the v4 human rendering — column layout,
+// the worker-matrix table, and the scaling summary — on a fixed
+// synthetic report (real timings are not reproducible, so the golden
+// uses pinned numbers).
 func TestGoldenBenchRender(t *testing.T) {
 	rep := &BenchReport{
 		Schema: BenchSchema, GoVersion: "go1.99", GOOS: "linux", GOARCH: "amd64",
-		GOMAXPROCS: 8, Workers: 8, InstructionsPerProgram: 1000, Programs: 2,
+		GOMAXPROCS: 8, NumCPU: 8, WorkerCounts: []int{1, 2, 4},
+		InstructionsPerProgram: 1000, Programs: 2,
 		Sweeps: []BenchSweep{
 			{
 				Name: "fig8", Configs: 32, Jobs: 64, Instructions: 64000,
-				SerialNs: 64_000_000, ParallelNs: 16_000_000, Speedup: 4,
+				SerialNs:    64_000_000,
 				ReferenceNs: 96_000_000, PackedSpeedup: 1.5,
 				LaneNs: 40_000_000, LaneSpeedup: 1.6,
-				SerialNsPerInstruction: 1000, ParallelNsPerInstruction: 250,
+				SerialNsPerInstruction:    1000,
 				ReferenceNsPerInstruction: 1500, LaneNsPerInstruction: 625,
 				AllocsPerJob: 42, BytesPerJob: 4096,
+				WorkerMatrix: []WorkerRow{
+					{Workers: 1, GOMAXPROCS: 1, Ns: 40_000_000, NsPerInstruction: 625,
+						SpeedupVs1: 1, Efficiency: 1,
+						Pool: PoolSnapshot{Submits: 36, OwnPops: 36, Parks: 1,
+							MaxQueueDepth: 36, WorkerBusyNs: []int64{40_000_000}}},
+					{Workers: 2, GOMAXPROCS: 2, Ns: 21_000_000, NsPerInstruction: 328.125,
+						SpeedupVs1: 40.0 / 21, Efficiency: 20.0 / 21,
+						Pool: PoolSnapshot{Submits: 36, OwnPops: 30, Steals: 6, Parks: 2,
+							MaxQueueDepth: 20, WorkerBusyNs: []int64{21_000_000, 20_000_000}}},
+					{Workers: 4, GOMAXPROCS: 4, Ns: 11_000_000, NsPerInstruction: 171.875,
+						SpeedupVs1: 40.0 / 11, Efficiency: 10.0 / 11,
+						Pool: PoolSnapshot{Submits: 36, OwnPops: 24, Steals: 12, Parks: 4,
+							MaxQueueDepth: 12, WorkerBusyNs: []int64{11_000_000, 10_000_000, 10_000_000, 9_000_000}}},
+				},
 			},
 		},
-		TotalSerialNs: 64_000_000, TotalParallelNs: 16_000_000,
+		TotalSerialNs:    64_000_000,
 		TotalReferenceNs: 96_000_000, TotalLaneNs: 40_000_000,
-		Speedup: 4, PackedSpeedup: 1.5, LaneSpeedup: 1.6,
+		PackedSpeedup: 1.5, LaneSpeedup: 1.6,
+		Scaling: []WorkerTotal{
+			{Workers: 1, TotalNs: 40_000_000, SpeedupVs1: 1, Efficiency: 1},
+			{Workers: 2, TotalNs: 21_000_000, SpeedupVs1: 40.0 / 21, Efficiency: 20.0 / 21},
+			{Workers: 4, TotalNs: 11_000_000, SpeedupVs1: 40.0 / 11, Efficiency: 10.0 / 11},
+		},
 	}
 	if err := rep.Check(); err != nil {
 		t.Fatalf("synthetic report invalid: %v", err)
 	}
 	var buf bytes.Buffer
 	RenderBench(&buf, rep)
-	checkGolden(t, "bench_v3_table", buf.Bytes())
+	checkGolden(t, "bench_v4_table", buf.Bytes())
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"testing"
+	"testing/quick"
 
 	"mbbp/internal/core"
 	"mbbp/internal/packed"
@@ -274,6 +275,64 @@ func TestDifferentialEvents(t *testing.T) {
 			func(w io.Writer) error { return CSVEvents(w, rows, DefaultEventsTopN) },
 		}, nil
 	})
+}
+
+// TestDifferentialWorkerCountInvariance is the scaling pipeline's
+// correctness half: the worker matrix may only change wall-clock, so
+// fig6 and fig8 must render byte-identically at every worker count.
+// The pinned set {1, 2, 4, 8} (the matrix the bench runs, plus an
+// oversubscribed pool) is checked deterministically, then a
+// testing/quick property re-samples random pool sizes in 1..8 — the
+// scheduler's placement and stealing decisions are worker-count- and
+// timing-dependent, so random sizes probe interleavings the fixed set
+// cannot. Runs under -race in CI (test job and lane-differential job).
+func TestDifferentialWorkerCountInvariance(t *testing.T) {
+	renderAt := func(workers int) [2]string {
+		t.Helper()
+		var s *Scheduler
+		if workers == 0 {
+			s = Serial()
+		} else {
+			s = NewScheduler(workers)
+			defer s.Close()
+		}
+		var out [2]string
+		rows6, err := Fig6Async(s, testTraces)()
+		if err != nil {
+			t.Fatalf("fig6 at %d workers: %v", workers, err)
+		}
+		var b bytes.Buffer
+		RenderFig6(&b, rows6)
+		out[0] = b.String()
+		rows8, err := Fig8Async(s, testTraces)()
+		if err != nil {
+			t.Fatalf("fig8 at %d workers: %v", workers, err)
+		}
+		b.Reset()
+		RenderFig8(&b, rows8)
+		out[1] = b.String()
+		return out
+	}
+
+	want := renderAt(0) // serial reference
+	if want[0] == "" || want[1] == "" {
+		t.Fatal("empty serial rendering")
+	}
+	check := func(workers int) bool {
+		got := renderAt(workers)
+		if got != want {
+			t.Errorf("fig6/fig8 rendering differs between serial and %d workers", workers)
+			return false
+		}
+		return true
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		check(w)
+	}
+	prop := func(raw uint8) bool { return check(1 + int(raw%8)) }
+	if err := quick.Check(prop, &quick.Config{MaxCount: 4}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestDifferentialLoadTraces checks parallel trace capture produces the

@@ -30,7 +30,8 @@ type Scheduler struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	deques [][]func()
-	next   int // round-robin submission target
+	next   int   // round-robin submission target (tie-break)
+	idle   []int // workers currently parked in cond.Wait, newest last
 	closed bool
 	wg     sync.WaitGroup
 
@@ -42,8 +43,8 @@ type Scheduler struct {
 	ownPops  uint64
 	steals   uint64
 	parks    uint64
-	queued   int // jobs currently queued across all deques
-	maxDepth int // high-water mark of queued
+	queued   int            // jobs currently queued across all deques
+	maxDepth int            // high-water mark of queued
 	busy     []atomic.Int64 // per-worker ns spent executing jobs
 }
 
@@ -74,13 +75,18 @@ func (p PoolStats) BusyTotal() time.Duration {
 
 // Stats snapshots the scheduler's telemetry counters. It is safe to
 // call concurrently with running work; counters read mid-flight may
-// trail each other by the events in between.
+// trail each other by the events in between. Each counter is
+// individually monotonic across snapshots, and the claim counters are
+// read before Submits so OwnPops + Steals <= Submits holds in every
+// snapshot (a job is submitted before it can be claimed; reading
+// claims first can only undercount them relative to submits).
 func (s *Scheduler) Stats() PoolStats {
-	st := PoolStats{Workers: len(s.deques), Submits: s.submits.Load()}
+	st := PoolStats{Workers: len(s.deques)}
 	s.mu.Lock()
 	st.OwnPops, st.Steals, st.Parks = s.ownPops, s.steals, s.parks
 	st.MaxQueueDepth = s.maxDepth
 	s.mu.Unlock()
+	st.Submits = s.submits.Load()
 	if len(s.busy) > 0 {
 		st.WorkerBusy = make([]time.Duration, len(s.busy))
 		for i := range s.busy {
@@ -129,7 +135,14 @@ func (s *Scheduler) Close() {
 	s.wg.Wait()
 }
 
-// submit queues one job (or runs it inline when serial).
+// submit queues one job (or runs it inline when serial). Placement is
+// idle-biased: a parked worker's own deque is preferred (it own-pops on
+// wake instead of stealing), then the shortest deque (balancing at
+// submission instead of via steals), with the round-robin cursor as the
+// tie-break. A wakeup is signalled only when a worker is actually
+// parked — when every worker is busy they all re-enter grabLocked on
+// their own, and an unconditional Signal per submit just thrashes the
+// condvar on grids small relative to the pool.
 func (s *Scheduler) submit(fn func()) {
 	s.submits.Add(1)
 	if s.serial() {
@@ -141,14 +154,30 @@ func (s *Scheduler) submit(fn func()) {
 		s.mu.Unlock()
 		panic("harness: submit on closed scheduler")
 	}
-	s.deques[s.next] = append(s.deques[s.next], fn)
+	target := s.next
+	if len(s.idle) > 0 {
+		// Longest-parked worker: cond.Wait queues are FIFO, so the
+		// worker Signal is about to wake is the one whose deque the job
+		// lands on — it own-pops instead of stealing.
+		target = s.idle[0]
+	} else {
+		for j := range s.deques {
+			if len(s.deques[j]) < len(s.deques[target]) {
+				target = j
+			}
+		}
+	}
+	s.deques[target] = append(s.deques[target], fn)
 	s.next = (s.next + 1) % len(s.deques)
 	s.queued++
 	if s.queued > s.maxDepth {
 		s.maxDepth = s.queued
 	}
+	wake := len(s.idle) > 0
 	s.mu.Unlock()
-	s.cond.Signal()
+	if wake {
+		s.cond.Signal()
+	}
 }
 
 // work is one worker's loop: drain own deque, steal, or park.
@@ -169,7 +198,19 @@ func (s *Scheduler) work(i int) {
 			return
 		}
 		s.parks++
+		s.idle = append(s.idle, i)
 		s.cond.Wait()
+		s.removeIdleLocked(i)
+	}
+}
+
+// removeIdleLocked drops worker i from the idle stack after a wakeup.
+func (s *Scheduler) removeIdleLocked(i int) {
+	for j := len(s.idle) - 1; j >= 0; j-- {
+		if s.idle[j] == i {
+			s.idle = append(s.idle[:j], s.idle[j+1:]...)
+			return
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -95,6 +96,121 @@ func TestPoolStatsConcurrentScrape(t *testing.T) {
 	wg.Wait()
 	if st := s.Stats(); st.Submits != 32 {
 		t.Errorf("submits = %d, want 32", st.Submits)
+	}
+}
+
+// TestPoolStatsStressMonotonic hammers a live pool from N submitter
+// goroutines while a sampler snapshots Stats continuously: every
+// counter must be monotonically non-decreasing across snapshots, every
+// snapshot must satisfy OwnPops + Steals <= Submits (Stats reads the
+// claim counters before the submit counter precisely so this holds
+// mid-flight), and the quiesced totals must balance exactly. The -race
+// CI jobs make this a synchronization proof as well as a monotonicity
+// one.
+func TestPoolStatsStressMonotonic(t *testing.T) {
+	s := NewScheduler(4)
+	defer s.Close()
+
+	const submitters = 8
+	const jobsEach = 50
+
+	stop := make(chan struct{})
+	sampled := make(chan error, 1)
+	go func() {
+		var prev PoolStats
+		defer close(sampled)
+		for {
+			st := s.Stats()
+			switch {
+			case st.Submits < prev.Submits:
+				sampled <- fmt.Errorf("submits went backwards: %d -> %d", prev.Submits, st.Submits)
+				return
+			case st.OwnPops < prev.OwnPops:
+				sampled <- fmt.Errorf("own-pops went backwards: %d -> %d", prev.OwnPops, st.OwnPops)
+				return
+			case st.Steals < prev.Steals:
+				sampled <- fmt.Errorf("steals went backwards: %d -> %d", prev.Steals, st.Steals)
+				return
+			case st.Parks < prev.Parks:
+				sampled <- fmt.Errorf("parks went backwards: %d -> %d", prev.Parks, st.Parks)
+				return
+			case st.MaxQueueDepth < prev.MaxQueueDepth:
+				sampled <- fmt.Errorf("max queue depth went backwards: %d -> %d", prev.MaxQueueDepth, st.MaxQueueDepth)
+				return
+			case st.BusyTotal() < prev.BusyTotal():
+				sampled <- fmt.Errorf("busy total went backwards: %v -> %v", prev.BusyTotal(), st.BusyTotal())
+				return
+			case st.OwnPops+st.Steals > st.Submits:
+				sampled <- fmt.Errorf("claimed %d jobs with only %d submitted", st.OwnPops+st.Steals, st.Submits)
+				return
+			}
+			prev = st
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var futs []*Future[int]
+			for i := 0; i < jobsEach; i++ {
+				futs = append(futs, Submit(s, func() (int, error) {
+					time.Sleep(20 * time.Microsecond)
+					return 0, nil
+				}))
+			}
+			for _, f := range futs {
+				if _, err := f.Wait(); err != nil {
+					t.Errorf("job failed: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	if err, ok := <-sampled; ok && err != nil {
+		t.Fatal(err)
+	}
+
+	final := s.Stats()
+	if final.Submits != submitters*jobsEach {
+		t.Errorf("submits = %d, want %d", final.Submits, submitters*jobsEach)
+	}
+	if claimed := final.OwnPops + final.Steals; claimed != final.Submits {
+		t.Errorf("quiesced claims %d != submits %d", claimed, final.Submits)
+	}
+	if len(final.WorkerBusy) != 4 {
+		t.Errorf("busy slice has %d entries, want 4", len(final.WorkerBusy))
+	}
+}
+
+// TestIdleBiasedPlacement pins the contention fix the worker matrix
+// motivated: when jobs trickle onto a mostly idle pool, submission
+// targets a parked worker's own deque, so the claims are own-pops, not
+// steals — a steal storm on a small grid would show up here.
+func TestIdleBiasedPlacement(t *testing.T) {
+	s := NewScheduler(8)
+	defer s.Close()
+	// Trickle: one job at a time, each fully drained before the next,
+	// so every submission happens with all eight workers parked.
+	for i := 0; i < 32; i++ {
+		if _, err := Submit(s, func() (int, error) { return 0, nil }).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.OwnPops+st.Steals != 32 {
+		t.Fatalf("claims %d, want 32", st.OwnPops+st.Steals)
+	}
+	if st.Steals > st.OwnPops {
+		t.Errorf("trickled jobs were mostly stolen (%d steals vs %d own-pops); idle-biased placement is not landing work on parked workers",
+			st.Steals, st.OwnPops)
 	}
 }
 

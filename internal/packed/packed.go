@@ -17,9 +17,36 @@
 // and mask, one store. Every array also reports its logical size via
 // StateBits (the paper's cost-model bits, excluding word-padding), so
 // the hardware-cost tables can be printed from the live structures.
+//
+// Backing words are allocated cache-line padded: the []uint64 capacity
+// is rounded up to a multiple of 8 words (64 bytes), which lands the
+// allocation in a size class that is itself a multiple of 64 bytes, so
+// distinct arrays never share a cache line. Without the padding, small
+// arrays (a narrow PHT entry's word, a lane's select-table valid bits)
+// from different lanes or pool jobs could be packed into adjacent
+// heap slots of one span and false-share: a writer in one lane would
+// bounce the line under every other lane's reader. The logical length
+// is unchanged — Len, Words and the whole-word canonical forms the
+// fuzzers compare are identical with or without the pad.
 package packed
 
 import "fmt"
+
+// cacheLineWords is the pad quantum: 8 words = 64 bytes, one cache
+// line on every target this runs on.
+const cacheLineWords = 8
+
+// alignedWords allocates n backing words with capacity rounded up to a
+// whole number of cache lines, so separately allocated arrays never
+// share a line (the Go allocator places size-class-multiple-of-64
+// objects at 64-byte-aligned offsets).
+func alignedWords(n int) []uint64 {
+	if n == 0 {
+		return nil
+	}
+	padded := (n + cacheLineWords - 1) &^ (cacheLineWords - 1)
+	return make([]uint64, n, padded)
+}
 
 // Backing selects between the bit-packed arrays of this package and the
 // original wide-value slice implementations, which are kept alive as a
@@ -66,7 +93,7 @@ func NewCounter2Array(n int, init uint8) *Counter2Array {
 	if init > 3 {
 		panic(fmt.Sprintf("packed: NewCounter2Array init %d out of range", init))
 	}
-	a := &Counter2Array{n: n, words: make([]uint64, (n+31)/32)}
+	a := &Counter2Array{n: n, words: alignedWords((n + 31) / 32)}
 	if init != 0 {
 		var w uint64
 		for sh := uint(0); sh < 64; sh += 2 {
@@ -158,7 +185,7 @@ func NewCodeArray(n, bits int) *CodeArray {
 		bits:    uint(bits),
 		perWord: perWord,
 		mask:    1<<uint(bits) - 1,
-		words:   make([]uint64, (n+perWord-1)/perWord),
+		words:   alignedWords((n + perWord - 1) / perWord),
 	}
 }
 
@@ -218,7 +245,7 @@ func NewFieldArray(n, width int) *FieldArray {
 		width:   uint(width),
 		perWord: perWord,
 		mask:    1<<uint(width) - 1,
-		words:   make([]uint64, (n+perWord-1)/perWord),
+		words:   alignedWords((n + perWord - 1) / perWord),
 	}
 }
 

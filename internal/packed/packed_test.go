@@ -190,3 +190,45 @@ func mustPanic(t *testing.T, name string, fn func()) {
 	}()
 	fn()
 }
+
+// TestAlignedWordsPadding pins the false-sharing fix: every backing
+// slice is allocated with capacity padded to a whole number of 64-byte
+// cache lines (8 words), while the logical length — what Words() and
+// the canonical serialized forms see — is unchanged. Padded request
+// sizes land in allocator size classes that are multiples of 64 bytes,
+// so two predictors' word arrays never share a cache line and parallel
+// lanes don't invalidate each other's counters.
+func TestAlignedWordsPadding(t *testing.T) {
+	for _, n := range []int{1, 7, 8, 9, 31, 32, 33, 1000} {
+		w := alignedWords(n)
+		if len(w) != n {
+			t.Errorf("alignedWords(%d): len = %d, want %d", n, len(w), n)
+		}
+		if cap(w)%cacheLineWords != 0 {
+			t.Errorf("alignedWords(%d): cap = %d, not a multiple of %d words", n, cap(w), cacheLineWords)
+		}
+		if cap(w)-len(w) >= cacheLineWords {
+			t.Errorf("alignedWords(%d): cap = %d over-pads by a full line", n, cap(w))
+		}
+	}
+	if w := alignedWords(0); w != nil {
+		t.Errorf("alignedWords(0) = %v, want nil", w)
+	}
+}
+
+// TestConstructorsUseAlignedBacking checks the padding reaches all
+// three array kinds without changing their logical word counts.
+func TestConstructorsUseAlignedBacking(t *testing.T) {
+	c := NewCounter2Array(100, 1) // 100 counters -> ceil(100/32) = 4 words
+	if c.Words() != 4 || cap(c.words) != 8 {
+		t.Errorf("Counter2Array(100): words = %d cap = %d, want 4 / 8", c.Words(), cap(c.words))
+	}
+	f := NewFieldArray(100, 10) // 6 fields/word -> 17 words
+	if f.Words() != 17 || cap(f.words)%cacheLineWords != 0 {
+		t.Errorf("FieldArray(100,10): words = %d cap = %d, want 17 / multiple of 8", f.Words(), cap(f.words))
+	}
+	k := NewCodeArray(100, 2) // 32 codes/word -> 4 words
+	if k.Words() != 4 || cap(k.words)%cacheLineWords != 0 {
+		t.Errorf("CodeArray(100,2): words = %d cap = %d, want 4 / multiple of 8", k.Words(), cap(k.words))
+	}
+}

@@ -227,3 +227,91 @@ func TestCacheConcurrentMixedKeys(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestCacheWarmHitsDoNotTakeWriteLock is the contention regression
+// test for the warm-hit path: a hot sweep workload is nearly 100%
+// warm hits, and before the RWMutex + second-chance redesign every hit
+// serialized on one exclusive sync.Mutex (the LRU splice). The test
+// holds the cache's read lock for its whole duration — if any warm
+// hit tried to acquire the exclusive lock it would block forever (a
+// writer cannot be granted while a reader holds the lock), so mere
+// completion under the deadline proves hits stay on the shared path.
+// Eight goroutines hit concurrently; the lock-free hit counter must
+// account for every one exactly.
+func TestCacheWarmHitsDoNotTakeWriteLock(t *testing.T) {
+	c := NewCache(4)
+	key := CacheKey{Program: "hot", N: 64}
+	if _, err := c.Get(context.Background(), key, func() (*Buffer, error) {
+		return testBuffer("hot", 64), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a concurrent reader pinning the shared lock. RLock is
+	// reentrant across goroutines, so warm hits proceed; an exclusive
+	// Lock would wedge behind this holder.
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+
+	const goroutines = 8
+	const hitsEach = 1000
+	done := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			for i := 0; i < hitsEach; i++ {
+				b, err := c.Get(context.Background(), key, func() (*Buffer, error) {
+					return nil, fmt.Errorf("warm hit ran the capture")
+				})
+				if err != nil {
+					done <- err
+					return
+				}
+				if b.Name != "hot" {
+					done <- fmt.Errorf("hit returned buffer %q", b.Name)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	deadline := time.After(10 * time.Second)
+	for g := 0; g < goroutines; g++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-deadline:
+			t.Fatal("warm hits wedged while a read lock was held: the hit path is taking the exclusive lock")
+		}
+	}
+
+	hits, misses := c.Stats()
+	if hits != goroutines*hitsEach || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want %d / 1", hits, misses, goroutines*hitsEach)
+	}
+}
+
+// TestCacheStatsLockFree: Stats must be readable while both cache
+// locks are pinned by other holders — the metrics scrape cannot stall
+// behind the request path.
+func TestCacheStatsLockFree(t *testing.T) {
+	c := NewCache(2)
+	if _, err := c.Get(context.Background(), CacheKey{Program: "x", N: 1}, func() (*Buffer, error) {
+		return testBuffer("x", 1), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	read := make(chan struct{})
+	go func() {
+		c.Stats()
+		close(read)
+	}()
+	select {
+	case <-read:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stats blocked behind the exclusive lock")
+	}
+}

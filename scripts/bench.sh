@@ -1,30 +1,38 @@
 #!/bin/sh
 # Reproducible benchmark pipeline: build mbpexp, time the pinned sweep
-# set serially per-config, on the work-stealing pool, serially on the
-# slice-backed reference storage (packed-vs-reference ns/instruction),
-# and serially with config-parallel lanes (lane_speedup = per-config /
-# lanes), and record the result in BENCH_sweep.json (schema
-# mbbp/bench-sweep/v3), then validate it.
+# set serially per-config, serially on the slice-backed reference
+# storage (packed-vs-reference ns/instruction), serially with
+# config-parallel lanes (lane_speedup = per-config / lanes), and then
+# across the worker matrix (GOMAXPROCS pinned to each worker count,
+# pool telemetry snapshotted per row), and record the result in
+# BENCH_sweep.json (schema mbbp/bench-sweep/v4), then validate it.
 #
 # Usage: scripts/bench.sh [instructions-per-program]
 # Default 200000 keeps a full run under a minute on a laptop while still
 # dominating per-job overhead. Simulated results are deterministic —
-# only the recorded timings vary between machines; CI checks the schema
-# and internal consistency, not absolute speed.
+# only the recorded timings vary between machines; the validation step
+# checks the schema and internal consistency, not absolute speed, unless
+# BENCH_MIN_SPEEDUP is set.
 #
 # Environment:
-#   BENCH_OUT  output path (default BENCH_sweep.json in the repo root)
+#   BENCH_OUT          output path (default BENCH_sweep.json in the repo root)
+#   BENCH_WORKERS      comma-separated worker-matrix counts (default 1,2,4,NumCPU)
+#   BENCH_MIN_SPEEDUP  if set, benchcheck additionally gates the fig6
+#                      speedup at 4 workers against this floor; the gate
+#                      refuses to certify a host with fewer than 4 cores.
 set -eu
 
 N="${1:-200000}"
 OUT="${BENCH_OUT:-BENCH_sweep.json}"
+WORKERS="${BENCH_WORKERS:-}"
+MIN_SPEEDUP="${BENCH_MIN_SPEEDUP:-0}"
 
 echo "building mbpexp..."
 go build -o /tmp/mbpexp.$$ ./cmd/mbpexp
 trap 'rm -f /tmp/mbpexp.$$' EXIT
 
 echo "benchmarking ($N instructions/program)..."
-/tmp/mbpexp.$$ -n "$N" -benchout "$OUT" bench
+/tmp/mbpexp.$$ -n "$N" -benchout "$OUT" -workers "$WORKERS" bench
 
 echo "validating $OUT..."
-/tmp/mbpexp.$$ -benchout "$OUT" benchcheck
+/tmp/mbpexp.$$ -benchout "$OUT" -minspeedup "$MIN_SPEEDUP" benchcheck
