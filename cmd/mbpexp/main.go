@@ -7,12 +7,17 @@
 //
 //	mbpexp [-n instructions] [-programs a,b,c] [-csv|-chart] [-warmup] <experiment>|all
 //
-// Experiments: fig6 fig7 fig8 fig9 table5 table6 cost compare baseline
-// extblocks ablation widths seeds icache events report bench benchcheck.
+// Run mbpexp -h for the experiment list — it is generated from the
+// same registry that dispatches them, so the usage text, the `all`
+// sequence and the dispatcher cannot drift apart.
 //
 // events replays each program under an engine event tap and prints the
 // top -topn block addresses per misprediction kind (Table 3) by penalty
 // cycles — the first place to look when a configuration regresses.
+//
+// compare -predictor tage renders the predictor-strategy comparison
+// (paper blocked PHT vs TAGE, accuracy per direction-storage bit)
+// instead of the headline claims.
 //
 // Every experiment flattens its (configuration × program) grid onto
 // one work-stealing pool and folds results in declaration order, so
@@ -35,12 +40,307 @@ import (
 	"mbbp/internal/packed"
 )
 
+// env carries the parsed flag state and shared resources to every
+// experiment's prepare function.
+type env struct {
+	sched *harness.Scheduler
+	ts    *harness.TraceSet
+
+	n         uint64
+	opts      harness.Options
+	csv       bool
+	chart     bool
+	topN      int
+	workers   string
+	benchOut  string
+	predictor core.PredictorKind
+}
+
+// experiment is one registry entry. The registry is the single source
+// for the usage text, the `all` sequence and dispatch.
+type experiment struct {
+	name string
+	// inAll: part of the `all` sequence (report re-renders everything,
+	// bench re-times a pinned subset, benchcheck validates a file).
+	inAll bool
+	// needsTraces: loads the workload set before running.
+	needsTraces bool
+	// prepare submits the experiment's grid to the pool and returns
+	// the function that waits and renders — the two-phase shape that
+	// keeps the pool saturated across experiment boundaries under
+	// `all`.
+	prepare func(e *env) func() error
+}
+
+var experiments = []experiment{
+	{"fig6", true, true, func(e *env) func() error {
+		wait := harness.Fig6Async(e.sched, e.ts)
+		return func() error {
+			rows, err := wait()
+			if err != nil {
+				return err
+			}
+			if e.csv {
+				return harness.CSVFig6(os.Stdout, rows)
+			}
+			harness.RenderFig6(os.Stdout, rows)
+			if e.chart {
+				fmt.Println()
+				harness.ChartFig6(os.Stdout, rows)
+			}
+			return nil
+		}
+	}},
+	{"fig7", true, true, func(e *env) func() error {
+		wait := harness.Fig7Async(e.sched, e.ts)
+		return func() error {
+			rows, err := wait()
+			if err != nil {
+				return err
+			}
+			if e.csv {
+				return harness.CSVFig7(os.Stdout, rows)
+			}
+			harness.RenderFig7(os.Stdout, rows)
+			if e.chart {
+				fmt.Println()
+				harness.ChartFig7(os.Stdout, rows)
+			}
+			return nil
+		}
+	}},
+	{"fig8", true, true, func(e *env) func() error {
+		wait := harness.Fig8Async(e.sched, e.ts)
+		return func() error {
+			rows, err := wait()
+			if err != nil {
+				return err
+			}
+			if e.csv {
+				return harness.CSVFig8(os.Stdout, rows)
+			}
+			harness.RenderFig8(os.Stdout, rows)
+			if e.chart {
+				fmt.Println()
+				harness.ChartFig8(os.Stdout, rows)
+			}
+			return nil
+		}
+	}},
+	{"table5", true, true, func(e *env) func() error {
+		wait := harness.Table5Async(e.sched, e.ts)
+		return func() error {
+			rows, err := wait()
+			if err != nil {
+				return err
+			}
+			if e.csv {
+				return harness.CSVTable5(os.Stdout, rows)
+			}
+			harness.RenderTable5(os.Stdout, rows)
+			return nil
+		}
+	}},
+	{"table6", true, true, func(e *env) func() error {
+		wait := harness.Table6Async(e.sched, e.ts)
+		return func() error {
+			rows, err := wait()
+			if err != nil {
+				return err
+			}
+			if e.csv {
+				return harness.CSVTable6(os.Stdout, rows)
+			}
+			harness.RenderTable6(os.Stdout, rows)
+			return nil
+		}
+	}},
+	{"fig9", true, true, func(e *env) func() error {
+		wait := harness.Fig9Async(e.sched, e.ts)
+		return func() error {
+			rows, err := wait()
+			if err != nil {
+				return err
+			}
+			if e.csv {
+				return harness.CSVFig9(os.Stdout, rows)
+			}
+			harness.RenderFig9(os.Stdout, rows)
+			if e.chart {
+				fmt.Println()
+				harness.ChartFig9(os.Stdout, rows)
+			}
+			return nil
+		}
+	}},
+	{"cost", true, false, func(e *env) func() error {
+		return func() error {
+			harness.RenderCost(os.Stdout)
+			return nil
+		}
+	}},
+	{"extblocks", true, true, func(e *env) func() error {
+		wait := harness.ExtBlocksAsync(e.sched, e.ts)
+		return func() error {
+			rows, err := wait()
+			if err != nil {
+				return err
+			}
+			harness.RenderExtBlocks(os.Stdout, rows)
+			return nil
+		}
+	}},
+	{"ablation", true, true, func(e *env) func() error {
+		wait := harness.AblationPHTAsync(e.sched, e.ts)
+		return func() error {
+			rows, err := wait()
+			if err != nil {
+				return err
+			}
+			harness.RenderAblationPHT(os.Stdout, rows)
+			return nil
+		}
+	}},
+	{"baseline", true, true, func(e *env) func() error {
+		wait := harness.BaselineAsync(e.sched, e.ts)
+		return func() error {
+			rows, err := wait()
+			if err != nil {
+				return err
+			}
+			harness.RenderBaseline(os.Stdout, rows)
+			return nil
+		}
+	}},
+	{"compare", true, true, func(e *env) func() error {
+		// With -predictor set, compare renders the strategy
+		// comparison (accuracy per direction-storage bit) instead of
+		// the headline claims.
+		if e.predictor != core.PredictorPaper {
+			wait := harness.ComparePredictorsAsync(e.sched, e.ts, e.predictor)
+			return func() error {
+				rows, err := wait()
+				if err != nil {
+					return err
+				}
+				if e.csv {
+					return harness.CSVPredictors(os.Stdout, rows)
+				}
+				harness.RenderPredictors(os.Stdout, rows)
+				return nil
+			}
+		}
+		wait := harness.CompareAsync(e.sched, e.ts)
+		return func() error {
+			c, err := wait()
+			if err != nil {
+				return err
+			}
+			harness.RenderComparison(os.Stdout, c)
+			return nil
+		}
+	}},
+	{"predictors", true, true, func(e *env) func() error {
+		kind := e.predictor
+		if kind == core.PredictorPaper {
+			kind = core.PredictorTAGE
+		}
+		wait := harness.ComparePredictorsAsync(e.sched, e.ts, kind)
+		return func() error {
+			rows, err := wait()
+			if err != nil {
+				return err
+			}
+			if e.csv {
+				return harness.CSVPredictors(os.Stdout, rows)
+			}
+			harness.RenderPredictors(os.Stdout, rows)
+			return nil
+		}
+	}},
+	{"widths", true, true, func(e *env) func() error {
+		wait := harness.WidthsAsync(e.sched, e.ts)
+		return func() error {
+			rows, err := wait()
+			if err != nil {
+				return err
+			}
+			harness.RenderWidths(os.Stdout, rows)
+			return nil
+		}
+	}},
+	{"seeds", true, true, func(e *env) func() error {
+		wait := harness.SeedsAsync(e.sched, e.opts, nil)
+		return func() error {
+			rows, err := wait()
+			if err != nil {
+				return err
+			}
+			harness.RenderSeeds(os.Stdout, rows)
+			return nil
+		}
+	}},
+	{"icache", true, true, func(e *env) func() error {
+		wait := harness.ICacheAsync(e.sched, e.ts)
+		return func() error {
+			rows, err := wait()
+			if err != nil {
+				return err
+			}
+			harness.RenderICache(os.Stdout, rows)
+			return nil
+		}
+	}},
+	{"events", true, true, func(e *env) func() error {
+		wait := harness.EventsAsync(e.sched, e.ts, core.DefaultConfig())
+		return func() error {
+			rows, err := wait()
+			if err != nil {
+				return err
+			}
+			if e.csv {
+				return harness.CSVEvents(os.Stdout, rows, e.topN)
+			}
+			harness.RenderEvents(os.Stdout, rows, e.topN)
+			return nil
+		}
+	}},
+	{"report", false, true, func(e *env) func() error {
+		return func() error { return harness.WriteReport(os.Stdout, e.ts, e.n) }
+	}},
+	{"bench", false, true, func(e *env) func() error {
+		return func() error { return runBench(e.ts, e.n, e.workers, e.benchOut) }
+	}},
+}
+
+// findExperiment resolves a registry entry by name.
+func findExperiment(name string) (experiment, bool) {
+	for _, ex := range experiments {
+		if ex.name == name {
+			return ex, true
+		}
+	}
+	return experiment{}, false
+}
+
+// experimentNames returns the registry names in order; allOnly filters
+// to the `all` sequence.
+func experimentNames(allOnly bool) []string {
+	var names []string
+	for _, ex := range experiments {
+		if !allOnly || ex.inAll {
+			names = append(names, ex.name)
+		}
+	}
+	return names
+}
+
 func main() {
 	n := flag.Uint64("n", 1_000_000, "dynamic instructions per program")
 	programs := flag.String("programs", "", "comma-separated workload subset (default: full suite)")
 	warmup := flag.Bool("warmup", false, "run an untimed training pass before measuring")
 	chart := flag.Bool("chart", false, "draw terminal charts alongside the tables")
-	asCSV := flag.Bool("csv", false, "emit CSV instead of tables (fig6-9, table5-6)")
+	asCSV := flag.Bool("csv", false, "emit CSV instead of tables (fig6-9, table5-6, predictors)")
 	benchOut := flag.String("benchout", "BENCH_sweep.json", "bench/benchcheck: benchmark report file (- = stdout)")
 	workers := flag.String("workers", "", "bench: comma-separated worker-matrix counts (default 1,2,4,NumCPU)")
 	minSpeedup := flag.Float64("minspeedup", 0, "benchcheck: fail unless -scalesweep's speedup at -scaleworkers reaches this floor (0 = schema check only)")
@@ -48,10 +348,13 @@ func main() {
 	scaleWorkers := flag.Int("scaleworkers", 4, "benchcheck: worker count the -minspeedup floor applies to")
 	storage := flag.String("storage", "packed", "predictor state backing: packed or reference (the slice-backed equivalence oracle)")
 	topN := flag.Int("topn", harness.DefaultEventsTopN, "events: block addresses shown per misprediction kind")
+	predictor := flag.String("predictor", "", "compare/predictors: second strategy family (tage) for the accuracy-per-bit table")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mbpexp [flags] fig6|fig7|fig8|fig9|table5|table6|cost|compare|baseline|extblocks|ablation|widths|seeds|icache|events|report|bench|benchcheck|all\n")
-		fmt.Fprintf(os.Stderr, "  all runs every experiment above except report (it re-renders all of them),\n")
-		fmt.Fprintf(os.Stderr, "  bench (it re-times a pinned subset) and benchcheck, sharing one sweep pool.\n")
+		fmt.Fprintf(os.Stderr, "usage: mbpexp [flags] %s|benchcheck|all\n",
+			strings.Join(experimentNames(false), "|"))
+		fmt.Fprintf(os.Stderr, "  all runs: %s\n", strings.Join(experimentNames(true), " "))
+		fmt.Fprintf(os.Stderr, "  (report re-renders every experiment, bench re-times a pinned subset,\n")
+		fmt.Fprintf(os.Stderr, "  benchcheck validates a bench report; all three run standalone only.)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -61,16 +364,31 @@ func main() {
 	}
 	what := flag.Arg(0)
 
-	opts := harness.Options{Instructions: *n, Warmup: *warmup}
-	if *programs != "" {
-		opts.Programs = strings.Split(*programs, ",")
-	}
-
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "mbpexp:", err)
 		os.Exit(1)
 	}
 
+	e := &env{
+		n:        *n,
+		csv:      *asCSV,
+		chart:    *chart,
+		topN:     *topN,
+		workers:  *workers,
+		benchOut: *benchOut,
+	}
+	if *predictor != "" {
+		kind, err := core.ParsePredictorKind(*predictor)
+		if err != nil {
+			fail(err)
+		}
+		e.predictor = kind
+	}
+
+	opts := harness.Options{Instructions: *n, Warmup: *warmup}
+	if *programs != "" {
+		opts.Programs = strings.Split(*programs, ",")
+	}
 	switch *storage {
 	case "packed":
 		opts.Storage = packed.BackingPacked
@@ -79,235 +397,7 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown -storage %q (want packed or reference)", *storage))
 	}
-
-	// cost and benchcheck need no traces; everything else loads the
-	// workload set once and shares it.
-	var ts *harness.TraceSet
-	if what != "cost" && what != "benchcheck" {
-		fmt.Fprintf(os.Stderr, "mbpexp: tracing %d instructions per program...\n", *n)
-		var err error
-		ts, err = harness.LoadTraces(opts)
-		if err != nil {
-			fail(err)
-		}
-	}
-
-	sched := harness.DefaultScheduler()
-
-	// prepare submits an experiment's whole grid to the pool and
-	// returns the function that waits for it and renders. Preparing
-	// several experiments before finishing any (the `all` path) keeps
-	// the pool saturated across experiment boundaries.
-	prepare := func(name string) (func() error, bool) {
-		switch name {
-		case "fig6":
-			wait := harness.Fig6Async(sched, ts)
-			return func() error {
-				rows, err := wait()
-				if err != nil {
-					return err
-				}
-				if *asCSV {
-					return harness.CSVFig6(os.Stdout, rows)
-				}
-				harness.RenderFig6(os.Stdout, rows)
-				if *chart {
-					fmt.Println()
-					harness.ChartFig6(os.Stdout, rows)
-				}
-				return nil
-			}, true
-		case "fig7":
-			wait := harness.Fig7Async(sched, ts)
-			return func() error {
-				rows, err := wait()
-				if err != nil {
-					return err
-				}
-				if *asCSV {
-					return harness.CSVFig7(os.Stdout, rows)
-				}
-				harness.RenderFig7(os.Stdout, rows)
-				if *chart {
-					fmt.Println()
-					harness.ChartFig7(os.Stdout, rows)
-				}
-				return nil
-			}, true
-		case "fig8":
-			wait := harness.Fig8Async(sched, ts)
-			return func() error {
-				rows, err := wait()
-				if err != nil {
-					return err
-				}
-				if *asCSV {
-					return harness.CSVFig8(os.Stdout, rows)
-				}
-				harness.RenderFig8(os.Stdout, rows)
-				if *chart {
-					fmt.Println()
-					harness.ChartFig8(os.Stdout, rows)
-				}
-				return nil
-			}, true
-		case "fig9":
-			wait := harness.Fig9Async(sched, ts)
-			return func() error {
-				rows, err := wait()
-				if err != nil {
-					return err
-				}
-				if *asCSV {
-					return harness.CSVFig9(os.Stdout, rows)
-				}
-				harness.RenderFig9(os.Stdout, rows)
-				if *chart {
-					fmt.Println()
-					harness.ChartFig9(os.Stdout, rows)
-				}
-				return nil
-			}, true
-		case "table5":
-			wait := harness.Table5Async(sched, ts)
-			return func() error {
-				rows, err := wait()
-				if err != nil {
-					return err
-				}
-				if *asCSV {
-					return harness.CSVTable5(os.Stdout, rows)
-				}
-				harness.RenderTable5(os.Stdout, rows)
-				return nil
-			}, true
-		case "table6":
-			wait := harness.Table6Async(sched, ts)
-			return func() error {
-				rows, err := wait()
-				if err != nil {
-					return err
-				}
-				if *asCSV {
-					return harness.CSVTable6(os.Stdout, rows)
-				}
-				harness.RenderTable6(os.Stdout, rows)
-				return nil
-			}, true
-		case "cost":
-			return func() error {
-				harness.RenderCost(os.Stdout)
-				return nil
-			}, true
-		case "extblocks":
-			wait := harness.ExtBlocksAsync(sched, ts)
-			return func() error {
-				rows, err := wait()
-				if err != nil {
-					return err
-				}
-				harness.RenderExtBlocks(os.Stdout, rows)
-				return nil
-			}, true
-		case "ablation":
-			wait := harness.AblationPHTAsync(sched, ts)
-			return func() error {
-				rows, err := wait()
-				if err != nil {
-					return err
-				}
-				harness.RenderAblationPHT(os.Stdout, rows)
-				return nil
-			}, true
-		case "compare":
-			wait := harness.CompareAsync(sched, ts)
-			return func() error {
-				c, err := wait()
-				if err != nil {
-					return err
-				}
-				harness.RenderComparison(os.Stdout, c)
-				return nil
-			}, true
-		case "baseline":
-			wait := harness.BaselineAsync(sched, ts)
-			return func() error {
-				rows, err := wait()
-				if err != nil {
-					return err
-				}
-				harness.RenderBaseline(os.Stdout, rows)
-				return nil
-			}, true
-		case "widths":
-			wait := harness.WidthsAsync(sched, ts)
-			return func() error {
-				rows, err := wait()
-				if err != nil {
-					return err
-				}
-				harness.RenderWidths(os.Stdout, rows)
-				return nil
-			}, true
-		case "seeds":
-			wait := harness.SeedsAsync(sched, opts, nil)
-			return func() error {
-				rows, err := wait()
-				if err != nil {
-					return err
-				}
-				harness.RenderSeeds(os.Stdout, rows)
-				return nil
-			}, true
-		case "icache":
-			wait := harness.ICacheAsync(sched, ts)
-			return func() error {
-				rows, err := wait()
-				if err != nil {
-					return err
-				}
-				harness.RenderICache(os.Stdout, rows)
-				return nil
-			}, true
-		case "events":
-			wait := harness.EventsAsync(sched, ts, core.DefaultConfig())
-			return func() error {
-				rows, err := wait()
-				if err != nil {
-					return err
-				}
-				if *asCSV {
-					return harness.CSVEvents(os.Stdout, rows, *topN)
-				}
-				harness.RenderEvents(os.Stdout, rows, *topN)
-				return nil
-			}, true
-		case "report":
-			return func() error { return harness.WriteReport(os.Stdout, ts, *n) }, true
-		case "bench":
-			return func() error { return runBench(ts, *n, *workers, *benchOut) }, true
-		}
-		return nil, false
-	}
-
-	if what == "all" {
-		names := []string{
-			"fig6", "fig7", "fig8", "table5", "table6", "fig9", "cost",
-			"extblocks", "ablation", "baseline", "compare", "widths",
-			"seeds", "icache", "events",
-		}
-		finishers := make([]func() error, len(names))
-		for i, name := range names {
-			finishers[i], _ = prepare(name)
-		}
-		for _, finish := range finishers {
-			if err := finish(); err != nil {
-				fail(err)
-			}
-			fmt.Println()
-		}
-		return
-	}
+	e.opts = opts
 
 	if what == "benchcheck" {
 		if err := checkBench(*benchOut, *scaleSweep, *scaleWorkers, *minSpeedup); err != nil {
@@ -316,15 +406,48 @@ func main() {
 		return
 	}
 
-	finish, ok := prepare(what)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "mbpexp: unknown experiment %q\n", what)
-		os.Exit(2)
+	// Resolve the target before tracing so an unknown name fails fast.
+	var targets []experiment
+	if what == "all" {
+		for _, name := range experimentNames(true) {
+			ex, _ := findExperiment(name)
+			targets = append(targets, ex)
+		}
+	} else {
+		ex, ok := findExperiment(what)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mbpexp: unknown experiment %q\n", what)
+			os.Exit(2)
+		}
+		targets = []experiment{ex}
 	}
-	if err := finish(); err != nil {
-		fail(err)
+
+	needTraces := false
+	for _, ex := range targets {
+		needTraces = needTraces || ex.needsTraces
 	}
-	fmt.Println()
+	if needTraces {
+		fmt.Fprintf(os.Stderr, "mbpexp: tracing %d instructions per program...\n", *n)
+		var err error
+		e.ts, err = harness.LoadTraces(opts)
+		if err != nil {
+			fail(err)
+		}
+	}
+	e.sched = harness.DefaultScheduler()
+
+	// Prepare every target before finishing any, keeping the pool
+	// saturated across experiment boundaries under `all`.
+	finishers := make([]func() error, len(targets))
+	for i, ex := range targets {
+		finishers[i] = ex.prepare(e)
+	}
+	for _, finish := range finishers {
+		if err := finish(); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+	}
 }
 
 // parseWorkers turns the -workers flag into the matrix's worker

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The registry is the single source for usage, the `all` sequence and
+// dispatch; these pin its invariants.
+func TestExperimentRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ex := range experiments {
+		if ex.name == "" {
+			t.Fatal("registry entry with empty name")
+		}
+		if seen[ex.name] {
+			t.Fatalf("duplicate experiment %q", ex.name)
+		}
+		seen[ex.name] = true
+		if ex.prepare == nil {
+			t.Fatalf("experiment %q has no prepare", ex.name)
+		}
+	}
+	for _, name := range []string{"fig6", "compare", "predictors", "report", "bench"} {
+		if _, ok := findExperiment(name); !ok {
+			t.Errorf("findExperiment(%q) missing", name)
+		}
+	}
+	if _, ok := findExperiment("nonsense"); ok {
+		t.Error("findExperiment accepted an unknown name")
+	}
+}
+
+// The `all` sequence excludes the standalone-only entries and keeps
+// registry order.
+func TestAllSequence(t *testing.T) {
+	all := experimentNames(true)
+	joined := " " + strings.Join(all, " ") + " "
+	for _, excluded := range []string{"report", "bench"} {
+		if strings.Contains(joined, " "+excluded+" ") {
+			t.Errorf("`all` includes standalone-only experiment %q", excluded)
+		}
+	}
+	if !strings.Contains(joined, " predictors ") {
+		t.Error("`all` misses the predictors experiment")
+	}
+	full := experimentNames(false)
+	if len(full) <= len(all) {
+		t.Errorf("full list (%d) should exceed `all` list (%d)", len(full), len(all))
+	}
+}

@@ -26,6 +26,7 @@ type cliFlags struct {
 	blocks     int
 	phts       int
 	indexMode  string
+	predictor  string
 
 	icacheLines int
 	icacheAssoc int
@@ -56,6 +57,14 @@ func buildConfig(f cliFlags) (core.Config, error) {
 		cfg.ICacheLines = f.icacheLines
 		cfg.ICacheAssoc = f.icacheAssoc
 		cfg.ICacheMissPenalty = f.missPenalty
+	}
+
+	if f.predictor != "" {
+		kind, err := core.ParsePredictorKind(f.predictor)
+		if err != nil {
+			return core.Config{}, &core.FieldError{Field: "Predictor", Reason: err.Error()}
+		}
+		cfg.Predictor = kind
 	}
 
 	switch f.indexMode {

@@ -41,6 +41,7 @@ func main() {
 	flag.IntVar(&f.blocks, "blocks", 0, "blocks per cycle (0 = per mode; 3-4 = §5 extension)")
 	flag.IntVar(&f.phts, "phts", 1, "number of blocked PHTs (per-block variation)")
 	flag.StringVar(&f.indexMode, "index", "gshare", "PHT/ST index function: gshare or global")
+	flag.StringVar(&f.predictor, "predictor", "paper", "direction predictor strategy: paper or tage")
 	flag.IntVar(&f.icacheLines, "icache", 0, "finite I-cache line frames (0 = perfect, the paper's assumption)")
 	flag.IntVar(&f.icacheAssoc, "icache-assoc", 2, "finite I-cache associativity")
 	flag.IntVar(&f.missPenalty, "miss-penalty", 10, "finite I-cache miss penalty (cycles)")

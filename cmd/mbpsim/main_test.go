@@ -20,6 +20,7 @@ func defaultFlags() cliFlags {
 		assoc:       4,
 		phts:        1,
 		indexMode:   "gshare",
+		predictor:   "paper",
 		icacheAssoc: 2,
 		missPenalty: 10,
 	}
@@ -32,6 +33,18 @@ func TestBuildConfigDefaults(t *testing.T) {
 	}
 	if want := core.DefaultConfig(); cfg != want {
 		t.Errorf("default flags give %+v, want %+v", cfg, want)
+	}
+}
+
+func TestBuildConfigPredictor(t *testing.T) {
+	f := defaultFlags()
+	f.predictor = "tage"
+	cfg, err := buildConfig(f)
+	if err != nil {
+		t.Fatalf("-predictor tage rejected: %v", err)
+	}
+	if cfg.Predictor != core.PredictorTAGE {
+		t.Errorf("Predictor = %v, want tage", cfg.Predictor)
 	}
 }
 
@@ -50,6 +63,9 @@ func TestBuildConfigRejects(t *testing.T) {
 		{"unknown cache", func(f *cliFlags) { f.cache = "huge" }, "Geometry"},
 		{"unknown target", func(f *cliFlags) { f.targetKind = "ras" }, "TargetArray"},
 		{"unknown index", func(f *cliFlags) { f.indexMode = "local" }, "IndexMode"},
+		{"unknown predictor", func(f *cliFlags) { f.predictor = "perceptron" }, "Predictor"},
+		{"tage with phts", func(f *cliFlags) { f.predictor = "tage"; f.phts = 4 }, "NumPHTs"},
+		{"tage with global index", func(f *cliFlags) { f.predictor = "tage"; f.indexMode = "global" }, "IndexMode"},
 		{"hist too long", func(f *cliFlags) { f.hist = 30 }, "HistoryBits"},
 		{"hist zero", func(f *cliFlags) { f.hist = 0 }, "HistoryBits"},
 		{"sts not pow2", func(f *cliFlags) { f.sts = 3 }, "NumSTs"},

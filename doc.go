@@ -46,6 +46,25 @@
 //
 //	eng, err := mbbp.NewEngine(mbbp.WithSingleBlock())
 //
+// # Predictor strategies
+//
+// Block-level direction prediction is pluggable: the paper's blocked
+// PHT ([PredictorPaper], the default) and a tagged-geometric
+// alternative ([PredictorTAGE]) implement one strategy contract over
+// the same BIT/select-table/target-array machinery. [WithPredictor]
+// selects the family and composes with the shared options; the TAGE*
+// options tune the tagged tables:
+//
+//	eng, err := mbbp.NewEngine(
+//		mbbp.WithPredictor(mbbp.PredictorTAGE, mbbp.TAGEHistory(4, 64)),
+//	)
+//
+// [RegisteredPredictors] lists the linked strategies with their
+// defaults, and Engine.StateBits reports each strategy's honest
+// Table 7 storage cost, so accuracy-per-bit comparisons (mbpexp
+// compare -predictor tage) need no hand-derived formulas. See
+// [ExampleWithPredictor] for a runnable side-by-side comparison.
+//
 // # Deprecated: plain-struct construction
 //
 // The original pattern — mutating a [Config] struct by hand and

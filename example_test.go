@@ -67,6 +67,39 @@ func ExampleEstimateCost() {
 	// dual double:  72 Kbit
 }
 
+// Comparing the two direction-prediction strategies on one workload:
+// the paper's blocked PHT against the tagged-geometric (TAGE)
+// alternative, with the live engines reporting their own Table 7
+// storage cost.
+func ExampleWithPredictor() {
+	tr, err := mbbp.WorkloadTrace("gcc", 200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	paper, err := mbbp.NewEngine(mbbp.WithSingleBlock())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tage, err := mbbp.NewEngine(
+		mbbp.WithSingleBlock(),
+		mbbp.WithPredictor(mbbp.PredictorTAGE, mbbp.TAGEHistory(4, 64)),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resPaper := paper.Run(tr)
+	tr.Reset()
+	resTAGE := tage.Run(tr)
+	fmt.Printf("paper dir bits: %d\n", paper.StateBits().PHT)
+	fmt.Printf("tage dir bits:  %d\n", tage.StateBits().PHT)
+	fmt.Printf("tage more accurate: %v\n",
+		resTAGE.CondAccuracy() > resPaper.CondAccuracy())
+	// Output:
+	// paper dir bits: 16384
+	// tage dir bits:  30784
+	// tage more accurate: true
+}
+
 // Comparing against the scalar two-level baseline of Figure 6.
 func ExampleScalarMispredictRate() {
 	tr, err := mbbp.WorkloadTrace("swim", 200_000)

@@ -66,13 +66,13 @@ func BenchmarkScanOnly(b *testing.B) {
 		cp.insts = append([]cpu.Retired(nil), blk.insts...)
 		blocks = append(blocks, cp)
 	}
-	entry := e.tab.At(0)
+	e.pred.Lookup(0, 0)
 	sh := newSharedBlock(e.geom)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		blk := &blocks[i%len(blocks)]
 		sh.set(blk)
-		_ = e.scan(blk, sh.trueCodes(e.cfg.NearBlock), entry)
+		_ = e.scan(blk, sh.trueCodes(e.cfg.NearBlock), e.pred)
 	}
 }
 

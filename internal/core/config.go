@@ -119,8 +119,91 @@ type Config struct {
 	// words (the default fast path) or the original wide-value slices
 	// (packed.BackingReference, the equivalence oracle the differential
 	// tests pin the packed path against). Results are byte-identical on
-	// either.
+	// either. The TAGE strategy is always packed; it accepts but
+	// ignores the reference backing.
 	Storage packed.Backing
+
+	// Predictor selects the block-level direction-prediction strategy:
+	// PredictorPaper (the blocked PHT, the default and the paper's
+	// design) or PredictorTAGE (the tagged-geometric family in
+	// internal/tage). Every other structure — BIT, select tables,
+	// target arrays, RAS — is shared machinery, unchanged by the
+	// strategy.
+	Predictor PredictorKind
+
+	// TAGE sizes the tagged-geometric predictor; meaningful only when
+	// Predictor is PredictorTAGE (Validate rejects it otherwise).
+	// Zero-valued fields take the DefaultTAGEParams values.
+	TAGE TAGEParams
+}
+
+// TAGEParams sizes the tagged-geometric direction predictor. The zero
+// value means "all defaults"; individual zero fields default too, so a
+// JSON config can override just one knob.
+type TAGEParams struct {
+	// Tables is the number of tagged tables (default 4).
+	Tables int
+	// TableBits is log2 entries per tagged table (default 9).
+	TableBits int
+	// TagBits is the partial tag width per entry (default 8).
+	TagBits int
+	// BaseBits is log2 entries of the 2-bit bimodal base predictor
+	// (default 11).
+	BaseBits int
+	// MinHistory and MaxHistory bound the geometric history lengths:
+	// table i uses roughly MinHistory * r^i bits with
+	// r = (MaxHistory/MinHistory)^(1/(Tables-1)) (defaults 4 and 64).
+	MinHistory int
+	MaxHistory int
+	// ResetPeriod is the useful-bit aging period in predictor updates:
+	// every ResetPeriod updates, all useful counters are halved
+	// (word-level, the periodic reset that keeps victim selection
+	// honest). Default 2048.
+	ResetPeriod int
+}
+
+// DefaultTAGEParams returns the default tagged-geometric geometry:
+// four 512-entry tagged tables (8-bit tags, 3-bit counters, 2-bit
+// useful), a 2048-entry bimodal base, history lengths 4..64.
+func DefaultTAGEParams() TAGEParams {
+	return TAGEParams{
+		Tables:      4,
+		TableBits:   9,
+		TagBits:     8,
+		BaseBits:    11,
+		MinHistory:  4,
+		MaxHistory:  64,
+		ResetPeriod: 2048,
+	}
+}
+
+// EffectiveTAGE resolves the configuration's TAGE parameters with
+// defaults applied to zero fields.
+func (c Config) EffectiveTAGE() TAGEParams {
+	p := c.TAGE
+	d := DefaultTAGEParams()
+	if p.Tables == 0 {
+		p.Tables = d.Tables
+	}
+	if p.TableBits == 0 {
+		p.TableBits = d.TableBits
+	}
+	if p.TagBits == 0 {
+		p.TagBits = d.TagBits
+	}
+	if p.BaseBits == 0 {
+		p.BaseBits = d.BaseBits
+	}
+	if p.MinHistory == 0 {
+		p.MinHistory = d.MinHistory
+	}
+	if p.MaxHistory == 0 {
+		p.MaxHistory = d.MaxHistory
+	}
+	if p.ResetPeriod == 0 {
+		p.ResetPeriod = d.ResetPeriod
+	}
+	return p
 }
 
 // DefaultConfig returns the paper's §4 defaults: block width 8, normal
@@ -219,6 +302,47 @@ func (c Config) Validate() error {
 	if !c.Storage.Valid() {
 		return badField("Storage", "%d is not a known backing", c.Storage)
 	}
+	switch c.Predictor {
+	case PredictorPaper:
+		if c.TAGE != (TAGEParams{}) {
+			return badField("TAGE", "parameters set but Predictor is %s (select PredictorTAGE)", c.Predictor)
+		}
+	case PredictorTAGE:
+		// The paper-PHT-only knobs must stay at their defaults: they
+		// have no meaning for the tagged-geometric tables, and silently
+		// ignoring them would make sweeps lie about what varied.
+		if c.NumPHTs > 1 {
+			return badField("NumPHTs", "%d blocked PHTs apply only to the paper predictor", c.NumPHTs)
+		}
+		if c.IndexMode != pht.IndexGShare {
+			return badField("IndexMode", "%s indexing applies only to the paper predictor", c.IndexMode)
+		}
+		t := c.EffectiveTAGE()
+		if t.Tables < 1 || t.Tables > 12 {
+			return badField("TAGE.Tables", "%d out of range [1,12]", t.Tables)
+		}
+		if t.TableBits < 2 || t.TableBits > 20 {
+			return badField("TAGE.TableBits", "%d out of range [2,20]", t.TableBits)
+		}
+		if t.TagBits < 4 || t.TagBits > 16 {
+			return badField("TAGE.TagBits", "%d out of range [4,16]", t.TagBits)
+		}
+		if t.BaseBits < 2 || t.BaseBits > 24 {
+			return badField("TAGE.BaseBits", "%d out of range [2,24]", t.BaseBits)
+		}
+		if t.MinHistory < 1 || t.MaxHistory > 256 || t.MinHistory > t.MaxHistory {
+			return badField("TAGE.MinHistory", "history lengths %d..%d must satisfy 1 <= min <= max <= 256",
+				t.MinHistory, t.MaxHistory)
+		}
+		if t.Tables > 1 && t.MinHistory == t.MaxHistory {
+			return badField("TAGE.MaxHistory", "%d tables need MinHistory < MaxHistory for geometric lengths", t.Tables)
+		}
+		if t.ResetPeriod < 1 {
+			return badField("TAGE.ResetPeriod", "%d must be positive", t.ResetPeriod)
+		}
+	default:
+		return badField("Predictor", "%d is not a known predictor kind", int(c.Predictor))
+	}
 	return nil
 }
 
@@ -250,7 +374,23 @@ func (c Config) String() string {
 	if c.NearBlock {
 		near = " near"
 	}
-	return fmt.Sprintf("%dblk%s %s W=%d h=%d ST=%d %s=%d%s",
+	pred := ""
+	if c.Predictor != PredictorPaper {
+		pred = " " + c.PredictorLabel()
+	}
+	return fmt.Sprintf("%dblk%s %s W=%d h=%d ST=%d %s=%d%s%s",
 		c.Blocks(), sel, c.Geometry.Kind, c.Geometry.BlockWidth, c.HistoryBits,
-		c.NumSTs, c.TargetArray, c.TargetEntries, near)
+		c.NumSTs, c.TargetArray, c.TargetEntries, near, pred)
+}
+
+// PredictorLabel renders the direction-prediction strategy compactly:
+// "paper" for the blocked PHT, or the tagged-geometric shape
+// ("tage(4x2^9 tag8 h4-64)").
+func (c Config) PredictorLabel() string {
+	if c.Predictor != PredictorTAGE {
+		return c.Predictor.String()
+	}
+	t := c.EffectiveTAGE()
+	return fmt.Sprintf("tage(%dx2^%d tag%d h%d-%d)",
+		t.Tables, t.TableBits, t.TagBits, t.MinHistory, t.MaxHistory)
 }

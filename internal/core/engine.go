@@ -25,7 +25,7 @@ type Engine struct {
 	blocks int // blocks fetched per cycle (1, 2, or the §5 extension's 3-4)
 
 	ghr    *pht.GHR
-	tab    *pht.Blocked
+	pred   Predictor
 	bit    *bitable.Table
 	tgt    target.Array
 	ras    *ras.Stack
@@ -71,7 +71,11 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e := &Engine{cfg: cfg, geom: cfg.Geometry, blocks: cfg.Blocks()}
 	e.ghr = pht.NewGHR(cfg.HistoryBits)
-	e.tab = pht.NewBlockedBacked(cfg.HistoryBits, cfg.Geometry.BlockWidth, cfg.numPHTs(), cfg.IndexMode, cfg.Storage)
+	pred, err := NewPredictor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.pred = pred
 	if cfg.Selection == metrics.SingleSelection {
 		e.bit = bitable.NewBacked(cfg.BITEntries, cfg.Geometry.LineSize, cfg.NearBlock, cfg.Storage)
 	}
@@ -186,7 +190,7 @@ func (e *Engine) consume(blk *block, sh *sharedBlock) {
 	}
 
 	ghrPre := e.ghr.Value()
-	entry := e.tab.At(e.tab.Index(ghrPre, blk.start))
+	e.pred.Lookup(ghrPre, blk.start)
 	trueCodes := sh.trueCodes(e.cfg.NearBlock)
 
 	// Finite-BIT penalty: predict with the (possibly stale or missing)
@@ -195,8 +199,8 @@ func (e *Engine) consume(blk *block, sh *sharedBlock) {
 	if e.bit != nil && !e.bit.Perfect() {
 		staleCodes, anyStale := e.staleCodes(blk)
 		if anyStale {
-			ssc := e.scan(blk, staleCodes, entry)
-			tsc := e.scan(blk, trueCodes, entry)
+			ssc := e.scan(blk, staleCodes, e.pred)
+			tsc := e.scan(blk, trueCodes, e.pred)
 			if ssc.exit != tsc.exit || ssc.sel.Source != tsc.sel.Source {
 				e.res.AddPenalty(metrics.BITMispredict,
 					metrics.Penalty(metrics.BITMispredict, role, e.cfg.Selection))
@@ -204,7 +208,7 @@ func (e *Engine) consume(blk *block, sh *sharedBlock) {
 		}
 	}
 
-	sc := e.scan(blk, trueCodes, entry)
+	sc := e.scan(blk, trueCodes, e.pred)
 
 	// Tentative role of the successor block if this block's prediction
 	// holds: roles cycle through the group; any redirecting penalty
@@ -224,7 +228,7 @@ func (e *Engine) consume(blk *block, sh *sharedBlock) {
 	// Select-table verification for the successor fetch (§3.1-3.2).
 	// Charged only when no redirecting penalty already squashes the
 	// pipeline; updates happen regardless.
-	condFlip := kind == metrics.CondMispredict && redirect && e.condExitWeak(blk, sc, entry)
+	condFlip := kind == metrics.CondMispredict && redirect && e.condExitWeak(blk, sc)
 	if dual {
 		e.verifyST(blk, sc, ghrPre, succRole, redirect, condFlip)
 	}
@@ -242,10 +246,10 @@ func (e *Engine) consume(blk *block, sh *sharedBlock) {
 		}
 		e.res.CondBranches++
 		pos := int(blk.start+uint32(j)) % w
-		if entry.Taken(pos) != rec.Taken {
+		if e.pred.Taken(pos) != rec.Taken {
 			e.res.CondMispredicts++
 		}
-		entry.Update(pos, rec.Taken)
+		e.pred.Update(pos, rec.Taken)
 	}
 
 	// Target array training: a redirecting exit whose source is the
@@ -274,8 +278,11 @@ func (e *Engine) consume(blk *block, sh *sharedBlock) {
 	e.fillBIT(blk, trueCodes)
 
 	// GHR: shifted once per block with the block's conditional
-	// outcomes (§2).
+	// outcomes (§2). The predictor observes the same outcomes, so a
+	// strategy whose private history outlives the shared GHR stays in
+	// sync with it.
 	e.ghr.ShiftPacked(sh.condN, sh.condBits)
+	e.pred.Shift(sh.condN, sh.condBits)
 
 	// Carry state for the next block.
 	copy(e.addrRing[1:], e.addrRing[:len(e.addrRing)-1])
@@ -373,8 +380,8 @@ func (e *Engine) classify(blk *block, sc scanResult, predNext uint32, predOK boo
 // condExitWeak reports whether the classified conditional misprediction
 // happened on a branch without a "second chance" (weak counter state),
 // in which case the BBR's replacement selector is written to the select
-// table (§3.3).
-func (e *Engine) condExitWeak(blk *block, sc scanResult, entry pht.Entry) bool {
+// table (§3.3). Reads the predictor's state for the latched block.
+func (e *Engine) condExitWeak(blk *block, sc scanResult) bool {
 	idx := sc.exit
 	if idx < 0 {
 		idx = blk.exitIdx()
@@ -383,7 +390,7 @@ func (e *Engine) condExitWeak(blk *block, sc scanResult, entry pht.Entry) bool {
 		return false
 	}
 	pos := int(blk.start+uint32(idx)) % e.geom.BlockWidth
-	return !entry.SecondChance(pos)
+	return !e.pred.SecondChance(pos)
 }
 
 // verifyST checks the memoized selector that launched (or, with double

@@ -1,0 +1,290 @@
+// Shared conformance suite for every Predictor strategy. The suite
+// runs in the external test package so it can link internal/tage the
+// same way binaries do (blank import → init-time registration) and
+// exercise both families through the public registry alone.
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mbbp/internal/core"
+	_ "mbbp/internal/tage"
+)
+
+// conformanceConfigs returns one validated configuration per
+// registered strategy, plus tuned variants, so every property below
+// runs against every family.
+func conformanceConfigs(t testing.TB) []core.Config {
+	t.Helper()
+	var cfgs []core.Config
+	add := func(mut func(*core.Config)) {
+		c := core.DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		cfgs = append(cfgs, c)
+	}
+	add(func(c *core.Config) {})
+	add(func(c *core.Config) { c.HistoryBits = 6; c.NumPHTs = 4 })
+	add(func(c *core.Config) { c.Predictor = core.PredictorTAGE })
+	add(func(c *core.Config) {
+		c.Predictor = core.PredictorTAGE
+		c.TAGE = core.TAGEParams{Tables: 2, TableBits: 5, TagBits: 6,
+			BaseBits: 6, MinHistory: 3, MaxHistory: 17, ResetPeriod: 64}
+	})
+	return cfgs
+}
+
+// opStream drives a predictor through a deterministic block sequence
+// (lookup, reads, updates, history shift) and returns a signature of
+// every prediction it made. Two predictors in the same state must
+// produce equal signatures.
+func opStream(p core.Predictor, w int, seed uint32, steps int) []byte {
+	var sig []byte
+	state := seed | 1
+	hist := uint32(0)
+	for s := 0; s < steps; s++ {
+		state = state*1664525 + 1013904223
+		blockAddr := state >> 8 & 0xFFFF
+		p.Lookup(hist, blockAddr)
+		for pos := 0; pos < w; pos++ {
+			var b byte
+			if p.Taken(pos) {
+				b |= 1
+			}
+			if p.SecondChance(pos) {
+				b |= 2
+			}
+			sig = append(sig, b)
+		}
+		// Resolve a couple of branches per block.
+		for k := 0; k < 2; k++ {
+			state = state*1664525 + 1013904223
+			pos := int(state>>16) % w
+			taken := state>>24&1 == 1
+			p.Update(pos, taken)
+		}
+		state = state*1664525 + 1013904223
+		n := int(state>>20)%3 + 1
+		bits := state >> 9 & (1<<uint(n) - 1)
+		p.Shift(n, bits)
+		hist = hist<<uint(n) | bits // mirror of the engine's GHR
+	}
+	return sig
+}
+
+func sigEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// wordsReporter is the optional cost cross-check interface: strategies
+// backed by packed arrays report their total backing words.
+type wordsReporter interface{ Words() int }
+
+func TestPredictorConformance(t *testing.T) {
+	for _, cfg := range conformanceConfigs(t) {
+		cfg := cfg
+		name := cfg.PredictorLabel()
+		if cfg.Predictor == core.PredictorPaper {
+			name = fmt.Sprintf("paper/h%d_p%d", cfg.HistoryBits, cfg.NumPHTs)
+		}
+		build := func(t *testing.T) core.Predictor {
+			t.Helper()
+			p, err := core.NewPredictor(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}
+		w := cfg.Geometry.BlockWidth
+
+		t.Run(name+"/determinism", func(t *testing.T) {
+			a := opStream(build(t), w, 0xC0FFEE, 400)
+			b := opStream(build(t), w, 0xC0FFEE, 400)
+			if !sigEqual(a, b) {
+				t.Fatal("two fresh instances diverged on the same stream")
+			}
+		})
+
+		t.Run(name+"/reset-equals-fresh", func(t *testing.T) {
+			p := build(t)
+			fresh := opStream(p, w, 0xBEEF, 300)
+			p.Reset()
+			again := opStream(p, w, 0xBEEF, 300)
+			if !sigEqual(fresh, again) {
+				t.Fatal("Reset() state differs from a fresh build")
+			}
+		})
+
+		t.Run(name+"/reads-are-pure", func(t *testing.T) {
+			// Re-reading every position between operations must not
+			// change the stream signature (the stale-BIT scan re-reads
+			// blocks); drive one instance with extra reads injected.
+			a := build(t)
+			noisy := func(p core.Predictor) []byte {
+				var sig []byte
+				state := uint32(0x1234567)
+				for s := 0; s < 300; s++ {
+					state = state*1664525 + 1013904223
+					p.Lookup(0, state>>8&0xFFFF)
+					for r := 0; r < 3; r++ { // repeated reads
+						for pos := 0; pos < w; pos++ {
+							p.Taken(pos)
+							p.SecondChance(pos)
+						}
+					}
+					var b byte
+					if p.Taken(0) {
+						b = 1
+					}
+					sig = append(sig, b)
+					p.Update(int(state>>16)%w, state>>24&1 == 1)
+					p.Shift(1, state>>9&1)
+				}
+				return sig
+			}
+			quiet := func(p core.Predictor) []byte {
+				var sig []byte
+				state := uint32(0x1234567)
+				for s := 0; s < 300; s++ {
+					state = state*1664525 + 1013904223
+					p.Lookup(0, state>>8&0xFFFF)
+					var b byte
+					if p.Taken(0) {
+						b = 1
+					}
+					sig = append(sig, b)
+					p.Update(int(state>>16)%w, state>>24&1 == 1)
+					p.Shift(1, state>>9&1)
+				}
+				return sig
+			}
+			if !sigEqual(noisy(a), quiet(build(t))) {
+				t.Fatal("repeated reads perturbed predictor state")
+			}
+		})
+
+		t.Run(name+"/statebits", func(t *testing.T) {
+			p := build(t)
+			bits := p.StateBits()
+			if bits <= 0 {
+				t.Fatalf("StateBits = %d", bits)
+			}
+			if wr, ok := p.(wordsReporter); ok {
+				if cap := wr.Words() * 64; bits > cap {
+					t.Fatalf("StateBits %d exceeds measured backing capacity %d", bits, cap)
+				}
+			}
+			// Training must not change the advertised cost.
+			opStream(p, w, 7, 200)
+			if p.StateBits() != bits {
+				t.Fatalf("StateBits changed under training: %d -> %d", bits, p.StateBits())
+			}
+		})
+
+		t.Run(name+"/counter-census", func(t *testing.T) {
+			p := build(t)
+			fresh := p.CounterStates()
+			total := fresh[0] + fresh[1] + fresh[2] + fresh[3]
+			if total == 0 {
+				t.Fatal("no direction counters reported")
+			}
+			opStream(p, w, 99, 200)
+			after := p.CounterStates()
+			if got := after[0] + after[1] + after[2] + after[3]; got != total {
+				t.Fatalf("counter census changed size: %d -> %d", total, got)
+			}
+		})
+	}
+}
+
+// TestPaperUpdateOrderIndependence: for the paper strategy, updates to
+// distinct positions of one latched block touch distinct 2-bit
+// counters, so their order cannot matter. testing/quick drives the
+// position pairs and outcomes.
+func TestPaperUpdateOrderIndependence(t *testing.T) {
+	cfg := core.DefaultConfig()
+	w := cfg.Geometry.BlockWidth
+	f := func(seed uint32, p1, p2 uint8, t1, t2 bool) bool {
+		posA, posB := int(p1)%w, int(p2)%w
+		if posA == posB {
+			return true
+		}
+		build := func() core.Predictor {
+			p, err := core.NewPredictor(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opStream(p, w, seed, 50) // arbitrary warm state
+			p.Lookup(seed&0x3FF, seed>>10&0xFFFF)
+			return p
+		}
+		a, b := build(), build()
+		a.Update(posA, t1)
+		a.Update(posB, t2)
+		b.Update(posB, t2)
+		b.Update(posA, t1)
+		return a.CounterStates() == b.CounterStates()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzPredictorEquivalence drives each registered strategy twice from
+// a fuzzer-chosen operation stream and demands identical predictions
+// and counter censuses — the determinism contract under arbitrary
+// interleavings of lookups, reads, updates and shifts.
+func FuzzPredictorEquivalence(f *testing.F) {
+	f.Add(uint32(1), []byte{0x10, 0x32, 0x54, 0x76})
+	f.Add(uint32(0xDEAD), []byte{0xFF, 0x00, 0xAA, 0x55, 0x11, 0x22})
+	f.Add(uint32(7), []byte{0x01})
+	f.Fuzz(func(t *testing.T, seed uint32, ops []byte) {
+		for _, cfg := range conformanceConfigs(t) {
+			a, err := core.NewPredictor(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := core.NewPredictor(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := cfg.Geometry.BlockWidth
+			hist := seed
+			for _, op := range ops {
+				blockAddr := uint32(op) * 37 & 0xFFFF
+				a.Lookup(hist, blockAddr)
+				b.Lookup(hist, blockAddr)
+				pos := int(op) % w
+				if a.Taken(pos) != b.Taken(pos) ||
+					a.SecondChance(pos) != b.SecondChance(pos) {
+					t.Fatalf("%s: prediction divergence at op %#x", cfg.PredictorLabel(), op)
+				}
+				a.Update(pos, op&1 == 1)
+				b.Update(pos, op&1 == 1)
+				n := int(op>>1)%3 + 1
+				bits := uint32(op >> 3)
+				a.Shift(n, bits)
+				b.Shift(n, bits)
+				hist = hist<<uint(n) | bits
+			}
+			if a.CounterStates() != b.CounterStates() {
+				t.Fatalf("%s: counter census divergence", cfg.PredictorLabel())
+			}
+			if a.StateBits() != b.StateBits() {
+				t.Fatalf("%s: StateBits divergence", cfg.PredictorLabel())
+			}
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package core_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mbbp/internal/core"
+)
+
+// The registry surface feeds the CLI flag, the config JSON field and
+// the mbbpd discovery endpoint; these pin its small contracts.
+
+func TestPredictorKindStrings(t *testing.T) {
+	cases := []struct {
+		kind  core.PredictorKind
+		str   string
+		valid bool
+	}{
+		{core.PredictorPaper, "paper", true},
+		{core.PredictorTAGE, "tage", true},
+		{core.PredictorKind(9), "predictor(9)", false},
+	}
+	for _, c := range cases {
+		if got := c.kind.String(); got != c.str {
+			t.Errorf("String(%d) = %q, want %q", int(c.kind), got, c.str)
+		}
+		if got := c.kind.Valid(); got != c.valid {
+			t.Errorf("Valid(%d) = %v, want %v", int(c.kind), got, c.valid)
+		}
+	}
+}
+
+func TestParsePredictorKind(t *testing.T) {
+	for kind, name := range map[core.PredictorKind]string{
+		core.PredictorPaper: "paper",
+		core.PredictorTAGE:  "tage",
+	} {
+		got, err := core.ParsePredictorKind(name)
+		if err != nil || got != kind {
+			t.Errorf("ParsePredictorKind(%q) = %v, %v; want %v", name, got, err, kind)
+		}
+	}
+	_, err := core.ParsePredictorKind("2bit")
+	if err == nil {
+		t.Fatal("ParsePredictorKind accepted an unknown spelling")
+	}
+	// The error must name the bad value and every known spelling so the
+	// CLI/server message is self-serve.
+	for _, want := range []string{`"2bit"`, "paper", "tage"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should mention %s", err, want)
+		}
+	}
+}
+
+func TestRegisteredPredictors(t *testing.T) {
+	infos := core.RegisteredPredictors()
+	if len(infos) != 2 {
+		t.Fatalf("got %d registered predictors, want 2: %+v", len(infos), infos)
+	}
+	for i, info := range infos {
+		if int(info.Kind) != i {
+			t.Errorf("entry %d has kind %v; want kind order", i, info.Kind)
+		}
+		if info.Name != info.Kind.String() {
+			t.Errorf("entry %d: name %q != kind string %q", i, info.Name, info.Kind.String())
+		}
+		if info.Description == "" || info.Defaults == nil {
+			t.Errorf("entry %d (%s): missing description or defaults", i, info.Name)
+		}
+	}
+}
+
+func TestRegisterPredictorRejectsDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering an existing kind should panic")
+		}
+	}()
+	core.RegisterPredictor(core.PredictorInfo{Kind: core.PredictorPaper},
+		func(core.Config) (core.Predictor, error) { return nil, nil })
+}
+
+func TestNewPredictorUnknownKind(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Predictor = core.PredictorKind(9)
+	_, err := core.NewPredictor(cfg)
+	if err == nil {
+		t.Fatal("NewPredictor built an unregistered kind")
+	}
+	var fe *core.FieldError
+	if !errors.As(err, &fe) || fe.Field != "Predictor" {
+		t.Errorf("want FieldError on Predictor, got %v", err)
+	}
+}
+
+// TestPredictorSurface covers the per-strategy odds and ends the
+// conformance driver does not reach: Kind round-trips, and the paper
+// strategy's Shift is a no-op (it reads the engine's shared GHR at
+// Lookup time instead of keeping private history).
+func TestPredictorSurface(t *testing.T) {
+	for _, kind := range []core.PredictorKind{core.PredictorPaper, core.PredictorTAGE} {
+		cfg := core.DefaultConfig()
+		cfg.Predictor = kind
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		p, err := core.NewPredictor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Kind() != kind {
+			t.Errorf("built %v, Kind() says %v", kind, p.Kind())
+		}
+		p.Lookup(0, 0)
+		before := p.Taken(0)
+		p.Shift(1, 1)
+		if kind == core.PredictorPaper {
+			p.Lookup(0, 0) // same GHR value: Shift alone must not move the paper strategy
+			if p.Taken(0) != before {
+				t.Error("paper Shift changed prediction state")
+			}
+		}
+	}
+}
+
+// TestEngineConfigAccessor pins that an engine reports the validated
+// configuration it was built from, for both predictor families.
+func TestEngineConfigAccessor(t *testing.T) {
+	for _, kind := range []core.PredictorKind{core.PredictorPaper, core.PredictorTAGE} {
+		cfg := core.DefaultConfig()
+		cfg.Predictor = kind
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		e, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e.Config().Predictor; got != kind {
+			t.Errorf("Config().Predictor = %v, want %v", got, kind)
+		}
+	}
+}

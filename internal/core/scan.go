@@ -3,7 +3,6 @@ package core
 import (
 	"mbbp/internal/bitable"
 	"mbbp/internal/isa"
-	"mbbp/internal/pht"
 	"mbbp/internal/seltab"
 )
 
@@ -15,12 +14,22 @@ type scanResult struct {
 	sel  seltab.Selector
 }
 
+// directionReader is the read-only slice of the Predictor contract the
+// scan needs: the predicted direction per position of the latched
+// block. pht.Entry satisfies it too, which lets unit tests drive the
+// scan from a hand-built counter slice.
+type directionReader interface {
+	Taken(pos int) bool
+}
+
 // scan walks the block's positions using the type code slice and the
-// PHT entry, stopping at the first unconditional transfer or conditional
-// branch whose counter predicts taken. codes holds the BIT code for each
-// block-relative position (true codes, or stale table contents for the
-// BIT-penalty check). entry is the blocked PHT entry for this block.
-func (e *Engine) scan(blk *block, codes []bitable.Code, entry pht.Entry) scanResult {
+// direction predictions for the latched block, stopping at the first
+// unconditional transfer or conditional branch predicted taken. codes
+// holds the BIT code for each block-relative position (true codes, or
+// stale table contents for the BIT-penalty check). dir is the direction
+// source — normally the engine's predictor, already latched on this
+// block.
+func (e *Engine) scan(blk *block, codes []bitable.Code, dir directionReader) scanResult {
 	w := e.geom.BlockWidth
 	line := uint32(e.geom.LineSize)
 	var nt uint8
@@ -40,7 +49,7 @@ func (e *Engine) scan(blk *block, codes []bitable.Code, entry pht.Entry) scanRes
 				Source: seltab.SrcTarget, Pos: pos, NTCount: nt,
 			}}
 		default: // conditional branch variants
-			if !entry.Taken(int(addr) % w) {
+			if !dir.Taken(int(addr) % w) {
 				nt++
 				continue
 			}

@@ -13,7 +13,11 @@ const TargetLineIndexBits = 10
 // sweep can print its own hardware-cost table instead of re-deriving
 // the closed forms).
 type StateBitsBreakdown struct {
-	// PHT is p * 2^k * 2W: every 2-bit counter of the blocked tables.
+	// PHT is the direction predictor's storage: p * 2^k * 2W for the
+	// paper's blocked tables (every 2-bit counter), or the tagged
+	// tables' counters + tags + useful bits plus the bimodal base for
+	// the TAGE strategy. The field keeps its paper name because every
+	// rendered cost table labels this row "PHT".
 	PHT int
 	// BIT is b * line * bits-per-instruction; 0 when BIT information
 	// lives in the instruction cache (the perfect table) or when double
@@ -35,7 +39,7 @@ func (s StateBitsBreakdown) Total() int {
 // StateBits measures the storage cost of the engine's live structures.
 func (e *Engine) StateBits() StateBitsBreakdown {
 	var s StateBitsBreakdown
-	s.PHT = e.tab.StateBits()
+	s.PHT = e.pred.StateBits()
 	if e.bit != nil {
 		s.BIT = e.bit.StateBits()
 	}

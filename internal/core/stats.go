@@ -8,11 +8,13 @@ import (
 )
 
 // StructStats is a point-in-time snapshot of the engine's predictor
-// structures, for analysis tools: how trained the PHT is, how much of
-// the select table is live, and how deep the return stack sits.
+// structures, for analysis tools: how trained the direction predictor
+// is, how much of the select table is live, and how deep the return
+// stack sits.
 type StructStats struct {
-	// PHTCounters is the distribution of 2-bit counter states
-	// (strongly-NT, weakly-NT, weakly-T, strongly-T).
+	// PHTCounters is the distribution of direction-counter states
+	// (strongly-NT, weakly-NT, weakly-T, strongly-T); wider counters
+	// (TAGE's 3-bit) bucket by direction and strength.
 	PHTCounters [4]uint64
 	// STValid is the number of valid select-table entries and STTotal
 	// the capacity (0/0 in single-block mode).
@@ -26,11 +28,7 @@ type StructStats struct {
 // Stats snapshots the engine's structures.
 func (e *Engine) Stats() StructStats {
 	var s StructStats
-	for i := 0; i < e.tab.Entries(); i++ {
-		for p := 0; p < e.tab.Width(); p++ {
-			s.PHTCounters[e.tab.CounterAt(uint32(i), p)&3]++
-		}
-	}
+	s.PHTCounters = e.pred.CounterStates()
 	if e.st != nil {
 		s.STTotal = uint64(e.st.Tables() * e.st.EntriesPerTable())
 		s.STValid = e.stValidCount()

@@ -26,14 +26,18 @@ import (
 // BENCH_sweep.json. The workloads are fully deterministic, so the
 // simulated numbers never vary between passes; only the timings do.
 
-// BenchSchema identifies the BENCH_sweep.json layout. v4 replaces the
+// BenchSchema identifies the BENCH_sweep.json layout. v4 replaced the
 // single pooled pass (parallel_ns/speedup at one fixed worker count)
 // with a per-sweep worker matrix: one row per worker count with
 // GOMAXPROCS pinned to match, speedup and efficiency against the
 // one-worker row, and a scheduler-telemetry snapshot (steals, parks,
 // queue depth, per-worker busy time) so scaling bottlenecks are
 // visible in the committed artifact, not just reproducible locally.
-const BenchSchema = "mbbp/bench-sweep/v4"
+// v5 adds the predictor dimension: every sweep is tagged with the
+// predictor family its configurations run, and the pinned set gains a
+// predictors sweep driving the mixed paper/TAGE comparison grid, so
+// the committed artifact tracks the second family's simulation cost.
+const BenchSchema = "mbbp/bench-sweep/v5"
 
 // PoolSnapshot is the scheduler telemetry recorded after one worker-
 // matrix pass — a JSON projection of harness.PoolStats.
@@ -89,6 +93,10 @@ type WorkerTotal struct {
 type BenchSweep struct {
 	// Name is the experiment the sweep runs (fig6, table6, fig9).
 	Name string `json:"name"`
+	// Predictor names the predictor family the sweep's configurations
+	// run: "paper" for the blocked-PHT sweeps, "paper+tage" for the
+	// mixed comparison grid.
+	Predictor string `json:"predictor"`
 	// Configs and Jobs describe the flattened grid: Jobs = engine runs
 	// = Configs × programs.
 	Configs int `json:"configs"`
@@ -185,31 +193,39 @@ func widthSweep(blockWidth int) func(*Scheduler, *TraceSet) error {
 // benchSweeps is the pinned sweep set: fig6 exercises the scheduler on
 // a sweep with two job kinds per point, table6 on a small grid of heavy
 // dual-block configurations, fig9 on a single configuration whose only
-// parallelism is the per-program fan-out, and width8/width16 on
-// large-table configurations that stress the storage backing.
+// parallelism is the per-program fan-out, width8/width16 on
+// large-table configurations that stress the storage backing, and
+// predictors on the mixed paper/TAGE comparison grid — the one sweep
+// whose lanes interleave both predictor families over a shared trace
+// walk.
 var benchSweeps = []struct {
-	name    string
-	configs int // engine configurations per program
-	run     func(*Scheduler, *TraceSet) error
+	name      string
+	predictor string
+	configs   int // engine configurations per program
+	run       func(*Scheduler, *TraceSet) error
 }{
-	{"fig6", 14, func(s *Scheduler, ts *TraceSet) error { // 7 blocked + 7 scalar
+	{"fig6", "paper", 14, func(s *Scheduler, ts *TraceSet) error { // 7 blocked + 7 scalar
 		_, err := Fig6Async(s, ts)()
 		return err
 	}},
-	{"table6", 6, func(s *Scheduler, ts *TraceSet) error {
+	{"table6", "paper", 6, func(s *Scheduler, ts *TraceSet) error {
 		_, err := Table6Async(s, ts)()
 		return err
 	}},
-	{"fig8", 32, func(s *Scheduler, ts *TraceSet) error { // history × STs × selection, one geometry
+	{"fig8", "paper", 32, func(s *Scheduler, ts *TraceSet) error { // history × STs × selection, one geometry
 		_, err := Fig8Async(s, ts)()
 		return err
 	}},
-	{"fig9", 1, func(s *Scheduler, ts *TraceSet) error {
+	{"fig9", "paper", 1, func(s *Scheduler, ts *TraceSet) error {
 		_, err := Fig9Async(s, ts)()
 		return err
 	}},
-	{"width8", 1, widthSweep(8)},
-	{"width16", 1, widthSweep(16)},
+	{"width8", "paper", 1, widthSweep(8)},
+	{"width16", "paper", 1, widthSweep(16)},
+	{"predictors", "paper+tage", 8, func(s *Scheduler, ts *TraceSet) error { // 4 paper + 4 TAGE points
+		_, err := ComparePredictorsAsync(s, ts, core.PredictorTAGE)()
+		return err
+	}},
 }
 
 // runMatrixRow times one sweep at one worker count: a fresh pool of w
@@ -273,6 +289,7 @@ func RunBench(ts *TraceSet, instructions uint64, workerCounts []int) (*BenchRepo
 		jobs := b.configs * len(ts.Programs())
 		sweep := BenchSweep{
 			Name:         b.name,
+			Predictor:    b.predictor,
 			Configs:      b.configs,
 			Jobs:         jobs,
 			Instructions: uint64(jobs) * instructions,
@@ -373,8 +390,8 @@ func (r *BenchReport) WriteJSON(w io.Writer) error {
 
 // ReadBenchReport parses a BENCH_sweep.json document. Unknown fields
 // are rejected, which is what fails v2/v3 documents with an error
-// naming the stale field (their parallel-pass fields no longer exist
-// in v4) before the schema tag is even compared.
+// naming the stale field (their parallel-pass fields no longer exist)
+// before the schema tag is even compared.
 func ReadBenchReport(r io.Reader) (*BenchReport, error) {
 	var rep BenchReport
 	dec := json.NewDecoder(r)
@@ -423,12 +440,13 @@ func (r *BenchReport) GateScaling(sweep string, workers int, floor float64) erro
 	return nil
 }
 
-// Check validates the report against the v4 schema: every field a
+// Check validates the report against the v5 schema: every field a
 // downstream consumer (CI, the bench trajectory, the scaling gate)
 // relies on must be present and plausible. Older schemas are rejected
 // — v3 and before carry the retired single-pass parallel fields and
-// fail ReadBenchReport on the field name, and a v4-shaped document
-// with a stale tag fails here.
+// fail ReadBenchReport on the field name; a v4 document parses (v5
+// only adds fields) but fails here on the schema tag or the missing
+// per-sweep predictor.
 func (r *BenchReport) Check() error {
 	if r.Schema != BenchSchema {
 		return fmt.Errorf("bench report: schema %q, want %q", r.Schema, BenchSchema)
@@ -458,6 +476,9 @@ func (r *BenchReport) Check() error {
 	for _, s := range r.Sweeps {
 		if s.Name == "" {
 			return fmt.Errorf("bench report: unnamed sweep")
+		}
+		if s.Predictor == "" {
+			return fmt.Errorf("bench report: sweep %s: missing predictor tag", s.Name)
 		}
 		if s.Configs <= 0 || s.Jobs != s.Configs*r.Programs {
 			return fmt.Errorf("bench report: sweep %s: jobs %d != configs %d x programs %d",
@@ -533,10 +554,10 @@ func RenderBench(w io.Writer, r *BenchReport) {
 	fmt.Fprintf(w, "Benchmark pipeline: %d programs x %d instructions, worker matrix %v (%d cores, %s/%s, %s)\n",
 		r.Programs, r.InstructionsPerProgram, r.WorkerCounts, r.NumCPU, r.GOOS, r.GOARCH, r.GoVersion)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "sweep\tjobs\tserial\tlanes\tlane-speedup\tpacked ns/i\tref ns/i\tpacked-vs-ref\tallocs/job")
+	fmt.Fprintln(tw, "sweep\tpredictor\tjobs\tserial\tlanes\tlane-speedup\tpacked ns/i\tref ns/i\tpacked-vs-ref\tallocs/job")
 	for _, s := range r.Sweeps {
-		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%.2fx\t%.1f\t%.1f\t%.2fx\t%d\n",
-			s.Name, s.Jobs,
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%.2fx\t%.1f\t%.1f\t%.2fx\t%d\n",
+			s.Name, s.Predictor, s.Jobs,
 			time.Duration(s.SerialNs), time.Duration(s.LaneNs), s.LaneSpeedup,
 			s.SerialNsPerInstruction, s.ReferenceNsPerInstruction,
 			s.PackedSpeedup, s.AllocsPerJob)

@@ -78,14 +78,14 @@ func TestBenchPipeline(t *testing.T) {
 	}
 }
 
-// goodV4 builds a minimal valid v4 report for the mutation tests.
-func goodV4() *BenchReport {
+// goodV5 builds a minimal valid v5 report for the mutation tests.
+func goodV5() *BenchReport {
 	return &BenchReport{
 		Schema: BenchSchema, GoVersion: "go0.0", GOOS: "linux", GOARCH: "amd64",
 		GOMAXPROCS: 1, NumCPU: 8, WorkerCounts: []int{1, 4},
 		InstructionsPerProgram: 1, Programs: 2,
 		Sweeps: []BenchSweep{{
-			Name: "fig6", Configs: 3, Jobs: 6, Instructions: 6,
+			Name: "fig6", Predictor: "paper", Configs: 3, Jobs: 6, Instructions: 6,
 			SerialNs:    10,
 			ReferenceNs: 12, PackedSpeedup: 1.2,
 			LaneNs: 6, LaneSpeedup: 10.0 / 6,
@@ -115,13 +115,15 @@ func goodV4() *BenchReport {
 // malformed worker-matrix rows, or unknown fields must all be
 // rejected.
 func TestBenchCheckRejects(t *testing.T) {
-	if err := goodV4().Check(); err != nil {
+	if err := goodV5().Check(); err != nil {
 		t.Fatalf("valid report rejected: %v", err)
 	}
 
 	mutations := map[string]func(*BenchReport){
 		"wrong schema":          func(r *BenchReport) { r.Schema = "mbbp/bench-sweep/v0" },
 		"v3 schema tag":         func(r *BenchReport) { r.Schema = "mbbp/bench-sweep/v3" },
+		"v4 schema tag":         func(r *BenchReport) { r.Schema = "mbbp/bench-sweep/v4" },
+		"no predictor tag":      func(r *BenchReport) { r.Sweeps[0].Predictor = "" },
 		"no toolchain":          func(r *BenchReport) { r.GoVersion = "" },
 		"zero cpus":             func(r *BenchReport) { r.NumCPU = 0 },
 		"no worker counts":      func(r *BenchReport) { r.WorkerCounts = nil },
@@ -152,7 +154,7 @@ func TestBenchCheckRejects(t *testing.T) {
 		"empty workload":        func(r *BenchReport) { r.Programs = 0 },
 	}
 	for name, mutate := range mutations {
-		r := goodV4()
+		r := goodV5()
 		mutate(r)
 		if err := r.Check(); err == nil {
 			t.Errorf("%s: Check accepted an invalid report", name)
@@ -221,9 +223,9 @@ func TestBenchCheckRejectsV2Document(t *testing.T) {
 		t.Errorf("v2 rejection should name the retired field: %v", err)
 	}
 
-	// A v4-shaped document with a stale tag gets past the parser and
+	// A v5-shaped document with a stale tag gets past the parser and
 	// must then fail Check on the schema line.
-	stale := goodV4()
+	stale := goodV5()
 	stale.Schema = "mbbp/bench-sweep/v2"
 	if err := stale.Check(); err == nil {
 		t.Error("Check accepted a v2 schema tag")
@@ -232,11 +234,32 @@ func TestBenchCheckRejectsV2Document(t *testing.T) {
 	}
 }
 
+// TestBenchCheckRejectsV4Document: a v4 report has no per-sweep
+// predictor tag, so it parses (v5 only adds fields) but must fail
+// Check — first on the schema tag, and even with the tag forged, on
+// the missing predictor dimension.
+func TestBenchCheckRejectsV4Document(t *testing.T) {
+	v4 := goodV5()
+	v4.Schema = "mbbp/bench-sweep/v4"
+	v4.Sweeps[0].Predictor = ""
+	if err := v4.Check(); err == nil {
+		t.Fatal("Check accepted a v4 schema tag")
+	} else if !strings.Contains(err.Error(), "schema") {
+		t.Errorf("v4 rejection should name the schema: %v", err)
+	}
+	v4.Schema = BenchSchema
+	if err := v4.Check(); err == nil {
+		t.Fatal("Check accepted a v4-shaped report with a forged v5 tag")
+	} else if !strings.Contains(err.Error(), "predictor") {
+		t.Errorf("forged-tag rejection should name the predictor field: %v", err)
+	}
+}
+
 // TestGateScaling pins the CI scaling gate's three outcomes: pass,
 // below-floor failure, and refusal to certify a report produced on a
 // host with fewer cores than the gated worker count.
 func TestGateScaling(t *testing.T) {
-	r := goodV4()
+	r := goodV5()
 	if err := r.GateScaling("fig6", 4, 3.0); err != nil {
 		t.Errorf("gate rejected a 4.0x row at floor 3.0: %v", err)
 	}
@@ -252,7 +275,7 @@ func TestGateScaling(t *testing.T) {
 		t.Error("gate accepted an unknown sweep")
 	}
 
-	small := goodV4()
+	small := goodV5()
 	small.NumCPU = 1
 	if err := small.GateScaling("fig6", 4, 3.0); err == nil {
 		t.Error("gate certified scaling measured on a single-core host")
@@ -261,10 +284,10 @@ func TestGateScaling(t *testing.T) {
 	}
 }
 
-// TestGoldenBenchRender pins the v4 human rendering — column layout,
-// the worker-matrix table, and the scaling summary — on a fixed
-// synthetic report (real timings are not reproducible, so the golden
-// uses pinned numbers).
+// TestGoldenBenchRender pins the v5 human rendering — column layout
+// with the predictor tag, the worker-matrix table, and the scaling
+// summary — on a fixed synthetic report (real timings are not
+// reproducible, so the golden uses pinned numbers).
 func TestGoldenBenchRender(t *testing.T) {
 	rep := &BenchReport{
 		Schema: BenchSchema, GoVersion: "go1.99", GOOS: "linux", GOARCH: "amd64",
@@ -272,7 +295,7 @@ func TestGoldenBenchRender(t *testing.T) {
 		InstructionsPerProgram: 1000, Programs: 2,
 		Sweeps: []BenchSweep{
 			{
-				Name: "fig8", Configs: 32, Jobs: 64, Instructions: 64000,
+				Name: "fig8", Predictor: "paper", Configs: 32, Jobs: 64, Instructions: 64000,
 				SerialNs:    64_000_000,
 				ReferenceNs: 96_000_000, PackedSpeedup: 1.5,
 				LaneNs: 40_000_000, LaneSpeedup: 1.6,
@@ -309,5 +332,5 @@ func TestGoldenBenchRender(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	RenderBench(&buf, rep)
-	checkGolden(t, "bench_v4_table", buf.Bytes())
+	checkGolden(t, "bench_v5_table", buf.Bytes())
 }

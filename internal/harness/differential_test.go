@@ -177,6 +177,23 @@ func TestDifferentialCompare(t *testing.T) {
 	})
 }
 
+// TestDifferentialPredictors pins the mixed-predictor lane path: the
+// strategy-comparison grid groups paper and TAGE lanes into ONE lane
+// set (shared geometry), and its output must stay byte-identical to
+// per-config engine runs, serially and on the pool.
+func TestDifferentialPredictors(t *testing.T) {
+	differ(t, "predictors", func(s *Scheduler, ts *TraceSet) ([]func(io.Writer) error, error) {
+		rows, err := ComparePredictorsAsync(s, ts, core.PredictorTAGE)()
+		if err != nil {
+			return nil, err
+		}
+		return []func(io.Writer) error{
+			func(w io.Writer) error { RenderPredictors(w, rows); return nil },
+			func(w io.Writer) error { return CSVPredictors(w, rows) },
+		}, nil
+	})
+}
+
 func TestDifferentialBaseline(t *testing.T) {
 	differ(t, "baseline", func(s *Scheduler, ts *TraceSet) ([]func(io.Writer) error, error) {
 		rows, err := BaselineAsync(s, ts)()

@@ -49,6 +49,7 @@ func TestGoldenFiles(t *testing.T) {
 	t5 := cachedTable5(t)
 	t6 := cachedTable6(t)
 	evs := cachedEvents(t)
+	prs := cachedPredictors(t)
 
 	cases := []struct {
 		name   string
@@ -69,6 +70,8 @@ func TestGoldenFiles(t *testing.T) {
 		{"cost", func(b *bytes.Buffer) error { RenderCost(b); return nil }},
 		{"events_table", func(b *bytes.Buffer) error { RenderEvents(b, evs, DefaultEventsTopN); return nil }},
 		{"events_csv", func(b *bytes.Buffer) error { return CSVEvents(b, evs, DefaultEventsTopN) }},
+		{"predictors_table", func(b *bytes.Buffer) error { RenderPredictors(b, prs); return nil }},
+		{"predictors_csv", func(b *bytes.Buffer) error { return CSVPredictors(b, prs) }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -14,6 +14,7 @@ import (
 	"mbbp/internal/core"
 	"mbbp/internal/metrics"
 	"mbbp/internal/packed"
+	_ "mbbp/internal/tage" // register the TAGE predictor for every consumer
 	"mbbp/internal/trace"
 	"mbbp/internal/workload"
 )

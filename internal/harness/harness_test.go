@@ -5,6 +5,8 @@ import (
 	"os"
 	"sync"
 	"testing"
+
+	"mbbp/internal/core"
 )
 
 var testTraces *TraceSet
@@ -35,13 +37,16 @@ func cached[T any](compute func(*TraceSet) ([]T, error)) func(t *testing.T) []T 
 }
 
 var (
-	cachedFig6   = cached(Fig6)
-	cachedFig7   = cached(Fig7)
-	cachedFig8   = cached(Fig8)
-	cachedFig9   = cached(Fig9)
-	cachedTable5 = cached(Table5)
-	cachedTable6 = cached(Table6)
-	cachedEvents = cached(Events)
+	cachedFig6       = cached(Fig6)
+	cachedFig7       = cached(Fig7)
+	cachedFig8       = cached(Fig8)
+	cachedFig9       = cached(Fig9)
+	cachedTable5     = cached(Table5)
+	cachedTable6     = cached(Table6)
+	cachedEvents     = cached(Events)
+	cachedPredictors = cached(func(ts *TraceSet) ([]PredictorRow, error) {
+		return ComparePredictors(ts, core.PredictorTAGE)
+	})
 )
 
 // TestFig6Shape checks the paper's Figure 6 claims: the blocked PHT's

@@ -8,10 +8,12 @@
 //     PHT entry of width W <= 32 occupies 2W consecutive bits of one
 //     word, so predicting a whole fetch block touches one word (two for
 //     W = 64) instead of W byte slots.
+//   - Counter3Array: 3-bit saturating counters (the tagged-geometric
+//     predictor's per-entry counters), 21 per word.
 //   - CodeArray: 2- or 3-bit BIT type codes, 32 or 21 per word.
 //   - FieldArray: fixed-width fields of 1..32 bits (select-table
-//     selectors, not-taken counts, valid bits), 64/width per word, with
-//     no field straddling a word boundary.
+//     selectors, not-taken counts, valid bits, TAGE tags), 64/width
+//     per word, with no field straddling a word boundary.
 //
 // Updates are single-load read-modify-writes: one word load, a shift
 // and mask, one store. Every array also reports its logical size via
@@ -156,6 +158,95 @@ func (a *Counter2Array) StateBits() int { return 2 * a.n }
 
 // Words returns the number of backing 64-bit words actually allocated.
 func (a *Counter2Array) Words() int { return len(a.words) }
+
+// ageHalveMask selects the low bit of every 2-bit field in a word.
+const ageHalveMask = 0x5555555555555555
+
+// AgeHalve halves every counter in one pass (c -> c/2), one shift and
+// mask per backing word — the word-level aging the TAGE useful-bit
+// periodic reset uses: a whole table of 2-bit useful counters decays
+// in entries/32 word operations instead of entries read-modify-writes.
+// Tail padding stays zero, so canonical whole-word comparisons hold.
+func (a *Counter2Array) AgeHalve() {
+	for i := range a.words {
+		a.words[i] = a.words[i] >> 1 & ageHalveMask
+	}
+}
+
+// Counter3Array is a dense array of 3-bit saturating counters
+// (0 strongly not-taken .. 7 strongly taken, taken = value >= 4), 21
+// per 64-bit word with one pad bit, so no counter straddles a word.
+// The tagged-geometric predictor stores its per-entry prediction
+// counters here at the paper-style bit density the Table 7 cost
+// accounting assumes.
+type Counter3Array struct {
+	n     int
+	words []uint64
+}
+
+// counters3PerWord is the 3-bit packing density (one pad bit per word).
+const counters3PerWord = 21
+
+// NewCounter3Array returns n counters all initialized to init (0..7).
+func NewCounter3Array(n int, init uint8) *Counter3Array {
+	if n < 0 {
+		panic(fmt.Sprintf("packed: NewCounter3Array(%d): negative length", n))
+	}
+	if init > 7 {
+		panic(fmt.Sprintf("packed: NewCounter3Array init %d out of range", init))
+	}
+	a := &Counter3Array{n: n, words: alignedWords((n + counters3PerWord - 1) / counters3PerWord)}
+	if init != 0 {
+		for i := 0; i < n; i++ {
+			a.Set(i, init)
+		}
+	}
+	return a
+}
+
+// Len returns the number of counters.
+func (a *Counter3Array) Len() int { return a.n }
+
+// Get returns counter i (0..7).
+func (a *Counter3Array) Get(i int) uint8 {
+	return uint8(a.words[i/counters3PerWord] >> (uint(i%counters3PerWord) * 3) & 7)
+}
+
+// Set stores v (0..7) into counter i.
+func (a *Counter3Array) Set(i int, v uint8) {
+	if v > 7 {
+		panic(fmt.Sprintf("packed: Counter3Array.Set(%d, %d): value out of range", i, v))
+	}
+	sh := uint(i%counters3PerWord) * 3
+	w := &a.words[i/counters3PerWord]
+	*w = *w&^(7<<sh) | uint64(v)<<sh
+}
+
+// Update moves counter i one step toward the outcome, saturating at 0
+// and 7 — a single-load read-modify-write like Counter2Array.Update.
+func (a *Counter3Array) Update(i int, taken bool) {
+	sh := uint(i%counters3PerWord) * 3
+	w := &a.words[i/counters3PerWord]
+	c := *w >> sh & 7
+	if taken {
+		if c < 7 {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	*w = *w&^(7<<sh) | c<<sh
+}
+
+// Taken reports the predicted direction of counter i (value >= 4).
+func (a *Counter3Array) Taken(i int) bool { return a.Get(i) >= 4 }
+
+// StateBits returns the logical storage size in bits (3 per counter;
+// pad bits excluded).
+func (a *Counter3Array) StateBits() int { return 3 * a.n }
+
+// Words returns the number of backing 64-bit words actually allocated.
+func (a *Counter3Array) Words() int { return len(a.words) }
 
 // CodeArray is a dense array of BIT type codes of 2 or 3 bits each
 // (paper Table 1: 2 bits without near-block encoding, 3 with). Codes

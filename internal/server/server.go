@@ -125,6 +125,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /v1/predictors", s.handlePredictors)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.metrics.handler)
 	// /debug/vars is the standard expvar view of the *process* — Go
@@ -481,6 +482,18 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 		Int       []string `json:"int"`
 		FP        []string `json:"fp"`
 	}{workload.Names(), workload.IntNames(), workload.FPNames()})
+}
+
+// handlePredictors lists the direction-prediction strategy families
+// linked into this binary, with their default parameters — the
+// discovery surface for clients building sweep configs by hand. The
+// "kind" value is what a config's Predictor field takes; "name" is the
+// CLI spelling (-predictor).
+func (s *Server) handlePredictors(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(struct {
+		Predictors []core.PredictorInfo `json:"predictors"`
+	}{core.RegisteredPredictors()})
 }
 
 // handleHealthz reports liveness; a draining server answers 503 so

@@ -461,6 +461,9 @@ func TestBadRequests(t *testing.T) {
 		{"over limit", `{"instructions":200000}`},
 		{"unknown config field", `{"config":{"Wibble":1}}`},
 		{"invalid config", `{"config":{"NumSTs":3}}`},
+		{"unknown predictor kind", `{"config":{"Predictor":7}}`},
+		{"tage knobs on paper predictor", `{"config":{"TAGE":{"Tables":4}}}`},
+		{"tage with multiple phts", `{"config":{"Predictor":1,"NumPHTs":4}}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -483,6 +486,66 @@ func TestBadRequests(t *testing.T) {
 	}
 	if doc.Field != "NumSTs" {
 		t.Errorf("error field = %q, want NumSTs (error: %s)", doc.Field, doc.Error)
+	}
+
+	// A bad predictor kind names its field too.
+	r = httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(`{"config":{"Predictor":7}}`))
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Field != "Predictor" {
+		t.Errorf("error field = %q, want Predictor (error: %s)", doc.Field, doc.Error)
+	}
+}
+
+// TestPredictorsEndpoint checks strategy discovery: both registered
+// families, kind order, defaults present.
+func TestPredictorsEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/v1/predictors", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("predictors = %d", w.Code)
+	}
+	var doc struct {
+		Predictors []struct {
+			Kind        int            `json:"kind"`
+			Name        string         `json:"name"`
+			Description string         `json:"description"`
+			Defaults    map[string]any `json:"defaults"`
+		} `json:"predictors"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Predictors) != 2 {
+		t.Fatalf("predictors = %+v, want 2 entries", doc.Predictors)
+	}
+	if doc.Predictors[0].Name != "paper" || doc.Predictors[1].Name != "tage" {
+		t.Errorf("names = %q, %q", doc.Predictors[0].Name, doc.Predictors[1].Name)
+	}
+	for _, p := range doc.Predictors {
+		if p.Description == "" || len(p.Defaults) == 0 {
+			t.Errorf("%s: missing description or defaults: %+v", p.Name, p)
+		}
+	}
+	// A sweep with the discovered TAGE kind runs and echoes the config.
+	resp := postSweep(t, s.Handler(), SweepRequest{
+		Config:       json.RawMessage(`{"Predictor":1,"Mode":0}`),
+		Programs:     []string{"li"},
+		Instructions: 5_000,
+	}, "")
+	if resp.Code != http.StatusOK {
+		t.Fatalf("tage sweep = %d: %s", resp.Code, resp.Body.String())
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(resp.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Config.Predictor != core.PredictorTAGE {
+		t.Errorf("echoed predictor = %v, want tage", sr.Config.Predictor)
 	}
 }
 

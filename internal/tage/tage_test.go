@@ -1,0 +1,201 @@
+package tage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mbbp/internal/core"
+)
+
+func tageConfig(t *testing.T) core.Config {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Predictor = core.PredictorTAGE
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func newTAGE(t *testing.T, cfg core.Config) *Predictor {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.(*Predictor)
+}
+
+// naiveFold XOR-folds the newest origLen bits of hist (hist[0] newest)
+// into compLen-bit chunks — the specification the circular-shift
+// construction must match.
+func naiveFold(hist []uint8, origLen, compLen int) uint32 {
+	var v uint32
+	for i := 0; i < origLen; i++ {
+		var b uint32
+		if i < len(hist) {
+			b = uint32(hist[i])
+		}
+		// The bit of age i (0 = newest) lands at position i mod
+		// compLen: push places the newest bit at bit 0, shifts the
+		// rest up, and wraps bit compLen back onto bit 0.
+		v ^= b << uint(i%compLen)
+	}
+	return v & (1<<uint(compLen) - 1)
+}
+
+// TestFoldedMatchesNaive drives a folded register with a pseudo-random
+// bit stream and checks it against recomputing the fold from scratch
+// at every step.
+func TestFoldedMatchesNaive(t *testing.T) {
+	for _, tc := range []struct{ orig, comp int }{
+		{4, 9}, {10, 9}, {13, 8}, {27, 7}, {64, 9}, {64, 8}, {17, 16},
+	} {
+		f := newFolded(tc.orig, tc.comp)
+		var hist []uint8 // newest first
+		state := uint32(0x1234567)
+		for step := 0; step < 300; step++ {
+			state = state*1664525 + 1013904223
+			b := uint8(state >> 16 & 1)
+			// out bit: the one leaving the orig-length window.
+			var out uint32
+			if len(hist) >= tc.orig {
+				out = uint32(hist[tc.orig-1])
+			}
+			f.push(uint32(b), out)
+			hist = append([]uint8{b}, hist...)
+			if want := naiveFold(hist, tc.orig, tc.comp); f.comp != want {
+				t.Fatalf("orig=%d comp=%d step %d: folded %#x, naive %#x",
+					tc.orig, tc.comp, step, f.comp, want)
+			}
+		}
+	}
+}
+
+// TestHistoryLengths checks the geometric series is strictly
+// increasing and pinned to the configured endpoints.
+func TestHistoryLengths(t *testing.T) {
+	for _, tc := range []core.TAGEParams{
+		{Tables: 4, MinHistory: 4, MaxHistory: 64},
+		{Tables: 12, MinHistory: 2, MaxHistory: 256},
+		{Tables: 2, MinHistory: 5, MaxHistory: 6},
+		{Tables: 1, MinHistory: 4, MaxHistory: 64},
+	} {
+		lens := historyLengths(tc)
+		if len(lens) != tc.Tables {
+			t.Fatalf("%+v: got %d lengths", tc, len(lens))
+		}
+		if tc.Tables > 1 {
+			if lens[0] != tc.MinHistory || lens[tc.Tables-1] != tc.MaxHistory {
+				t.Errorf("%+v: endpoints %d..%d", tc, lens[0], lens[tc.Tables-1])
+			}
+		} else if lens[0] != tc.MaxHistory {
+			t.Errorf("single table should use MaxHistory, got %d", lens[0])
+		}
+		for i := 1; i < len(lens); i++ {
+			if lens[i] <= lens[i-1] {
+				t.Errorf("%+v: lengths not strictly increasing: %v", tc, lens)
+			}
+		}
+	}
+}
+
+// TestStateBitsAccounting recomputes the advertised cost from the
+// configured geometry.
+func TestStateBitsAccounting(t *testing.T) {
+	cfg := tageConfig(t)
+	p := newTAGE(t, cfg)
+	tp := cfg.EffectiveTAGE()
+	perTable := (3 + tp.TagBits + 2) * (1 << tp.TableBits)
+	want := 2*(1<<tp.BaseBits) + tp.Tables*perTable + tp.MaxHistory
+	if got := p.StateBits(); got != want {
+		t.Fatalf("StateBits = %d, want %d", got, want)
+	}
+	// Logical bits must fit in the measured backing words.
+	if got, cap := p.StateBits(), p.Words()*64; got > cap {
+		t.Fatalf("StateBits %d exceeds backing capacity %d", got, cap)
+	}
+}
+
+// TestLearnsAlternatingPattern trains one branch on a short
+// alternating pattern that defeats a bimodal counter and checks the
+// tagged tables pick it up.
+func TestLearnsAlternatingPattern(t *testing.T) {
+	p := newTAGE(t, tageConfig(t))
+	const pc = 0x400
+	correct, total := 0, 0
+	taken := false
+	for i := 0; i < 2000; i++ {
+		taken = !taken
+		p.Lookup(0, pc)
+		got := p.Taken(int(pc % 8))
+		if i > 1000 {
+			total++
+			if got == taken {
+				correct++
+			}
+		}
+		p.Update(int(pc%8), taken)
+		bit := uint32(0)
+		if taken {
+			bit = 1
+		}
+		p.Shift(1, bit)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.95 {
+		t.Fatalf("alternating pattern accuracy %.3f, want >= 0.95", acc)
+	}
+}
+
+// TestUpdateAllocatesOnMiss forces mispredictions and checks tagged
+// entries appear (CounterStates shifts away from the fresh
+// weakly-not-taken bucket distribution).
+func TestUpdateAllocatesOnMiss(t *testing.T) {
+	p := newTAGE(t, tageConfig(t))
+	fresh := p.CounterStates()
+	for i := 0; i < 200; i++ {
+		pc := uint32(0x100 + 8*(i%16))
+		p.Lookup(0, pc)
+		p.Update(int(pc%8), true) // fresh state predicts not-taken
+		p.Shift(1, 1)
+	}
+	after := p.CounterStates()
+	if after == fresh {
+		t.Fatal("200 mispredicted updates left every counter untouched")
+	}
+	if after[2]+after[3] == 0 {
+		t.Fatal("no counter moved toward taken")
+	}
+}
+
+// TestDeterminismQuick: two instances fed the same operation stream
+// stay bit-identical — testing/quick drives the stream shape.
+func TestDeterminismQuick(t *testing.T) {
+	cfg := tageConfig(t)
+	f := func(seed uint32, ops []byte) bool {
+		a := newTAGE(t, cfg)
+		b := newTAGE(t, cfg)
+		addr := seed
+		for _, op := range ops {
+			addr = addr*1664525 + uint32(op)
+			blk := addr &^ 7
+			a.Lookup(0, blk)
+			b.Lookup(0, blk)
+			pos := int(op) % a.w
+			if a.Taken(pos) != b.Taken(pos) || a.SecondChance(pos) != b.SecondChance(pos) {
+				return false
+			}
+			taken := op&1 == 1
+			a.Update(pos, taken)
+			b.Update(pos, taken)
+			n := int(op>>1)%4 + 1
+			bits := uint32(op >> 3)
+			a.Shift(n, bits)
+			b.Shift(n, bits)
+		}
+		return a.CounterStates() == b.CounterStates() && a.lfsr == b.lfsr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

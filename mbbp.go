@@ -12,6 +12,7 @@ import (
 	"mbbp/internal/isa"
 	"mbbp/internal/metrics"
 	"mbbp/internal/pht"
+	_ "mbbp/internal/tage" // register the TAGE predictor strategy
 	"mbbp/internal/trace"
 	"mbbp/internal/workload"
 )
@@ -52,6 +53,14 @@ type (
 	// EngineStats is a snapshot of predictor structure state
 	// (Engine.Stats).
 	EngineStats = core.StructStats
+	// PredictorKind selects a direction-prediction strategy family
+	// (PredictorPaper or PredictorTAGE).
+	PredictorKind = core.PredictorKind
+	// TAGEParams are the tagged-geometric strategy's knobs; the zero
+	// value means all defaults.
+	TAGEParams = core.TAGEParams
+	// PredictorInfo describes one registered strategy.
+	PredictorInfo = core.PredictorInfo
 )
 
 // LogObserver prints one line per fetch block, up to limit blocks.
@@ -78,7 +87,22 @@ const (
 	CacheNormal      = icache.Normal
 	CacheExtended    = icache.Extended
 	CacheSelfAligned = icache.SelfAligned
+
+	// PredictorPaper is the paper's blocked PHT (the default);
+	// PredictorTAGE is the tagged-geometric alternative strategy.
+	PredictorPaper = core.PredictorPaper
+	PredictorTAGE  = core.PredictorTAGE
 )
+
+// RegisteredPredictors lists the strategy families linked into this
+// binary, in kind order, with their default parameters.
+func RegisteredPredictors() []PredictorInfo { return core.RegisteredPredictors() }
+
+// ParsePredictorKind resolves a strategy's canonical spelling ("paper",
+// "tage").
+func ParsePredictorKind(s string) (PredictorKind, error) {
+	return core.ParsePredictorKind(s)
+}
 
 // Configuration errors. Validate (and therefore NewEngine and Run)
 // reports every invalid configuration as a *ConfigFieldError wrapping

@@ -138,6 +138,65 @@ func WithBlocks(n int) Option {
 	}
 }
 
+// PredictorOption refines the strategy selected by WithPredictor —
+// today, the TAGE* knobs. Options for one strategy leave another
+// strategy's parameters untouched, so Validate still catches a TAGE
+// knob combined with the paper predictor.
+type PredictorOption func(*Config)
+
+// WithPredictor selects the direction-prediction strategy family and
+// applies its strategy-specific options. It composes with the shared
+// machinery options (WithHistoryBits, WithGeometry, WithCache, ...):
+//
+//	mbbp.NewEngine(
+//		mbbp.WithPredictor(mbbp.PredictorTAGE, mbbp.TAGEHistory(4, 64)),
+//		mbbp.WithCache(mbbp.CacheNormal, 8),
+//	)
+//
+// Incompatible combinations (TAGE with multiple PHTs, paper with TAGE
+// knobs) are rejected by Validate with a field-level error.
+func WithPredictor(kind core.PredictorKind, opts ...PredictorOption) Option {
+	return func(c *Config) {
+		c.Predictor = kind
+		for _, o := range opts {
+			o(c)
+		}
+	}
+}
+
+// TAGETables sets the number of tagged tables and log2 entries per
+// table for the TAGE strategy.
+func TAGETables(tables, tableBits int) PredictorOption {
+	return func(c *Config) {
+		c.TAGE.Tables = tables
+		c.TAGE.TableBits = tableBits
+	}
+}
+
+// TAGETags sets the partial tag width per tagged entry.
+func TAGETags(bits int) PredictorOption {
+	return func(c *Config) { c.TAGE.TagBits = bits }
+}
+
+// TAGEHistory bounds the geometric history lengths: the shortest table
+// sees min bits, the longest max.
+func TAGEHistory(min, max int) PredictorOption {
+	return func(c *Config) {
+		c.TAGE.MinHistory = min
+		c.TAGE.MaxHistory = max
+	}
+}
+
+// TAGEBase sets log2 entries of the bimodal base predictor.
+func TAGEBase(bits int) PredictorOption {
+	return func(c *Config) { c.TAGE.BaseBits = bits }
+}
+
+// TAGEResetPeriod sets the useful-bit aging period in updates.
+func TAGEResetPeriod(n int) PredictorOption {
+	return func(c *Config) { c.TAGE.ResetPeriod = n }
+}
+
 // WithICacheModel enables the finite instruction-cache content model
 // (an extension; the paper assumes a perfect cache): misses stall fetch
 // for penalty cycles and are reported separately from Table 3 charges.

@@ -53,6 +53,17 @@ func TestOptionsMatchPlainStruct(t *testing.T) {
 			c.ICacheAssoc = 2
 			c.ICacheMissPenalty = 10
 		}},
+		{"predictor paper", []Option{WithPredictor(PredictorPaper)}, func(c *Config) {}},
+		{"predictor tage", []Option{WithPredictor(PredictorTAGE)}, func(c *Config) {
+			c.Predictor = PredictorTAGE
+		}},
+		{"predictor tage tuned", []Option{WithPredictor(PredictorTAGE,
+			TAGETables(6, 10), TAGETags(10), TAGEHistory(8, 128), TAGEBase(12),
+			TAGEResetPeriod(4096))}, func(c *Config) {
+			c.Predictor = PredictorTAGE
+			c.TAGE = TAGEParams{Tables: 6, TableBits: 10, TagBits: 10,
+				BaseBits: 12, MinHistory: 8, MaxHistory: 128, ResetPeriod: 4096}
+		}},
 		{"stacked", []Option{WithHistoryBits(12), WithNearBlock(), WithBTB(128, 4)}, func(c *Config) {
 			c.HistoryBits = 12
 			c.NearBlock = true
@@ -122,6 +133,45 @@ func TestNewEngineInvalidOptions(t *testing.T) {
 	var fe *ConfigFieldError
 	if !errors.As(err, &fe) || fe.Field != "HistoryBits" {
 		t.Errorf("error %v does not carry the HistoryBits field", err)
+	}
+}
+
+// Incompatible predictor combinations fail validation with field-level
+// errors: TAGE knobs on the paper predictor, multiple PHTs under TAGE.
+func TestPredictorOptionCompat(t *testing.T) {
+	cases := []struct {
+		name  string
+		opts  []Option
+		field string
+	}{
+		{"tage knobs on paper", []Option{WithPredictor(PredictorPaper, TAGETags(10))}, "TAGE"},
+		{"phts under tage", []Option{WithPredictor(PredictorTAGE), WithPHTs(4)}, "NumPHTs"},
+		{"global index under tage", []Option{
+			WithPredictor(PredictorTAGE), WithIndexMode(IndexGlobal)}, "IndexMode"},
+		{"bad tage range", []Option{WithPredictor(PredictorTAGE, TAGEHistory(64, 4))}, "TAGE.MinHistory"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewEngine(tc.opts...)
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("error %v does not wrap ErrInvalidConfig", err)
+			}
+			var fe *ConfigFieldError
+			if !errors.As(err, &fe) || fe.Field != tc.field {
+				t.Errorf("error %v does not carry field %s", err, tc.field)
+			}
+		})
+	}
+	// The registry lists both strategies in a binary importing mbbp.
+	kinds := RegisteredPredictors()
+	if len(kinds) != 2 || kinds[0].Kind != PredictorPaper || kinds[1].Kind != PredictorTAGE {
+		t.Errorf("RegisteredPredictors = %+v", kinds)
+	}
+	if k, err := ParsePredictorKind("tage"); err != nil || k != PredictorTAGE {
+		t.Errorf("ParsePredictorKind(tage) = %v, %v", k, err)
+	}
+	if _, err := ParsePredictorKind("nonsense"); err == nil {
+		t.Error("ParsePredictorKind accepted nonsense")
 	}
 }
 

@@ -5,7 +5,7 @@
 # config-parallel lanes (lane_speedup = per-config / lanes), and then
 # across the worker matrix (GOMAXPROCS pinned to each worker count,
 # pool telemetry snapshotted per row), and record the result in
-# BENCH_sweep.json (schema mbbp/bench-sweep/v4), then validate it.
+# BENCH_sweep.json (schema mbbp/bench-sweep/v5), then validate it.
 #
 # Usage: scripts/bench.sh [instructions-per-program]
 # Default 200000 keeps a full run under a minute on a laptop while still
