@@ -334,8 +334,12 @@ func (c Config) Validate() error {
 			return badField("TAGE.MinHistory", "history lengths %d..%d must satisfy 1 <= min <= max <= 256",
 				t.MinHistory, t.MaxHistory)
 		}
-		if t.Tables > 1 && t.MinHistory == t.MaxHistory {
-			return badField("TAGE.MaxHistory", "%d tables need MinHistory < MaxHistory for geometric lengths", t.Tables)
+		if t.MaxHistory-t.MinHistory+1 < t.Tables {
+			// Strictly increasing per-table lengths within
+			// [MinHistory, MaxHistory] need at least Tables distinct
+			// values in the range.
+			return badField("TAGE.MaxHistory", "history range %d..%d too narrow for %d strictly increasing table lengths",
+				t.MinHistory, t.MaxHistory, t.Tables)
 		}
 		if t.ResetPeriod < 1 {
 			return badField("TAGE.ResetPeriod", "%d must be positive", t.ResetPeriod)

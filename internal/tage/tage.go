@@ -158,7 +158,16 @@ func (p *Predictor) build() {
 			fTag1:   newFolded(lens[i], t.TagBits-1),
 		}
 	}
-	p.hist = make([]uint8, t.MaxHistory+1)
+	// Ring sized one past the longest actual window (which equals
+	// MaxHistory for validated geometries) so bitAge never indexes
+	// outside it even if a cramped range inflated the series.
+	maxLen := t.MaxHistory
+	for _, l := range lens {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	p.hist = make([]uint8, maxLen+1)
 	p.head = 0
 	p.tick = 0
 	p.lfsr = 0xACE1
@@ -167,7 +176,12 @@ func (p *Predictor) build() {
 }
 
 // historyLengths returns the geometric series of per-table history
-// lengths, strictly increasing from MinHistory to MaxHistory.
+// lengths, strictly increasing and — for geometries accepted by
+// Config.Validate (MaxHistory-MinHistory+1 >= Tables) — spanning
+// exactly MinHistory..MaxHistory. The series is always strictly
+// increasing; only a cramped range (rejected by Validate) can push
+// lengths past MaxHistory, which build() absorbs by sizing the
+// history ring from the actual maximum.
 func historyLengths(t core.TAGEParams) []int {
 	lens := make([]int, t.Tables)
 	if t.Tables == 1 {
@@ -178,14 +192,20 @@ func historyLengths(t core.TAGEParams) []int {
 	prev := 0
 	for i := range lens {
 		l := int(math.Round(float64(t.MinHistory) * math.Pow(r, float64(i))))
+		// Leave room for the later tables to keep strictly increasing
+		// without overshooting MaxHistory; rounding of a shallow
+		// geometric ratio can otherwise bunch lengths against the top.
+		if cap := t.MaxHistory - (t.Tables - 1 - i); l > cap {
+			l = cap
+		}
+		// Strict monotonicity wins over the cap: higher-index tables
+		// must always see longer histories.
 		if l <= prev {
 			l = prev + 1
 		}
 		lens[i] = l
 		prev = l
 	}
-	lens[0] = t.MinHistory
-	lens[t.Tables-1] = t.MaxHistory
 	return lens
 }
 

@@ -1,6 +1,7 @@
 package tage
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -73,30 +74,95 @@ func TestFoldedMatchesNaive(t *testing.T) {
 }
 
 // TestHistoryLengths checks the geometric series is strictly
-// increasing and pinned to the configured endpoints.
+// increasing and, for ranges wide enough to pass Validate
+// (MaxHistory-MinHistory+1 >= Tables), pinned to the configured
+// endpoints and bounded by MaxHistory. Cramped ranges must still be
+// strictly increasing and stay within MaxHistory when Tables fits.
 func TestHistoryLengths(t *testing.T) {
 	for _, tc := range []core.TAGEParams{
 		{Tables: 4, MinHistory: 4, MaxHistory: 64},
 		{Tables: 12, MinHistory: 2, MaxHistory: 256},
 		{Tables: 2, MinHistory: 5, MaxHistory: 6},
 		{Tables: 1, MinHistory: 4, MaxHistory: 64},
+		// Cramped: 8 strictly increasing lengths do not fit in 4..8,
+		// so the endpoints give way but monotonicity and the
+		// MaxHistory bound must hold (reviewer repro: the old fixup
+		// produced [4 5 6 7 8 9 10 8] here and overran the ring).
+		{Tables: 8, MinHistory: 4, MaxHistory: 8},
+		{Tables: 5, MinHistory: 6, MaxHistory: 9},
+		{Tables: 3, MinHistory: 7, MaxHistory: 7},
 	} {
 		lens := historyLengths(tc)
 		if len(lens) != tc.Tables {
 			t.Fatalf("%+v: got %d lengths", tc, len(lens))
 		}
-		if tc.Tables > 1 {
+		wide := tc.MaxHistory-tc.MinHistory+1 >= tc.Tables
+		if tc.Tables == 1 {
+			if lens[0] != tc.MaxHistory {
+				t.Errorf("single table should use MaxHistory, got %d", lens[0])
+			}
+		} else if wide {
 			if lens[0] != tc.MinHistory || lens[tc.Tables-1] != tc.MaxHistory {
 				t.Errorf("%+v: endpoints %d..%d", tc, lens[0], lens[tc.Tables-1])
 			}
-		} else if lens[0] != tc.MaxHistory {
-			t.Errorf("single table should use MaxHistory, got %d", lens[0])
 		}
-		for i := 1; i < len(lens); i++ {
-			if lens[i] <= lens[i-1] {
+		for i, l := range lens {
+			if i > 0 && l <= lens[i-1] {
 				t.Errorf("%+v: lengths not strictly increasing: %v", tc, lens)
 			}
+			if tc.Tables <= tc.MaxHistory && l > tc.MaxHistory {
+				t.Errorf("%+v: lens[%d]=%d exceeds MaxHistory %d: %v",
+					tc, i, l, tc.MaxHistory, lens)
+			}
+			if l < 1 {
+				t.Errorf("%+v: lens[%d]=%d not positive: %v", tc, i, l, lens)
+			}
 		}
+	}
+}
+
+// TestCrampedGeometryRejected pins the Validate guard that keeps
+// historyLengths' endpoint pinning sound: fewer distinct values in
+// MinHistory..MaxHistory than Tables is a field error, not a panic.
+func TestCrampedGeometryRejected(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Predictor = core.PredictorTAGE
+	tp := core.DefaultTAGEParams()
+	tp.Tables, tp.MinHistory, tp.MaxHistory = 8, 4, 8
+	cfg.TAGE = tp
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("cramped geometry (8 tables in history range 4..8) passed Validate")
+	}
+	var fe *core.FieldError
+	if !errors.As(err, &fe) || fe.Field != "TAGE.MaxHistory" {
+		t.Fatalf("want FieldError on TAGE.MaxHistory, got %v", err)
+	}
+}
+
+// TestCrampedGeometryNoPanic drives a predictor built directly (New
+// does not validate) from the reviewer's crash geometry through
+// enough history shifts to wrap the ring: the build must size the
+// ring from the longest actual table window, not MaxHistory.
+func TestCrampedGeometryNoPanic(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Predictor = core.PredictorTAGE
+	tp := core.DefaultTAGEParams()
+	tp.Tables, tp.MinHistory, tp.MaxHistory = 8, 4, 8
+	cfg.TAGE = tp
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := uint32(0xBEEF)
+	for step := 0; step < 200; step++ {
+		state = state*1664525 + 1013904223
+		p.Lookup(0, state%64)
+		for pos := 0; pos < cfg.Geometry.BlockWidth; pos++ {
+			p.Taken(pos)
+			p.Update(pos, state>>uint(pos)&1 == 1)
+		}
+		p.Shift(cfg.Geometry.BlockWidth, state)
 	}
 }
 
