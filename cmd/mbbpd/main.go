@@ -4,6 +4,7 @@
 // Usage:
 //
 //	mbbpd [-addr :8329] [-queue n] [-workers n] [-cache n]
+//	      [-result-cache n] [-shard-of host:port,host:port,...]
 //	      [-max-instructions n] [-timeout d] [-log text|json] [-tap]
 //
 // Endpoints:
@@ -19,6 +20,17 @@
 //	                      cmdline) — the Go-runtime view, distinct from
 //	                      the service-level /metrics
 //	GET  /debug/pprof/    runtime profiles
+//
+// Responses to POST /v1/sweep carry a strong ETag (a hash of the
+// canonical request) and a Cache-Status header; repeat requests are
+// served from an in-memory content-addressed result cache, identical
+// concurrent requests coalesce onto one computation, and clients that
+// revalidate with If-None-Match get 304. With -shard-of, this instance
+// fronts a pool of replicas instead of simulating: sweep keys route to
+// replicas by consistent hashing, bodies proxy through unchanged, dead
+// replicas are walked around, and when every replica is down the sweep
+// runs locally. NDJSON streaming always runs locally and bypasses the
+// result cache.
 //
 // With -tap, every sweep runs under the engine event tap and /metrics
 // additionally reports fetched blocks, redirects, and penalty cycles
@@ -38,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,6 +62,8 @@ func main() {
 	queue := flag.Int("queue", 64, "max admitted (queued+running) sweep requests; overflow gets 429")
 	workers := flag.Int("workers", 0, "simulation pool size (0 = one per CPU)")
 	cacheEntries := flag.Int("cache", 64, "LRU trace cache capacity (traces)")
+	resultEntries := flag.Int("result-cache", 256, "content-addressed result cache capacity (rendered sweep bodies)")
+	shardOf := flag.String("shard-of", "", "comma-separated replica addresses; route sweeps to them by consistent hashing instead of simulating locally")
 	maxN := flag.Uint64("max-instructions", 10_000_000, "per-program instruction cap a request may ask for")
 	timeout := flag.Duration("timeout", 120*time.Second, "per-request timeout")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
@@ -68,15 +83,30 @@ func main() {
 	}
 	log := slog.New(handler)
 
-	srv := server.New(server.Config{
-		QueueDepth:      *queue,
-		Workers:         *workers,
-		CacheEntries:    *cacheEntries,
-		MaxInstructions: *maxN,
-		RequestTimeout:  *timeout,
-		Logger:          log,
-		Tap:             *tap,
+	var replicas []string
+	if *shardOf != "" {
+		for _, a := range strings.Split(*shardOf, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				replicas = append(replicas, a)
+			}
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		QueueDepth:         *queue,
+		Workers:            *workers,
+		CacheEntries:       *cacheEntries,
+		ResultCacheEntries: *resultEntries,
+		ShardOf:            replicas,
+		MaxInstructions:    *maxN,
+		RequestTimeout:     *timeout,
+		Logger:             log,
+		Tap:                *tap,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mbbpd: %v\n", err)
+		os.Exit(2)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -101,41 +101,48 @@ func readBuildInfo() buildInfo {
 // all read through one snapshot() per render. GET /metrics serves the
 // snapshot as JSON, or Prometheus text exposition with ?format=prom.
 type metricsSet struct {
-	requestsTotal     *expvar.Int // sweep requests received
-	requestsOK        *expvar.Int // completed 200s
-	requestsRejected  *expvar.Int // 429 backpressure rejections
-	requestsBad       *expvar.Int // 400 validation failures
-	requestsCancelled *expvar.Int // client gone / deadline exceeded
-	requestsErrored   *expvar.Int // everything else (500s, 503s)
-	inflight          *expvar.Int // admitted and currently running
+	requestsTotal       *expvar.Int // sweep requests received
+	requestsOK          *expvar.Int // completed 200s
+	requestsRejected    *expvar.Int // 429 backpressure rejections
+	requestsBad         *expvar.Int // 400 validation failures
+	requestsCancelled   *expvar.Int // client gone / deadline exceeded
+	requestsErrored     *expvar.Int // everything else (500s, 503s)
+	requestsNotModified *expvar.Int // 304 ETag revalidations
+	inflight            *expvar.Int // admitted and currently running
 
 	queueCapacity int64
 	hist          *histogram
 
-	cacheStats func() (hits, misses uint64)
-	poolStats  func() harness.PoolStats
-	tap        *obs.Counters // nil when the engine tap is off
+	cacheStats  func() (hits, misses uint64)
+	resultStats func() resultCacheStats // nil only in partial test setups
+	shardSnap   func() *shardSnapshot   // nil unless shard mode
+	poolStats   func() harness.PoolStats
+	tap         *obs.Counters // nil when the engine tap is off
 
 	stateBits core.StateBitsBreakdown
 	build     buildInfo
 }
 
 func newMetricsSet(queueCapacity int, cacheStats func() (hits, misses uint64),
+	resultStats func() resultCacheStats, shardSnap func() *shardSnapshot,
 	poolStats func() harness.PoolStats, tap *obs.Counters) *metricsSet {
 	m := &metricsSet{
-		requestsTotal:     new(expvar.Int),
-		requestsOK:        new(expvar.Int),
-		requestsRejected:  new(expvar.Int),
-		requestsBad:       new(expvar.Int),
-		requestsCancelled: new(expvar.Int),
-		requestsErrored:   new(expvar.Int),
-		inflight:          new(expvar.Int),
-		queueCapacity:     int64(queueCapacity),
-		hist:              newHistogram(),
-		cacheStats:        cacheStats,
-		poolStats:         poolStats,
-		tap:               tap,
-		build:             readBuildInfo(),
+		requestsTotal:       new(expvar.Int),
+		requestsOK:          new(expvar.Int),
+		requestsRejected:    new(expvar.Int),
+		requestsBad:         new(expvar.Int),
+		requestsCancelled:   new(expvar.Int),
+		requestsErrored:     new(expvar.Int),
+		requestsNotModified: new(expvar.Int),
+		inflight:            new(expvar.Int),
+		queueCapacity:       int64(queueCapacity),
+		hist:                newHistogram(),
+		cacheStats:          cacheStats,
+		resultStats:         resultStats,
+		shardSnap:           shardSnap,
+		poolStats:           poolStats,
+		tap:                 tap,
+		build:               readBuildInfo(),
 	}
 	// The hardware-cost accounting of the default configuration's
 	// predictor structures (Table 7 conventions), measured from a live
@@ -156,8 +163,11 @@ func (m *metricsSet) observeLatency(d time.Duration) { m.hist.observe(d) }
 // atomic loads.
 type metricsSnapshot struct {
 	Total, OK, Rejected, Bad, Cancelled, Errored int64
+	NotModified                                  int64
 	Inflight                                     int64
 	CacheHits, CacheMisses                       uint64
+	Results                                      resultCacheStats
+	Shard                                        *shardSnapshot
 	Hist                                         histSnapshot
 	Pool                                         harness.PoolStats
 	Tap                                          *obs.CountersSnapshot
@@ -172,10 +182,17 @@ func (m *metricsSet) snapshot() metricsSnapshot {
 		Bad:         m.requestsBad.Value(),
 		Cancelled:   m.requestsCancelled.Value(),
 		Errored:     m.requestsErrored.Value(),
+		NotModified: m.requestsNotModified.Value(),
 		Inflight:    m.inflight.Value(),
 		CacheHits:   hits,
 		CacheMisses: misses,
 		Hist:        m.hist.snapshot(),
+	}
+	if m.resultStats != nil {
+		s.Results = m.resultStats()
+	}
+	if m.shardSnap != nil {
+		s.Shard = m.shardSnap()
 	}
 	if m.poolStats != nil {
 		s.Pool = m.poolStats()
@@ -219,17 +236,22 @@ func (m *metricsSet) writeJSON(w io.Writer, s metricsSnapshot) {
 		"busy_ms":         s.Pool.BusyTotal().Milliseconds(),
 	}
 	doc := map[string]any{
-		"requests_total":     s.Total,
-		"requests_ok":        s.OK,
-		"requests_rejected":  s.Rejected,
-		"requests_bad":       s.Bad,
-		"requests_cancelled": s.Cancelled,
-		"requests_errored":   s.Errored,
-		"inflight":           s.Inflight,
-		"queue_depth":        s.Inflight,
-		"queue_capacity":     m.queueCapacity,
-		"trace_cache_hits":   s.CacheHits,
-		"trace_cache_misses": s.CacheMisses,
+		"requests_total":         s.Total,
+		"requests_ok":            s.OK,
+		"requests_rejected":      s.Rejected,
+		"requests_bad":           s.Bad,
+		"requests_cancelled":     s.Cancelled,
+		"requests_errored":       s.Errored,
+		"requests_not_modified":  s.NotModified,
+		"inflight":               s.Inflight,
+		"queue_depth":            s.Inflight,
+		"queue_capacity":         m.queueCapacity,
+		"trace_cache_hits":       s.CacheHits,
+		"trace_cache_misses":     s.CacheMisses,
+		"result_cache_hits":      s.Results.Hits,
+		"result_cache_misses":    s.Results.Misses,
+		"result_cache_coalesced": s.Results.Coalesced,
+		"result_cache_evictions": s.Results.Evictions,
 		"job_latency_ms":     latency,
 		"job_latency_count":  s.Hist.Count,
 		"job_latency_sum_ms": s.Hist.Sum.Milliseconds(),
@@ -241,6 +263,23 @@ func (m *metricsSet) writeJSON(w io.Writer, s metricsSnapshot) {
 			"total":        m.stateBits.Total(),
 		},
 		"pool": pool,
+	}
+	if s.Shard != nil {
+		routes := map[string]uint64{}
+		healthy := 0
+		for _, r := range s.Shard.Replicas {
+			routes[r.Addr] = r.Routes
+			if r.Healthy {
+				healthy++
+			}
+		}
+		doc["shard"] = map[string]any{
+			"replicas":        len(s.Shard.Replicas),
+			"healthy":         healthy,
+			"routes":          routes,
+			"reroutes":        s.Shard.Reroutes,
+			"local_fallbacks": s.Shard.Fallbacks,
+		}
 	}
 	if s.Tap != nil {
 		cycles := map[string]uint64{}
@@ -285,6 +324,7 @@ func (m *metricsSet) writeProm(w io.Writer, s metricsSnapshot) {
 	}{
 		{"ok", s.OK}, {"rejected", s.Rejected}, {"bad", s.Bad},
 		{"cancelled", s.Cancelled}, {"errored", s.Errored},
+		{"not_modified", s.NotModified},
 	} {
 		p("mbbpd_request_outcomes_total{outcome=%q} %d\n", o.label, o.v)
 	}
@@ -302,6 +342,43 @@ func (m *metricsSet) writeProm(w io.Writer, s metricsSnapshot) {
 	p("# HELP mbbpd_trace_cache_misses_total Trace cache lookups that captured a trace.\n")
 	p("# TYPE mbbpd_trace_cache_misses_total counter\n")
 	p("mbbpd_trace_cache_misses_total %d\n", s.CacheMisses)
+
+	p("# HELP mbbpd_result_cache_hits_total Sweep requests served from a completed result-cache entry.\n")
+	p("# TYPE mbbpd_result_cache_hits_total counter\n")
+	p("mbbpd_result_cache_hits_total %d\n", s.Results.Hits)
+	p("# HELP mbbpd_result_cache_misses_total Result-cache entries computed (or proxied) fresh.\n")
+	p("# TYPE mbbpd_result_cache_misses_total counter\n")
+	p("mbbpd_result_cache_misses_total %d\n", s.Results.Misses)
+	p("# HELP mbbpd_result_cache_coalesced_total Sweep entries that waited on an identical in-flight request.\n")
+	p("# TYPE mbbpd_result_cache_coalesced_total counter\n")
+	p("mbbpd_result_cache_coalesced_total %d\n", s.Results.Coalesced)
+	p("# HELP mbbpd_result_cache_evictions_total Result-cache entries evicted for capacity.\n")
+	p("# TYPE mbbpd_result_cache_evictions_total counter\n")
+	p("mbbpd_result_cache_evictions_total %d\n", s.Results.Evictions)
+
+	if s.Shard != nil {
+		healthy := 0
+		p("# HELP mbbpd_shard_routes_total Sweep requests proxied to each replica.\n")
+		p("# TYPE mbbpd_shard_routes_total counter\n")
+		for _, r := range s.Shard.Replicas {
+			p("mbbpd_shard_routes_total{replica=%q} %d\n", r.Addr, r.Routes)
+			if r.Healthy {
+				healthy++
+			}
+		}
+		p("# HELP mbbpd_shard_reroutes_total Proxy attempts routed past a key's owning replica.\n")
+		p("# TYPE mbbpd_shard_reroutes_total counter\n")
+		p("mbbpd_shard_reroutes_total %d\n", s.Shard.Reroutes)
+		p("# HELP mbbpd_shard_local_fallbacks_total Requests executed locally because no replica was reachable.\n")
+		p("# TYPE mbbpd_shard_local_fallbacks_total counter\n")
+		p("mbbpd_shard_local_fallbacks_total %d\n", s.Shard.Fallbacks)
+		p("# HELP mbbpd_shard_replicas Configured replica count.\n")
+		p("# TYPE mbbpd_shard_replicas gauge\n")
+		p("mbbpd_shard_replicas %d\n", len(s.Shard.Replicas))
+		p("# HELP mbbpd_shard_replicas_healthy Replicas not in failure cooldown.\n")
+		p("# TYPE mbbpd_shard_replicas_healthy gauge\n")
+		p("mbbpd_shard_replicas_healthy %d\n", healthy)
+	}
 
 	p("# HELP mbbpd_request_duration_seconds Sweep request latency.\n")
 	p("# TYPE mbbpd_request_duration_seconds histogram\n")

@@ -1,0 +1,289 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mbbp/internal/core"
+	"mbbp/internal/harness"
+)
+
+func mustKey(t *testing.T, cfg core.Config, o harness.Options) string {
+	t.Helper()
+	k, err := canonicalSweepKey(cfg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestCanonicalSweepKeyDifferential is the key-identity table: requests
+// that must share a cache entry (and ETag) versus requests that must
+// not. The rule is exact: two requests share a key iff their validated
+// configs are equal as structs and their resolved options match —
+// because the response body echoes the parsed config, any config
+// difference that survives validation is a body difference.
+func TestCanonicalSweepKeyDifferential(t *testing.T) {
+	base := harness.Options{Instructions: 10_000, Programs: []string{"li", "go"}}
+	def := core.DefaultConfig()
+	hist := def
+	hist.HistoryBits = 6
+
+	t.Run("equal config equal options share a key", func(t *testing.T) {
+		if a, b := mustKey(t, def, base), mustKey(t, core.DefaultConfig(), base); a != b {
+			t.Errorf("identical requests keyed apart: %s vs %s", a, b)
+		}
+	})
+	t.Run("config differences split the key", func(t *testing.T) {
+		if a, b := mustKey(t, def, base), mustKey(t, hist, base); a == b {
+			t.Error("different configs share a key")
+		}
+	})
+	t.Run("instruction count splits the key", func(t *testing.T) {
+		o := base
+		o.Instructions = 20_000
+		if a, b := mustKey(t, def, base), mustKey(t, def, o); a == b {
+			t.Error("different instruction counts share a key")
+		}
+	})
+	t.Run("warmup splits the key", func(t *testing.T) {
+		o := base
+		o.Warmup = true
+		if a, b := mustKey(t, def, base), mustKey(t, def, o); a == b {
+			t.Error("warmup and no-warmup share a key")
+		}
+	})
+	t.Run("program set splits the key", func(t *testing.T) {
+		o := base
+		o.Programs = []string{"li"}
+		if a, b := mustKey(t, def, base), mustKey(t, def, o); a == b {
+			t.Error("different program sets share a key")
+		}
+	})
+	t.Run("program order splits the key", func(t *testing.T) {
+		// Results arrays follow request order, so order is content.
+		o := base
+		o.Programs = []string{"go", "li"}
+		if a, b := mustKey(t, def, base), mustKey(t, def, o); a == b {
+			t.Error("reordered programs share a key")
+		}
+	})
+	t.Run("invalid config has no key", func(t *testing.T) {
+		bad := def
+		bad.HistoryBits = -1
+		if _, err := canonicalSweepKey(bad, base); err == nil {
+			t.Error("invalid config produced a key")
+		}
+	})
+	t.Run("multi key differs from its entry key", func(t *testing.T) {
+		k := mustKey(t, def, base)
+		if multiSweepKey([]string{k}) == k {
+			t.Error("one-entry multi request shares the single request's key (different body schema)")
+		}
+	})
+	t.Run("multi key is order sensitive", func(t *testing.T) {
+		a, b := mustKey(t, def, base), mustKey(t, hist, base)
+		if multiSweepKey([]string{a, b}) == multiSweepKey([]string{b, a}) {
+			t.Error("reordered configs share a multi key")
+		}
+	})
+}
+
+// TestSweepKeysJSONSpellings pins normalization at the request level:
+// every JSON spelling of the same validated config — reordered fields,
+// defaults omitted versus written out, the programs list omitted versus
+// the full suite spelled out — produces the same key, hence the same
+// ETag and cache entry.
+func TestSweepKeysJSONSpellings(t *testing.T) {
+	keyOf := func(t *testing.T, body string) string {
+		t.Helper()
+		var req SweepRequest
+		if err := json.Unmarshal([]byte(body), &req); err != nil {
+			t.Fatal(err)
+		}
+		cfgs, o, multi, err := req.parseAll(10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, reqKey, err := sweepKeys(cfgs, o, multi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reqKey
+	}
+
+	base := keyOf(t, `{"config":{"HistoryBits":10},"programs":["li"],"instructions":5000}`)
+	for name, body := range map[string]string{
+		"field order":      `{"programs":["li"],"instructions":5000,"config":{"HistoryBits":10}}`,
+		"explicit default": `{"config":{"HistoryBits":10,"NumPHTs":1},"programs":["li"],"instructions":5000}`,
+		"omitted config":   `{"programs":["li"],"instructions":5000}`,
+	} {
+		if got := keyOf(t, body); got != base {
+			t.Errorf("%s: key %s != base %s", name, got, base)
+		}
+	}
+	for name, body := range map[string]string{
+		"different history": `{"config":{"HistoryBits":6},"programs":["li"],"instructions":5000}`,
+		"different n":       `{"config":{"HistoryBits":10},"programs":["li"],"instructions":6000}`,
+		"warmup":            `{"config":{"HistoryBits":10},"programs":["li"],"instructions":5000,"warmup":true}`,
+	} {
+		if got := keyOf(t, body); got == base {
+			t.Errorf("%s: key unexpectedly equals base", name)
+		}
+	}
+}
+
+// TestEtagMatches covers the If-None-Match comparison forms.
+func TestEtagMatches(t *testing.T) {
+	etag := `"abc123"`
+	for _, tc := range []struct {
+		header string
+		want   bool
+	}{
+		{"", false},
+		{"*", true},
+		{`"abc123"`, true},
+		{`W/"abc123"`, true},
+		{`"zzz", "abc123"`, true},
+		{`"zzz"`, false},
+		{`abc123`, false}, // unquoted is not a valid entity tag
+	} {
+		if got := etagMatches(tc.header, etag); got != tc.want {
+			t.Errorf("etagMatches(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}
+
+// TestResultCacheSingleflight pins the claim/coalesce contract: one
+// claimer per key, waiters see the resolved body, and a failed flight
+// drops its entry so the next claim recomputes.
+func TestResultCacheSingleflight(t *testing.T) {
+	c := newResultCache(8)
+	e, claimed := c.claim("k")
+	if !claimed {
+		t.Fatal("first claim not owner")
+	}
+	if e2, claimed2 := c.claim("k"); claimed2 || e2 != e {
+		t.Fatal("second claim did not coalesce onto the flight")
+	}
+	if e.completed() {
+		t.Error("in-flight entry reports completed")
+	}
+	c.resolve(e, []byte("body"), nil, nil)
+	if !e.completed() || string(e.body) != "body" {
+		t.Error("resolved entry not visible")
+	}
+	if err := c.await(context.Background(), e); err != nil {
+		t.Errorf("await after resolve: %v", err)
+	}
+
+	// Failure path: entry dropped, key reclaims fresh.
+	f, _ := c.claim("fail")
+	c.resolve(f, nil, nil, errors.New("boom"))
+	if g, claimed := c.claim("fail"); !claimed || g == f {
+		t.Error("failed flight not dropped; waiter would inherit the error")
+	}
+	if got := c.stats().Misses; got != 3 {
+		t.Errorf("misses = %d, want 3 (k, fail, fail-again)", got)
+	}
+}
+
+// TestResultCacheAwaitContext: await returns when the caller's context
+// dies, without waiting out the flight.
+func TestResultCacheAwaitContext(t *testing.T) {
+	c := newResultCache(8)
+	e, _ := c.claim("slow")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.await(ctx, e); !errors.Is(err, context.Canceled) {
+		t.Errorf("await on dead context = %v, want Canceled", err)
+	}
+}
+
+// TestResultCacheEviction: completed entries beyond capacity are
+// evicted second-chance style; recently hit entries are spared first;
+// in-flight entries are never evicted.
+func TestResultCacheEviction(t *testing.T) {
+	if c := newResultCache(0); c.cap != 1 {
+		t.Errorf("non-positive capacity clamps to 1, got %d", c.cap)
+	}
+	c := newResultCache(2)
+	for i := 0; i < 2; i++ {
+		e, _ := c.claim(fmt.Sprintf("k%d", i))
+		c.resolve(e, []byte("b"), nil, nil)
+	}
+	// Mark k1 hot, as a handler hit would.
+	c.probe("k1").touched.Store(true)
+
+	inflight, _ := c.claim("k2") // over capacity; k0 (cold) should go
+	if c.probe("k0") != nil {
+		t.Error("cold entry k0 survived eviction")
+	}
+	if c.probe("k1") == nil {
+		t.Error("hot entry k1 was evicted despite its second chance")
+	}
+	if c.probe("k2") == nil {
+		t.Error("in-flight entry k2 missing")
+	}
+	if got := c.stats().Evictions; got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+
+	// An in-flight entry is immune even at capacity pressure.
+	e3, _ := c.claim("k3")
+	c.resolve(e3, []byte("b"), nil, nil)
+	if c.probe("k2") == nil {
+		t.Error("in-flight entry evicted")
+	}
+	c.resolve(inflight, []byte("b"), nil, nil)
+	if c.Len() > 3 {
+		t.Errorf("len = %d after resolutions, want <= 3", c.Len())
+	}
+}
+
+// FuzzResultCacheKey fuzzes the canonical-key derivation against its
+// contract: for any two config JSON documents that both validate, the
+// keys are equal iff the validated configs are equal as structs —
+// i.e. the key conflates exactly the spellings whose response bodies
+// (which echo the parsed config) coincide, never more, never less.
+func FuzzResultCacheKey(f *testing.F) {
+	f.Add([]byte(`{}`), []byte(`{"HistoryBits":10}`), uint64(5000), false)
+	f.Add([]byte(`{"HistoryBits":6}`), []byte(`{"HistoryBits":10}`), uint64(5000), false)
+	f.Add([]byte(`{"NumPHTs":1,"HistoryBits":10}`), []byte(`{}`), uint64(1000), true)
+	f.Add([]byte(`{"NumBlocks":2}`), []byte(`{}`), uint64(2000), false)
+	f.Add([]byte(`{"NumSTs":4}`), []byte(`{"NumSTs":4,"RASSize":32}`), uint64(3000), false)
+	f.Add([]byte(`{"Mode":0,"NumBlocks":1}`), []byte(`{"Mode":0}`), uint64(4000), true)
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte, n uint64, warmup bool) {
+		cfgA, errA := core.LoadConfigJSON(bytes.NewReader(rawA))
+		cfgB, errB := core.LoadConfigJSON(bytes.NewReader(rawB))
+		if errA != nil || errB != nil {
+			t.Skip()
+		}
+		o := harness.Options{
+			Instructions: n%1_000_000 + 1,
+			Warmup:       warmup,
+			Programs:     []string{"li"},
+		}
+		keyA, err := canonicalSweepKey(cfgA, o)
+		if err != nil {
+			t.Fatalf("validated config rejected by key derivation: %v", err)
+		}
+		keyB, err := canonicalSweepKey(cfgB, o)
+		if err != nil {
+			t.Fatalf("validated config rejected by key derivation: %v", err)
+		}
+		if equal := reflect.DeepEqual(cfgA, cfgB); equal != (keyA == keyB) {
+			t.Errorf("config equality %v but key equality %v\nA: %s\nB: %s",
+				equal, keyA == keyB, rawA, rawB)
+		}
+		// Determinism: re-deriving never changes the key.
+		if again, _ := canonicalSweepKey(cfgA, o); again != keyA {
+			t.Errorf("key not deterministic: %s vs %s", keyA, again)
+		}
+	})
+}

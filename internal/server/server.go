@@ -8,14 +8,26 @@
 // queued and running jobs, and results reuse the exact drivers the CLI
 // runs — a sweep's JSON body is byte-identical to the serial harness
 // reference for the same request.
+//
+// Because sweeps are pure functions of the request, whole rendered
+// bodies are content-addressed and cached (resultcache.go): repeat
+// requests are served from memory without a queue slot, identical
+// concurrent requests coalesce onto one computation, and strong ETags
+// derived from the canonical request key give clients If-None-Match →
+// 304 revalidation. A server can also front a pool of replicas
+// (shard.go): sweep keys route to backends on a consistent-hash ring,
+// bodies proxy through unchanged, and the front-end degrades to local
+// execution when every replica is down.
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -37,7 +49,9 @@ import (
 type Config struct {
 	// QueueDepth bounds the number of admitted (queued or running)
 	// sweep requests; further requests are rejected with 429 and a
-	// Retry-After header. Default 64.
+	// Retry-After header. Result-cache hits and coalesced waits do not
+	// take a queue slot — only requests that compute (or proxy) do.
+	// Default 64.
 	QueueDepth int
 	// Workers sizes the shared simulation pool; <= 0 means one worker
 	// per CPU.
@@ -45,11 +59,24 @@ type Config struct {
 	// CacheEntries bounds the LRU trace cache (captured traces keyed
 	// by program and instruction count). Default 64.
 	CacheEntries int
+	// ResultCacheEntries bounds the content-addressed result cache
+	// (fully rendered response bodies keyed by the canonical sweep
+	// key). Default 256.
+	ResultCacheEntries int
+	// ShardOf, when non-empty, makes this server a shard front-end:
+	// sweep requests route to these replica addresses ("host:port" or
+	// full URLs) by consistent hashing of the canonical sweep key,
+	// responses proxy through unchanged (and populate this server's
+	// result cache), dead replicas are retried by walking the ring,
+	// and when every replica is down the request degrades to local
+	// execution. NDJSON streaming requests always run locally.
+	ShardOf []string
 	// MaxInstructions caps the per-program trace length a request may
 	// ask for. Default 10,000,000.
 	MaxInstructions uint64
 	// RequestTimeout bounds each sweep request's total time; the
-	// deadline propagates into job execution. Default 120s.
+	// deadline propagates into job execution (and into proxied shard
+	// requests). Default 120s.
 	RequestTimeout time.Duration
 	// Logger receives structured per-request logs; nil means
 	// slog.Default().
@@ -72,6 +99,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 64
 	}
+	if c.ResultCacheEntries <= 0 {
+		c.ResultCacheEntries = 256
+	}
 	if c.MaxInstructions == 0 {
 		c.MaxInstructions = 10_000_000
 	}
@@ -92,6 +122,8 @@ type Server struct {
 	log     *slog.Logger
 	sched   *harness.Scheduler
 	cache   *trace.Cache
+	results *resultCache
+	pool    *shardPool // nil unless Config.ShardOf
 	queue   chan struct{} // admission semaphore; len() is the live depth
 	metrics *metricsSet
 	tap     *obs.Counters // nil unless Config.Tap
@@ -104,24 +136,46 @@ type Server struct {
 	reqSeq atomic.Uint64
 
 	// hookAdmitted, when set (tests only), runs after a sweep request
-	// is admitted past the queue and before its jobs are submitted.
+	// is admitted past the queue and before it claims a result-cache
+	// flight or submits jobs.
 	hookAdmitted func(ctx context.Context)
+	// hookComputing, when set (tests only), runs after a request has
+	// claimed a result-cache flight and before it computes — the
+	// window in which identical requests coalesce.
+	hookComputing func()
+	// hookCoalescing, when set (tests only), runs when a request is
+	// about to wait on another request's in-flight entry.
+	hookCoalescing func()
 }
 
-// New builds a server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a server and starts its worker pool. It fails only on an
+// invalid shard configuration (empty or duplicate replica addresses).
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		log:   cfg.Logger,
-		sched: harness.NewScheduler(cfg.Workers),
-		cache: trace.NewCache(cfg.CacheEntries),
-		queue: make(chan struct{}, cfg.QueueDepth),
+		cfg:     cfg,
+		log:     cfg.Logger,
+		sched:   harness.NewScheduler(cfg.Workers),
+		cache:   trace.NewCache(cfg.CacheEntries),
+		results: newResultCache(cfg.ResultCacheEntries),
+		queue:   make(chan struct{}, cfg.QueueDepth),
+	}
+	if len(cfg.ShardOf) > 0 {
+		pool, err := newShardPool(cfg.ShardOf, cfg.RequestTimeout)
+		if err != nil {
+			s.sched.Close()
+			return nil, err
+		}
+		s.pool = pool
 	}
 	if cfg.Tap {
 		s.tap = obs.NewCounters()
 	}
-	s.metrics = newMetricsSet(cfg.QueueDepth, s.cache.Stats, s.sched.Stats, s.tap)
+	var shardSnap func() *shardSnapshot
+	if s.pool != nil {
+		shardSnap = s.pool.snapshot
+	}
+	s.metrics = newMetricsSet(cfg.QueueDepth, s.cache.Stats, s.results.stats, shardSnap, s.sched.Stats, s.tap)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
@@ -139,7 +193,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	return s
+	return s, nil
 }
 
 // Handler returns the service's HTTP handler.
@@ -173,6 +227,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// drainingNow reports whether shutdown has begun. The cache fast path
+// checks it explicitly because hits never pass through admit().
+func (s *Server) drainingNow() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
 // admit reserves a queue slot, or reports why it cannot.
 func (s *Server) admit() (release func(), status int) {
 	s.mu.Lock()
@@ -197,8 +259,9 @@ func (s *Server) admit() (release func(), status int) {
 	return nil, http.StatusServiceUnavailable
 }
 
-// handleSweep is the core endpoint: decode, validate, admit, run,
-// encode.
+// handleSweep is the core endpoint: decode, validate, revalidate
+// (ETag), then serve from cache, from a shard replica, or by local
+// computation.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	id := s.reqSeq.Add(1)
@@ -206,8 +269,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requestsTotal.Add(1)
 	sp := obs.NewSpans(start)
 
+	// The raw body is kept for shard proxying: forwarding the client's
+	// own bytes means the replica parses exactly what we parsed.
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		s.metrics.requestsBad.Add(1)
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
 	var req SweepRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := json.NewDecoder(bytes.NewReader(raw)).Decode(&req); err != nil {
 		s.metrics.requestsBad.Add(1)
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
@@ -221,31 +292,26 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	sp.Mark("admit") // decode + validation
 
-	release, status := s.admit()
-	if status != 0 {
-		if status == http.StatusTooManyRequests {
-			s.metrics.requestsRejected.Add(1)
-			w.Header().Set("Retry-After", "1")
-			log.Warn("queue full", "queue", len(s.queue))
-		} else {
-			s.metrics.requestsErrored.Add(1)
-			log.Warn("draining; refused")
-		}
-		s.writeError(w, status, errors.New(http.StatusText(status)))
-		return
-	}
-	defer release()
-	s.metrics.inflight.Add(1)
-	defer s.metrics.inflight.Add(-1)
-	sp.Mark("queue") // admission semaphore
-
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	if s.hookAdmitted != nil {
-		s.hookAdmitted(ctx)
-	}
 
+	// NDJSON streaming bypasses the result cache and shard routing: a
+	// stream is an incremental representation (lines flush as programs
+	// fold), not a content-addressed document, so it always runs
+	// locally. Streamed runs still share the trace cache.
 	if r.URL.Query().Get("stream") == "ndjson" || r.Header.Get("Accept") == "application/x-ndjson" {
+		release, status := s.admit()
+		if status != 0 {
+			s.refuse(w, log, status)
+			return
+		}
+		defer release()
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		sp.Mark("queue")
+		if s.hookAdmitted != nil {
+			s.hookAdmitted(ctx)
+		}
 		if multi {
 			s.metrics.requestsBad.Add(1)
 			err := errors.New("streaming supports a single config; use the configs field without stream=ndjson")
@@ -257,45 +323,287 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var body []byte
-	var renderErr error
-	if multi {
-		resp, err := s.runSweepMulti(ctx, sp, cfgs, opts)
-		elapsed := time.Since(start)
-		s.metrics.observeLatency(elapsed)
-		if err != nil {
-			s.failSweep(w, log, err, elapsed)
-			return
-		}
-		body, renderErr = MarshalMultiResponse(resp)
-	} else {
-		resp, err := s.runSweep(ctx, sp, cfgs[0], opts)
-		elapsed := time.Since(start)
-		s.metrics.observeLatency(elapsed)
-		if err != nil {
-			s.failSweep(w, log, err, elapsed)
-			return
-		}
-		body, renderErr = MarshalResponse(resp)
-	}
-	if renderErr != nil {
+	keys, reqKey, err := sweepKeys(cfgs, opts, multi)
+	if err != nil {
+		// Unreachable in practice: parseAll validated every config.
 		s.metrics.requestsErrored.Add(1)
-		s.writeError(w, http.StatusInternalServerError, renderErr)
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	etag := etagFor(reqKey)
+
+	// Strong revalidation: the ETag is a pure function of the request,
+	// so a match answers 304 without touching the cache or the queue.
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		s.metrics.requestsNotModified.Add(1)
+		s.metrics.observeLatency(time.Since(start))
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		log.Info("sweep revalidated", "etag", etag, "dur_ms", time.Since(start).Milliseconds())
+		return
+	}
+
+	if s.pool != nil {
+		s.serveSharded(ctx, w, log, start, sp, raw, cfgs, opts, multi, reqKey, etag)
+		return
+	}
+	s.serveLocal(ctx, w, log, start, sp, cfgs, opts, multi, keys, etag)
+}
+
+// refuse writes a queue rejection (429 or 503) with its metrics.
+func (s *Server) refuse(w http.ResponseWriter, log *slog.Logger, status int) {
+	if status == http.StatusTooManyRequests {
+		s.metrics.requestsRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		log.Warn("queue full", "queue", len(s.queue))
+	} else {
+		s.metrics.requestsErrored.Add(1)
+		log.Warn("draining; refused")
+	}
+	s.writeError(w, status, errors.New(http.StatusText(status)))
+}
+
+// serveLocal answers a (non-streaming) sweep from the local engine,
+// fronted by the result cache. Per-entry flow — multi-config requests
+// resolve each configuration independently, so entries warmed by
+// single-config requests serve multi requests and vice versa:
+//
+//   - fast path: every entry already exists (completed or in-flight) —
+//     wait and serve without taking a queue slot, so hot traffic is
+//     immune to admission backpressure;
+//   - slow path: admit, claim the missing entries, compute them as one
+//     lane batch, resolve, serve.
+//
+// A claimed flight that fails drops its entry (failures are never
+// cached); waiters retry from the top under their own context.
+func (s *Server) serveLocal(ctx context.Context, w http.ResponseWriter, log *slog.Logger,
+	start time.Time, sp *obs.Spans, cfgs []core.Config, opts harness.Options,
+	multi bool, keys []string, etag string) {
+	for {
+		if s.drainingNow() {
+			s.refuse(w, log, http.StatusServiceUnavailable)
+			return
+		}
+
+		// Fast path: probe only (shared lock, no queue slot).
+		entries := make([]*resultEntry, len(keys))
+		outcomes := make([]cacheStatus, len(keys))
+		allPresent := true
+		for i, k := range keys {
+			if entries[i] = s.results.probe(k); entries[i] == nil {
+				allPresent = false
+				break
+			}
+			if entries[i].completed() {
+				outcomes[i] = cacheHit
+			} else {
+				outcomes[i] = cacheCoalesced
+			}
+		}
+		if allPresent {
+			if s.hookCoalescing != nil {
+				for _, o := range outcomes {
+					if o == cacheCoalesced {
+						s.hookCoalescing()
+						break
+					}
+				}
+			}
+			if retry, ok := s.finishEntries(ctx, w, log, start, entries); !ok {
+				return
+			} else if retry {
+				continue
+			}
+			s.serveAssembled(w, log, start, sp, entries, outcomes, multi, etag, opts, len(cfgs))
+			return
+		}
+
+		// Slow path: take a queue slot, claim what is missing, compute.
+		release, status := s.admit()
+		if status != 0 {
+			s.refuse(w, log, status)
+			return
+		}
+		s.metrics.inflight.Add(1)
+		sp.Mark("queue")
+		if s.hookAdmitted != nil {
+			s.hookAdmitted(ctx)
+		}
+
+		var toCompute []int
+		for i, k := range keys {
+			e, claimed := s.results.claim(k)
+			entries[i] = e
+			switch {
+			case claimed:
+				outcomes[i] = cacheMiss
+				toCompute = append(toCompute, i)
+			case e.completed():
+				outcomes[i] = cacheHit
+			default:
+				outcomes[i] = cacheCoalesced
+			}
+		}
+		var computeErr error
+		if len(toCompute) > 0 {
+			if s.hookComputing != nil {
+				s.hookComputing()
+			}
+			computeErr = s.computeEntries(ctx, sp, cfgs, opts, entries, toCompute)
+		}
+		release()
+		s.metrics.inflight.Add(-1)
+		if computeErr != nil {
+			elapsed := time.Since(start)
+			s.metrics.observeLatency(elapsed)
+			s.failSweep(w, log, computeErr, elapsed)
+			return
+		}
+		if retry, ok := s.finishEntries(ctx, w, log, start, entries); !ok {
+			return
+		} else if retry {
+			continue
+		}
+		s.serveAssembled(w, log, start, sp, entries, outcomes, multi, etag, opts, len(cfgs))
+		return
+	}
+}
+
+// finishEntries waits for every entry to resolve. ok=false means the
+// request already failed (context died) and a response was written;
+// retry=true means some flight owner failed and dropped its entry, so
+// the caller should re-resolve from the top.
+func (s *Server) finishEntries(ctx context.Context, w http.ResponseWriter, log *slog.Logger,
+	start time.Time, entries []*resultEntry) (retry, ok bool) {
+	for _, e := range entries {
+		if err := s.results.await(ctx, e); err != nil {
+			elapsed := time.Since(start)
+			s.metrics.observeLatency(elapsed)
+			s.failSweep(w, log, err, elapsed)
+			return false, false
+		}
+	}
+	for _, e := range entries {
+		if e.err != nil {
+			return true, true
+		}
+	}
+	return false, true
+}
+
+// computeEntries runs the claimed configurations — one direct run for a
+// single entry, one lane batch otherwise (the exact pre-cache execution
+// paths, so bodies stay byte-identical to the reference) — and resolves
+// each claimed entry with its rendered body. On error every claimed
+// entry is dropped.
+func (s *Server) computeEntries(ctx context.Context, sp *obs.Spans, cfgs []core.Config,
+	opts harness.Options, entries []*resultEntry, toCompute []int) error {
+	fail := func(err error) error {
+		for _, i := range toCompute {
+			s.results.resolve(entries[i], nil, nil, err)
+		}
+		return err
+	}
+	ts, err := harness.LoadTracesCached(ctx, s.sched, opts, s.cache)
+	if err != nil {
+		return fail(err)
+	}
+	sp.Mark("capture")
+
+	results := make([]*harness.SuiteResult, len(toCompute))
+	if len(toCompute) == 1 {
+		res, err := harness.RunConfigCtxAsync(ctx, s.sched, s.tapped(ts), cfgs[toCompute[0]]).WaitCtx(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		results[0] = res
+	} else {
+		b := harness.NewBatchCtx(ctx, s.sched, s.tapped(ts))
+		promises := make([]*harness.SuitePromise, len(toCompute))
+		for j, i := range toCompute {
+			promises[j] = b.RunConfig(cfgs[i])
+		}
+		b.Flush()
+		for j, p := range promises {
+			res, err := p.WaitCtx(ctx)
+			if err != nil {
+				return fail(err)
+			}
+			results[j] = res
+		}
+	}
+	sp.Mark("simulate")
+
+	for j, i := range toCompute {
+		resp := BuildSweepResponse(cfgs[i], opts, results[j])
+		body, err := MarshalResponse(resp)
+		if err != nil {
+			return fail(err)
+		}
+		s.results.resolve(entries[i], body, &resp, nil)
+	}
+	return nil
+}
+
+// serveAssembled writes the response for fully resolved entries: the
+// cached body directly for a single-config request, or the composite
+// document assembled from the per-entry parsed responses for a
+// multi-config request (byte-identical to rendering the batch cold —
+// MarshalMultiResponse over the same structs). Hit/coalesced counters
+// are recorded here, once per entry, when the outcome is final.
+func (s *Server) serveAssembled(w http.ResponseWriter, log *slog.Logger, start time.Time,
+	sp *obs.Spans, entries []*resultEntry, outcomes []cacheStatus, multi bool,
+	etag string, opts harness.Options, ncfgs int) {
+	var body []byte
+	if multi {
+		resp := MultiSweepResponse{Sweeps: make([]SweepResponse, 0, len(entries))}
+		for _, e := range entries {
+			if e.resp == nil {
+				s.metrics.requestsErrored.Add(1)
+				s.writeError(w, http.StatusInternalServerError,
+					errors.New("cache entry has no parsed response"))
+				return
+			}
+			resp.Sweeps = append(resp.Sweeps, *e.resp)
+		}
+		var err error
+		if body, err = MarshalMultiResponse(resp); err != nil {
+			s.metrics.requestsErrored.Add(1)
+			s.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	} else {
+		body = entries[0].body
+	}
+
+	overall := cacheHit
+	for i, o := range outcomes {
+		switch o {
+		case cacheHit:
+			s.results.hits.Add(1)
+			entries[i].touched.Store(true)
+		case cacheCoalesced:
+			s.results.coalesced.Add(1)
+		}
+		overall = overall.worse(o)
+	}
+
+	s.metrics.observeLatency(time.Since(start))
 	s.metrics.requestsOK.Add(1)
 	// The stage timeline travels as an HTTP trailer (declared before
 	// the body, set after) so it can include the render stage itself.
 	w.Header().Set("Trailer", stagesTrailer)
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("ETag", etag)
+	w.Header().Set(cacheStatusHeader, string(overall))
 	w.Write(body)
 	sp.Mark("render")
 	w.Header().Set(stagesTrailer, sp.Header())
 	log.Info("sweep done",
-		"config", cfgs[0].String(),
-		"configs", len(cfgs),
+		"configs", ncfgs,
 		"programs", len(opts.Programs),
 		"instructions", opts.Instructions,
+		"cache", string(overall),
 		"dur_ms", time.Since(start).Milliseconds(),
 		"stages", sp,
 		"queue", len(s.queue))
@@ -306,7 +614,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // read trailers; the same timeline logs structurally via slog.
 const stagesTrailer = "X-Request-Stages"
 
-// runSweep executes one admitted request on the shared pool.
+// runSweep executes one admitted request on the shared pool. It is the
+// shard front-end's local-fallback path (and the historical direct
+// path the differential tests reference).
 func (s *Server) runSweep(ctx context.Context, sp *obs.Spans, cfg core.Config, opts harness.Options) (SweepResponse, error) {
 	ts, err := harness.LoadTracesCached(ctx, s.sched, opts, s.cache)
 	if err != nil {
@@ -499,10 +809,7 @@ func (s *Server) handlePredictors(w http.ResponseWriter, _ *http.Request) {
 // handleHealthz reports liveness; a draining server answers 503 so
 // load balancers stop routing to it.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
-	if draining {
+	if s.drainingNow() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}

@@ -26,7 +26,10 @@ func quietLogger() *slog.Logger {
 func newTestServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
 	cfg.Logger = quietLogger()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -53,6 +56,19 @@ func postSweep(t *testing.T, h http.Handler, req SweepRequest, query string) *ht
 		t.Fatal(err)
 	}
 	r := httptest.NewRequest("POST", "/v1/sweep"+query, bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+// postSweepQuiet is postSweep for worker goroutines: no testing.T, so
+// callers inspect the recorder and report failures on their own channel.
+func postSweepQuiet(h http.Handler, req SweepRequest) *httptest.ResponseRecorder {
+	body, err := json.Marshal(req)
+	if err != nil {
+		panic(err) // static request literals; cannot fail
+	}
+	r := httptest.NewRequest("POST", "/v1/sweep", bytes.NewReader(body))
 	w := httptest.NewRecorder()
 	h.ServeHTTP(w, r)
 	return w
@@ -386,7 +402,10 @@ func TestCancellationMidJob(t *testing.T) {
 // refused with 503, and Shutdown returns only after the drain.
 func TestGracefulShutdownDrains(t *testing.T) {
 	cfg := Config{QueueDepth: 4, Logger: quietLogger()}
-	s := New(cfg) // no cleanup helper: this test owns Shutdown
+	s, err := New(cfg) // no cleanup helper: this test owns Shutdown
+	if err != nil {
+		t.Fatal(err)
+	}
 	admitted := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
@@ -600,20 +619,42 @@ func TestAuxEndpoints(t *testing.T) {
 	}
 }
 
-// TestTraceCacheSharing: two identical sweeps must capture traces once.
+// TestTraceCacheSharing: captured traces are shared across distinct
+// sweeps over the same programs. A repeat of an *identical* request no
+// longer reaches the trace layer at all (the result cache answers it),
+// so the second request here varies the config: same programs, new
+// simulation, traces served from cache.
 func TestTraceCacheSharing(t *testing.T) {
 	s := newTestServer(t, Config{})
-	req := SweepRequest{Programs: []string{"li", "go"}, Instructions: 10_000}
-	for i := 0; i < 2; i++ {
-		if w := postSweep(t, s.Handler(), req, ""); w.Code != 200 {
-			t.Fatalf("sweep %d = %d", i, w.Code)
-		}
+	first := SweepRequest{Programs: []string{"li", "go"}, Instructions: 10_000}
+	if w := postSweep(t, s.Handler(), first, ""); w.Code != 200 {
+		t.Fatalf("first sweep = %d", w.Code)
+	}
+	other := core.DefaultConfig()
+	other.HistoryBits = 6
+	second := SweepRequest{Config: configJSON(t, other), Programs: []string{"li", "go"}, Instructions: 10_000}
+	if w := postSweep(t, s.Handler(), second, ""); w.Code != 200 {
+		t.Fatalf("second sweep = %d", w.Code)
 	}
 	hits, misses := s.cache.Stats()
 	if misses != 2 {
-		t.Errorf("cache misses = %d, want 2 (one per program)", misses)
+		t.Errorf("trace cache misses = %d, want 2 (one per program)", misses)
 	}
 	if hits != 2 {
-		t.Errorf("cache hits = %d, want 2 (second request fully cached)", hits)
+		t.Errorf("trace cache hits = %d, want 2 (second config reused both traces)", hits)
+	}
+
+	// And the identical repeat: answered by the result cache, trace
+	// stats untouched.
+	w := postSweep(t, s.Handler(), first, "")
+	if w.Code != 200 {
+		t.Fatalf("repeat sweep = %d", w.Code)
+	}
+	if got := w.Header().Get(cacheStatusHeader); got != string(cacheHit) {
+		t.Errorf("repeat Cache-Status = %q, want %q", got, cacheHit)
+	}
+	if h2, m2 := s.cache.Stats(); h2 != hits || m2 != misses {
+		t.Errorf("identical repeat reached the trace layer: hits %d->%d misses %d->%d",
+			hits, h2, misses, m2)
 	}
 }

@@ -1,0 +1,97 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-replica point count on the ring. 128
+// points per replica keeps the load split within a few percent of even
+// for small pools (see TestRingBalance) at negligible memory cost.
+const DefaultVirtualNodes = 128
+
+// Ring is a consistent-hash ring over a fixed replica set. Each
+// replica owns VirtualNodes points (XXH64 of "addr#i"); a key is owned
+// by the replica whose point follows the key's hash clockwise. The
+// ring is immutable after New — replica health is the caller's concern
+// (Order gives the failover walk), which keeps the routing pure and
+// the same on every front-end that shares the replica list.
+type Ring struct {
+	replicas []string
+	points   []point // sorted by hash
+}
+
+type point struct {
+	hash    uint64
+	replica int // index into replicas
+}
+
+// New builds a ring over replicas with vnodes points each (<= 0 means
+// DefaultVirtualNodes). Replica order is preserved for Replicas() and
+// the indices Order returns; the ring itself depends only on the set
+// of address strings, so independently configured front-ends agree.
+func New(replicas []string, vnodes int) (*Ring, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("shard: ring needs at least one replica")
+	}
+	seen := make(map[string]bool, len(replicas))
+	for _, r := range replicas {
+		if r == "" {
+			return nil, fmt.Errorf("shard: empty replica address")
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("shard: duplicate replica %q", r)
+		}
+		seen[r] = true
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{
+		replicas: append([]string(nil), replicas...),
+		points:   make([]point, 0, len(replicas)*vnodes),
+	}
+	for i, addr := range r.replicas {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{
+				hash:    Sum64String(fmt.Sprintf("%s#%d", addr, v)),
+				replica: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Tie-break on replica index so the order is deterministic even
+		// in the (astronomically unlikely) event of a point collision.
+		return r.points[a].replica < r.points[b].replica
+	})
+	return r, nil
+}
+
+// Replicas returns the replica addresses in configuration order.
+func (r *Ring) Replicas() []string { return append([]string(nil), r.replicas...) }
+
+// Owner returns the index of the replica that owns key.
+func (r *Ring) Owner(key string) int { return r.Order(key)[0] }
+
+// Order returns every replica index exactly once, in ring-walk order
+// starting from key's owner — the failover sequence: if the owner is
+// dead, the next distinct replica clockwise takes the key, and so on.
+// Keys that hash between the same pair of points share the whole
+// order, so retries from any front-end agree too.
+func (r *Ring) Order(key string) []int {
+	h := Sum64String(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	order := make([]int, 0, len(r.replicas))
+	seen := make(map[int]bool, len(r.replicas))
+	for i := 0; i < len(r.points) && len(order) < len(r.replicas); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			order = append(order, p.replica)
+		}
+	}
+	return order
+}

@@ -1,0 +1,173 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestSum64Vectors pins the published XXH64 seed-0 test vectors, so
+// this implementation agrees with every other xxhash: a front-end and
+// any future out-of-process router built on the reference library
+// compute the same ring.
+func TestSum64Vectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xef46db3751d8e999},
+		{"a", 0xd24ec4f1a98c6e5b},
+		{"abc", 0x44bc2cf5ad770999},
+	}
+	for _, tc := range cases {
+		if got := Sum64String(tc.in); got != tc.want {
+			t.Errorf("Sum64(%q) = %#x, want %#x", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestSum64Properties exercises every length class (tail bytes, 4-byte
+// and 8-byte laps, the 32-byte main loop) for determinism and
+// dispersion: equal input hashes equal, and flipping any single byte
+// changes the hash.
+func TestSum64Properties(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 7, 8, 15, 16, 31, 32, 33, 63, 64, 71, 100} {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(i*7 + 13)
+		}
+		h := Sum64(b)
+		if h != Sum64(b) {
+			t.Fatalf("len %d: not deterministic", n)
+		}
+		for i := range b {
+			b[i] ^= 0x40
+			if Sum64(b) == h {
+				t.Errorf("len %d: flipping byte %d did not change the hash", n, i)
+			}
+			b[i] ^= 0x40
+		}
+	}
+	// Random pairs: distinct inputs virtually never collide.
+	if err := quick.Check(func(a, b []byte) bool {
+		if string(a) == string(b) {
+			return Sum64(a) == Sum64(b)
+		}
+		return Sum64(a) != Sum64(b)
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func testRing(t *testing.T, replicas ...string) *Ring {
+	t.Helper()
+	r, err := New(replicas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRingRejectsBadConfigs(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Error("empty replica list accepted")
+	}
+	if _, err := New([]string{"a", ""}, 0); err == nil {
+		t.Error("empty address accepted")
+	}
+	if _, err := New([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate address accepted")
+	}
+}
+
+// TestRingOrderComplete: Order returns every replica exactly once,
+// starting with the owner, deterministically.
+func TestRingOrderComplete(t *testing.T) {
+	r := testRing(t, "host1:1", "host2:2", "host3:3", "host4:4")
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		order := r.Order(key)
+		if len(order) != 4 {
+			t.Fatalf("Order(%q) = %v, want 4 distinct replicas", key, order)
+		}
+		seen := map[int]bool{}
+		for _, idx := range order {
+			if idx < 0 || idx >= 4 || seen[idx] {
+				t.Fatalf("Order(%q) = %v: out of range or repeated", key, order)
+			}
+			seen[idx] = true
+		}
+		if order[0] != r.Owner(key) {
+			t.Errorf("Order(%q)[0] = %d, Owner = %d", key, order[0], r.Owner(key))
+		}
+		again := r.Order(key)
+		for j := range order {
+			if order[j] != again[j] {
+				t.Fatalf("Order(%q) not deterministic: %v vs %v", key, order, again)
+			}
+		}
+	}
+}
+
+// TestRingAgreesAcrossInstances: two rings built from the same replica
+// list route every key identically — independently configured
+// front-ends never disagree about a key's owner or failover walk.
+func TestRingAgreesAcrossInstances(t *testing.T) {
+	a := testRing(t, "r1", "r2", "r3")
+	b := testRing(t, "r1", "r2", "r3")
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("%064x", i*2654435761)
+		oa, ob := a.Order(key), b.Order(key)
+		for j := range oa {
+			if oa[j] != ob[j] {
+				t.Fatalf("instances disagree on %q: %v vs %v", key, oa, ob)
+			}
+		}
+	}
+}
+
+// TestRingBalance: with virtual nodes, the key load splits roughly
+// evenly — no replica owns more than twice its fair share over a
+// large key sample (in practice the split is within a few percent;
+// the loose bound keeps the test robust to hash accidents).
+func TestRingBalance(t *testing.T) {
+	const replicas, keys = 3, 30_000
+	r := testRing(t, "10.0.0.1:8329", "10.0.0.2:8329", "10.0.0.3:8329")
+	counts := make([]int, replicas)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("sweep-key-%d", i))]++
+	}
+	fair := keys / replicas
+	for i, c := range counts {
+		if c > 2*fair || c < fair/2 {
+			t.Errorf("replica %d owns %d of %d keys (fair %d): ring badly unbalanced %v",
+				i, c, keys, fair, counts)
+		}
+	}
+}
+
+// TestRingStabilityUnderRemoval is the consistent-hashing property the
+// failover walk relies on: when a replica dies, keys it owned move to
+// the next replica in walk order, and keys owned by the survivors do
+// not move at all (removing a node only reassigns that node's keys).
+func TestRingStabilityUnderRemoval(t *testing.T) {
+	full := testRing(t, "r1", "r2", "r3")
+	// The two-replica ring over the survivors.
+	sub := testRing(t, "r1", "r2")
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		order := full.Order(key)
+		// First survivor in the full ring's walk order...
+		var wantAddr string
+		for _, idx := range order {
+			if addr := full.Replicas()[idx]; addr != "r3" {
+				wantAddr = addr
+				break
+			}
+		}
+		// ...is exactly the owner in the survivors-only ring.
+		if got := sub.Replicas()[sub.Owner(key)]; got != wantAddr {
+			t.Fatalf("key %q: survivors ring owner %s, full-ring walk gives %s", key, got, wantAddr)
+		}
+	}
+}

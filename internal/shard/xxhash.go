@@ -1,0 +1,85 @@
+// Package shard routes sweep keys to replicas: a 64-bit xxHash over
+// canonical sweep keys feeds a consistent-hash ring with virtual nodes,
+// so one mbbpd can front a pool of replicas and every key lands on a
+// stable owner, with a deterministic walk order for failover. The hash
+// is implemented here (the repository takes no dependencies); only
+// determinism and dispersion matter for routing, but the implementation
+// follows the XXH64 specification and pins its published test vectors.
+package shard
+
+import "encoding/binary"
+
+const (
+	prime1 uint64 = 0x9E3779B185EBCA87
+	prime2 uint64 = 0xC2B2AE3D27D4EB4F
+	prime3 uint64 = 0x165667B19E3779F9
+	prime4 uint64 = 0x85EBCA77C2B2AE63
+	prime5 uint64 = 0x27D4EB2F165667C5
+)
+
+// Sum64 returns the XXH64 hash of b with seed 0.
+func Sum64(b []byte) uint64 {
+	n := uint64(len(b))
+	var h uint64
+	if len(b) >= 32 {
+		v1 := prime1
+		v1 += prime2 // wraps; constant folding would reject the overflow
+		v2 := prime2
+		v3 := uint64(0)
+		v4 := ^prime1 + 1 // two's-complement -prime1
+		for len(b) >= 32 {
+			v1 = round(v1, binary.LittleEndian.Uint64(b[0:8]))
+			v2 = round(v2, binary.LittleEndian.Uint64(b[8:16]))
+			v3 = round(v3, binary.LittleEndian.Uint64(b[16:24]))
+			v4 = round(v4, binary.LittleEndian.Uint64(b[24:32]))
+			b = b[32:]
+		}
+		h = rol(v1, 1) + rol(v2, 7) + rol(v3, 12) + rol(v4, 18)
+		h = mergeRound(h, v1)
+		h = mergeRound(h, v2)
+		h = mergeRound(h, v3)
+		h = mergeRound(h, v4)
+	} else {
+		h = prime5
+	}
+	h += n
+	for len(b) >= 8 {
+		h ^= round(0, binary.LittleEndian.Uint64(b[:8]))
+		h = rol(h, 27)*prime1 + prime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(b[:4])) * prime1
+		h = rol(h, 23)*prime2 + prime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * prime5
+		h = rol(h, 11) * prime1
+	}
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+// Sum64String is Sum64 over the bytes of s.
+func Sum64String(s string) uint64 { return Sum64([]byte(s)) }
+
+func rol(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+func round(acc, input uint64) uint64 {
+	acc += input * prime2
+	acc = rol(acc, 31)
+	acc *= prime1
+	return acc
+}
+
+func mergeRound(h, v uint64) uint64 {
+	v = round(0, v)
+	h ^= v
+	h = h*prime1 + prime4
+	return h
+}

@@ -1,24 +1,41 @@
 #!/bin/sh
-# Load test for the mbbpd simulation service: boot a server, fire
-# concurrent sweep requests (a mix of configurations, JSON and NDJSON
-# streaming), verify every response is complete and identical across
-# repeats of the same request, then check overload behavior (429) and
-# a clean drain on SIGTERM.
+# Load test for the mbbpd simulation service, in four phases:
+#
+#   1. correctness — boot a server, fire concurrent sweep requests (a
+#      mix of configurations, JSON and NDJSON streaming), verify every
+#      response is complete and byte-identical across repeats of the
+#      same request, and that the result cache absorbed the repeats.
+#   2. overload — a queue=1 server under concurrent DISTINCT sweeps
+#      must shed load with 429s. (Identical sweeps no longer overload
+#      anything: they coalesce onto one flight.)
+#   3. scaling — a front-end sharding over 2 replicas takes a cold
+#      phase (distinct keys, routed across the ring) then a hot phase
+#      (repeated keys). Reports the measured result-cache hit rate
+#      (enforced floor, default 60%) and hot-phase tail latency.
+#   4. drain — SIGTERM produces a clean exit; the final metrics scrape
+#      intentionally races the drain and is tolerated if it loses.
 #
 # Usage: scripts/loadtest.sh [clients] [instructions-per-program]
 # Defaults: 64 clients, 50000 instructions. Needs curl.
 #
 # Environment:
-#   MBBPD_ADDR  listen address (default 127.0.0.1:8329)
-#   MBBPD_RACE  set to 1 to build the server with -race
+#   MBBPD_ADDR           listen address (default 127.0.0.1:8329);
+#                        phases 2-3 use the next few ports up
+#   MBBPD_RACE           set to 1 to build the server with -race
+#   MBBPD_HITRATE_FLOOR  minimum hot-phase hit rate in percent
+#                        (default 60; 0 disables the check)
 set -eu
 
 CLIENTS="${1:-64}"
 N="${2:-50000}"
 ADDR="${MBBPD_ADDR:-127.0.0.1:8329}"
 BASE="http://$ADDR"
+HITFLOOR="${MBBPD_HITRATE_FLOOR:-60}"
 DIR="$(mktemp -d)"
 BIN="$DIR/mbbpd"
+
+HOST="${ADDR%:*}"
+PORT="${ADDR##*:}"
 
 RACEFLAG=""
 [ "${MBBPD_RACE:-0}" = "1" ] && RACEFLAG="-race"
@@ -27,22 +44,35 @@ echo "building mbbpd ${RACEFLAG:+(race) }..."
 # shellcheck disable=SC2086
 go build $RACEFLAG -o "$BIN" ./cmd/mbbpd
 
-"$BIN" -addr "$ADDR" -queue "$CLIENTS" -max-instructions 10000000 2>"$DIR/server.log" &
-SRV=$!
+PIDS_ALL=""
 cleanup() {
-    kill "$SRV" 2>/dev/null || true
-    wait "$SRV" 2>/dev/null || true
+    for p in $PIDS_ALL; do
+        kill "$p" 2>/dev/null || true
+    done
+    for p in $PIDS_ALL; do
+        wait "$p" 2>/dev/null || true
+    done
     rm -rf "$DIR"
 }
 trap cleanup EXIT
 
-echo "waiting for $BASE/healthz..."
-i=0
-until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
-    i=$((i + 1))
-    [ "$i" -gt 100 ] && { echo "server never came up"; cat "$DIR/server.log"; exit 1; }
-    sleep 0.1
-done
+# start_server <addr> <logfile> [extra flags...] -> pid in $SRV_PID
+start_server() {
+    sa="$1"; slog="$2"; shift 2
+    "$BIN" -addr "$sa" -max-instructions 10000000 "$@" 2>"$DIR/$slog" &
+    SRV_PID=$!
+    PIDS_ALL="$PIDS_ALL $SRV_PID"
+    i=0
+    until curl -fsS "http://$sa/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && { echo "server at $sa never came up"; cat "$DIR/$slog"; exit 1; }
+        sleep 0.1
+    done
+}
+
+echo "booting server at $BASE..."
+start_server "$ADDR" server.log -queue "$CLIENTS"
+SRV=$SRV_PID
 
 # Three request bodies: default, near-block+BTB, double selection.
 cat >"$DIR/req0.json" <<EOF
@@ -98,26 +128,34 @@ done
 
 echo "metrics:"
 curl -fsS "$BASE/metrics" >"$DIR/metrics.json"
-tr ',' '\n' <"$DIR/metrics.json" | grep -E 'requests_(total|ok|rejected)|trace_cache' || true
+tr ',' '\n' <"$DIR/metrics.json" | grep -E 'requests_(total|ok|rejected)|trace_cache|result_cache' || true
 # The service accounted every request (references + clients) as OK.
 expect_ok=$((CLIENTS + 3))
 if ! grep -q "\"requests_ok\": $expect_ok" "$DIR/metrics.json"; then
     echo "FAIL: /metrics requests_ok != $expect_ok"
     fail=1
 fi
+# The JSON clients repeat the 3 reference bodies: only the references
+# themselves may miss; every repeat must hit or coalesce, never
+# recompute. (NDJSON streams bypass the cache and count nowhere.)
+rc_misses=$(tr ',' '\n' <"$DIR/metrics.json" | grep '"result_cache_misses"' | grep -o '[0-9][0-9]*' || echo "")
+if [ "${rc_misses:-0}" -ne 3 ]; then
+    echo "FAIL: result_cache_misses = ${rc_misses:-absent}, want 3 (references only)"
+    fail=1
+fi
 
-echo "overload check (queue=1 server)..."
-ADDR2="${ADDR%:*}:$(( ${ADDR##*:} + 1 ))"
-"$BIN" -addr "$ADDR2" -queue 1 -max-instructions 10000000 2>"$DIR/server2.log" &
-SRV2=$!
-trap 'kill "$SRV2" 2>/dev/null || true; cleanup' EXIT
-until curl -fsS "http://$ADDR2/healthz" >/dev/null 2>&1; do sleep 0.1; done
+echo "overload check (queue=1 server, distinct configs)..."
+ADDR2="$HOST:$((PORT + 1))"
+start_server "$ADDR2" server2.log -queue 1
 codes="$DIR/codes.txt"
 : >"$codes"
 PIDS=""
 c=0
 while [ "$c" -lt 8 ]; do
-    curl -s -o /dev/null -w '%{http_code}\n' -d @"$DIR/req0.json" \
+    # Each request gets its own instruction count: identical bodies
+    # would coalesce onto one flight and never trip backpressure.
+    printf '{"programs":["li","go","swim"],"instructions":%d}' $((N + c + 1)) >"$DIR/over$c.json"
+    curl -s -o /dev/null -w '%{http_code}\n' -d @"$DIR/over$c.json" \
         "http://$ADDR2/v1/sweep" >>"$codes" &
     PIDS="$PIDS $!"
     c=$((c + 1))
@@ -131,7 +169,113 @@ else
     echo "WARN: no 429 observed (requests may have finished too fast)"
 fi
 
+echo "scaling story: front-end + 2 replicas..."
+R1="$HOST:$((PORT + 2))"
+R2="$HOST:$((PORT + 3))"
+FADDR="$HOST:$((PORT + 4))"
+FBASE="http://$FADDR"
+start_server "$R1" replica1.log -queue "$CLIENTS"
+start_server "$R2" replica2.log -queue "$CLIENTS"
+start_server "$FADDR" front.log -queue "$CLIENTS" -shard-of "$R1,$R2"
+FRONT=$SRV_PID
+
+# Cold phase: distinct keys fan out over the ring.
+COLD=16
+echo "  cold phase: $COLD distinct sweeps..."
+PIDS=""
+c=0
+while [ "$c" -lt "$COLD" ]; do
+    printf '{"programs":["li"],"instructions":%d}' $((N / 10 + c)) >"$DIR/cold$c.json"
+    curl -fsS -d @"$DIR/cold$c.json" "$FBASE/v1/sweep" >/dev/null &
+    PIDS="$PIDS $!"
+    c=$((c + 1))
+done
+for p in $PIDS; do
+    wait "$p" || { echo "FAIL: cold sweep failed"; exit 1; }
+done
+curl -fsS "$FBASE/metrics?format=prom" >"$DIR/cold.prom"
+for r in "$R1" "$R2"; do
+    if ! grep "mbbpd_shard_routes_total{replica=\"$r\"}" "$DIR/cold.prom" \
+            | grep -qv ' 0$'; then
+        echo "FAIL: replica $r received no cold traffic"
+        fail=1
+    fi
+done
+
+# Hot phase: warm the 3 request bodies, then hammer them.
+echo "  hot phase: warm 3 keys, then $CLIENTS repeat clients..."
+for c in 0 1 2; do
+    curl -fsS -d @"$DIR/req$c.json" "$FBASE/v1/sweep" >"$DIR/hotwant$c.json"
+done
+times="$DIR/hot_times.txt"
+: >"$times"
+PIDS=""
+c=0
+while [ "$c" -lt "$CLIENTS" ]; do
+    ci=$((c % 3))
+    { curl -fsS -o "$DIR/hot$c.json" -w '%{time_total}\n' \
+        -d @"$DIR/req$ci.json" "$FBASE/v1/sweep" >>"$times"; } &
+    PIDS="$PIDS $!"
+    c=$((c + 1))
+done
+for p in $PIDS; do
+    wait "$p" || { echo "FAIL: hot sweep failed"; exit 1; }
+done
+c=0
+while [ "$c" -lt "$CLIENTS" ]; do
+    if ! cmp -s "$DIR/hot$c.json" "$DIR/hotwant$((c % 3)).json"; then
+        echo "FAIL: hot client $c body differs from its warm reference"
+        fail=1
+    fi
+    c=$((c + 1))
+done
+
+curl -fsS "$FBASE/metrics?format=prom" >"$DIR/hot.prom"
+prom_val() {
+    v=$(grep "^$2 " "$1" | awk '{print $2}' | head -1)
+    echo "${v:-0}"
+}
+# Hit rate over the hot phase alone: delta between the post-cold and
+# post-hot scrapes (the cold fan-out is all misses by design).
+hits=$(( $(prom_val "$DIR/hot.prom" mbbpd_result_cache_hits_total) \
+       - $(prom_val "$DIR/cold.prom" mbbpd_result_cache_hits_total) ))
+misses=$(( $(prom_val "$DIR/hot.prom" mbbpd_result_cache_misses_total) \
+         - $(prom_val "$DIR/cold.prom" mbbpd_result_cache_misses_total) ))
+coal=$(( $(prom_val "$DIR/hot.prom" mbbpd_result_cache_coalesced_total) \
+       - $(prom_val "$DIR/cold.prom" mbbpd_result_cache_coalesced_total) ))
+total=$((hits + misses + coal))
+if [ "$total" -gt 0 ]; then
+    rate=$((100 * (hits + coal) / total))
+else
+    rate=0
+fi
+echo "  hot-phase result cache: hits=$hits coalesced=$coal misses=$misses (hit rate ${rate}%)"
+if [ "$HITFLOOR" -gt 0 ] && [ "$rate" -lt "$HITFLOOR" ]; then
+    echo "FAIL: hit rate ${rate}% below floor ${HITFLOOR}%"
+    fail=1
+fi
+sort -n "$times" >"$DIR/hot_sorted.txt"
+nlat=$(wc -l <"$DIR/hot_sorted.txt")
+p50=$(awk -v n="$nlat" 'NR == int((n * 50 + 99) / 100)' "$DIR/hot_sorted.txt")
+p95=$(awk -v n="$nlat" 'NR == int((n * 95 + 99) / 100)' "$DIR/hot_sorted.txt")
+pmax=$(tail -1 "$DIR/hot_sorted.txt")
+echo "  hot-phase latency: p50=${p50}s p95=${p95}s max=${pmax}s over $nlat requests"
+
 echo "graceful drain..."
+kill -TERM "$FRONT"
+# This scrape deliberately races the front-end drain. Losing the race
+# is fine: report whatever stats we already have instead of dying.
+if curl -fsS --max-time 2 "$FBASE/metrics?format=prom" >"$DIR/final.prom" 2>/dev/null; then
+    echo "final scrape caught the draining front-end ($(grep -c '^mbbpd_' "$DIR/final.prom") series)"
+else
+    echo "final metrics scrape raced the drain (tolerated); last good stats are above"
+fi
+if wait "$FRONT"; then
+    echo "front-end drained cleanly"
+else
+    echo "FAIL: front-end exited non-zero on SIGTERM"
+    fail=1
+fi
 kill -TERM "$SRV"
 if wait "$SRV"; then
     echo "server drained cleanly"
