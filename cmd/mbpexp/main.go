@@ -51,6 +51,7 @@ type env struct {
 	csv       bool
 	chart     bool
 	topN      int
+	histories string
 	workers   string
 	benchOut  string
 	predictor core.PredictorKind
@@ -305,6 +306,24 @@ var experiments = []experiment{
 			return nil
 		}
 	}},
+	{"h2p", true, true, func(e *env) func() error {
+		hs, err := harness.ParseHistories(e.histories)
+		if err != nil {
+			return func() error { return err }
+		}
+		wait := harness.H2PAsync(e.sched, e.ts, core.DefaultConfig(), hs)
+		return func() error {
+			rows, werr := wait()
+			if werr != nil {
+				return werr
+			}
+			if e.csv {
+				return harness.CSVH2P(os.Stdout, rows, e.topN)
+			}
+			harness.RenderH2P(os.Stdout, rows, e.topN)
+			return nil
+		}
+	}},
 	{"report", false, true, func(e *env) func() error {
 		return func() error { return harness.WriteReport(os.Stdout, e.ts, e.n) }
 	}},
@@ -347,7 +366,8 @@ func main() {
 	scaleSweep := flag.String("scalesweep", "fig6", "benchcheck: sweep the -minspeedup floor applies to")
 	scaleWorkers := flag.Int("scaleworkers", 4, "benchcheck: worker count the -minspeedup floor applies to")
 	storage := flag.String("storage", "packed", "predictor state backing: packed or reference (the slice-backed equivalence oracle)")
-	topN := flag.Int("topn", harness.DefaultEventsTopN, "events: block addresses shown per misprediction kind")
+	topN := flag.Int("topn", 0, "events/h2p: block addresses shown (0 = experiment default: events 5, h2p 10)")
+	histories := flag.String("histories", "", "h2p: comma-separated history-length sensitivity grid (default 6,8,10,12,14)")
 	predictor := flag.String("predictor", "", "compare/predictors: second strategy family (tage) for the accuracy-per-bit table")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mbpexp [flags] %s|benchcheck|all\n",
@@ -370,12 +390,13 @@ func main() {
 	}
 
 	e := &env{
-		n:        *n,
-		csv:      *asCSV,
-		chart:    *chart,
-		topN:     *topN,
-		workers:  *workers,
-		benchOut: *benchOut,
+		n:         *n,
+		csv:       *asCSV,
+		chart:     *chart,
+		topN:      *topN,
+		histories: *histories,
+		workers:   *workers,
+		benchOut:  *benchOut,
 	}
 	if *predictor != "" {
 		kind, err := core.ParsePredictorKind(*predictor)

@@ -145,8 +145,8 @@ func (b *Batch) runGroup(g *laneGroup, pi int, name string) {
 	if b.ts.warmup {
 		ls.Run(tr) // untimed training pass, all lanes at once
 	}
-	for _, e := range ls.Lanes() {
-		b.ts.attachObserver(e, name)
+	for li, e := range ls.Lanes() {
+		b.ts.attachObserver(e, name, g.cfgs[li])
 	}
 	rs := ls.Run(tr)
 	if b.ctx != nil {

@@ -49,6 +49,7 @@ func TestGoldenFiles(t *testing.T) {
 	t5 := cachedTable5(t)
 	t6 := cachedTable6(t)
 	evs := cachedEvents(t)
+	h2p := cachedH2P(t)
 	prs := cachedPredictors(t)
 
 	cases := []struct {
@@ -70,6 +71,8 @@ func TestGoldenFiles(t *testing.T) {
 		{"cost", func(b *bytes.Buffer) error { RenderCost(b); return nil }},
 		{"events_table", func(b *bytes.Buffer) error { RenderEvents(b, evs, DefaultEventsTopN); return nil }},
 		{"events_csv", func(b *bytes.Buffer) error { return CSVEvents(b, evs, DefaultEventsTopN) }},
+		{"h2p_table", func(b *bytes.Buffer) error { RenderH2P(b, h2p, DefaultH2PTopN); return nil }},
+		{"h2p_csv", func(b *bytes.Buffer) error { return CSVH2P(b, h2p, DefaultH2PTopN) }},
 		{"predictors_table", func(b *bytes.Buffer) error { RenderPredictors(b, prs); return nil }},
 		{"predictors_csv", func(b *bytes.Buffer) error { return CSVPredictors(b, prs) }},
 	}

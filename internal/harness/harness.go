@@ -75,8 +75,10 @@ type TraceSet struct {
 	storageSet bool
 
 	// observer, when set, supplies an engine observer per run (see
-	// WithObserver).
-	observer func(program string) core.Observer
+	// WithObserver). observerCfg is the config-aware variant
+	// (WithConfigObserver) and wins when both are set.
+	observer    func(program string) core.Observer
+	observerCfg func(program string, cfg core.Config) core.Observer
 
 	// lanesOff disables config-parallel lane grouping for batches run
 	// through this view (see PerConfig).
@@ -112,9 +114,29 @@ func (ts *TraceSet) WithObserver(f func(program string) core.Observer) *TraceSet
 	return &out
 }
 
+// WithConfigObserver is WithObserver with the run's validated
+// configuration passed alongside the program name. Lane batches attach
+// observers per lane, and every lane of a group shares the program —
+// the configuration is the only handle that tells the lanes apart, so
+// any driver that sweeps a config dimension under one trace walk (the
+// H2P history-sensitivity sweep) keys its accumulators on it. The same
+// determinism contract as WithObserver holds: observers see exactly
+// the measured run and cannot change results.
+func (ts *TraceSet) WithConfigObserver(f func(program string, cfg core.Config) core.Observer) *TraceSet {
+	out := *ts
+	out.observerCfg = f
+	return &out
+}
+
 // attachObserver installs the set's observer on e for name's measured
-// run, if one is configured.
-func (ts *TraceSet) attachObserver(e *core.Engine, name string) {
+// run under cfg, if one is configured.
+func (ts *TraceSet) attachObserver(e *core.Engine, name string, cfg core.Config) {
+	if ts.observerCfg != nil {
+		if o := ts.observerCfg(name, cfg); o != nil {
+			e.SetObserver(o)
+		}
+		return
+	}
 	if ts.observer == nil {
 		return
 	}
@@ -359,7 +381,7 @@ func RunConfigAsync(s *Scheduler, ts *TraceSet, cfg core.Config) *SuitePromise {
 		if ts.warmup {
 			e.Run(tr) // untimed training pass
 		}
-		ts.attachObserver(e, name)
+		ts.attachObserver(e, name, cfg)
 		return e.Run(tr), nil
 	})
 }
@@ -387,7 +409,7 @@ func RunConfigCtxAsync(ctx context.Context, s *Scheduler, ts *TraceSet, cfg core
 				e.Run(tr) // untimed training pass
 				tr.Reset()
 			}
-			ts.attachObserver(e, name)
+			ts.attachObserver(e, name, cfg)
 			r := e.Run(tr)
 			if err := ctx.Err(); err != nil {
 				return metrics.Result{}, err

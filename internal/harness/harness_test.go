@@ -44,6 +44,7 @@ var (
 	cachedTable5     = cached(Table5)
 	cachedTable6     = cached(Table6)
 	cachedEvents     = cached(Events)
+	cachedH2P        = cached(H2P)
 	cachedPredictors = cached(func(ts *TraceSet) ([]PredictorRow, error) {
 		return ComparePredictors(ts, core.PredictorTAGE)
 	})

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mbbp/internal/core"
+	"mbbp/internal/metrics"
+	"mbbp/internal/workload"
+)
+
+// These tests pin the package's concurrency contracts under -race:
+// a Tap and its Counters sink are shared across engines and toggled
+// from other goroutines; Ring, Spans, and H2P are single-owner values
+// that many goroutines use *in parallel* (one each) — the lane-batch
+// and per-request shapes the harness and server actually run.
+
+// TestTapSharedToggleRace: one Tap → Counters chain shared by several
+// engines running concurrently while another goroutine flips the tap.
+// The assertion is freedom from races and from lost sink integrity —
+// after a final enabled run, events flow again.
+func TestTapSharedToggleRace(t *testing.T) {
+	counters := NewCounters()
+	tap := NewTap(counters)
+	const engines = 4
+
+	stop := make(chan struct{})
+	toggled := make(chan struct{})
+	go func() {
+		defer close(toggled)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tap.Disable()
+				time.Sleep(time.Microsecond)
+				tap.Enable()
+			}
+		}
+	}()
+
+	programs := []string{"li", "go", "gcc", "swim"}
+	var wg sync.WaitGroup
+	wg.Add(engines)
+	for i := 0; i < engines; i++ {
+		go func(program string) {
+			defer wg.Done()
+			e := newEngine(t)
+			e.SetObserver(tap)
+			for r := 0; r < 3; r++ {
+				runWorkload(t, e, program, 10_000)
+			}
+		}(programs[i])
+	}
+	wg.Wait() // engines first, then stop the toggler
+	close(stop)
+	<-toggled
+
+	tap.Enable()
+	before := counters.Snapshot().Blocks
+	e := newEngine(t)
+	e.SetObserver(tap)
+	runWorkload(t, e, "li", 10_000)
+	if counters.Snapshot().Blocks == before {
+		t.Error("enabled tap delivered nothing after concurrent toggling")
+	}
+}
+
+// TestRingsConcurrentEngines: one Ring per engine, all engines running
+// in parallel (the documented ownership model). Each ring must hold
+// exactly its own engine's event stream — byte-equal to a serial rerun.
+func TestRingsConcurrentEngines(t *testing.T) {
+	programs := []string{"li", "go", "swim"}
+	rings := make([]*Ring, len(programs))
+	var wg sync.WaitGroup
+	wg.Add(len(programs))
+	for i, program := range programs {
+		rings[i] = NewRing(256)
+		go func(r *Ring, program string) {
+			defer wg.Done()
+			e := newEngine(t)
+			e.SetObserver(r)
+			runWorkload(t, e, program, 20_000)
+		}(rings[i], program)
+	}
+	wg.Wait()
+
+	for i, program := range programs {
+		if rings[i].Len() == 0 {
+			t.Fatalf("%s: empty ring", program)
+		}
+		ref := NewRing(256)
+		e := newEngine(t)
+		e.SetObserver(ref)
+		runWorkload(t, e, program, 20_000)
+		if !reflect.DeepEqual(rings[i].Events(), ref.Events()) {
+			t.Errorf("%s: concurrent ring differs from serial rerun", program)
+		}
+		if rings[i].Dropped() != ref.Dropped() {
+			t.Errorf("%s: dropped %d vs %d", program, rings[i].Dropped(), ref.Dropped())
+		}
+	}
+}
+
+// TestSpansConcurrentRequests: one Spans per goroutine (the
+// per-request shape of the sweep handler); the timelines must render
+// independently and completely.
+func TestSpansConcurrentRequests(t *testing.T) {
+	const requests = 8
+	var wg sync.WaitGroup
+	headers := make([]string, requests)
+	wg.Add(requests)
+	for i := 0; i < requests; i++ {
+		go func(i int) {
+			defer wg.Done()
+			sp := NewSpans(time.Now())
+			for _, stage := range []string{"admit", "queue", "capture", "simulate", "render"} {
+				sp.Mark(stage)
+			}
+			headers[i] = sp.Header()
+		}(i)
+	}
+	wg.Wait()
+	for i, h := range headers {
+		for _, stage := range []string{"admit", "queue", "capture", "simulate", "render"} {
+			if !strings.Contains(h, stage+";dur=") {
+				t.Errorf("request %d: header %q missing stage %s", i, h, stage)
+			}
+		}
+	}
+}
+
+// TestH2PConcurrentPerEngineMerge mirrors the server's use: one H2P
+// accumulator per engine running concurrently, merged afterwards with
+// Add. The merge must equal a single accumulator fed serially.
+func TestH2PConcurrentPerEngineMerge(t *testing.T) {
+	programs := []string{"li", "go", "swim"}
+	parts := make([]*H2P, len(programs))
+	var wg sync.WaitGroup
+	wg.Add(len(programs))
+	for i, program := range programs {
+		parts[i] = NewH2P()
+		go func(h *H2P, program string) {
+			defer wg.Done()
+			e := newEngine(t)
+			e.SetObserver(h)
+			runWorkload(t, e, program, 20_000)
+		}(parts[i], program)
+	}
+	wg.Wait()
+
+	merged := NewH2P()
+	for _, p := range parts {
+		merged.Add(p)
+	}
+	ref := NewH2P()
+	for _, program := range programs {
+		e := newEngine(t)
+		e.SetObserver(ref)
+		runWorkload(t, e, program, 20_000)
+	}
+	if merged.TotalCycles() != ref.TotalCycles() || merged.Blocks() != ref.Blocks() ||
+		merged.Sites() != ref.Sites() {
+		t.Errorf("merged (%d cycles, %d blocks, %d sites) != serial (%d, %d, %d)",
+			merged.TotalCycles(), merged.Blocks(), merged.Sites(),
+			ref.TotalCycles(), ref.Blocks(), ref.Sites())
+	}
+	if !reflect.DeepEqual(merged.Top(10), ref.Top(10)) {
+		t.Error("merged top blocks differ from serial reference")
+	}
+}
+
+// flakyWriter fails every write after the first okAfter calls, with a
+// distinguishable error, and counts attempts past the failure.
+type flakyWriter struct {
+	okAfter    int
+	writes     int
+	pastLatch  int
+	latchedErr error
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (f *flakyWriter) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writes > f.okAfter {
+		if f.latchedErr != nil {
+			f.pastLatch++ // a write attempted after the sink should have latched
+		}
+		f.latchedErr = errDiskFull
+		return 0, errDiskFull
+	}
+	return len(p), nil
+}
+
+// TestNDJSONErrorLatchMidStream: a writer that fails mid-stream latches
+// the *first* error; subsequent events neither write nor clear it, so a
+// long engine run degrades to a cheap no-op instead of hammering a dead
+// writer.
+func TestNDJSONErrorLatchMidStream(t *testing.T) {
+	w := &flakyWriter{okAfter: 3}
+	nd := NewNDJSON(w)
+	e := newEngine(t)
+	e.SetObserver(nd)
+
+	b, err := workload.Get("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := b.Trace(20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(tr)
+	if res.Blocks < 10 {
+		t.Fatalf("run too short to exercise the latch: %d blocks", res.Blocks)
+	}
+
+	if !errors.Is(nd.Err(), errDiskFull) {
+		t.Fatalf("Err() = %v, want the writer's error", nd.Err())
+	}
+	if w.writes != w.okAfter+1 {
+		t.Errorf("writer saw %d writes; the latch should stop at %d", w.writes, w.okAfter+1)
+	}
+	if w.pastLatch != 0 {
+		t.Errorf("%d writes attempted after the error latched", w.pastLatch)
+	}
+	// The latch survives further direct events too.
+	nd.Observe(core.Event{Penalty: 1, Kind: metrics.CondMispredict})
+	if !errors.Is(nd.Err(), errDiskFull) {
+		t.Error("latched error cleared by a later event")
+	}
+}

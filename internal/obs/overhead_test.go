@@ -43,8 +43,12 @@ func TestTapDisabledOverhead(t *testing.T) {
 		e.SetObserver(o)
 		return e
 	}
+	// The sink behind the disabled tap is the H2P aggregator — the
+	// heaviest sink the service installs (per-site map updates) — so the
+	// gate pins the cost of having attribution *registered*, not just a
+	// ring buffer, at zero.
 	disabledTap := func() core.Observer {
-		tap := NewTap(NewRing(1024))
+		tap := NewTap(NewH2P())
 		tap.Disable()
 		return tap
 	}

@@ -117,7 +117,8 @@ type metricsSet struct {
 	resultStats func() resultCacheStats // nil only in partial test setups
 	shardSnap   func() *shardSnapshot   // nil unless shard mode
 	poolStats   func() harness.PoolStats
-	tap         *obs.Counters // nil when the engine tap is off
+	tap         *obs.Counters       // nil when the engine tap is off
+	h2pSnap     func() *h2pSnapshot // nil only in partial test setups
 
 	stateBits core.StateBitsBreakdown
 	build     buildInfo
@@ -125,7 +126,8 @@ type metricsSet struct {
 
 func newMetricsSet(queueCapacity int, cacheStats func() (hits, misses uint64),
 	resultStats func() resultCacheStats, shardSnap func() *shardSnapshot,
-	poolStats func() harness.PoolStats, tap *obs.Counters) *metricsSet {
+	poolStats func() harness.PoolStats, tap *obs.Counters,
+	h2pSnap func() *h2pSnapshot) *metricsSet {
 	m := &metricsSet{
 		requestsTotal:       new(expvar.Int),
 		requestsOK:          new(expvar.Int),
@@ -142,6 +144,7 @@ func newMetricsSet(queueCapacity int, cacheStats func() (hits, misses uint64),
 		shardSnap:           shardSnap,
 		poolStats:           poolStats,
 		tap:                 tap,
+		h2pSnap:             h2pSnap,
 		build:               readBuildInfo(),
 	}
 	// The hardware-cost accounting of the default configuration's
@@ -171,6 +174,7 @@ type metricsSnapshot struct {
 	Hist                                         histSnapshot
 	Pool                                         harness.PoolStats
 	Tap                                          *obs.CountersSnapshot
+	H2P                                          *h2pSnapshot
 }
 
 func (m *metricsSet) snapshot() metricsSnapshot {
@@ -200,6 +204,9 @@ func (m *metricsSet) snapshot() metricsSnapshot {
 	if m.tap != nil {
 		t := m.tap.Snapshot()
 		s.Tap = &t
+	}
+	if m.h2pSnap != nil {
+		s.H2P = m.h2pSnap()
 	}
 	return s
 }
@@ -293,6 +300,28 @@ func (m *metricsSet) writeJSON(w io.Writer, s metricsSnapshot) {
 			"redirects":      s.Tap.Redirects,
 			"penalty_cycles": cycles,
 			"penalty_events": events,
+		}
+	}
+	if s.H2P != nil {
+		cycles := map[string]uint64{}
+		for k := metrics.Kind(0); k < metrics.NumKinds; k++ {
+			cycles[kindLabel(k)] = s.H2P.Kinds[k]
+		}
+		top := make([]map[string]any, 0, len(s.H2P.Top))
+		for _, site := range s.H2P.Top {
+			top = append(top, map[string]any{
+				"addr":   site.Addr,
+				"kind":   kindLabel(site.Kind),
+				"events": site.Events,
+				"cycles": site.Cycles,
+			})
+		}
+		doc["h2p"] = map[string]any{
+			"requests":       s.H2P.Requests,
+			"blocks":         s.H2P.Blocks,
+			"sites":          s.H2P.Sites,
+			"penalty_cycles": cycles,
+			"top_blocks":     top,
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -442,6 +471,26 @@ func (m *metricsSet) writeProm(w io.Writer, s metricsSnapshot) {
 		p("# TYPE mbbpd_tap_penalty_events_total counter\n")
 		for k := metrics.Kind(0); k < metrics.NumKinds; k++ {
 			p("mbbpd_tap_penalty_events_total{kind=%q} %d\n", kindLabel(k), s.Tap.PenaltyEvents[k])
+		}
+	}
+
+	if s.H2P != nil {
+		p("# HELP mbbpd_h2p_requests_total Sweep requests that asked for H2P attribution.\n")
+		p("# TYPE mbbpd_h2p_requests_total counter\n")
+		p("mbbpd_h2p_requests_total %d\n", s.H2P.Requests)
+		p("# HELP mbbpd_h2p_penalty_total Penalty cycles attributed by H2P-enabled sweeps, by Table 3 kind.\n")
+		p("# TYPE mbbpd_h2p_penalty_total counter\n")
+		for k := metrics.Kind(0); k < metrics.NumKinds; k++ {
+			p("mbbpd_h2p_penalty_total{kind=%q} %d\n", kindLabel(k), s.H2P.Kinds[k])
+		}
+		p("# HELP mbbpd_h2p_sites Distinct static blocks carrying attributed penalty.\n")
+		p("# TYPE mbbpd_h2p_sites gauge\n")
+		p("mbbpd_h2p_sites %d\n", s.H2P.Sites)
+		p("# HELP mbbpd_h2p_top_block_penalty_cycles Penalty cycles of the worst attributed blocks.\n")
+		p("# TYPE mbbpd_h2p_top_block_penalty_cycles gauge\n")
+		for i, site := range s.H2P.Top {
+			p("mbbpd_h2p_top_block_penalty_cycles{rank=\"%d\",addr=\"%d\",kind=%q} %d\n",
+				i+1, site.Addr, kindLabel(site.Kind), site.Cycles)
 		}
 	}
 

@@ -107,7 +107,7 @@ func TestMetricsSnapshotSingleCacheRead(t *testing.T) {
 	m := newMetricsSet(4, func() (uint64, uint64) {
 		n := calls.Add(1)
 		return n, n
-	}, nil, nil, func() harness.PoolStats { return harness.PoolStats{} }, nil)
+	}, nil, nil, func() harness.PoolStats { return harness.PoolStats{} }, nil, nil)
 
 	for i := 0; i < 5; i++ {
 		s := m.snapshot()

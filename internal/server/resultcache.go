@@ -222,6 +222,20 @@ func (s cacheStatus) worse(o cacheStatus) cacheStatus {
 	return s
 }
 
+// resultCacheBuild is the build-identity dimension of every sweep key.
+// A sweep body is a pure function of the request *for one build of the
+// simulator* — across builds the engine itself may differ — so the
+// key (and therefore the ETag and shard routing) hashes the binary's
+// identity too: in a mixed-version pool, replicas on different builds
+// key the same request apart and can never serve each other's bodies,
+// and clients revalidating across a deploy get a fresh body instead of
+// a stale 304. Constant within a process, so all within-process cache
+// behavior (singleflight, hit/miss, ETag stability) is unchanged.
+var resultCacheBuild = func() string {
+	b := readBuildInfo()
+	return b.GoVersion + "|" + b.Version + "|" + b.Revision
+}()
+
 // canonicalSweepKey is the content address of one single-config sweep:
 // hex SHA-256 over a canonical serialization of everything the
 // response body is a function of. The program list is the *resolved*
@@ -234,9 +248,22 @@ func canonicalSweepKey(cfg core.Config, o harness.Options) (string, error) {
 		return "", err
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "mbbp/sweep/v1\nconfig=%s\nn=%d\nwarmup=%t\nprograms=%s\n",
-		cb, o.Instructions, o.Warmup, strings.Join(o.Programs, ","))
+	fmt.Fprintf(h, "mbbp/sweep/v2\nbuild=%s\nconfig=%s\nn=%d\nwarmup=%t\nprograms=%s\n",
+		resultCacheBuild, cb, o.Instructions, o.Warmup, strings.Join(o.Programs, ","))
 	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// h2pKeys derives the variant keys for an h2p-enabled request: the h2p
+// section changes the body, so the top-N joins every entry key and the
+// whole-request key. Plain requests keep their historical keys — the
+// two families can never collide on a cache entry or an ETag.
+func h2pKeys(entryKeys []string, reqKey string, topN int) ([]string, string) {
+	suffix := fmt.Sprintf(":h2p=%d", topN)
+	out := make([]string, len(entryKeys))
+	for i, k := range entryKeys {
+		out[i] = k + suffix
+	}
+	return out, reqKey + suffix
 }
 
 // multiSweepKey is the whole-request content address of a multi-config

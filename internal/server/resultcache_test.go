@@ -287,3 +287,44 @@ func FuzzResultCacheKey(f *testing.F) {
 		}
 	})
 }
+
+// TestResultCacheKeyBuildDimension pins satellite of the mixed-version
+// pool story: the sweep key (and so the ETag and shard routing) hashes
+// the binary's build identity, so two builds can never serve each
+// other's cached bodies and a client revalidating across a deploy gets
+// a fresh body, not a stale 304.
+func TestResultCacheKeyBuildDimension(t *testing.T) {
+	o := harness.Options{Instructions: 10_000, Programs: []string{"li"}}
+	saved := resultCacheBuild
+	defer func() { resultCacheBuild = saved }()
+
+	resultCacheBuild = "go1.x|v1|aaaa"
+	keyA := mustKey(t, core.DefaultConfig(), o)
+	if again := mustKey(t, core.DefaultConfig(), o); again != keyA {
+		t.Errorf("key unstable within one build: %s vs %s", keyA, again)
+	}
+	resultCacheBuild = "go1.x|v1|bbbb"
+	keyB := mustKey(t, core.DefaultConfig(), o)
+	if keyA == keyB {
+		t.Error("different builds share a sweep key")
+	}
+	if etagFor(keyA) == etagFor(keyB) {
+		t.Error("different builds share an ETag")
+	}
+}
+
+// TestH2PKeys: the h2p variant key family is disjoint from the plain
+// family and distinguishes top-N values, per entry and per request.
+func TestH2PKeys(t *testing.T) {
+	entries := []string{"e1", "e2"}
+	k10, r10 := h2pKeys(entries, "req", 10)
+	k3, r3 := h2pKeys(entries, "req", 3)
+	if r10 == "req" || r10 == r3 {
+		t.Errorf("request keys collide: %q %q", r10, r3)
+	}
+	for i := range entries {
+		if k10[i] == entries[i] || k10[i] == k3[i] {
+			t.Errorf("entry %d keys collide: %q %q", i, k10[i], k3[i])
+		}
+	}
+}

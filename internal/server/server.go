@@ -127,7 +127,12 @@ type Server struct {
 	queue   chan struct{} // admission semaphore; len() is the live depth
 	metrics *metricsSet
 	tap     *obs.Counters // nil unless Config.Tap
+	h2p     *fleetH2P     // fleet-wide attribution from h2p-enabled sweeps
 	mux     *http.ServeMux
+
+	// ridPrefix namespaces minted request IDs ("<prefix>-<seq>") so IDs
+	// from different replicas never collide in stitched logs.
+	ridPrefix string
 
 	mu       sync.Mutex
 	draining bool
@@ -159,6 +164,9 @@ func New(cfg Config) (*Server, error) {
 		cache:   trace.NewCache(cfg.CacheEntries),
 		results: newResultCache(cfg.ResultCacheEntries),
 		queue:   make(chan struct{}, cfg.QueueDepth),
+		h2p:     newFleetH2P(),
+
+		ridPrefix: newRIDPrefix(),
 	}
 	if len(cfg.ShardOf) > 0 {
 		pool, err := newShardPool(cfg.ShardOf, cfg.RequestTimeout)
@@ -175,7 +183,7 @@ func New(cfg Config) (*Server, error) {
 	if s.pool != nil {
 		shardSnap = s.pool.snapshot
 	}
-	s.metrics = newMetricsSet(cfg.QueueDepth, s.cache.Stats, s.results.stats, shardSnap, s.sched.Stats, s.tap)
+	s.metrics = newMetricsSet(cfg.QueueDepth, s.cache.Stats, s.results.stats, shardSnap, s.sched.Stats, s.tap, s.h2p.snapshot)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
@@ -264,8 +272,9 @@ func (s *Server) admit() (release func(), status int) {
 // computation.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	id := s.reqSeq.Add(1)
-	log := s.log.With("req", id, "remote", r.RemoteAddr)
+	rid := s.requestID(r)
+	w.Header().Set(requestIDHeader, rid)
+	log := s.log.With("req", rid, "remote", r.RemoteAddr)
 	s.metrics.requestsTotal.Add(1)
 	sp := obs.NewSpans(start)
 
@@ -284,6 +293,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cfgs, opts, multi, err := req.parseAll(s.cfg.MaxInstructions)
+	if err != nil {
+		s.metrics.requestsBad.Add(1)
+		log.Warn("rejected request", "err", err)
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	h2pN, err := req.h2pTopN()
 	if err != nil {
 		s.metrics.requestsBad.Add(1)
 		log.Warn("rejected request", "err", err)
@@ -319,6 +335,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		if h2pN > 0 {
+			s.metrics.requestsBad.Add(1)
+			err := errors.New("h2p is not available with NDJSON streaming")
+			log.Warn("rejected request", "err", err)
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
 		s.streamSweep(ctx, w, log, start, sp, cfgs[0], opts)
 		return
 	}
@@ -329,6 +352,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.metrics.requestsErrored.Add(1)
 		s.writeError(w, http.StatusInternalServerError, err)
 		return
+	}
+	if h2pN > 0 {
+		keys, reqKey = h2pKeys(keys, reqKey, h2pN)
 	}
 	etag := etagFor(reqKey)
 
@@ -344,10 +370,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if s.pool != nil {
-		s.serveSharded(ctx, w, log, start, sp, raw, cfgs, opts, multi, reqKey, etag)
+		s.serveSharded(ctx, w, log, start, sp, raw, rid, cfgs, opts, multi, h2pN, reqKey, etag)
 		return
 	}
-	s.serveLocal(ctx, w, log, start, sp, cfgs, opts, multi, keys, etag)
+	s.serveLocal(ctx, w, log, start, sp, cfgs, opts, multi, h2pN, keys, etag)
 }
 
 // refuse writes a queue rejection (429 or 503) with its metrics.
@@ -378,7 +404,7 @@ func (s *Server) refuse(w http.ResponseWriter, log *slog.Logger, status int) {
 // cached); waiters retry from the top under their own context.
 func (s *Server) serveLocal(ctx context.Context, w http.ResponseWriter, log *slog.Logger,
 	start time.Time, sp *obs.Spans, cfgs []core.Config, opts harness.Options,
-	multi bool, keys []string, etag string) {
+	multi bool, h2pN int, keys []string, etag string) {
 	for {
 		if s.drainingNow() {
 			s.refuse(w, log, http.StatusServiceUnavailable)
@@ -449,7 +475,7 @@ func (s *Server) serveLocal(ctx context.Context, w http.ResponseWriter, log *slo
 			if s.hookComputing != nil {
 				s.hookComputing()
 			}
-			computeErr = s.computeEntries(ctx, sp, cfgs, opts, entries, toCompute)
+			computeErr = s.computeEntries(ctx, sp, cfgs, opts, entries, toCompute, h2pN)
 		}
 		release()
 		s.metrics.inflight.Add(-1)
@@ -497,12 +523,20 @@ func (s *Server) finishEntries(ctx context.Context, w http.ResponseWriter, log *
 // each claimed entry with its rendered body. On error every claimed
 // entry is dropped.
 func (s *Server) computeEntries(ctx context.Context, sp *obs.Spans, cfgs []core.Config,
-	opts harness.Options, entries []*resultEntry, toCompute []int) error {
+	opts harness.Options, entries []*resultEntry, toCompute []int, h2pN int) error {
 	fail := func(err error) error {
 		for _, i := range toCompute {
 			s.results.resolve(entries[i], nil, nil, err)
 		}
 		return err
+	}
+	computed := make([]core.Config, len(toCompute))
+	for j, i := range toCompute {
+		computed[j] = cfgs[i]
+	}
+	h2p, err := s.newH2PState(h2pN, computed, opts.Programs)
+	if err != nil {
+		return fail(err)
 	}
 	ts, err := harness.LoadTracesCached(ctx, s.sched, opts, s.cache)
 	if err != nil {
@@ -510,15 +544,16 @@ func (s *Server) computeEntries(ctx context.Context, sp *obs.Spans, cfgs []core.
 	}
 	sp.Mark("capture")
 
+	tsv := s.tappedH2P(ts, h2p)
 	results := make([]*harness.SuiteResult, len(toCompute))
 	if len(toCompute) == 1 {
-		res, err := harness.RunConfigCtxAsync(ctx, s.sched, s.tapped(ts), cfgs[toCompute[0]]).WaitCtx(ctx)
+		res, err := harness.RunConfigCtxAsync(ctx, s.sched, tsv, cfgs[toCompute[0]]).WaitCtx(ctx)
 		if err != nil {
 			return fail(err)
 		}
 		results[0] = res
 	} else {
-		b := harness.NewBatchCtx(ctx, s.sched, s.tapped(ts))
+		b := harness.NewBatchCtx(ctx, s.sched, tsv)
 		promises := make([]*harness.SuitePromise, len(toCompute))
 		for j, i := range toCompute {
 			promises[j] = b.RunConfig(cfgs[i])
@@ -536,12 +571,14 @@ func (s *Server) computeEntries(ctx context.Context, sp *obs.Spans, cfgs []core.
 
 	for j, i := range toCompute {
 		resp := BuildSweepResponse(cfgs[i], opts, results[j])
+		resp.H2P = h2p.report(cfgs[i], opts.Programs)
 		body, err := MarshalResponse(resp)
 		if err != nil {
 			return fail(err)
 		}
 		s.results.resolve(entries[i], body, &resp, nil)
 	}
+	s.h2p.record(h2p)
 	return nil
 }
 
@@ -617,18 +654,25 @@ const stagesTrailer = "X-Request-Stages"
 // runSweep executes one admitted request on the shared pool. It is the
 // shard front-end's local-fallback path (and the historical direct
 // path the differential tests reference).
-func (s *Server) runSweep(ctx context.Context, sp *obs.Spans, cfg core.Config, opts harness.Options) (SweepResponse, error) {
+func (s *Server) runSweep(ctx context.Context, sp *obs.Spans, cfg core.Config, opts harness.Options, h2pN int) (SweepResponse, error) {
+	h2p, err := s.newH2PState(h2pN, []core.Config{cfg}, opts.Programs)
+	if err != nil {
+		return SweepResponse{}, err
+	}
 	ts, err := harness.LoadTracesCached(ctx, s.sched, opts, s.cache)
 	if err != nil {
 		return SweepResponse{}, err
 	}
 	sp.Mark("capture")
-	res, err := harness.RunConfigCtxAsync(ctx, s.sched, s.tapped(ts), cfg).WaitCtx(ctx)
+	res, err := harness.RunConfigCtxAsync(ctx, s.sched, s.tappedH2P(ts, h2p), cfg).WaitCtx(ctx)
 	if err != nil {
 		return SweepResponse{}, err
 	}
 	sp.Mark("simulate")
-	return BuildSweepResponse(cfg, opts, res), nil
+	resp := BuildSweepResponse(cfg, opts, res)
+	resp.H2P = h2p.report(cfg, opts.Programs)
+	s.h2p.record(h2p)
+	return resp, nil
 }
 
 // runSweepMulti executes a multi-config request as one lane batch:
@@ -636,27 +680,55 @@ func (s *Server) runSweep(ctx context.Context, sp *obs.Spans, cfg core.Config, o
 // (cached) trace set, so configurations sharing a cache geometry run
 // as lockstep lanes of one trace walk per program. The responses are
 // exactly what runSweep would have produced for each configuration.
-func (s *Server) runSweepMulti(ctx context.Context, sp *obs.Spans, cfgs []core.Config, opts harness.Options) (MultiSweepResponse, error) {
+func (s *Server) runSweepMulti(ctx context.Context, sp *obs.Spans, cfgs []core.Config, opts harness.Options, h2pN int) (MultiSweepResponse, error) {
+	h2p, err := s.newH2PState(h2pN, cfgs, opts.Programs)
+	if err != nil {
+		return MultiSweepResponse{}, err
+	}
 	ts, err := harness.LoadTracesCached(ctx, s.sched, opts, s.cache)
 	if err != nil {
 		return MultiSweepResponse{}, err
 	}
 	sp.Mark("capture")
-	b := harness.NewBatchCtx(ctx, s.sched, s.tapped(ts))
-	promises := make([]*harness.SuitePromise, len(cfgs))
+	// Duplicate configurations run once — the cached path dedupes the
+	// same way via entry claims, and with h2p on they share one
+	// accumulator, which must see exactly one lane's events.
+	seen := make(map[string]int, len(cfgs))
+	var uniq []core.Config
+	backref := make([]int, len(cfgs))
 	for i, cfg := range cfgs {
-		promises[i] = b.RunConfig(cfg)
-	}
-	b.Flush()
-	resp := MultiSweepResponse{Sweeps: make([]SweepResponse, 0, len(cfgs))}
-	for i, p := range promises {
-		res, err := p.WaitCtx(ctx)
+		ck, err := cfg.CanonicalHash()
 		if err != nil {
 			return MultiSweepResponse{}, err
 		}
-		resp.Sweeps = append(resp.Sweeps, BuildSweepResponse(cfgs[i], opts, res))
+		j, ok := seen[ck]
+		if !ok {
+			j = len(uniq)
+			seen[ck] = j
+			uniq = append(uniq, cfg)
+		}
+		backref[i] = j
+	}
+	b := harness.NewBatchCtx(ctx, s.sched, s.tappedH2P(ts, h2p))
+	promises := make([]*harness.SuitePromise, len(uniq))
+	for i, cfg := range uniq {
+		promises[i] = b.RunConfig(cfg)
+	}
+	b.Flush()
+	results := make([]*harness.SuiteResult, len(uniq))
+	for i, p := range promises {
+		if results[i], err = p.WaitCtx(ctx); err != nil {
+			return MultiSweepResponse{}, err
+		}
+	}
+	resp := MultiSweepResponse{Sweeps: make([]SweepResponse, 0, len(cfgs))}
+	for i, cfg := range cfgs {
+		sw := BuildSweepResponse(cfg, opts, results[backref[i]])
+		sw.H2P = h2p.report(cfg, opts.Programs)
+		resp.Sweeps = append(resp.Sweeps, sw)
 	}
 	sp.Mark("simulate")
+	s.h2p.record(h2p)
 	return resp, nil
 }
 

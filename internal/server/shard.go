@@ -119,7 +119,7 @@ func (p *shardPool) markOK(idx int) {
 // probe. A non-nil error means no replica was reachable at all (or ctx
 // died); otherwise the returned status/body/headers are the answering
 // replica's, whatever the status was.
-func (p *shardPool) do(ctx context.Context, key string, body []byte) (code int, respBody []byte, hdr http.Header, replica string, err error) {
+func (p *shardPool) do(ctx context.Context, key, rid string, body []byte) (code int, respBody []byte, hdr http.Header, replica string, err error) {
 	order := p.ring.Order(key)
 	now := time.Now()
 	var live, cooling []int
@@ -138,7 +138,7 @@ func (p *shardPool) do(ctx context.Context, key string, body []byte) (code int, 
 		if idx != order[0] {
 			p.reroutes.Add(1)
 		}
-		code, b, h, err := p.post(ctx, p.bases[idx], body)
+		code, b, h, err := p.post(ctx, p.bases[idx], rid, body)
 		if err != nil || retryableStatus(code) {
 			p.markFailed(idx)
 			if err == nil {
@@ -160,12 +160,18 @@ func (p *shardPool) do(ctx context.Context, key string, body []byte) (code int, 
 	return 0, nil, nil, "", fmt.Errorf("shard: no replica reachable: %w", lastErr)
 }
 
-func (p *shardPool) post(ctx context.Context, base string, body []byte) (int, []byte, http.Header, error) {
+func (p *shardPool) post(ctx context.Context, base, rid string, body []byte) (int, []byte, http.Header, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/sweep", bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// The front-end's request ID rides along so the replica's log lines
+	// carry the same ID — one grep stitches a fleet-routed request
+	// across front-end and replica logs.
+	if rid != "" {
+		req.Header.Set(requestIDHeader, rid)
+	}
 	resp, err := p.client.Do(req)
 	if err != nil {
 		return 0, nil, nil, err
@@ -218,8 +224,8 @@ func (p *shardPool) snapshot() *shardSnapshot {
 // local path: one request proxies while identical concurrent requests
 // coalesce; proxy failures are never cached.
 func (s *Server) serveSharded(ctx context.Context, w http.ResponseWriter, log *slog.Logger,
-	start time.Time, sp *obs.Spans, raw []byte, cfgs []core.Config, opts harness.Options,
-	multi bool, reqKey, etag string) {
+	start time.Time, sp *obs.Spans, raw []byte, rid string, cfgs []core.Config, opts harness.Options,
+	multi bool, h2pN int, reqKey, etag string) {
 	for {
 		if s.drainingNow() {
 			s.refuse(w, log, http.StatusServiceUnavailable)
@@ -281,7 +287,7 @@ func (s *Server) serveSharded(ctx context.Context, w http.ResponseWriter, log *s
 		if s.hookComputing != nil {
 			s.hookComputing()
 		}
-		code, body, hdr, replica, err := s.pool.do(ctx, reqKey, raw)
+		code, body, hdr, replica, err := s.pool.do(ctx, reqKey, rid, raw)
 		switch {
 		case err == nil && code == http.StatusOK:
 			s.results.resolve(e, body, nil, nil)
@@ -319,7 +325,7 @@ func (s *Server) serveSharded(ctx context.Context, w http.ResponseWriter, log *s
 		// request still succeeds (and warms this front-end's cache).
 		s.pool.fallbacks.Add(1)
 		log.Warn("all replicas unreachable; running sweep locally", "err", err)
-		body, lerr := s.computeBodyLocal(ctx, sp, cfgs, opts, multi)
+		body, lerr := s.computeBodyLocal(ctx, sp, cfgs, opts, multi, h2pN)
 		if lerr != nil {
 			s.results.resolve(e, nil, nil, lerr)
 			done()
@@ -356,15 +362,15 @@ func (s *Server) awaitShardEntry(ctx context.Context, w http.ResponseWriter, log
 // sweep on the local engine through the exact standalone code paths, so
 // the body is byte-identical to what a healthy replica would have sent.
 func (s *Server) computeBodyLocal(ctx context.Context, sp *obs.Spans, cfgs []core.Config,
-	opts harness.Options, multi bool) ([]byte, error) {
+	opts harness.Options, multi bool, h2pN int) ([]byte, error) {
 	if multi {
-		resp, err := s.runSweepMulti(ctx, sp, cfgs, opts)
+		resp, err := s.runSweepMulti(ctx, sp, cfgs, opts, h2pN)
 		if err != nil {
 			return nil, err
 		}
 		return MarshalMultiResponse(resp)
 	}
-	resp, err := s.runSweep(ctx, sp, cfgs[0], opts)
+	resp, err := s.runSweep(ctx, sp, cfgs[0], opts, h2pN)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"mbbp/internal/core"
 	"mbbp/internal/harness"
 	"mbbp/internal/metrics"
+	"mbbp/internal/obs"
 	"mbbp/internal/workload"
 )
 
@@ -36,6 +37,37 @@ type SweepRequest struct {
 	Instructions uint64 `json:"instructions,omitempty"`
 	// Warmup runs each engine over its trace once, untimed, first.
 	Warmup bool `json:"warmup,omitempty"`
+	// H2P adds the hard-to-predict attribution report to each sweep in
+	// the response: per program, the top-N static blocks by penalty
+	// cycles with dominant kind and cumulative coverage (the service
+	// serves attribution only; the history-length sensitivity sweep is
+	// the CLI's `mbpexp h2p`). H2P-enabled runs also feed the fleet-wide
+	// mbbpd_h2p_* series on /metrics. Not available with NDJSON
+	// streaming.
+	H2P bool `json:"h2p,omitempty"`
+	// H2PTopN bounds the per-program block list (default 10, max 100).
+	H2PTopN int `json:"h2p_topn,omitempty"`
+}
+
+// h2pTopNLimit caps the per-program block list a request may ask for.
+const h2pTopNLimit = 100
+
+// h2pTopN resolves the request's effective top-N (0 when H2P is off).
+// The error maps to 400.
+func (r *SweepRequest) h2pTopN() (int, error) {
+	if !r.H2P {
+		if r.H2PTopN != 0 {
+			return 0, fmt.Errorf("h2p_topn requires h2p")
+		}
+		return 0, nil
+	}
+	switch {
+	case r.H2PTopN == 0:
+		return harness.DefaultH2PTopN, nil
+	case r.H2PTopN < 0 || r.H2PTopN > h2pTopNLimit:
+		return 0, fmt.Errorf("h2p_topn %d out of range [1,%d]", r.H2PTopN, h2pTopNLimit)
+	}
+	return r.H2PTopN, nil
 }
 
 // parse resolves the request into a validated configuration and
@@ -144,6 +176,62 @@ type SweepResponse struct {
 	// Aggregates holds the suite totals the paper reports (raw event
 	// counts summed), keyed CINT95 / CFP95.
 	Aggregates map[string]ProgramResult `json:"aggregates"`
+	// H2P is the hard-to-predict attribution report, present only when
+	// the request asked for it (requests without h2p keep their exact
+	// historical bodies).
+	H2P *H2PReport `json:"h2p,omitempty"`
+}
+
+// H2PReport is the response's hard-to-predict section: per program, the
+// ranked worst blocks with their coverage curve.
+type H2PReport struct {
+	TopN     int          `json:"topn"`
+	Programs []H2PProgram `json:"programs"`
+}
+
+// H2PProgram is one program's attribution summary.
+type H2PProgram struct {
+	Program     string     `json:"program"`
+	TotalCycles uint64     `json:"total_penalty_cycles"`
+	Sites       int        `json:"sites"`
+	Blocks      []H2PBlock `json:"blocks"`
+}
+
+// H2PBlock is one ranked block: its penalty, dominant kind, share of
+// the program's total penalty, and cumulative coverage through its
+// rank.
+type H2PBlock struct {
+	Addr   uint32  `json:"addr"`
+	Events uint64  `json:"events"`
+	Cycles uint64  `json:"cycles"`
+	Kind   string  `json:"kind"`
+	Share  float64 `json:"share"`
+	Cum    float64 `json:"cum_coverage"`
+}
+
+// buildH2PReport assembles the deterministic report from per-program
+// accumulators, in request program order.
+func buildH2PReport(aggs map[string]*obs.H2P, programs []string, topN int) *H2PReport {
+	rep := &H2PReport{TopN: topN, Programs: make([]H2PProgram, 0, len(programs))}
+	for _, name := range programs {
+		a := aggs[name]
+		p := H2PProgram{Program: name, TotalCycles: a.TotalCycles(), Sites: a.Sites()}
+		var cum uint64
+		for _, site := range a.Top(topN) {
+			cum += site.Cycles
+			b := H2PBlock{
+				Addr: site.Addr, Events: site.Events, Cycles: site.Cycles,
+				Kind: site.Kind.String(),
+			}
+			if p.TotalCycles > 0 {
+				b.Share = float64(site.Cycles) / float64(p.TotalCycles)
+				b.Cum = float64(cum) / float64(p.TotalCycles)
+			}
+			p.Blocks = append(p.Blocks, b)
+		}
+		rep.Programs = append(rep.Programs, p)
+	}
+	return rep
 }
 
 // BuildSweepResponse assembles the deterministic response body from a
